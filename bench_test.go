@@ -1,0 +1,262 @@
+package protest
+
+// One benchmark per table and figure of the paper's evaluation.  The
+// benchmarks time the regeneration of each artifact; run
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/protest-experiments for the rendered tables themselves.
+// Reduced budgets (Config.Fast) keep the timed body representative
+// without requiring minutes per iteration.
+
+import (
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/core"
+	"protest/internal/experiments"
+	"protest/internal/fault"
+	"protest/internal/faultsim"
+	"protest/internal/optimize"
+	"protest/internal/pattern"
+	"protest/internal/testlen"
+)
+
+var benchCfg = experiments.Config{Seed: 1, Fast: true}
+
+// BenchmarkTable1Validity measures the estimated-vs-simulated
+// comparison for the ALU (Table 1, first row).
+func BenchmarkTable1Validity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Validity(circuits.ALU74181(), benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5ScatterALU regenerates the ALU correlation diagram.
+func BenchmarkFigure5ScatterALU(b *testing.B) {
+	r, err := experiments.Validity(circuits.ALU74181(), benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := r.Scatter(); len(s) == 0 {
+			b.Fatal("empty scatter")
+		}
+	}
+}
+
+// BenchmarkFigure6ScatterMULT regenerates the MULT correlation diagram
+// including the underlying measurement.
+func BenchmarkFigure6ScatterMULT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Validity(circuits.Mult8(), benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := r.Scatter(); len(s) == 0 {
+			b.Fatal("empty scatter")
+		}
+	}
+}
+
+// BenchmarkTable2TestSetSize computes the ALU/MULT test lengths.
+func BenchmarkTable2TestSetSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Validation fault-simulates the computed ALU test set
+// (the "99.9-100% coverage" claim of section 5).
+func BenchmarkTable2Validation(b *testing.B) {
+	c := circuits.ALU74181()
+	faults := fault.Collapse(c)
+	res, err := core.Analyze(c, core.UniformProbs(c), core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := testlen.RequiredFraction(res.DetectProbs(faults), 0.98, 0.98)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := pattern.NewUniform(len(c.Inputs), uint64(i))
+		faultsim.CoverageCurve(c, faults, gen, []int{int(n)})
+	}
+}
+
+// BenchmarkTable3HardCircuits computes the DIV/COMP uniform test
+// lengths.
+func BenchmarkTable3HardCircuits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4OptimizedProbs runs the COMP input-probability
+// optimization (reduced sweep budget).
+func BenchmarkTable4OptimizedProbs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5OptimizedTestSets optimizes DIV and COMP and
+// recomputes the size grid.
+func BenchmarkTable5OptimizedTestSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table5(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6CoverageCurves fault-simulates uniform vs optimized
+// pattern sets on DIV and COMP.
+func BenchmarkTable6CoverageCurves(b *testing.B) {
+	_, tuples, err := experiments.Table5(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(benchCfg, tuples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7AnalysisScaling times the analysis across the circuit
+// size ladder.
+func BenchmarkTable7AnalysisScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8OptimizationScaling times the optimization across the
+// ladder.
+func BenchmarkTable8OptimizationScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table8(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks: the building blocks the tables rest
+// on, useful for tracking performance regressions.
+
+func BenchmarkAnalyzeALU(b *testing.B) {
+	c := circuits.ALU74181()
+	an, err := core.NewAnalyzer(c, core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := core.UniformProbs(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Run(probs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeMULT(b *testing.B) {
+	c := circuits.Mult8()
+	an, err := core.NewAnalyzer(c, core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := core.UniformProbs(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Run(probs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeDIV(b *testing.B) {
+	c := circuits.Div16()
+	an, err := core.NewAnalyzer(c, core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := core.UniformProbs(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Run(probs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultSimMULT64Patterns(b *testing.B) {
+	c := circuits.Mult8()
+	faults := fault.Collapse(c)
+	sim := faultsim.New(c)
+	gen := pattern.NewUniform(len(c.Inputs), 1)
+	words := make([]uint64, len(c.Inputs))
+	det := make([]uint64, len(faults))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.NextBlock(words)
+		sim.SimulateBlock(words, faults, det)
+	}
+}
+
+func BenchmarkTestLengthCOMP(b *testing.B) {
+	c := circuits.Comp24()
+	faults := fault.Collapse(c)
+	res, err := core.Analyze(c, core.UniformProbs(c), core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := res.DetectProbs(faults)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testlen.Required(probs, 0.98); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeEq8Style(b *testing.B) {
+	c := circuits.Comp24()
+	an, err := core.NewAnalyzer(c, core.FastParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.Optimize(an, faults, optimize.Options{MaxSweeps: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedPatternBlock(b *testing.B) {
+	gen, err := pattern.NewWeighted([]float64{0.88, 0.94, 0.12, 0.5, 0.63, 0.31, 0.75, 0.06}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := make([]uint64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.NextBlock(words)
+	}
+}

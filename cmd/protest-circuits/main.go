@@ -1,0 +1,67 @@
+// Command protest-circuits emits the built-in benchmark circuits of the
+// paper reproduction as .bench netlists.
+//
+// Usage:
+//
+//	protest-circuits             # list available circuits
+//	protest-circuits alu         # dump the SN74181 netlist to stdout
+//	protest-circuits -o dir all  # write every netlist into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"protest"
+)
+
+func main() {
+	outDir := flag.String("o", "", "write netlists into `dir` instead of stdout")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("built-in circuits:")
+		for _, name := range protest.BenchmarkNames() {
+			c, _ := protest.Benchmark(name)
+			st := c.Stats()
+			fmt.Printf("  %-8s %5d gates, %3d inputs, %3d outputs, ~%d transistors\n",
+				name, st.Gates, st.Inputs, st.Outputs, st.Transistors)
+		}
+		return
+	}
+
+	names := args
+	if len(args) == 1 && args[0] == "all" {
+		names = protest.BenchmarkNames()
+	}
+	for _, name := range names {
+		c, ok := protest.Benchmark(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "protest-circuits: unknown circuit %q\n", name)
+			os.Exit(1)
+		}
+		if *outDir == "" {
+			if err := protest.WriteNetlist(os.Stdout, c); err != nil {
+				fmt.Fprintln(os.Stderr, "protest-circuits:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		path := filepath.Join(*outDir, name+".bench")
+		f, err := os.Create(path)
+		if err == nil {
+			err = protest.WriteNetlist(f, c)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "protest-circuits:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

@@ -1,0 +1,110 @@
+// Command protest-experiments regenerates the tables and figures of
+// the paper's evaluation (Wunderlich, "PROTEST: A Tool for
+// Probabilistic Testability Analysis", DAC 1985).
+//
+// Usage:
+//
+//	protest-experiments [-fast] [-seed n] [-table 1,2,3,...]
+//
+// Without -table every experiment runs in order.  EXPERIMENTS.md in the
+// repository root records the expected output next to the paper's
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"protest/internal/experiments"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "reduced pattern/sweep budgets")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	tables := flag.String("table", "1,2,3,4,5,6,7,8", "comma list of tables to run (figures 5/6 come with table 1)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Fast: *fast}
+	want := map[string]bool{}
+	for _, t := range strings.Split(*tables, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+	runAll(cfg, want)
+}
+
+func runAll(cfg experiments.Config, want map[string]bool) {
+	var tuples map[string][]float64
+
+	if want["1"] {
+		step("Table 1 + Figures 5/6 (validity of the estimation)")
+		rows, err := experiments.Table1(cfg)
+		fail(err)
+		fmt.Println(experiments.RenderTable1(rows))
+		for _, r := range rows {
+			fmt.Println(r.Scatter())
+		}
+	}
+	if want["2"] {
+		step("Table 2 (test-set sizes for ALU and MULT, validated)")
+		r, err := experiments.Table2(cfg)
+		fail(err)
+		fmt.Println(experiments.RenderTable2(r))
+	}
+	if want["3"] {
+		step("Table 3 (uniform random patterns on DIV and COMP)")
+		t3, err := experiments.Table3(cfg)
+		fail(err)
+		fmt.Println(experiments.RenderSizeTable(
+			"Table 3: size of test sets at p=0.5 (paper: DIV ~5-10·10^5, COMP ~3-6·10^8)",
+			t3, []string{"div16", "comp24"}))
+	}
+	if want["4"] {
+		step("Table 4 (optimized input probabilities for COMP)")
+		t4, err := experiments.Table4(cfg)
+		fail(err)
+		fmt.Println(experiments.RenderTable4(t4))
+	}
+	if want["5"] || want["6"] {
+		step("Table 5 (test lengths with optimized probabilities)")
+		t5, tp, err := experiments.Table5(cfg)
+		fail(err)
+		tuples = tp
+		fmt.Println(experiments.RenderSizeTable(
+			"Table 5: the necessary size of optimized test sets (paper: DIV 5-10·10^3, COMP 7-15·10^3)",
+			t5, []string{"div16", "comp24"}))
+	}
+	if want["6"] {
+		step("Table 6 (fault coverage by simulation, uniform vs optimized)")
+		t6, err := experiments.Table6(cfg, tuples)
+		fail(err)
+		fmt.Println(experiments.RenderTable6(t6))
+	}
+	if want["7"] {
+		step("Table 7 (analysis CPU time scaling)")
+		t7, err := experiments.Table7(cfg)
+		fail(err)
+		fmt.Println(experiments.RenderTable7(t7))
+	}
+	if want["8"] {
+		step("Table 8 (optimization CPU time scaling)")
+		t8, err := experiments.Table8(cfg)
+		fail(err)
+		fmt.Println(experiments.RenderTable8(t8))
+	}
+}
+
+var start = time.Now()
+
+func step(title string) {
+	fmt.Printf("==== %s  [t+%s]\n\n", title, time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protest-experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"protest"
+)
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	cf := addCircuitFlags(fs)
+	dump := fs.Bool("dump", false, "dump the netlist in .bench syntax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := cf.load()
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("circuit:     %s\n", c.Name)
+	fmt.Printf("inputs:      %d\n", st.Inputs)
+	fmt.Printf("outputs:     %d\n", st.Outputs)
+	fmt.Printf("gates:       %d\n", st.Gates)
+	fmt.Printf("levels:      %d\n", st.MaxLevel)
+	fmt.Printf("transistors: %d (CMOS estimate)\n", st.Transistors)
+	fmt.Printf("fanout stems:%d\n", st.FanoutStems)
+	fmt.Printf("faults:      %d collapsed / %d total\n", len(protest.Faults(c)), len(protest.AllFaults(c)))
+	if *dump {
+		fmt.Println()
+		if err := protest.WriteNetlist(os.Stdout, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	cf := addCircuitFlags(fs)
+	pSpec := fs.String("p", "0.5", "input signal probabilities: one value for all inputs or a comma list")
+	pFile := fs.String("pfile", "", "read per-input probabilities from `file` (lines: 'name prob')")
+	maxVers := fs.Int("maxvers", 4, "MAXVERS: joining points conditioned per gate")
+	maxList := fs.Int("maxlist", 8, "MAXLIST: path length bound for the joining point search")
+	hardest := fs.Int("hardest", 10, "list the n hardest faults")
+	nodes := fs.Bool("nodes", false, "print per-node signal probabilities and observabilities")
+	orModel := fs.Bool("ormodel", false, "use the 1-Π(1-s) stem model instead of ⊞")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := cf.load()
+	if err != nil {
+		return err
+	}
+	probs, err := loadProbs(*pSpec, *pFile, c)
+	if err != nil {
+		return err
+	}
+	params := protest.DefaultParams()
+	params.MaxVers = *maxVers
+	params.MaxList = *maxList
+	if *orModel {
+		params.ObsModel = protest.ObsOr
+	}
+	res, err := protest.Analyze(c, probs, params)
+	if err != nil {
+		return err
+	}
+	if *nodes {
+		fmt.Printf("%-20s %10s %10s\n", "node", "p(1)", "s(x)")
+		for _, id := range c.TopoOrder() {
+			fmt.Printf("%-20s %10.5f %10.5f\n", c.Node(id).Name, res.Prob[id], res.Obs[id])
+		}
+		fmt.Println()
+	}
+	faults := protest.Faults(c)
+	detect := res.DetectProbs(faults)
+	type fp struct {
+		i int
+		p float64
+	}
+	order := make([]fp, len(faults))
+	for i, p := range detect {
+		order[i] = fp{i, p}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].p < order[b].p })
+	fmt.Printf("%d collapsed faults; %d hardest:\n", len(faults), *hardest)
+	fmt.Printf("%-24s %12s\n", "fault", "P(detect)")
+	for k := 0; k < *hardest && k < len(order); k++ {
+		f := faults[order[k].i]
+		fmt.Printf("%-24s %12.3e\n", f.Name(c), order[k].p)
+	}
+	return nil
+}
+
+func runTestLen(args []string) error {
+	fs := flag.NewFlagSet("testlen", flag.ExitOnError)
+	cf := addCircuitFlags(fs)
+	pSpec := fs.String("p", "0.5", "input signal probabilities")
+	pFile := fs.String("pfile", "", "read per-input probabilities from `file`")
+	ds := fs.String("d", "1.0,0.98", "fault fractions (comma list)")
+	es := fs.String("e", "0.95,0.98,0.999", "confidences (comma list)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := cf.load()
+	if err != nil {
+		return err
+	}
+	probs, err := loadProbs(*pSpec, *pFile, c)
+	if err != nil {
+		return err
+	}
+	dList, err := parseProbList(*ds, len(splitComma(*ds)))
+	if err != nil {
+		return err
+	}
+	eList, err := parseProbList(*es, len(splitComma(*es)))
+	if err != nil {
+		return err
+	}
+	res, err := protest.Analyze(c, probs, protest.DefaultParams())
+	if err != nil {
+		return err
+	}
+	detect := res.DetectProbs(protest.Faults(c))
+	rows := protest.TestLengthTable(detect, dList, eList)
+	fmt.Printf("%6s %7s %14s\n", "d", "e", "N")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Printf("%6.2f %7.3f %14s  (%v)\n", r.D, r.E, "-", r.Err)
+			continue
+		}
+		fmt.Printf("%6.2f %7.3f %14d\n", r.D, r.E, r.N)
+	}
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}

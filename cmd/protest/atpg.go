@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"protest"
+)
+
+func runATPG(args []string) error {
+	fs := flag.NewFlagSet("atpg", flag.ExitOnError)
+	cf := addCircuitFlags(fs)
+	random := fs.Int("random", 0, "simulate this many random patterns first and only target the survivors")
+	seed := fs.Uint64("seed", 1, "random-phase generator seed")
+	verbose := fs.Bool("v", false, "print one line per fault")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := cf.load()
+	if err != nil {
+		return err
+	}
+	faults := protest.Faults(c)
+	targets := faults
+	if *random > 0 {
+		gen := protest.NewUniformGenerator(len(c.Inputs), *seed)
+		sim := protest.MeasureDetection(c, faults, gen, *random)
+		targets = targets[:0:0]
+		for i := range faults {
+			if sim.Detected[i] == 0 {
+				targets = append(targets, faults[i])
+			}
+		}
+		fmt.Printf("# random phase: %d patterns, %.2f%% coverage, %d faults remain\n",
+			*random, 100*sim.Coverage(), len(targets))
+	}
+	g := protest.NewATPG(c)
+	detected, untestable, aborted := 0, 0, 0
+	for _, f := range targets {
+		res := g.Generate(f)
+		switch res.Status {
+		case protest.ATPGDetected:
+			detected++
+			if *verbose {
+				pat := protest.ATPGTestBools(res.Test, false)
+				fmt.Printf("%-24s test=", f.Name(c))
+				for _, b := range pat {
+					if b {
+						fmt.Print("1")
+					} else {
+						fmt.Print("0")
+					}
+				}
+				fmt.Println()
+			}
+		case protest.ATPGUntestable:
+			untestable++
+			if *verbose {
+				fmt.Printf("%-24s untestable (redundant)\n", f.Name(c))
+			}
+		default:
+			aborted++
+			if *verbose {
+				fmt.Printf("%-24s aborted after %d backtracks\n", f.Name(c), res.Backtracks)
+			}
+		}
+	}
+	fmt.Printf("# PODEM: %d targets -> %d detected, %d untestable, %d aborted\n",
+		len(targets), detected, untestable, aborted)
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"protest"
+)
+
+// circuitFlags declares the common circuit-source flags on a FlagSet.
+type circuitFlags struct {
+	file    string
+	builtin string
+	scan    bool
+}
+
+func addCircuitFlags(fs *flag.FlagSet) *circuitFlags {
+	cf := &circuitFlags{}
+	fs.StringVar(&cf.file, "f", "", "read circuit from .bench netlist `file`")
+	fs.StringVar(&cf.builtin, "circuit", "", "use built-in benchmark `name` ("+strings.Join(protest.BenchmarkNames(), "|")+")")
+	fs.BoolVar(&cf.scan, "scan", false, "treat DFFs in -f as scan cells and analyze the combinational core")
+	return cf
+}
+
+func (cf *circuitFlags) load() (*protest.Circuit, error) {
+	switch {
+	case cf.file != "" && cf.builtin != "":
+		return nil, fmt.Errorf("use either -f or -circuit, not both")
+	case cf.file != "":
+		f, err := os.Open(cf.file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		name := strings.TrimSuffix(cf.file, ".bench")
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if cf.scan {
+			info, err := protest.ParseScanNetlist(f, name)
+			if err != nil {
+				return nil, err
+			}
+			if info.ScanCells > 0 {
+				fmt.Fprintf(os.Stderr, "# scan extraction: %d cells -> %d pseudo-inputs, %d pseudo-outputs\n",
+					info.ScanCells, len(info.PseudoInputs), len(info.PseudoOutputs))
+			}
+			return info.Core, nil
+		}
+		return protest.ParseNetlist(f, name)
+	case cf.builtin != "":
+		c, ok := protest.Benchmark(cf.builtin)
+		if !ok {
+			return nil, fmt.Errorf("unknown built-in circuit %q (have: %s)", cf.builtin, strings.Join(protest.BenchmarkNames(), ", "))
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("no circuit given: use -f file.bench or -circuit name")
+	}
+}
+
+// parseProbList parses "0.5" (uniform) or a comma list "0.5,0.25,..."
+// matched against the number of inputs.
+func parseProbList(spec string, n int) ([]float64, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) == 1 {
+		p, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = p
+		}
+		return out, nil
+	}
+	if len(parts) != n {
+		return nil, fmt.Errorf("%d probabilities for %d inputs", len(parts), n)
+	}
+	out := make([]float64, n)
+	for i, s := range parts {
+		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// loadProbs reads per-input probabilities: -p spec or -pfile (one
+// "name prob" or "prob" per line).
+func loadProbs(spec, file string, c *protest.Circuit) ([]float64, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return parseProbFile(string(data), c)
+	}
+	if spec == "" {
+		spec = "0.5"
+	}
+	return parseProbList(spec, len(c.Inputs))
+}
+
+func parseProbFile(data string, c *protest.Circuit) ([]float64, error) {
+	probs := protest.UniformProbs(c)
+	lineNo := 0
+	idx := 0
+	for _, line := range strings.Split(data, "\n") {
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch len(fields) {
+		case 1:
+			p, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if idx >= len(probs) {
+				return nil, fmt.Errorf("line %d: more probabilities than inputs", lineNo)
+			}
+			probs[idx] = p
+			idx++
+		case 2:
+			id, ok := c.ByName(fields[0])
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown input %q", lineNo, fields[0])
+			}
+			pos := c.InputIndex(id)
+			if pos < 0 {
+				return nil, fmt.Errorf("line %d: %q is not a primary input", lineNo, fields[0])
+			}
+			p, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			probs[pos] = p
+		default:
+			return nil, fmt.Errorf("line %d: expected 'prob' or 'name prob'", lineNo)
+		}
+	}
+	return probs, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"protest"
+)
+
+func TestParseProbListScalar(t *testing.T) {
+	ps, err := parseProbList("0.25", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 4 {
+		t.Fatalf("len %d", len(ps))
+	}
+	for _, p := range ps {
+		if p != 0.25 {
+			t.Fatal("scalar broadcast failed")
+		}
+	}
+}
+
+func TestParseProbListVector(t *testing.T) {
+	ps, err := parseProbList("0.1, 0.2,0.3", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] != 0.1 || ps[1] != 0.2 || ps[2] != 0.3 {
+		t.Fatalf("got %v", ps)
+	}
+	if _, err := parseProbList("0.1,0.2", 3); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := parseProbList("abc", 2); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestParseProbFile(t *testing.T) {
+	c, _ := protest.Benchmark("c17")
+	probs, err := parseProbFile("# comment\nG1 0.75\nG7 0.25\n", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := c.ByName("G1")
+	if got := probs[c.InputIndex(g1)]; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("G1 prob %v", got)
+	}
+	g2, _ := c.ByName("G2")
+	if got := probs[c.InputIndex(g2)]; got != 0.5 {
+		t.Errorf("unlisted input should stay 0.5, got %v", got)
+	}
+	if _, err := parseProbFile("ghost 0.5\n", c); err == nil {
+		t.Error("unknown input must fail")
+	}
+	if _, err := parseProbFile("G22 0.5\n", c); err == nil {
+		t.Error("non-input signal must fail")
+	}
+	if _, err := parseProbFile("G1 x\n", c); err == nil {
+		t.Error("bad number must fail")
+	}
+	if _, err := parseProbFile("a b c\n", c); err == nil {
+		t.Error("bad field count must fail")
+	}
+}
+
+func TestParseProbFilePositional(t *testing.T) {
+	c, _ := protest.Benchmark("c17")
+	probs, err := parseProbFile("0.1\n0.2\n0.3\n0.4\n0.5\n", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 0.1 || probs[4] != 0.5 {
+		t.Errorf("positional parse: %v", probs)
+	}
+	if _, err := parseProbFile("0.1\n0.2\n0.3\n0.4\n0.5\n0.6\n", c); err == nil {
+		t.Error("too many probabilities must fail")
+	}
+}
+
+func TestCircuitFlagsBuiltin(t *testing.T) {
+	cf := &circuitFlags{builtin: "c17"}
+	c, err := cf.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 6 {
+		t.Error("c17 expected")
+	}
+	cf = &circuitFlags{builtin: "nonesuch"}
+	if _, err := cf.load(); err == nil {
+		t.Error("unknown builtin must fail")
+	}
+	cf = &circuitFlags{}
+	if _, err := cf.load(); err == nil {
+		t.Error("no source must fail")
+	}
+	cf = &circuitFlags{file: "x.bench", builtin: "c17"}
+	if _, err := cf.load(); err == nil {
+		t.Error("both sources must fail")
+	}
+}
+
+func TestSplitComma(t *testing.T) {
+	got := splitComma("a,b,c")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitComma = %v", got)
+	}
+	if got := splitComma("x"); len(got) != 1 {
+		t.Errorf("single = %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+// Command protest is the command-line front end of the PROTEST
+// probabilistic testability analysis library.
+//
+// Usage:
+//
+//	protest <subcommand> [flags]
+//
+// Subcommands:
+//
+//	info      print circuit statistics
+//	analyze   estimate signal and fault detection probabilities
+//	testlen   compute necessary random test lengths
+//	optimize  optimize per-input signal probabilities
+//	gen       generate random pattern sets
+//	fsim      fault-simulate a pattern set and report coverage
+//
+// Circuits are read from .bench netlists (-f) or taken from the
+// built-in benchmark suite (-circuit alu|mult|div|comp|c17|sn7485).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "info":
+		err = runInfo(args)
+	case "analyze":
+		err = runAnalyze(args)
+	case "testlen":
+		err = runTestLen(args)
+	case "optimize":
+		err = runOptimize(args)
+	case "gen":
+		err = runGen(args)
+	case "fsim":
+		err = runFsim(args)
+	case "atpg":
+		err = runATPG(args)
+	case "bist":
+		err = runBist(args)
+	case "exact":
+		err = runExact(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "protest: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protest:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `PROTEST - probabilistic testability analysis
+
+usage: protest <subcommand> [flags]
+
+subcommands:
+  info      print circuit statistics
+  analyze   estimate signal and fault detection probabilities
+  testlen   compute necessary random test lengths (formula 3)
+  optimize  optimize per-input signal probabilities (hill climbing)
+  gen       generate (weighted) random pattern sets
+  fsim      fault-simulate patterns and report coverage
+  atpg      deterministic test generation (PODEM)
+  bist      simulate a self-test session with MISR signature compaction
+  exact     exact signal probabilities via BDDs, vs the estimator
+
+run 'protest <subcommand> -h' for flags.
+`)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"protest"
+)
+
+func runOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	cf := addCircuitFlags(fs)
+	sweeps := fs.Int("sweeps", 16, "maximal coordinate sweeps")
+	grid := fs.Int("grid", 16, "probability lattice denominator")
+	nParam := fs.Float64("n", 0, "numerical parameter N of J_N (0 = auto)")
+	restarts := fs.Int("restarts", 0, "random restarts")
+	seed := fs.Uint64("seed", 1, "restart randomization seed")
+	verbose := fs.Bool("v", false, "log improvements")
+	compare := fs.Bool("compare", true, "print test lengths before/after")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := cf.load()
+	if err != nil {
+		return err
+	}
+	faults := protest.Faults(c)
+	opt := protest.OptimizeOptions{
+		Grid:      *grid,
+		N:         *nParam,
+		MaxSweeps: *sweeps,
+		Restarts:  *restarts,
+		Seed:      *seed,
+	}
+	if *verbose {
+		opt.OnImprove = func(sweep, input int, obj float64) {
+			fmt.Printf("# sweep %d input %d: log J = %.4f\n", sweep, input, obj)
+		}
+	}
+	res, err := protest.OptimizeInputs(c, faults, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s: %d evaluations, %d sweeps, N=%.0f\n", c.Name, res.Evaluations, res.Sweeps, res.N)
+	fmt.Printf("# log J: %.4f -> %.4f\n", res.InitialObjective, res.Objective)
+	for i, id := range c.Inputs {
+		fmt.Printf("%-8s %6.4f\n", c.Node(id).Name, res.Probs[i])
+	}
+	if *compare {
+		before, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+		if err != nil {
+			return err
+		}
+		after, err := protest.Analyze(c, res.Probs, protest.DefaultParams())
+		if err != nil {
+			return err
+		}
+		for _, de := range [][2]float64{{1.0, 0.95}, {0.98, 0.98}} {
+			nb, errB := protest.RequiredPatternsFraction(before.DetectProbs(faults), de[0], de[1])
+			na, errA := protest.RequiredPatternsFraction(after.DetectProbs(faults), de[0], de[1])
+			fmt.Printf("# d=%.2f e=%.3f: N(uniform)=%s N(optimized)=%s\n",
+				de[0], de[1], fmtN(nb, errB), fmtN(na, errA))
+		}
+	}
+	return nil
+}
+
+func fmtN(n int64, err error) string {
+	if err != nil {
+		return "unreachable"
+	}
+	return fmt.Sprintf("%d", n)
+}

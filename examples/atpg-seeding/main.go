@@ -1,0 +1,115 @@
+// ATPG seeding (section 8 of the paper): most deterministic test
+// generators first run a cheap random-pattern phase and hand only the
+// surviving faults to the expensive D-algorithm-style search.  PROTEST
+// tells you, *before simulating anything*,
+//
+//   - how long the random phase is worth running (the knee of the
+//     expected-coverage curve), and
+//   - which faults the random phase will almost surely miss — the
+//     deterministic ATPG's real workload.
+//
+// The paper notes that with optimized patterns the fault-simulation
+// phase needed a quarter of the computing time and left fewer faults
+// for the second stage; this example quantifies both effects on the
+// DIV benchmark.
+//
+//	go run ./examples/atpg-seeding
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"protest"
+)
+
+func main() {
+	c, ok := protest.Benchmark("div")
+	if !ok {
+		log.Fatal("built-in DIV missing")
+	}
+	faults := protest.Faults(c)
+	fmt.Printf("DUT: %s — %d gates, %d collapsed faults\n\n", c.Name, c.Stats().Gates, len(faults))
+
+	res, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	detect := res.DetectProbs(faults)
+
+	// Where does the random phase stop paying off?  Print the expected
+	// coverage curve and find the point where 1000 extra patterns buy
+	// less than 0.1% coverage.
+	fmt.Println("expected coverage of the uniform random phase:")
+	budgets := []int64{100, 500, 1000, 2000, 5000, 10000, 20000, 50000}
+	knee := int64(0)
+	prev := 0.0
+	for _, n := range budgets {
+		cov := protest.ExpectedCoverage(detect, n)
+		fmt.Printf("  %6d patterns -> %6.2f%%\n", n, 100*cov)
+		if knee == 0 && prev > 0 && (cov-prev) < 0.001 {
+			knee = n
+		}
+		prev = cov
+	}
+	if knee == 0 {
+		knee = budgets[len(budgets)-1]
+	}
+	fmt.Printf("\nrandom phase budget (marginal gain < 0.1%%): %d patterns\n", knee)
+
+	// Which faults survive?  They are the deterministic ATPG workload.
+	type survivor struct {
+		name string
+		p    float64
+	}
+	var survivors []survivor
+	for i, f := range faults {
+		missProb := protest.PatternSetProbability([]float64{detect[i]}, knee)
+		if missProb < 0.9 { // fault not reliably caught by the phase
+			survivors = append(survivors, survivor{f.Name(c), detect[i]})
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].p < survivors[j].p })
+	fmt.Printf("predicted deterministic-ATPG workload: %d faults (%.1f%%)\n",
+		len(survivors), 100*float64(len(survivors))/float64(len(faults)))
+	show := survivors
+	if len(show) > 10 {
+		show = show[:10]
+	}
+	for _, s := range show {
+		fmt.Printf("  %-20s P(detect) = %.2e\n", s.name, s.p)
+	}
+
+	// Validate the prediction by actually simulating the random phase.
+	gen := protest.NewUniformGenerator(len(c.Inputs), 11)
+	sim := protest.MeasureDetection(c, faults, gen, int(knee))
+	var leftovers []protest.Fault
+	for i := range faults {
+		if sim.Detected[i] == 0 {
+			leftovers = append(leftovers, faults[i])
+		}
+	}
+	fmt.Printf("\nsimulated random phase: %.2f%% coverage, %d faults left for deterministic ATPG\n",
+		100*sim.Coverage(), len(leftovers))
+	fmt.Printf("prediction vs simulation: %d vs %d surviving faults\n", len(survivors), len(leftovers))
+
+	// Stage two: run PODEM on exactly the leftovers — the expensive
+	// search now touches a tiny fraction of the fault list.
+	tg := protest.NewATPG(c)
+	detected, untestable, aborted := 0, 0, 0
+	for _, f := range leftovers {
+		switch res := tg.Generate(f); res.Status {
+		case protest.ATPGDetected:
+			detected++
+		case protest.ATPGUntestable:
+			untestable++
+		default:
+			aborted++
+		}
+	}
+	fmt.Printf("\ndeterministic phase (PODEM): %d tests generated, %d proven untestable, %d aborted\n",
+		detected, untestable, aborted)
+	fmt.Printf("final flow coverage: %.2f%% of testable faults\n",
+		100*float64(len(faults)-len(leftovers)+detected)/float64(len(faults)-untestable))
+}

@@ -1,0 +1,85 @@
+// Four ways to know a signal probability — and when each one works.
+//
+// The exact problem is NP-hard [Wu84], which is the reason PROTEST
+// estimates.  This example puts the estimator side by side with the
+// three reference oracles the repository provides, on the paper's COMP
+// benchmark (51 inputs — exhaustive enumeration is impossible):
+//
+//   - PROTEST estimator    near-linear, always works, approximate
+//   - BDD exact            exact, works while the diagrams stay small
+//   - STAFAN extrapolation measured from fault-free simulation
+//   - Monte Carlo          measured, converges as 1/sqrt(patterns)
+//
+//	go run ./examples/oracles
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"protest"
+)
+
+func main() {
+	c, ok := protest.Benchmark("comp")
+	if !ok {
+		log.Fatal("built-in COMP missing")
+	}
+	probs := protest.UniformProbs(c)
+	fmt.Printf("circuit: %s (%d inputs — 2^51 patterns, enumeration impossible)\n\n", c.Name, len(c.Inputs))
+
+	// Estimator.
+	res, err := protest.Analyze(c, probs, protest.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// BDD-exact.
+	exact, err := protest.ExactProbsBDD(c, probs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// STAFAN (64k fault-free patterns).
+	gen := protest.NewUniformGenerator(len(c.Inputs), 5)
+	st, err := protest.AnalyzeStafan(c, gen, 1<<16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare on the three outputs and the hardest internal rail.
+	fmt.Printf("%-10s %12s %12s %12s\n", "node", "BDD exact", "PROTEST", "STAFAN C1")
+	for _, name := range []string{"GT", "EQ", "LT", "eqw11"} {
+		id, ok := c.ByName(name)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-10s %12.3e %12.3e %12.3e\n", name, exact[id], res.Prob[id], st.C1[id])
+	}
+
+	// Whole-circuit error profile of the estimator.
+	var avg, max float64
+	worst := protest.NodeID(0)
+	for id := range exact {
+		d := math.Abs(res.Prob[id] - exact[id])
+		avg += d
+		if d > max {
+			max, worst = d, protest.NodeID(id)
+		}
+	}
+	avg /= float64(len(exact))
+	fmt.Printf("\nestimator vs exact over %d nodes: avg |err| %.4f, max |err| %.4f at %s\n",
+		len(exact), avg, max, c.Node(worst).Name)
+	fmt.Println("(the worst nodes sit deep in the gt/lt tree where reconvergence outruns MAXVERS/MAXLIST —")
+	fmt.Println(" the equality rail, built from primary-input XNORs, is estimated exactly; that is why")
+	fmt.Println(" Table 3's COMP prediction lands within 10% of the paper)")
+
+	// The money shot: the EQ fault nobody can measure by simulation.
+	fmt.Printf("\nP(EQ = 1): exact %.3e — about one pattern in 33 million.\n", exactEQ(c, exact))
+	fmt.Println("A fault simulator would need ~10^8 patterns to see it once;")
+	fmt.Println("the BDD knows it exactly, and PROTEST's estimate is what makes Table 3 work.")
+}
+
+func exactEQ(c *protest.Circuit, exact []float64) float64 {
+	id, _ := c.ByName("EQ")
+	return exact[id]
+}

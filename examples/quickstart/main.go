@@ -1,0 +1,88 @@
+// Quickstart: load a netlist, estimate testability, compute a random
+// test length, and validate it by fault simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"protest"
+)
+
+// A 4-bit carry-ripple incrementer with a zero-detect output — small
+// enough to read, reconvergent enough to be interesting.
+const netlist = `
+# 4-bit incrementer with zero flag
+INPUT(a0)
+INPUT(a1)
+INPUT(a2)
+INPUT(a3)
+OUTPUT(s0)
+OUTPUT(s1)
+OUTPUT(s2)
+OUTPUT(s3)
+OUTPUT(zero)
+s0  = NOT(a0)
+c1  = BUF(a0)
+s1  = XOR(a1, c1)
+c2  = AND(a1, c1)
+s2  = XOR(a2, c2)
+c3  = AND(a2, c2)
+s3  = XOR(a3, c3)
+n0  = NOR(s0, s1)
+n1  = NOR(s2, s3)
+zero = AND(n0, n1)
+`
+
+func main() {
+	// 1. Parse the structure description.
+	c, err := protest.ParseNetlistString(netlist, "inc4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs\n\n", c.Name, st.Gates, st.Inputs, st.Outputs)
+
+	// 2. Probabilistic analysis at the conventional p = 0.5.
+	res, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("signal probability and observability per node:")
+	for _, id := range c.TopoOrder() {
+		n := c.Node(id)
+		fmt.Printf("  %-5s p=%.4f s=%.4f\n", n.Name, res.Prob[id], res.Obs[id])
+	}
+
+	// 3. Fault detection probabilities: the testability measure.
+	faults := protest.Faults(c)
+	detect := res.DetectProbs(faults)
+	type hard struct {
+		name string
+		p    float64
+	}
+	hs := make([]hard, len(faults))
+	for i, f := range faults {
+		hs[i] = hard{f.Name(c), detect[i]}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].p < hs[j].p })
+	fmt.Println("\nfive hardest faults:")
+	for _, h := range hs[:5] {
+		fmt.Printf("  %-12s P(detect) = %.4f\n", h.name, h.p)
+	}
+
+	// 4. How many random patterns for 99% confidence of full coverage?
+	n, err := protest.RequiredPatterns(detect, 0.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrequired random patterns (e = 0.99): %d\n", n)
+
+	// 5. Validate by fault simulation.
+	gen := protest.NewUniformGenerator(len(c.Inputs), 42)
+	sim := protest.MeasureDetection(c, faults, gen, int(n))
+	fmt.Printf("simulated coverage with %d patterns: %.1f%%\n", n, 100*sim.Coverage())
+}

@@ -1,0 +1,412 @@
+package atpg
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+	"protest/internal/core"
+	"protest/internal/fault"
+	"protest/internal/logic"
+)
+
+// Status classifies the outcome of one generation attempt.
+type Status int
+
+const (
+	// Detected: a test pattern was found.
+	Detected Status = iota
+	// Untestable: the search space was exhausted without a test — the
+	// fault is redundant.
+	Untestable
+	// Aborted: the backtrack budget ran out.
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Result of one PODEM run.
+type Result struct {
+	Status Status
+	// Test holds the input values for a detected fault (X positions
+	// were never assigned and may take any value).
+	Test []V
+	// Backtracks counts decision reversals.
+	Backtracks int
+}
+
+// Generator runs PODEM on one circuit.
+type Generator struct {
+	c *circuit.Circuit
+	// BacktrackLimit bounds the search (default 10000).
+	BacktrackLimit int
+
+	scoap *core.Scoap
+
+	// per-run state
+	gval, fval []V // good and faulty ternary values
+	pi         []V // current PI assignment
+	fault      fault.Fault
+	site       circuit.NodeID
+	backtracks int
+}
+
+// New creates a generator.  The SCOAP measures guide the backtrace.
+func New(c *circuit.Circuit) *Generator {
+	return &Generator{
+		c:              c,
+		BacktrackLimit: 10000,
+		scoap:          core.ComputeScoap(c),
+		gval:           make([]V, c.NumNodes()),
+		fval:           make([]V, c.NumNodes()),
+		pi:             make([]V, len(c.Inputs)),
+	}
+}
+
+// Generate attempts to find a test for the fault.
+func (g *Generator) Generate(f fault.Fault) *Result {
+	g.fault = f
+	g.site = f.Site(g.c)
+	g.backtracks = 0
+	for i := range g.pi {
+		g.pi[i] = X
+	}
+	g.imply()
+
+	ok, complete := g.podem()
+	res := &Result{Backtracks: g.backtracks}
+	switch {
+	case ok:
+		res.Status = Detected
+		res.Test = append([]V(nil), g.pi...)
+	case complete:
+		res.Status = Untestable
+	default:
+		res.Status = Aborted
+	}
+	return res
+}
+
+// podem returns (found, complete): complete=false means the budget ran
+// out somewhere below, so failure does not prove untestability.
+func (g *Generator) podem() (bool, bool) {
+	if g.faultDetected() {
+		return true, true
+	}
+	objNode, objVal, ok := g.objective()
+	if !ok {
+		return false, true // no objective: this branch is a dead end
+	}
+	piIdx, piVal := g.backtrace(objNode, objVal)
+	if piIdx < 0 {
+		return false, true
+	}
+
+	complete := true
+	for attempt := 0; attempt < 2; attempt++ {
+		g.pi[piIdx] = piVal
+		g.imply()
+		if g.xPathExists() || g.faultDetected() {
+			found, sub := g.podem()
+			if found {
+				return true, true
+			}
+			if !sub {
+				complete = false
+			}
+		}
+		// Reverse the decision.
+		g.backtracks++
+		if g.backtracks > g.BacktrackLimit {
+			g.pi[piIdx] = X
+			g.imply()
+			return false, false
+		}
+		piVal = piVal.Not()
+	}
+	g.pi[piIdx] = X
+	g.imply()
+	return false, complete
+}
+
+// imply forward-simulates the ternary good and faulty machines from the
+// current PI assignment.
+func (g *Generator) imply() {
+	c := g.c
+	var buf [12]V
+	for _, id := range c.TopoOrder() {
+		n := c.Node(id)
+		var gv V
+		if n.IsInput {
+			gv = g.pi[c.InputIndex(id)]
+		} else {
+			in := buf[:0]
+			for _, f := range n.Fanin {
+				in = append(in, g.gval[f])
+			}
+			gv = evalGate(n, in)
+		}
+		g.gval[id] = gv
+
+		// Faulty machine.
+		var fv V
+		if n.IsInput {
+			fv = g.pi[c.InputIndex(id)]
+		} else {
+			in := buf[:0]
+			for pin, f := range n.Fanin {
+				v := g.fval[f]
+				if g.fault.Gate == id && g.fault.Pin == pin {
+					v = fromBool(g.fault.StuckAt)
+				}
+				in = append(in, v)
+			}
+			fv = evalGate(n, in)
+		}
+		if g.fault.IsStem() && g.fault.Gate == id {
+			fv = fromBool(g.fault.StuckAt)
+		}
+		g.fval[id] = fv
+	}
+}
+
+// faultDetected reports whether some primary output currently carries a
+// definite good/faulty difference.
+func (g *Generator) faultDetected() bool {
+	for _, o := range g.c.Outputs {
+		gv, fv := g.gval[o], g.fval[o]
+		if gv != X && fv != X && gv != fv {
+			return true
+		}
+	}
+	return false
+}
+
+// objective picks the next goal: activate the fault if it is not
+// activated yet, otherwise advance the D-frontier.
+func (g *Generator) objective() (circuit.NodeID, V, bool) {
+	// Activation: the fault site must carry the opposite value in the
+	// good machine.
+	want := fromBool(!g.fault.StuckAt)
+	if g.gval[g.site] == X {
+		return g.site, want, true
+	}
+	if g.gval[g.site] != want {
+		return 0, X, false // site pinned to the stuck value: dead end
+	}
+	// D-frontier: a gate whose composite output is still undetermined
+	// (good or faulty side unknown) with a definite good/faulty
+	// difference on some input; objective = set one of its X side
+	// inputs to the non-controlling value.
+	for _, id := range g.c.TopoOrder() {
+		n := g.c.Node(id)
+		if n.IsInput {
+			continue
+		}
+		if g.gval[id] != X && g.fval[id] != X {
+			continue // output fully resolved: not frontier
+		}
+		hasD := false
+		for pin, f := range n.Fanin {
+			gv, fv := g.gval[f], g.fval[f]
+			if g.fault.Gate == id && g.fault.Pin == pin {
+				fv = fromBool(g.fault.StuckAt)
+			}
+			if gv != X && fv != X && gv != fv {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		nc, hasNC := nonControlling(n.Op)
+		for _, f := range n.Fanin {
+			if g.gval[f] == X {
+				if hasNC {
+					return f, nc, true
+				}
+				return f, Zero, true // XOR-like: either value works
+			}
+		}
+	}
+	return 0, X, false
+}
+
+func nonControlling(op logic.Op) (V, bool) {
+	if cv, ok := op.ControllingValue(); ok {
+		return fromBool(!cv), true
+	}
+	return X, false
+}
+
+// backtrace maps an objective (node, value) to an unassigned primary
+// input and value, walking the X-valued path with the cheapest SCOAP
+// controllability.
+func (g *Generator) backtrace(id circuit.NodeID, v V) (int, V) {
+	c := g.c
+	for {
+		n := c.Node(id)
+		if n.IsInput {
+			pos := c.InputIndex(id)
+			if g.pi[pos] != X {
+				return -1, X
+			}
+			return pos, v
+		}
+		// Choose an X input and the value to request from it.
+		next := circuit.InvalidNode
+		var nextVal V
+		switch n.Op {
+		case logic.Not, logic.Nand, logic.Nor, logic.Xnor:
+			v = v.Not()
+		}
+		switch n.Op {
+		case logic.Buf, logic.Not:
+			next = n.Fanin[0]
+			nextVal = v
+		case logic.And, logic.Nand, logic.Or, logic.Nor:
+			ctrl, _ := n.Op.ControllingValue()
+			ctrlV := fromBool(ctrl)
+			// After the inversion fix-up above, v is the value needed
+			// at the AND/OR core output.
+			if v == ctrlV {
+				// Any single input at the controlling value suffices:
+				// pick the easiest (SCOAP min).
+				next, nextVal = g.easiestX(n, ctrlV), ctrlV
+			} else {
+				// All inputs must be non-controlling: pick the hardest
+				// first (standard heuristic).
+				next, nextVal = g.hardestX(n, v), v
+			}
+		case logic.Xor, logic.Xnor:
+			next = g.firstX(n)
+			nextVal = v // parity adjusts through other inputs later
+		case logic.TableOp:
+			next = g.firstX(n)
+			nextVal = v
+		default:
+			return -1, X
+		}
+		if next == circuit.InvalidNode {
+			return -1, X
+		}
+		id = next
+		v = nextVal
+	}
+}
+
+func (g *Generator) firstX(n *circuit.Node) circuit.NodeID {
+	for _, f := range n.Fanin {
+		if g.gval[f] == X {
+			return f
+		}
+	}
+	return circuit.InvalidNode
+}
+
+func (g *Generator) easiestX(n *circuit.Node, v V) circuit.NodeID {
+	best := circuit.InvalidNode
+	bestCost := int(^uint(0) >> 1)
+	for _, f := range n.Fanin {
+		if g.gval[f] != X {
+			continue
+		}
+		cost := g.scoapCost(f, v)
+		if cost < bestCost {
+			best, bestCost = f, cost
+		}
+	}
+	return best
+}
+
+func (g *Generator) hardestX(n *circuit.Node, v V) circuit.NodeID {
+	best := circuit.InvalidNode
+	bestCost := -1
+	for _, f := range n.Fanin {
+		if g.gval[f] != X {
+			continue
+		}
+		cost := g.scoapCost(f, v)
+		if cost > bestCost {
+			best, bestCost = f, cost
+		}
+	}
+	return best
+}
+
+func (g *Generator) scoapCost(id circuit.NodeID, v V) int {
+	if v == One {
+		return g.scoap.CC1[id]
+	}
+	return g.scoap.CC0[id]
+}
+
+// xPathExists checks that some X-valued path connects the D-frontier
+// (or the not-yet-activated fault site) to a primary output.
+func (g *Generator) xPathExists() bool {
+	c := g.c
+	// Nodes carrying a definite difference.
+	diff := func(id circuit.NodeID) bool {
+		return g.gval[id] != X && g.fval[id] != X && g.gval[id] != g.fval[id]
+	}
+	// Forward reachability over undetermined or difference nodes.
+	undet := func(id circuit.NodeID) bool {
+		return g.gval[id] == X || g.fval[id] == X
+	}
+	reach := make([]bool, c.NumNodes())
+	if undet(g.site) || diff(g.site) || !g.fault.IsStem() {
+		// For a branch fault the difference is injected at the gate
+		// pin, not visible at the driver node, so the site always
+		// seeds the path check.
+		reach[g.site] = true
+	}
+	for _, id := range c.TopoOrder() {
+		n := c.Node(id)
+		if reach[id] {
+			if n.IsOutput {
+				return true
+			}
+			continue
+		}
+		if !undet(id) && !diff(id) {
+			continue
+		}
+		for _, f := range n.Fanin {
+			if reach[f] {
+				reach[id] = true
+				break
+			}
+		}
+		if reach[id] && n.IsOutput {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBools converts a PODEM test (with X positions filled by fill)
+// into a boolean pattern.
+func TestBools(test []V, fill bool) []bool {
+	out := make([]bool, len(test))
+	for i, v := range test {
+		switch v {
+		case One:
+			out[i] = true
+		case Zero:
+			out[i] = false
+		default:
+			out[i] = fill
+		}
+	}
+	return out
+}

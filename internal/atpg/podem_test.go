@@ -1,0 +1,170 @@
+package atpg
+
+import (
+	"testing"
+
+	"protest/internal/bitsim"
+	"protest/internal/circuit"
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/faultsim"
+	"protest/internal/netlist"
+)
+
+// verifyTest checks that a PODEM test really detects the fault, by
+// explicit good/faulty simulation.
+func verifyTest(t *testing.T, c *circuit.Circuit, f fault.Fault, test []V) {
+	t.Helper()
+	in := TestBools(test, false)
+	words := make([]uint64, len(c.Inputs))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	sim := faultsim.New(c)
+	det := make([]uint64, 1)
+	sim.SimulateBlock(words, []fault.Fault{f}, det)
+	if det[0]&1 == 0 {
+		t.Fatalf("PODEM test %v does not detect %v", in, f.Name(c))
+	}
+}
+
+func TestPodemC17AllFaults(t *testing.T) {
+	c := circuits.C17()
+	g := New(c)
+	for _, f := range fault.Universe(c) {
+		res := g.Generate(f)
+		if res.Status != Detected {
+			t.Fatalf("fault %v: %v (c17 is fully testable)", f.Name(c), res.Status)
+		}
+		verifyTest(t, c, f, res.Test)
+	}
+}
+
+func TestPodemALUAllFaults(t *testing.T) {
+	c := circuits.ALU74181()
+	g := New(c)
+	aborted := 0
+	for _, f := range fault.Collapse(c) {
+		res := g.Generate(f)
+		switch res.Status {
+		case Detected:
+			verifyTest(t, c, f, res.Test)
+		case Untestable:
+			t.Errorf("fault %v reported untestable; the ALU model is fully testable", f.Name(c))
+		case Aborted:
+			aborted++
+		}
+	}
+	if aborted > 0 {
+		t.Errorf("%d aborts on the ALU", aborted)
+	}
+}
+
+func TestPodemProvesUntestable(t *testing.T) {
+	c, err := netlist.ParseString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+na = NOT(a)
+t1 = OR(a, na)
+y = AND(t1, b)
+`, "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := c.ByName("t1")
+	g := New(c)
+	// t1 is constant 1: s-a-1 at t1 is undetectable.
+	res := g.Generate(fault.Fault{Gate: t1, Pin: fault.StemPin, StuckAt: true})
+	if res.Status != Untestable {
+		t.Errorf("tautology s-a-1: %v, want untestable", res.Status)
+	}
+	// s-a-0 at t1 is detectable (set b=1, observe y).
+	res = g.Generate(fault.Fault{Gate: t1, Pin: fault.StemPin, StuckAt: false})
+	if res.Status != Detected {
+		t.Fatalf("t1 s-a-0: %v", res.Status)
+	}
+	verifyTest(t, c, fault.Fault{Gate: t1, Pin: fault.StemPin, StuckAt: false}, res.Test)
+}
+
+// Completeness cross-check on random circuits: PODEM's verdict must
+// agree with exhaustive fault simulation.
+func TestPodemMatchesExhaustive(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		c := circuits.Random(circuits.RandomOptions{Inputs: 8, Gates: 40, Outputs: 4, Seed: seed})
+		faults := fault.Collapse(c)
+		counts, err := faultsim.ExhaustiveDetection(c, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := New(c)
+		for i, f := range faults {
+			res := g.Generate(f)
+			testable := counts[i] > 0
+			switch res.Status {
+			case Detected:
+				if !testable {
+					t.Fatalf("seed %d fault %v: PODEM found a test for an untestable fault", seed, f.Name(c))
+				}
+				verifyTest(t, c, f, res.Test)
+			case Untestable:
+				if testable {
+					t.Fatalf("seed %d fault %v: PODEM says untestable but %d patterns detect it", seed, f.Name(c), counts[i])
+				}
+			case Aborted:
+				t.Logf("seed %d fault %v: aborted (budget)", seed, f.Name(c))
+			}
+		}
+	}
+}
+
+// PODEM finds tests for the COMP equality faults that random patterns
+// essentially never hit — the point of the two-stage ATPG flow.
+func TestPodemCracksCompEquality(t *testing.T) {
+	c := circuits.Comp24()
+	eq, _ := c.ByName("EQ")
+	g := New(c)
+	f := fault.Fault{Gate: eq, Pin: fault.StemPin, StuckAt: false}
+	res := g.Generate(f)
+	if res.Status != Detected {
+		t.Fatalf("EQ s-a-0: %v", res.Status)
+	}
+	verifyTest(t, c, f, res.Test)
+	if res.Backtracks > 1000 {
+		t.Errorf("EQ test needed %d backtracks, expected a guided search to be cheap", res.Backtracks)
+	}
+}
+
+func TestPodemDivQuotientFault(t *testing.T) {
+	c := circuits.Div16()
+	q0, ok := c.ByName("Q0")
+	if !ok {
+		t.Fatal("Q0 missing")
+	}
+	g := New(c)
+	for _, sa := range []bool{false, true} {
+		f := fault.Fault{Gate: q0, Pin: fault.StemPin, StuckAt: sa}
+		res := g.Generate(f)
+		if res.Status != Detected {
+			t.Fatalf("Q0 s-a-%v: %v", sa, res.Status)
+		}
+		verifyTest(t, c, f, res.Test)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Detected.String() != "detected" || Untestable.String() != "untestable" || Aborted.String() != "aborted" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestTestBools(t *testing.T) {
+	b := TestBools([]V{One, Zero, X}, true)
+	if !b[0] || b[1] || !b[2] {
+		t.Errorf("TestBools = %v", b)
+	}
+}
+
+var _ = bitsim.EvalSingle // reserved for debugging helpers

@@ -1,0 +1,139 @@
+// Package atpg implements a PODEM-style deterministic test pattern
+// generator for single stuck-at faults in combinational circuits.
+//
+// PROTEST's role in an ATPG flow (section 8 of the paper) is to size
+// the cheap random-pattern phase; the faults that phase is predicted to
+// miss go to a deterministic generator.  This package provides that
+// second stage: path-oriented decision making (PODEM) with
+// SCOAP-guided backtrace, complete up to a backtrack budget — it
+// returns a test pattern, a proof of untestability, or an abort.
+package atpg
+
+import (
+	"protest/internal/circuit"
+	"protest/internal/logic"
+)
+
+// V is a ternary signal value.
+type V uint8
+
+const (
+	X    V = iota // unknown
+	Zero          // 0
+	One           // 1
+)
+
+// Not complements a ternary value.
+func (v V) Not() V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+func fromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// evalGate computes the ternary output of a gate from ternary inputs.
+func evalGate(n *circuit.Node, in []V) V {
+	switch n.Op {
+	case logic.Const0:
+		return Zero
+	case logic.Const1:
+		return One
+	case logic.Buf:
+		return in[0]
+	case logic.Not:
+		return in[0].Not()
+	case logic.And, logic.Nand:
+		v := One
+		for _, x := range in {
+			if x == Zero {
+				v = Zero
+				break
+			}
+			if x == X {
+				v = X
+			}
+		}
+		if n.Op == logic.Nand {
+			return v.Not()
+		}
+		return v
+	case logic.Or, logic.Nor:
+		v := Zero
+		for _, x := range in {
+			if x == One {
+				v = One
+				break
+			}
+			if x == X {
+				v = X
+			}
+		}
+		if n.Op == logic.Nor {
+			return v.Not()
+		}
+		return v
+	case logic.Xor, logic.Xnor:
+		v := Zero
+		for _, x := range in {
+			if x == X {
+				return X
+			}
+			if x == One {
+				v = v.Not()
+			}
+		}
+		if n.Op == logic.Xnor {
+			return v.Not()
+		}
+		return v
+	case logic.TableOp:
+		return evalTable(n.Table, in)
+	}
+	return X
+}
+
+// evalTable resolves a table gate under unknowns by checking whether
+// every completion yields the same output.  More than 10 unknown inputs
+// conservatively yield X.
+func evalTable(t *logic.TruthTable, in []V) V {
+	var unknown []int
+	row := 0
+	for i, v := range in {
+		switch v {
+		case One:
+			row |= 1 << i
+		case X:
+			unknown = append(unknown, i)
+		}
+	}
+	if len(unknown) > 10 {
+		return X
+	}
+	first := t.Get(rowWith(row, unknown, 0))
+	for m := 1; m < 1<<len(unknown); m++ {
+		if t.Get(rowWith(row, unknown, m)) != first {
+			return X
+		}
+	}
+	return fromBool(first)
+}
+
+func rowWith(base int, unknown []int, mask int) int {
+	r := base
+	for k, pin := range unknown {
+		if mask>>k&1 == 1 {
+			r |= 1 << pin
+		}
+	}
+	return r
+}

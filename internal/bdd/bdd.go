@@ -1,0 +1,404 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) over the primary inputs of a combinational circuit.
+//
+// Within PROTEST the package serves as the *exact* reference for signal
+// probabilities: once a node's function is represented as a BDD, its
+// signal probability under independent input probabilities follows from
+// one linear pass over the diagram — exactly, for circuits whose BDDs
+// stay small, far beyond the 2^n enumeration limit.  (The general
+// problem remains NP-hard [Wu84]: BDDs can blow up, which is why the
+// estimator of internal/core exists.  The package enforces an explicit
+// node budget and reports failure instead of thrashing.)
+package bdd
+
+import (
+	"errors"
+	"fmt"
+
+	"protest/internal/circuit"
+	"protest/internal/logic"
+)
+
+// Ref is a reference to a BDD node (complement edges are not used; the
+// two terminals are explicit).
+type Ref int32
+
+const (
+	// False and True are the terminal nodes.
+	False Ref = 0
+	True  Ref = 1
+)
+
+// node is one decision node: if var then hi else lo.
+type node struct {
+	level  int32 // variable index (input position); terminals: -1
+	lo, hi Ref
+}
+
+// ErrNodeBudget is returned when a build exceeds the node budget.
+var ErrNodeBudget = errors.New("bdd: node budget exceeded")
+
+// Builder manages the unique table and the ITE cache for one variable
+// order.
+type Builder struct {
+	nvars  int
+	nodes  []node
+	unique map[node]Ref
+	ite    map[[3]Ref]Ref
+	budget int
+}
+
+// New creates a Builder for n variables with the given node budget
+// (<= 0 means a default of one million nodes).
+func New(n int, budget int) *Builder {
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	b := &Builder{
+		nvars:  n,
+		nodes:  make([]node, 2, 1024),
+		unique: make(map[node]Ref),
+		ite:    make(map[[3]Ref]Ref),
+		budget: budget,
+	}
+	b.nodes[False] = node{level: -1}
+	b.nodes[True] = node{level: -1}
+	return b
+}
+
+// NumNodes returns the number of live nodes (including terminals).
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// Var returns the BDD of variable i.
+func (b *Builder) Var(i int) (Ref, error) {
+	if i < 0 || i >= b.nvars {
+		return False, fmt.Errorf("bdd: variable %d out of range", i)
+	}
+	return b.mk(int32(i), False, True)
+}
+
+func (b *Builder) mk(level int32, lo, hi Ref) (Ref, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := b.unique[key]; ok {
+		return r, nil
+	}
+	if len(b.nodes) >= b.budget {
+		return False, ErrNodeBudget
+	}
+	r := Ref(len(b.nodes))
+	b.nodes = append(b.nodes, key)
+	b.unique[key] = r
+	return r, nil
+}
+
+func (b *Builder) level(r Ref) int32 {
+	if r == False || r == True {
+		return int32(b.nvars) // terminals sort after all variables
+	}
+	return b.nodes[r].level
+}
+
+// ITE computes if-then-else(f, g, h), the universal ternary operator.
+func (b *Builder) ITE(f, g, h Ref) (Ref, error) {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g, nil
+	case f == False:
+		return h, nil
+	case g == h:
+		return g, nil
+	case g == True && h == False:
+		return f, nil
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := b.ite[key]; ok {
+		return r, nil
+	}
+	top := b.level(f)
+	if l := b.level(g); l < top {
+		top = l
+	}
+	if l := b.level(h); l < top {
+		top = l
+	}
+	f0, f1 := b.cofactor(f, top)
+	g0, g1 := b.cofactor(g, top)
+	h0, h1 := b.cofactor(h, top)
+	lo, err := b.ITE(f0, g0, h0)
+	if err != nil {
+		return False, err
+	}
+	hi, err := b.ITE(f1, g1, h1)
+	if err != nil {
+		return False, err
+	}
+	r, err := b.mk(top, lo, hi)
+	if err != nil {
+		return False, err
+	}
+	b.ite[key] = r
+	return r, nil
+}
+
+func (b *Builder) cofactor(f Ref, level int32) (lo, hi Ref) {
+	if f == False || f == True || b.nodes[f].level != level {
+		return f, f
+	}
+	return b.nodes[f].lo, b.nodes[f].hi
+}
+
+// Convenience operators built on ITE.
+
+func (b *Builder) Not(f Ref) (Ref, error)    { return b.ITE(f, False, True) }
+func (b *Builder) And(f, g Ref) (Ref, error) { return b.ITE(f, g, False) }
+func (b *Builder) Or(f, g Ref) (Ref, error)  { return b.ITE(f, True, g) }
+func (b *Builder) Xor(f, g Ref) (Ref, error) {
+	ng, err := b.Not(g)
+	if err != nil {
+		return False, err
+	}
+	return b.ITE(f, ng, g)
+}
+
+// Apply folds an n-ary gate operator over operand BDDs.
+func (b *Builder) Apply(op logic.Op, operands []Ref) (Ref, error) {
+	switch op {
+	case logic.Const0:
+		return False, nil
+	case logic.Const1:
+		return True, nil
+	case logic.Buf:
+		return operands[0], nil
+	case logic.Not:
+		return b.Not(operands[0])
+	}
+	var acc Ref
+	var err error
+	switch op {
+	case logic.And, logic.Nand:
+		acc = True
+		for _, f := range operands {
+			if acc, err = b.And(acc, f); err != nil {
+				return False, err
+			}
+		}
+		if op == logic.Nand {
+			return b.Not(acc)
+		}
+		return acc, nil
+	case logic.Or, logic.Nor:
+		acc = False
+		for _, f := range operands {
+			if acc, err = b.Or(acc, f); err != nil {
+				return False, err
+			}
+		}
+		if op == logic.Nor {
+			return b.Not(acc)
+		}
+		return acc, nil
+	case logic.Xor, logic.Xnor:
+		acc = False
+		for _, f := range operands {
+			if acc, err = b.Xor(acc, f); err != nil {
+				return False, err
+			}
+		}
+		if op == logic.Xnor {
+			return b.Not(acc)
+		}
+		return acc, nil
+	}
+	return False, fmt.Errorf("bdd: unsupported operator %v", op)
+}
+
+// ApplyTable folds an arbitrary truth table by Shannon expansion over
+// the operand BDDs.
+func (b *Builder) ApplyTable(t *logic.TruthTable, operands []Ref) (Ref, error) {
+	return b.applyTableRec(t, operands, 0, 0)
+}
+
+func (b *Builder) applyTableRec(t *logic.TruthTable, operands []Ref, pin int, row int) (Ref, error) {
+	if pin == len(operands) {
+		if t.Get(row) {
+			return True, nil
+		}
+		return False, nil
+	}
+	lo, err := b.applyTableRec(t, operands, pin+1, row)
+	if err != nil {
+		return False, err
+	}
+	hi, err := b.applyTableRec(t, operands, pin+1, row|1<<pin)
+	if err != nil {
+		return False, err
+	}
+	return b.ITE(operands[pin], hi, lo)
+}
+
+// Eval evaluates the function under a boolean assignment (assignment[i]
+// is variable i).
+func (b *Builder) Eval(f Ref, assignment []bool) bool {
+	for f != False && f != True {
+		n := b.nodes[f]
+		if assignment[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// Prob computes the exact probability that the function is 1 under
+// independent variable probabilities, in one memoized pass.
+func (b *Builder) Prob(f Ref, probs []float64) (float64, error) {
+	if len(probs) != b.nvars {
+		return 0, fmt.Errorf("bdd: %d probabilities for %d variables", len(probs), b.nvars)
+	}
+	memo := make(map[Ref]float64)
+	return b.probRec(f, probs, memo), nil
+}
+
+func (b *Builder) probRec(f Ref, probs []float64, memo map[Ref]float64) float64 {
+	switch f {
+	case False:
+		return 0
+	case True:
+		return 1
+	}
+	if p, ok := memo[f]; ok {
+		return p
+	}
+	n := b.nodes[f]
+	p := (1-probs[n.level])*b.probRec(n.lo, probs, memo) +
+		probs[n.level]*b.probRec(n.hi, probs, memo)
+	memo[f] = p
+	return p
+}
+
+// Size returns the number of distinct decision nodes reachable from f
+// (excluding terminals).
+func (b *Builder) Size(f Ref) int {
+	seen := make(map[Ref]bool)
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == False || r == True || seen[r] {
+			return
+		}
+		seen[r] = true
+		walk(b.nodes[r].lo)
+		walk(b.nodes[r].hi)
+	}
+	walk(f)
+	return len(seen)
+}
+
+// Circuit holds the BDDs of every node of a circuit.
+type Circuit struct {
+	B    *Builder
+	C    *circuit.Circuit
+	Refs []Ref // per circuit node
+	// Order maps input position -> BDD variable level.
+	Order []int
+}
+
+// FirstUseOrder derives a variable order by walking the gates in
+// topological order and appending each input at its first use.  For
+// word-structured circuits (comparators, adders) this interleaves the
+// operands — e.g. A0,B0,A1,B1,… for a comparator — which keeps the
+// diagrams polynomial where the declaration order A0..An,B0..Bn is
+// exponential.
+func FirstUseOrder(c *circuit.Circuit) []int {
+	order := make([]int, len(c.Inputs)) // input position -> level
+	for i := range order {
+		order[i] = -1
+	}
+	next := 0
+	assign := func(id circuit.NodeID) {
+		if pos := c.InputIndex(id); pos >= 0 && order[pos] < 0 {
+			order[pos] = next
+			next++
+		}
+	}
+	for _, id := range c.TopoOrder() {
+		for _, f := range c.Node(id).Fanin {
+			assign(f)
+		}
+	}
+	// Unused inputs go last.
+	for i := range order {
+		if order[i] < 0 {
+			order[i] = next
+			next++
+		}
+	}
+	return order
+}
+
+// FromCircuit builds BDDs for every node of the circuit using the
+// FirstUseOrder variable order.  It fails with ErrNodeBudget when the
+// diagrams outgrow the budget.
+func FromCircuit(c *circuit.Circuit, budget int) (*Circuit, error) {
+	return FromCircuitOrdered(c, FirstUseOrder(c), budget)
+}
+
+// FromCircuitOrdered builds BDDs with an explicit variable order
+// (order[i] is the level of input position i).
+func FromCircuitOrdered(c *circuit.Circuit, order []int, budget int) (*Circuit, error) {
+	if len(order) != len(c.Inputs) {
+		return nil, fmt.Errorf("bdd: order has %d entries for %d inputs", len(order), len(c.Inputs))
+	}
+	b := New(len(c.Inputs), budget)
+	refs := make([]Ref, c.NumNodes())
+	for _, id := range c.TopoOrder() {
+		n := c.Node(id)
+		if n.IsInput {
+			v, err := b.Var(order[c.InputIndex(id)])
+			if err != nil {
+				return nil, err
+			}
+			refs[id] = v
+			continue
+		}
+		operands := make([]Ref, len(n.Fanin))
+		for i, f := range n.Fanin {
+			operands[i] = refs[f]
+		}
+		var r Ref
+		var err error
+		if n.Op == logic.TableOp {
+			r, err = b.ApplyTable(n.Table, operands)
+		} else {
+			r, err = b.Apply(n.Op, operands)
+		}
+		if err != nil {
+			return nil, err
+		}
+		refs[id] = r
+	}
+	return &Circuit{B: b, C: c, Refs: refs, Order: order}, nil
+}
+
+// Probs computes the exact signal probability of every circuit node.
+// inputProbs is indexed by input position (not by BDD level).
+func (bc *Circuit) Probs(inputProbs []float64) ([]float64, error) {
+	if len(inputProbs) != bc.B.nvars {
+		return nil, fmt.Errorf("bdd: %d probabilities for %d inputs", len(inputProbs), bc.B.nvars)
+	}
+	// Permute into level order.
+	byLevel := make([]float64, len(inputProbs))
+	for pos, level := range bc.Order {
+		byLevel[level] = inputProbs[pos]
+	}
+	out := make([]float64, len(bc.Refs))
+	memo := make(map[Ref]float64)
+	for id, r := range bc.Refs {
+		out[id] = bc.B.probRec(r, byLevel, memo)
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package bdd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"protest/internal/circuit"
+	"protest/internal/circuits"
+	"protest/internal/core"
+	"protest/internal/logic"
+	"protest/internal/pattern"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	b := New(3, 0)
+	v0, err := b.Var(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Eval(v0, []bool{true, false, false}) {
+		t.Error("v0 under x0=1 should be true")
+	}
+	if b.Eval(v0, []bool{false, true, true}) {
+		t.Error("v0 under x0=0 should be false")
+	}
+	if _, err := b.Var(3); err == nil {
+		t.Error("out-of-range variable must fail")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := New(2, 0)
+	v0a, _ := b.Var(0)
+	v0b, _ := b.Var(0)
+	if v0a != v0b {
+		t.Error("identical nodes must be shared")
+	}
+	x, _ := b.Var(0)
+	y, _ := b.Var(1)
+	a1, _ := b.And(x, y)
+	a2, _ := b.And(x, y)
+	if a1 != a2 {
+		t.Error("AND results must be hash-consed")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	b := New(2, 0)
+	x, _ := b.Var(0)
+	y, _ := b.Var(1)
+	and, _ := b.And(x, y)
+	or, _ := b.Or(x, y)
+	xor, _ := b.Xor(x, y)
+	nx, _ := b.Not(x)
+	for r := 0; r < 4; r++ {
+		a := []bool{r&1 == 1, r>>1&1 == 1}
+		if b.Eval(and, a) != (a[0] && a[1]) {
+			t.Errorf("AND wrong at %v", a)
+		}
+		if b.Eval(or, a) != (a[0] || a[1]) {
+			t.Errorf("OR wrong at %v", a)
+		}
+		if b.Eval(xor, a) != (a[0] != a[1]) {
+			t.Errorf("XOR wrong at %v", a)
+		}
+		if b.Eval(nx, a) != !a[0] {
+			t.Errorf("NOT wrong at %v", a)
+		}
+	}
+}
+
+func TestApplyAllOps(t *testing.T) {
+	for _, op := range []logic.Op{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor} {
+		b := New(3, 0)
+		ops := make([]Ref, 3)
+		for i := range ops {
+			ops[i], _ = b.Var(i)
+		}
+		f, err := b.Apply(op, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 8; r++ {
+			a := []bool{r&1 == 1, r>>1&1 == 1, r>>2&1 == 1}
+			if b.Eval(f, a) != logic.Eval(op, a) {
+				t.Errorf("%v wrong at %v", op, a)
+			}
+		}
+	}
+}
+
+func TestApplyTable(t *testing.T) {
+	maj, err := logic.TableFromFunc(3, func(in []bool) bool {
+		n := 0
+		for _, v := range in {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(3, 0)
+	ops := make([]Ref, 3)
+	for i := range ops {
+		ops[i], _ = b.Var(i)
+	}
+	f, err := b.ApplyTable(maj, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		a := []bool{r&1 == 1, r>>1&1 == 1, r>>2&1 == 1}
+		if b.Eval(f, a) != maj.Eval(a) {
+			t.Errorf("majority wrong at %v", a)
+		}
+	}
+}
+
+func TestProbSimple(t *testing.T) {
+	b := New(2, 0)
+	x, _ := b.Var(0)
+	y, _ := b.Var(1)
+	and, _ := b.And(x, y)
+	p, err := b.Prob(and, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.125) > 1e-15 {
+		t.Errorf("P(and) = %v", p)
+	}
+	if _, err := b.Prob(and, []float64{0.5}); err == nil {
+		t.Error("wrong tuple size must fail")
+	}
+}
+
+// BDD probabilities must equal exhaustive enumeration on every node of
+// c17 and the ALU.
+func TestCircuitProbsMatchExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"c17", circuits.C17()},
+		{"alu", circuits.ALU74181()},
+	} {
+		bc, err := FromCircuit(tc.c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := pattern.NewRNG(3)
+		in := make([]float64, len(tc.c.Inputs))
+		for i := range in {
+			in[i] = 0.1 + 0.8*rng.Float64()
+		}
+		got, err := bc.Probs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.ExactProbs(tc.c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range want {
+			if math.Abs(got[id]-want[id]) > 1e-9 {
+				t.Fatalf("%s node %d: bdd %v enum %v", tc.name, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+// Exact COMP probability: the 51-input comparator is far beyond
+// enumeration but its BDD is tiny; P(EQ) must be exactly
+// 2^-24 * 0.5 under uniform inputs.
+func TestComp24ExactViaBDD(t *testing.T) {
+	c := circuits.Comp24()
+	bc, err := FromCircuit(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := core.UniformProbs(c)
+	all, err := bc.Probs(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := c.ByName("EQ")
+	want := math.Pow(2, -24) * 0.5
+	if math.Abs(all[eq]-want)/want > 1e-9 {
+		t.Errorf("P(EQ) = %v, want %v", all[eq], want)
+	}
+	gt, _ := c.ByName("GT")
+	lt, _ := c.ByName("LT")
+	// P(GT)+P(LT)+P(words equal) = 1; GT = gt(words) or eq·TI1.
+	pEqWords := math.Pow(2, -24)
+	wantGt := (1-pEqWords)/2 + pEqWords*0.5
+	if math.Abs(all[gt]-wantGt) > 1e-9 {
+		t.Errorf("P(GT) = %v, want %v", all[gt], wantGt)
+	}
+	if math.Abs(all[gt]-all[lt]) > 1e-9 {
+		t.Errorf("GT/LT asymmetry: %v vs %v", all[gt], all[lt])
+	}
+}
+
+// The node budget must abort cleanly on a multiplier (whose product
+// BDDs explode under any order).
+func TestNodeBudgetEnforced(t *testing.T) {
+	c := circuits.Mult8()
+	_, err := FromCircuit(c, 5000)
+	if !errors.Is(err, ErrNodeBudget) {
+		t.Errorf("expected ErrNodeBudget, got %v", err)
+	}
+}
+
+// The estimator's diamond exactness, cross-checked a third way.
+func TestDiamondViaBDD(t *testing.T) {
+	c := circuits.Diamond()
+	bc, err := FromCircuit(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.ByName("y")
+	if bc.Refs[y] != False {
+		t.Error("diamond output BDD should reduce to the False terminal")
+	}
+}
+
+func TestSize(t *testing.T) {
+	b := New(3, 0)
+	ops := make([]Ref, 3)
+	for i := range ops {
+		ops[i], _ = b.Var(i)
+	}
+	f, _ := b.Apply(logic.Xor, ops)
+	// XOR of n variables has n decision nodes... with both polarities
+	// shared: 2n-1? For this implementation: levels 0..2 with 1,2,2
+	// nodes = 5.
+	if s := b.Size(f); s < 3 || s > 7 {
+		t.Errorf("XOR3 size = %d, implausible", s)
+	}
+	if b.Size(True) != 0 {
+		t.Error("terminal size must be 0")
+	}
+}
+
+func TestParityTreeLinearBDD(t *testing.T) {
+	c := circuits.ParityTree(16)
+	bc, err := FromCircuit(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Outputs[0]
+	if s := bc.B.Size(bc.Refs[out]); s > 2*16 {
+		t.Errorf("parity BDD size %d, want linear (<32)", s)
+	}
+	probs, err := bc.Probs(core.UniformProbs(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[out]-0.5) > 1e-12 {
+		t.Errorf("P(parity) = %v", probs[out])
+	}
+}

@@ -1,0 +1,129 @@
+package bdd
+
+import (
+	"math"
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/core"
+	"protest/internal/fault"
+)
+
+// BDD-exact detection probabilities must match the enumeration oracle
+// on c17 and the ALU for every collapsed fault.
+func TestDetectProbsMatchEnumeration(t *testing.T) {
+	for _, tc := range []string{"c17", "alu"} {
+		var cc = circuits.C17()
+		if tc == "alu" {
+			cc = circuits.ALU74181()
+		}
+		faults := fault.Collapse(cc)
+		probs := core.UniformProbs(cc)
+		bc, err := FromCircuit(cc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bc.DetectProbs(faults, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.ExactDetectProbs(cc, faults, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range faults {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s fault %v: bdd %v enum %v", tc, faults[i].Name(cc), got[i], want[i])
+			}
+		}
+	}
+}
+
+// COMP's hardest fault, exactly: the EQ stem s-a-0 requires the words
+// equal and TI2 high, probability 2^-25 — confirming Table 3's claim
+// beyond any enumeration or simulation.
+func TestCompEqFaultExact(t *testing.T) {
+	c := circuits.Comp24()
+	bc, err := FromCircuit(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := c.ByName("EQ")
+	probs := core.UniformProbs(c)
+	p, err := bc.DetectProb(fault.Fault{Gate: eq, Pin: fault.StemPin, StuckAt: false}, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(2, -25)
+	if math.Abs(p-want)/want > 1e-9 {
+		t.Errorf("EQ/sa0 exact detection = %v, want %v", p, want)
+	}
+	// And under the paper-style optimized tuple the same fault jumps by
+	// orders of magnitude.
+	opt := make([]float64, len(c.Inputs))
+	for i := range opt {
+		opt[i] = 0.875
+	}
+	opt[len(opt)-3] = 0.5   // TI1
+	opt[len(opt)-2] = 0.875 // TI2
+	opt[len(opt)-1] = 0.5   // TI3
+	pOpt, err := bc.DetectProb(fault.Fault{Gate: eq, Pin: fault.StemPin, StuckAt: false}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOpt < 1000*p {
+		t.Errorf("optimized tuple should lift EQ/sa0 by >1000x: %v -> %v", p, pOpt)
+	}
+}
+
+// An undetectable fault has detectability False and probability 0.
+func TestDetectUndetectableViaBDD(t *testing.T) {
+	c := circuits.Diamond() // y = AND(NOT s, s), constant 0
+	bc, err := FromCircuit(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.ByName("y")
+	p, err := bc.DetectProb(fault.Fault{Gate: y, Pin: fault.StemPin, StuckAt: false}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("constant-0 output s-a-0 must be undetectable, got %v", p)
+	}
+	// s-a-1 on y is detectable with probability 1 (output always 0).
+	p1, err := bc.DetectProb(fault.Fault{Gate: y, Pin: fault.StemPin, StuckAt: true}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != 1 {
+		t.Errorf("constant-0 output s-a-1 detected by every pattern, got %v", p1)
+	}
+}
+
+// Branch faults: the BDD path must inject at the pin, not the stem.
+func TestDetectBranchFaultViaBDD(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Universe(c)
+	probs := core.UniformProbs(c)
+	bc, err := FromCircuit(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ExactDetectProbs(c, faults, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range faults {
+		if f.IsStem() {
+			continue
+		}
+		got, err := bc.DetectProb(f, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want[i]) > 1e-9 {
+			t.Fatalf("branch fault %v: bdd %v enum %v", f.Name(c), got, want[i])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package bist
+
+import (
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/faultsim"
+	"protest/internal/pattern"
+)
+
+func TestMISRBasics(t *testing.T) {
+	m, err := NewMISR(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Signature() != 0 {
+		t.Error("fresh MISR should hold the seed")
+	}
+	m.Clock(0xFFFF)
+	if m.Signature() == 0 {
+		t.Error("clocking input must change the state")
+	}
+	m.Reset(0xABCD)
+	if m.Signature() != 0xABCD {
+		t.Error("reset failed")
+	}
+	if _, err := NewMISR(7, 0); err == nil {
+		t.Error("unsupported width must fail")
+	}
+	if b := m.AliasingBound(); b <= 0 || b > 1.0/65536+1e-12 {
+		t.Errorf("aliasing bound %v", b)
+	}
+}
+
+func TestMISRDeterministic(t *testing.T) {
+	a, _ := NewMISR(16, 1)
+	b, _ := NewMISR(16, 1)
+	for i := uint64(0); i < 100; i++ {
+		a.Clock(i * 7)
+		b.Clock(i * 7)
+	}
+	if a.Signature() != b.Signature() {
+		t.Error("same stream must give same signature")
+	}
+	c, _ := NewMISR(16, 1)
+	for i := uint64(0); i < 100; i++ {
+		v := i * 7
+		if i == 50 {
+			v ^= 1 // single-bit error
+		}
+		c.Clock(v)
+	}
+	if c.Signature() == a.Signature() {
+		t.Error("single-bit error must change the signature (primitive polynomial)")
+	}
+}
+
+func TestFoldWideOutputs(t *testing.T) {
+	m, _ := NewMISR(4, 0)
+	// 8 input bits fold onto 4 stages by XOR.
+	m.Clock(0b10011001) // folds to 1001^1001 = 0000
+	m2, _ := NewMISR(4, 0)
+	m2.Clock(0)
+	if m.Signature() != m2.Signature() {
+		t.Error("folding XOR semantics violated")
+	}
+}
+
+func TestRunC17FullCoverage(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Collapse(c)
+	gen := pattern.NewUniform(len(c.Inputs), 3)
+	res, err := Run(c, faults, gen, Plan{Cycles: 512, MISRWidth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 1 {
+		t.Errorf("c17 BIST coverage %.3f < 1 after 512 cycles (aliased: %d)", res.Coverage(), res.Aliased)
+	}
+	if res.Cycles != 512 || res.Faults != len(faults) {
+		t.Error("bookkeeping wrong")
+	}
+}
+
+// Signature detection can never exceed output detection, and the
+// aliasing count is their difference.
+func TestRunAliasingAccounting(t *testing.T) {
+	c := circuits.ALU74181()
+	faults := fault.Collapse(c)
+	gen := pattern.NewUniform(len(c.Inputs), 7)
+	res, err := Run(c, faults, gen, Plan{Cycles: 320, MISRWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected+res.Aliased != res.OutputDetected {
+		t.Errorf("accounting: det %d + aliased %d != outputDet %d", res.Detected, res.Aliased, res.OutputDetected)
+	}
+	if res.OutputDetected > len(faults) {
+		t.Error("impossible detection count")
+	}
+}
+
+// The signature-based detection must agree with plain fault simulation
+// up to aliasing: OutputDetected equals the fault simulator's count.
+func TestRunMatchesFaultSimulation(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Collapse(c)
+	cycles := 128
+	genA := pattern.NewUniform(len(c.Inputs), 9)
+	res, err := Run(c, faults, genA, Plan{Cycles: cycles, MISRWidth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genB := pattern.NewUniform(len(c.Inputs), 9)
+	sim := faultsim.MeasureDetection(c, faults, genB, cycles)
+	simDetected := 0
+	for i := range faults {
+		if sim.Detected[i] > 0 {
+			simDetected++
+		}
+	}
+	if res.OutputDetected != simDetected {
+		t.Errorf("BIST output-detected %d != fault-sim %d", res.OutputDetected, simDetected)
+	}
+}
+
+// Weighted stimulus: an optimized tuple must reach coverage on the
+// equality-dominated comparator leaf faster than uniform patterns.
+func TestWeightedBeatsUniformOnEqualityLogic(t *testing.T) {
+	c := circuits.SN7485()
+	faults := fault.Collapse(c)
+	cycles := 96
+	genU := pattern.NewUniform(len(c.Inputs), 21)
+	resU, err := Run(c, faults, genU, Plan{Cycles: cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Favour equal operands: push the EQIN cascade high and keep data
+	// mildly biased (a hand-made weighted tuple).
+	weights := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.25, 0.9, 0.25}
+	genW, err := pattern.NewWeighted(weights, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resW, err := Run(c, faults, genW, Plan{Cycles: cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resW.Coverage()+0.05 < resU.Coverage() {
+		t.Errorf("weighted %.3f clearly worse than uniform %.3f", resW.Coverage(), resU.Coverage())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := circuits.C17()
+	gen := pattern.NewUniform(2, 1)
+	if _, err := Run(c, fault.Collapse(c), gen, Plan{}); err == nil {
+		t.Error("input-count mismatch must fail")
+	}
+	gen2 := pattern.NewUniform(len(c.Inputs), 1)
+	if _, err := Run(c, fault.Collapse(c), gen2, Plan{MISRWidth: 9}); err == nil {
+		t.Error("unsupported MISR width must fail")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	c := circuits.C17()
+	gen := pattern.NewUniform(len(c.Inputs), 1)
+	res, err := Run(c, fault.Collapse(c), gen, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1024 {
+		t.Errorf("default cycles = %d", res.Cycles)
+	}
+}

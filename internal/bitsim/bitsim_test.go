@@ -1,0 +1,219 @@
+package bitsim
+
+import (
+	"testing"
+
+	"protest/internal/circuit"
+	"protest/internal/logic"
+	"protest/internal/netlist"
+)
+
+const c17Bench = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func c17(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(c17Bench, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Reference evaluation of c17 for one assignment.
+func c17Ref(g1, g2, g3, g6, g7 bool) (bool, bool) {
+	nand := func(a, b bool) bool { return !(a && b) }
+	g10 := nand(g1, g3)
+	g11 := nand(g3, g6)
+	g16 := nand(g2, g11)
+	g19 := nand(g11, g7)
+	return nand(g10, g16), nand(g16, g19)
+}
+
+func TestEvalSingleMatchesReference(t *testing.T) {
+	c := c17(t)
+	for r := 0; r < 32; r++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = r>>i&1 == 1
+		}
+		out := EvalSingle(c, in)
+		w22, w23 := c17Ref(in[0], in[1], in[2], in[3], in[4])
+		if out[0] != w22 || out[1] != w23 {
+			t.Fatalf("pattern %05b: got %v,%v want %v,%v", r, out[0], out[1], w22, w23)
+		}
+	}
+}
+
+func TestRunBitParallelMatchesSingle(t *testing.T) {
+	c := c17(t)
+	s := New(c)
+	// All 32 assignments fit in one word.
+	for i := 0; i < 5; i++ {
+		s.SetInput(i, enumWord(0, i))
+	}
+	s.Run()
+	var outs [2]uint64
+	s.OutputWords(outs[:])
+	for r := 0; r < 32; r++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = r>>i&1 == 1
+		}
+		w22, w23 := c17Ref(in[0], in[1], in[2], in[3], in[4])
+		if (outs[0]>>r&1 == 1) != w22 || (outs[1]>>r&1 == 1) != w23 {
+			t.Fatalf("bit-parallel mismatch at pattern %d", r)
+		}
+	}
+}
+
+func TestEnumerateExhaustive(t *testing.T) {
+	c := c17(t)
+	s := New(c)
+	g22, _ := c.ByName("G22")
+	count := 0
+	total := 0
+	err := s.EnumerateExhaustive(func(base uint64, valid int) {
+		w := s.Value(g22)
+		for b := 0; b < valid; b++ {
+			total++
+			if w>>b&1 == 1 {
+				count++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 32 {
+		t.Fatalf("visited %d patterns, want 32", total)
+	}
+	// Independent count via EvalSingle.
+	want := 0
+	for r := 0; r < 32; r++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = r>>i&1 == 1
+		}
+		if EvalSingle(c, in)[0] {
+			want++
+		}
+	}
+	if count != want {
+		t.Errorf("G22 ones = %d, want %d", count, want)
+	}
+}
+
+func TestEnumerateExhaustiveRefusesHuge(t *testing.T) {
+	b := circuit.NewBuilder("big")
+	ins := b.InputBus("x", 31)
+	g := b.And("g", ins...)
+	b.MarkOutput(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(c).EnumerateExhaustive(func(uint64, int) {}); err == nil {
+		t.Error("31-input exhaustive enumeration must be refused")
+	}
+}
+
+func TestAllOps(t *testing.T) {
+	b := circuit.NewBuilder("ops")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	gates := []circuit.NodeID{
+		b.And("g_and", x, y, z),
+		b.Nand("g_nand", x, y, z),
+		b.Or("g_or", x, y, z),
+		b.Nor("g_nor", x, y, z),
+		b.Xor("g_xor", x, y, z),
+		b.Xnor("g_xnor", x, y, z),
+		b.Not("g_not", x),
+		b.Buf("g_buf", x),
+	}
+	b.MarkOutputs(gates...)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	for i := 0; i < 3; i++ {
+		s.SetInput(i, enumWord(0, i))
+	}
+	s.Run()
+	ops := []logic.Op{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor, logic.Not, logic.Buf}
+	for gi, id := range gates {
+		w := s.Value(id)
+		for r := 0; r < 8; r++ {
+			in := []bool{r&1 == 1, r>>1&1 == 1, r>>2&1 == 1}
+			if ops[gi] == logic.Not || ops[gi] == logic.Buf {
+				in = in[:1]
+			}
+			want := logic.Eval(ops[gi], in)
+			if (w>>r&1 == 1) != want {
+				t.Errorf("%v pattern %d: got %v want %v", ops[gi], r, w>>r&1 == 1, want)
+			}
+		}
+	}
+}
+
+func TestTableGateSim(t *testing.T) {
+	maj, err := logic.TableFromFunc(3, func(in []bool) bool {
+		n := 0
+		for _, v := range in {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := circuit.NewBuilder("maj")
+	ins := b.Inputs("x", "y", "z")
+	g := b.TableGate("m", maj, ins...)
+	b.MarkOutput(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	for i := 0; i < 3; i++ {
+		s.SetInput(i, enumWord(0, i))
+	}
+	s.Run()
+	w := s.Value(g)
+	for r := 0; r < 8; r++ {
+		n := (r & 1) + (r >> 1 & 1) + (r >> 2 & 1)
+		if (w>>r&1 == 1) != (n >= 2) {
+			t.Errorf("majority pattern %d wrong", r)
+		}
+	}
+}
+
+func TestSetInputsPanicsOnMismatch(t *testing.T) {
+	c := c17(t)
+	s := New(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetInputs with wrong length should panic")
+		}
+	}()
+	s.SetInputs([]uint64{1, 2})
+}

@@ -1,0 +1,224 @@
+package circuit
+
+import (
+	"fmt"
+
+	"protest/internal/logic"
+)
+
+// Builder constructs a Circuit incrementally.  Nodes must be created
+// fanin-first (a gate can only reference already-created nodes), which
+// guarantees the creation order is topological.
+type Builder struct {
+	name    string
+	nodes   []Node
+	inputs  []NodeID
+	outputs []NodeID
+	byName  map[string]NodeID
+	err     error
+}
+
+// NewBuilder creates an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]NodeID)}
+}
+
+func (b *Builder) fail(format string, args ...any) NodeID {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return InvalidNode
+}
+
+// Err returns the first error recorded by the builder, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Input declares a primary input with the given name.
+func (b *Builder) Input(name string) NodeID {
+	return b.add(Node{Name: name, IsInput: true})
+}
+
+// Inputs declares several primary inputs and returns their IDs.
+func (b *Builder) Inputs(names ...string) []NodeID {
+	ids := make([]NodeID, len(names))
+	for i, n := range names {
+		ids[i] = b.Input(n)
+	}
+	return ids
+}
+
+// InputBus declares n inputs named prefix0..prefix(n-1), LSB first.
+func (b *Builder) InputBus(prefix string, n int) []NodeID {
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = b.Input(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return ids
+}
+
+// Gate creates a logic component whose output signal is named name.
+func (b *Builder) Gate(op logic.Op, name string, fanin ...NodeID) NodeID {
+	if !op.ArityOK(len(fanin)) {
+		return b.fail("circuit: %v gate %q with %d inputs", op, name, len(fanin))
+	}
+	return b.add(Node{Name: name, Op: op, Fanin: fanin})
+}
+
+// TableGate creates a component with an explicit truth table.
+func (b *Builder) TableGate(name string, t *logic.TruthTable, fanin ...NodeID) NodeID {
+	if t == nil {
+		return b.fail("circuit: nil table for gate %q", name)
+	}
+	if t.N() != len(fanin) {
+		return b.fail("circuit: table gate %q arity %d with %d inputs", name, t.N(), len(fanin))
+	}
+	return b.add(Node{Name: name, Op: logic.TableOp, Table: t, Fanin: fanin})
+}
+
+// Convenience wrappers for the common operators.  Names are generated
+// when empty.
+
+func (b *Builder) And(name string, in ...NodeID) NodeID {
+	return b.Gate(logic.And, b.auto(name, "and"), in...)
+}
+func (b *Builder) Nand(name string, in ...NodeID) NodeID {
+	return b.Gate(logic.Nand, b.auto(name, "nand"), in...)
+}
+func (b *Builder) Or(name string, in ...NodeID) NodeID {
+	return b.Gate(logic.Or, b.auto(name, "or"), in...)
+}
+func (b *Builder) Nor(name string, in ...NodeID) NodeID {
+	return b.Gate(logic.Nor, b.auto(name, "nor"), in...)
+}
+func (b *Builder) Xor(name string, in ...NodeID) NodeID {
+	return b.Gate(logic.Xor, b.auto(name, "xor"), in...)
+}
+func (b *Builder) Xnor(name string, in ...NodeID) NodeID {
+	return b.Gate(logic.Xnor, b.auto(name, "xnor"), in...)
+}
+func (b *Builder) Not(name string, in NodeID) NodeID {
+	return b.Gate(logic.Not, b.auto(name, "not"), in)
+}
+func (b *Builder) Buf(name string, in NodeID) NodeID {
+	return b.Gate(logic.Buf, b.auto(name, "buf"), in)
+}
+
+func (b *Builder) auto(name, kind string) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("_%s%d", kind, len(b.nodes))
+}
+
+func (b *Builder) add(n Node) NodeID {
+	if b.err != nil {
+		return InvalidNode
+	}
+	if n.Name == "" {
+		return b.fail("circuit: empty node name")
+	}
+	if _, dup := b.byName[n.Name]; dup {
+		return b.fail("circuit: duplicate node name %q", n.Name)
+	}
+	id := NodeID(len(b.nodes))
+	for _, f := range n.Fanin {
+		if f < 0 || int(f) >= len(b.nodes) {
+			return b.fail("circuit: gate %q references unknown node %d", n.Name, f)
+		}
+	}
+	b.byName[n.Name] = id
+	b.nodes = append(b.nodes, n)
+	if n.IsInput {
+		b.inputs = append(b.inputs, id)
+	}
+	return id
+}
+
+// MarkOutput declares an existing node to be a primary output.
+func (b *Builder) MarkOutput(id NodeID) {
+	if b.err != nil {
+		return
+	}
+	if id < 0 || int(id) >= len(b.nodes) {
+		b.fail("circuit: MarkOutput of unknown node %d", id)
+		return
+	}
+	if b.nodes[id].IsOutput {
+		return
+	}
+	b.nodes[id].IsOutput = true
+	b.outputs = append(b.outputs, id)
+}
+
+// MarkOutputs declares several outputs in order.
+func (b *Builder) MarkOutputs(ids ...NodeID) {
+	for _, id := range ids {
+		b.MarkOutput(id)
+	}
+}
+
+// Build finalizes the circuit: computes fanout lists, levels and the
+// topological order, and validates the structure.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.inputs) == 0 {
+		return nil, fmt.Errorf("circuit %q: no primary inputs", b.name)
+	}
+	if len(b.outputs) == 0 {
+		return nil, fmt.Errorf("circuit %q: no primary outputs", b.name)
+	}
+	c := &Circuit{
+		Name:     b.name,
+		Nodes:    b.nodes,
+		Inputs:   b.inputs,
+		Outputs:  b.outputs,
+		byName:   b.byName,
+		inputPos: make(map[NodeID]int, len(b.inputs)),
+	}
+	for i, id := range c.Inputs {
+		c.inputPos[id] = i
+	}
+	// Creation order is topological by construction.
+	c.order = make([]NodeID, len(c.Nodes))
+	for i := range c.order {
+		c.order[i] = NodeID(i)
+	}
+	// Fanout and levels.
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		lvl := int32(0)
+		for _, f := range n.Fanin {
+			c.Nodes[f].Fanout = append(c.Nodes[f].Fanout, NodeID(i))
+			if c.Nodes[f].Level+1 > lvl {
+				lvl = c.Nodes[f].Level + 1
+			}
+		}
+		if !n.IsInput {
+			n.Level = lvl
+			if lvl > c.maxLevel {
+				c.maxLevel = lvl
+			}
+		}
+	}
+	// Validation: every non-output gate should drive something, every
+	// gate has the right arity, no dangling names.
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.IsInput {
+			continue
+		}
+		if n.Op == logic.Invalid {
+			return nil, fmt.Errorf("circuit %q: node %q has no operator", b.name, n.Name)
+		}
+		if n.Op == logic.TableOp {
+			if n.Table == nil {
+				return nil, fmt.Errorf("circuit %q: table gate %q without table", b.name, n.Name)
+			}
+		} else if !n.Op.ArityOK(len(n.Fanin)) {
+			return nil, fmt.Errorf("circuit %q: gate %q: %v with %d inputs", b.name, n.Name, n.Op, len(n.Fanin))
+		}
+	}
+	return c, nil
+}

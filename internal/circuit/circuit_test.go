@@ -1,0 +1,248 @@
+package circuit
+
+import (
+	"testing"
+
+	"protest/internal/logic"
+)
+
+// buildDiamond constructs the classic reconvergent circuit:
+//
+//	s = input; a = NOT s; b = BUF s; y = AND(a, b)
+func buildDiamond(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("diamond")
+	s := b.Input("s")
+	a := b.Not("a", s)
+	bb := b.Buf("b", s)
+	y := b.And("y", a, bb)
+	b.MarkOutput(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuilderBasic(t *testing.T) {
+	c := buildDiamond(t)
+	if c.NumNodes() != 4 || c.NumGates() != 3 {
+		t.Fatalf("nodes=%d gates=%d", c.NumNodes(), c.NumGates())
+	}
+	if len(c.Inputs) != 1 || len(c.Outputs) != 1 {
+		t.Fatalf("io %d/%d", len(c.Inputs), len(c.Outputs))
+	}
+	y, ok := c.ByName("y")
+	if !ok {
+		t.Fatal("y missing")
+	}
+	if !c.Node(y).IsOutput {
+		t.Error("y should be an output")
+	}
+	if c.MaxLevel() != 2 {
+		t.Errorf("MaxLevel = %d, want 2", c.MaxLevel())
+	}
+	s, _ := c.ByName("s")
+	if got := c.InputIndex(s); got != 0 {
+		t.Errorf("InputIndex(s) = %d", got)
+	}
+	if got := c.InputIndex(y); got != -1 {
+		t.Errorf("InputIndex(y) = %d, want -1", got)
+	}
+}
+
+func TestBuilderFanout(t *testing.T) {
+	c := buildDiamond(t)
+	s, _ := c.ByName("s")
+	if len(c.Node(s).Fanout) != 2 {
+		t.Errorf("s fanout = %d, want 2", len(c.Node(s).Fanout))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.Input("x")
+	b.Input("x") // duplicate
+	b.And("g", x, x)
+	b.MarkOutput(0)
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate name must fail")
+	}
+
+	b2 := NewBuilder("noio")
+	i := b2.Input("i")
+	_ = i
+	if _, err := b2.Build(); err == nil {
+		t.Error("missing outputs must fail")
+	}
+
+	b3 := NewBuilder("arity")
+	y := b3.Input("y")
+	b3.Gate(logic.Not, "n", y, y) // NOT with 2 inputs
+	if b3.Err() == nil {
+		t.Error("bad arity must be recorded")
+	}
+
+	b4 := NewBuilder("ref")
+	b4.Input("a")
+	b4.Gate(logic.And, "g", 0, 99) // unknown fanin
+	if b4.Err() == nil {
+		t.Error("unknown fanin must be recorded")
+	}
+
+	b5 := NewBuilder("empty-name")
+	a5 := b5.Input("a")
+	b5.Gate(logic.Buf, "", a5)
+	if b5.Err() == nil {
+		t.Error("empty gate name must be recorded (Gate path)")
+	}
+}
+
+func TestMarkOutputIdempotent(t *testing.T) {
+	b := NewBuilder("c")
+	a := b.Input("a")
+	g := b.Buf("g", a)
+	b.MarkOutput(g)
+	b.MarkOutput(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outputs) != 1 {
+		t.Errorf("outputs = %d, want 1", len(c.Outputs))
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	c := buildDiamond(t)
+	pos := make(map[NodeID]int)
+	for i, id := range c.TopoOrder() {
+		pos[id] = i
+	}
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			if pos[f] >= pos[NodeID(i)] {
+				t.Fatalf("fanin %d after node %d in topo order", f, i)
+			}
+		}
+	}
+}
+
+func TestFaninCone(t *testing.T) {
+	c := buildDiamond(t)
+	y, _ := c.ByName("y")
+	cone := c.FaninCone(y, -1)
+	if len(cone) != 3 {
+		t.Fatalf("cone of y = %v, want 3 nodes", cone)
+	}
+	// Depth-1 cone only includes the two direct fanins.
+	cone1 := c.FaninCone(y, 1)
+	if len(cone1) != 2 {
+		t.Fatalf("depth-1 cone = %v, want 2 nodes", cone1)
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	c := buildDiamond(t)
+	s, _ := c.ByName("s")
+	cone := c.FanoutCone(s)
+	if len(cone) != 3 {
+		t.Fatalf("fanout cone of s = %v, want 3", cone)
+	}
+	y, _ := c.ByName("y")
+	if len(c.FanoutCone(y)) != 0 {
+		t.Error("output node should have empty fanout cone")
+	}
+}
+
+func TestPinIndex(t *testing.T) {
+	b := NewBuilder("pins")
+	a := b.Input("a")
+	g := b.And("g", a, a) // same node on both pins
+	b.MarkOutput(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := c.PinIndex(g, a)
+	if len(pins) != 2 || pins[0] != 0 || pins[1] != 1 {
+		t.Errorf("PinIndex = %v, want [0 1]", pins)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildDiamond(t)
+	s := c.Stats()
+	if s.Gates != 3 || s.Inputs != 1 || s.Outputs != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.GatesByOp[logic.And] != 1 || s.GatesByOp[logic.Not] != 1 {
+		t.Errorf("GatesByOp %v", s.GatesByOp)
+	}
+	if s.FanoutStems != 1 {
+		t.Errorf("FanoutStems = %d, want 1", s.FanoutStems)
+	}
+	if s.Transistors <= 0 {
+		t.Error("transistor estimate must be positive")
+	}
+	if s.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestInputBus(t *testing.T) {
+	b := NewBuilder("bus")
+	bus := b.InputBus("A", 4)
+	if len(bus) != 4 {
+		t.Fatalf("bus len %d", len(bus))
+	}
+	g := b.And("g", bus...)
+	b.MarkOutput(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.ByName("A3"); !ok {
+		t.Error("A3 missing")
+	}
+}
+
+func TestTableGate(t *testing.T) {
+	maj, err := logic.TableFromFunc(3, func(in []bool) bool {
+		n := 0
+		for _, b := range in {
+			if b {
+				n++
+			}
+		}
+		return n >= 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder("maj")
+	ins := b.Inputs("x", "y", "z")
+	g := b.TableGate("m", maj, ins...)
+	b.MarkOutput(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(g).Op != logic.TableOp {
+		t.Error("op should be TableOp")
+	}
+
+	// Arity mismatch must fail.
+	b2 := NewBuilder("bad")
+	ins2 := b2.Inputs("x", "y")
+	b2.TableGate("m", maj, ins2...)
+	if b2.Err() == nil {
+		t.Error("table arity mismatch must be recorded")
+	}
+	b3 := NewBuilder("nil")
+	in3 := b3.Input("x")
+	b3.TableGate("m", nil, in3)
+	if b3.Err() == nil {
+		t.Error("nil table must be recorded")
+	}
+}

@@ -1,0 +1,144 @@
+package circuits
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+)
+
+// ALU74181 returns a gate-level model of the TI SN74181 4-bit ALU — the
+// circuit the paper calls "ALU" in Tables 1 and 2 and Figure 5.
+//
+// Inputs (14): S0..S3 (function select), M (mode: 1 = logic,
+// 0 = arithmetic), CIN (active-high carry in; CIN=1 adds 1), A0..A3,
+// B0..B3.  Outputs (8): F0..F3, COUT (carry out), AEQB, P (propagate),
+// G (generate).
+//
+// Structure follows the datasheet's AOI first level: per bit i
+//
+//	E_i = NOR(A_i, B_i·S0, ¬B_i·S1)
+//	D_i = NOR(¬B_i·S2·A_i, A_i·B_i·S3)
+//
+// with the internal carry chain c_0 = CIN ∨ M,
+// c_{i+1} = ¬D_i ∨ (¬E_i ∧ c_i) ∨ M and sum F_i = E_i ⊕ D_i ⊕ c_i.
+// In logic mode (M=1) all internal carries are forced to 1, giving
+// F_i = ¬(E_i ⊕ D_i), the datasheet's 16 logic functions.  In
+// arithmetic mode S=1001 yields F = A plus B plus CIN; S=0110 yields
+// A minus B minus 1 plus CIN.  The behavioural reference used by the
+// tests is ALU74181Reference.
+func ALU74181() *circuit.Circuit {
+	b := circuit.NewBuilder("alu74181")
+	s := b.InputBus("S", 4)
+	m := b.Input("M")
+	cin := b.Input("CIN")
+	a := b.InputBus("A", 4)
+	bb := b.InputBus("B", 4)
+
+	e := make([]circuit.NodeID, 4)
+	d := make([]circuit.NodeID, 4)
+	for i := 0; i < 4; i++ {
+		nb := b.Not(fmt.Sprintf("nB%d", i), bb[i])
+		t1 := b.And(fmt.Sprintf("e%d_t1", i), bb[i], s[0])
+		t2 := b.And(fmt.Sprintf("e%d_t2", i), nb, s[1])
+		e[i] = b.Nor(fmt.Sprintf("E%d", i), a[i], t1, t2)
+		t3 := b.And(fmt.Sprintf("d%d_t3", i), nb, s[2], a[i])
+		t4 := b.And(fmt.Sprintf("d%d_t4", i), a[i], bb[i], s[3])
+		d[i] = b.Nor(fmt.Sprintf("D%d", i), t3, t4)
+	}
+
+	// Carry chain with M gating (logic mode forces carries to 1).  Only
+	// carries 0..3 feed sum bits; the carry out of bit 3 is produced by
+	// the dedicated COUT gates below, so c4 is never built.
+	carry := make([]circuit.NodeID, 4)
+	carry[0] = b.Or("c0", cin, m)
+	for i := 0; i < 3; i++ {
+		nd := b.Not(fmt.Sprintf("nD%d", i), d[i])
+		ne := b.Not(fmt.Sprintf("nE%d", i), e[i])
+		prop := b.And(fmt.Sprintf("c%d_p", i+1), ne, carry[i])
+		carry[i+1] = b.Or(fmt.Sprintf("c%d", i+1), nd, prop, m)
+	}
+
+	f := make([]circuit.NodeID, 4)
+	for i := 0; i < 4; i++ {
+		ed := b.Xor(fmt.Sprintf("ed%d", i), e[i], d[i])
+		f[i] = b.Xor(fmt.Sprintf("F%d", i), ed, carry[i])
+	}
+
+	// COUT: true carry out of bit 3, computed without the M forcing so
+	// it is meaningful in arithmetic mode (matches c4 when M=0).
+	ndp := b.Not("co_nD3", d[3])
+	nep := b.Not("co_nE3", e[3])
+	coProp := b.And("co_p", nep, carry[3])
+	cout := b.Or("COUT", ndp, coProp)
+
+	// Lookahead-style P and G outputs.
+	props := make([]circuit.NodeID, 4)
+	for i := 0; i < 4; i++ {
+		props[i] = b.Not(fmt.Sprintf("P%d", i), e[i])
+	}
+	pOut := b.And("P", props...)
+	// G = ¬D3 ∨ ¬E3¬D2 ∨ ¬E3¬E2¬D1 ∨ ¬E3¬E2¬E1¬D0
+	gT0 := b.Not("g_nD3", d[3])
+	gT1 := b.And("g_t1", b.Not("g_nE3", e[3]), b.Not("g_nD2", d[2]))
+	gT2 := b.And("g_t2", b.Not("g_nE3b", e[3]), b.Not("g_nE2", e[2]), b.Not("g_nD1", d[1]))
+	gT3 := b.And("g_t3", b.Not("g_nE3c", e[3]), b.Not("g_nE2b", e[2]), b.Not("g_nE1", e[1]), b.Not("g_nD0", d[0]))
+	gOut := b.Or("G", gT0, gT1, gT2, gT3)
+
+	aeqb := b.And("AEQB", f[0], f[1], f[2], f[3])
+
+	b.MarkOutputs(f[0], f[1], f[2], f[3], cout, aeqb, pOut, gOut)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: alu74181: " + err.Error())
+	}
+	return c
+}
+
+// ALU74181Inputs assembles the input assignment for the ALU in the
+// order the circuit declares its inputs (S0..S3, M, CIN, A0..A3,
+// B0..B3).
+func ALU74181Inputs(s uint, m bool, cin bool, a, bv uint) []bool {
+	in := make([]bool, 14)
+	for i := 0; i < 4; i++ {
+		in[i] = s>>i&1 == 1
+	}
+	in[4] = m
+	in[5] = cin
+	for i := 0; i < 4; i++ {
+		in[6+i] = a>>i&1 == 1
+		in[10+i] = bv>>i&1 == 1
+	}
+	return in
+}
+
+// ALU74181Reference computes the expected outputs of the model:
+// f (4 bits), cout, aeqb, p, g.  It mirrors the E/D/carry equations at
+// word level and is validated in the tests against the arithmetic and
+// logic interpretations.
+func ALU74181Reference(s uint, m bool, cin bool, a, bv uint) (f uint, cout, aeqb, p, g bool) {
+	var e, d [4]bool
+	for i := 0; i < 4; i++ {
+		ai := a>>i&1 == 1
+		bi := bv>>i&1 == 1
+		e[i] = !(ai || (bi && s&1 == 1) || (!bi && s>>1&1 == 1))
+		d[i] = !((!bi && s>>2&1 == 1 && ai) || (ai && bi && s>>3&1 == 1))
+	}
+	c := cin || m
+	var carries [5]bool
+	carries[0] = c
+	for i := 0; i < 4; i++ {
+		c = !d[i] || (!e[i] && c) || m
+		carries[i+1] = c
+	}
+	f = 0
+	for i := 0; i < 4; i++ {
+		if e[i] != d[i] != carries[i] { // XOR of three
+			f |= 1 << i
+		}
+	}
+	cout = !d[3] || (!e[3] && carries[3])
+	aeqb = f == 0xF
+	p = !e[0] && !e[1] && !e[2] && !e[3]
+	g = !d[3] || (!e[3] && !d[2]) || (!e[3] && !e[2] && !d[1]) || (!e[3] && !e[2] && !e[1] && !d[0])
+	return f, cout, aeqb, p, g
+}

@@ -1,0 +1,131 @@
+// Package circuits provides gate-level generators for the benchmark
+// circuits of the paper — the SN74181 ALU ("ALU"), the 8-bit
+// A + B + C*D datapath ("MULT"), the 16-bit array divider ("DIV") and
+// the cascaded 24-bit comparator built from SN7485-style slices
+// ("COMP") — plus generic structures (adders, parity trees, random
+// circuits) used for scaling experiments and tests.
+//
+// The original netlists are not published; these generators reconstruct
+// the circuits from the TI datasheet equations and textbook array
+// structures, as documented in DESIGN.md.
+package circuits
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+)
+
+// C17 returns the small ISCAS-85 benchmark c17 (6 NAND gates).
+func C17() *circuit.Circuit {
+	b := circuit.NewBuilder("c17")
+	g1 := b.Input("G1")
+	g2 := b.Input("G2")
+	g3 := b.Input("G3")
+	g6 := b.Input("G6")
+	g7 := b.Input("G7")
+	g10 := b.Nand("G10", g1, g3)
+	g11 := b.Nand("G11", g3, g6)
+	g16 := b.Nand("G16", g2, g11)
+	g19 := b.Nand("G19", g11, g7)
+	g22 := b.Nand("G22", g10, g16)
+	g23 := b.Nand("G23", g16, g19)
+	b.MarkOutputs(g22, g23)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: c17: " + err.Error())
+	}
+	return c
+}
+
+// halfAdder adds two bits: sum = a XOR b, carry = a AND b.
+func halfAdder(b *circuit.Builder, name string, a, x circuit.NodeID) (sum, carry circuit.NodeID) {
+	sum = b.Xor(name+"_s", a, x)
+	carry = b.And(name+"_c", a, x)
+	return sum, carry
+}
+
+// fullAdder adds three bits with the classic 5-gate structure.
+func fullAdder(b *circuit.Builder, name string, a, x, cin circuit.NodeID) (sum, carry circuit.NodeID) {
+	axs := b.Xor(name+"_ax", a, x)
+	sum = b.Xor(name+"_s", axs, cin)
+	c1 := b.And(name+"_c1", a, x)
+	c2 := b.And(name+"_c2", axs, cin)
+	carry = b.Or(name+"_c", c1, c2)
+	return sum, carry
+}
+
+// RippleAdder returns an n-bit ripple-carry adder with carry-in:
+// inputs A0.., B0.., CIN; outputs S0..S(n-1), COUT.
+func RippleAdder(n int) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("add%d", n))
+	as := b.InputBus("A", n)
+	bs := b.InputBus("B", n)
+	cin := b.Input("CIN")
+	sums, cout := buildRippleAdder(b, "fa", as, bs, cin)
+	b.MarkOutputs(sums...)
+	b.MarkOutput(cout)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: adder: " + err.Error())
+	}
+	return c
+}
+
+// buildRippleAdder wires full adders over equal-length operand buses and
+// returns the sum bits and final carry.
+func buildRippleAdder(b *circuit.Builder, prefix string, as, bs []circuit.NodeID, cin circuit.NodeID) ([]circuit.NodeID, circuit.NodeID) {
+	if len(as) != len(bs) {
+		panic("circuits: operand width mismatch")
+	}
+	sums := make([]circuit.NodeID, len(as))
+	carry := cin
+	for i := range as {
+		sums[i], carry = fullAdder(b, fmt.Sprintf("%s%d", prefix, i), as[i], bs[i], carry)
+	}
+	return sums, carry
+}
+
+// ParityTree returns an n-input XOR tree (fanout-free, useful for
+// estimator exactness tests).
+func ParityTree(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("circuits: parity tree needs >= 2 inputs")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("parity%d", n))
+	layer := b.InputBus("X", n)
+	level := 0
+	for len(layer) > 1 {
+		var next []circuit.NodeID
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, b.Xor(fmt.Sprintf("p%d_%d", level, i/2), layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+		level++
+	}
+	b.MarkOutput(layer[0])
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: parity: " + err.Error())
+	}
+	return c
+}
+
+// Diamond returns the classic reconvergent fanout example
+// y = AND(NOT s, s): exactly 0 regardless of p_s, while the
+// independence model yields p(1-p).
+func Diamond() *circuit.Circuit {
+	b := circuit.NewBuilder("diamond")
+	s := b.Input("s")
+	a := b.Not("a", s)
+	y := b.And("y", a, s)
+	b.MarkOutput(y)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: diamond: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,75 @@
+package circuits
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+)
+
+// CLAAdder returns an n-bit carry-lookahead adder in the style of the
+// SN74283: per-bit propagate/generate, a flattened two-level lookahead
+// network for the carries, and XOR sum stages.  Inputs: A0..A(n-1),
+// B0..B(n-1), CIN; outputs S0..S(n-1), COUT.
+//
+// Compared to RippleAdder the carry cones are wide and shallow, which
+// exercises the joining-point machinery differently (many short
+// reconvergent paths instead of one long chain).
+func CLAAdder(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("circuits: CLA adder needs n >= 1")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("cla%d", n))
+	a := b.InputBus("A", n)
+	bb := b.InputBus("B", n)
+	cin := b.Input("CIN")
+
+	p := make([]circuit.NodeID, n) // propagate = a XOR b
+	g := make([]circuit.NodeID, n) // generate = a AND b
+	for i := 0; i < n; i++ {
+		p[i] = b.Xor(fmt.Sprintf("p%d", i), a[i], bb[i])
+		g[i] = b.And(fmt.Sprintf("g%d", i), a[i], bb[i])
+	}
+
+	// carry[i] = g[i-1] ∨ p[i-1]g[i-2] ∨ … ∨ p[i-1]…p[0]·cin,
+	// flattened into one AND-OR level per carry (the 74283 structure).
+	carry := make([]circuit.NodeID, n+1)
+	carry[0] = cin
+	for i := 1; i <= n; i++ {
+		var terms []circuit.NodeID
+		for j := i - 1; j >= 0; j-- {
+			// Term: g[j] ANDed with p[j+1..i-1].
+			ins := []circuit.NodeID{g[j]}
+			for k := j + 1; k < i; k++ {
+				ins = append(ins, p[k])
+			}
+			if len(ins) == 1 {
+				terms = append(terms, ins[0])
+			} else {
+				terms = append(terms, b.And(fmt.Sprintf("c%d_t%d", i, j), ins...))
+			}
+		}
+		// cin term: p[0..i-1]·cin.
+		ins := []circuit.NodeID{cin}
+		for k := 0; k < i; k++ {
+			ins = append(ins, p[k])
+		}
+		terms = append(terms, b.And(fmt.Sprintf("c%d_tc", i), ins...))
+		if len(terms) == 1 {
+			carry[i] = terms[0]
+		} else {
+			carry[i] = b.Or(fmt.Sprintf("c%d", i), terms...)
+		}
+	}
+
+	outs := make([]circuit.NodeID, 0, n+1)
+	for i := 0; i < n; i++ {
+		outs = append(outs, b.Xor(fmt.Sprintf("S%d", i), p[i], carry[i]))
+	}
+	outs = append(outs, b.Buf("COUT", carry[n]))
+	b.MarkOutputs(outs...)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: cla: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,199 @@
+package circuits
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+)
+
+// comparatorSlice builds a width-w magnitude comparator slice in the
+// style of the SN7485 ("slightly modified" per the paper): bitwise
+// equality terms feed AOI chains for greater/less, and cascade inputs
+// take over when the local words are equal.
+//
+//	eq_i   = XNOR(a_i, b_i)
+//	gtLoc  = Σ_i a_i·¬b_i·Π_{j>i} eq_j
+//	ltLoc  = Σ_i ¬a_i·b_i·Π_{j>i} eq_j
+//	eqLoc  = Π eq_i
+//	gt     = gtLoc ∨ eqLoc·gtIn
+//	lt     = ltLoc ∨ eqLoc·ltIn
+//	eq     = eqLoc ∧ eqIn
+//
+// Bit w-1 is the most significant.  Passing circuit.InvalidNode for the
+// cascade inputs instantiates the "modified" slice without cascade
+// logic (gtIn=0, eqIn=1, ltIn=0 hard-wired by omission, not by constant
+// nodes, so no untestable tie-off faults arise).  The returned nodes
+// are (gt, eq, lt).
+func comparatorSlice(b *circuit.Builder, name string, a, bv []circuit.NodeID, gtIn, eqIn, ltIn circuit.NodeID, wantEq bool) (gt, eq, lt circuit.NodeID) {
+	w := len(a)
+	if w == 0 || w != len(bv) {
+		panic("circuits: comparator slice needs equal non-empty operands")
+	}
+	// Equality bits are created lazily: eq of the LSB pair is only
+	// needed by eqLoc, which a leaf slice without cascade never builds.
+	eqBits := make([]circuit.NodeID, w)
+	for i := range eqBits {
+		eqBits[i] = circuit.InvalidNode
+	}
+	eqBit := func(j int) circuit.NodeID {
+		if eqBits[j] == circuit.InvalidNode {
+			eqBits[j] = b.Xnor(fmt.Sprintf("%s_eq%d", name, j), a[j], bv[j])
+		}
+		return eqBits[j]
+	}
+	var gtTerms, ltTerms []circuit.NodeID
+	for i := w - 1; i >= 0; i-- {
+		nb := b.Not(fmt.Sprintf("%s_nb%d", name, i), bv[i])
+		na := b.Not(fmt.Sprintf("%s_na%d", name, i), a[i])
+		gtIns := []circuit.NodeID{a[i], nb}
+		ltIns := []circuit.NodeID{na, bv[i]}
+		for j := i + 1; j < w; j++ {
+			gtIns = append(gtIns, eqBit(j))
+			ltIns = append(ltIns, eqBit(j))
+		}
+		gtTerms = append(gtTerms, b.And(fmt.Sprintf("%s_gt%d", name, i), gtIns...))
+		ltTerms = append(ltTerms, b.And(fmt.Sprintf("%s_lt%d", name, i), ltIns...))
+	}
+	// eqLoc is only materialized when something consumes it (cascade
+	// gating, the eq output, or an explicit wantEq request); a slice
+	// whose eq result is implied by gt=lt=0 would otherwise carry dead,
+	// unobservable logic.
+	needEq := wantEq || gtIn != circuit.InvalidNode || ltIn != circuit.InvalidNode || eqIn != circuit.InvalidNode
+	var eqLoc circuit.NodeID = circuit.InvalidNode
+	if needEq {
+		if w == 1 {
+			eqLoc = b.Buf(fmt.Sprintf("%s_eqloc", name), eqBit(0))
+		} else {
+			all := make([]circuit.NodeID, w)
+			for j := 0; j < w; j++ {
+				all[j] = eqBit(j)
+			}
+			eqLoc = b.And(fmt.Sprintf("%s_eqloc", name), all...)
+		}
+	}
+	if gtIn != circuit.InvalidNode {
+		gtTerms = append(gtTerms, b.And(fmt.Sprintf("%s_gtc", name), eqLoc, gtIn))
+	}
+	if ltIn != circuit.InvalidNode {
+		ltTerms = append(ltTerms, b.And(fmt.Sprintf("%s_ltc", name), eqLoc, ltIn))
+	}
+	gt = b.Or(fmt.Sprintf("%s_gt", name), gtTerms...)
+	lt = b.Or(fmt.Sprintf("%s_lt", name), ltTerms...)
+	switch {
+	case eqIn != circuit.InvalidNode:
+		eq = b.And(fmt.Sprintf("%s_eq", name), eqLoc, eqIn)
+	case needEq:
+		eq = eqLoc
+	default:
+		eq = circuit.InvalidNode
+	}
+	return gt, eq, lt
+}
+
+// SN7485 returns a stand-alone 4-bit comparator slice with cascade
+// inputs GTIN/EQIN/LTIN and outputs GT/EQ/LT.
+func SN7485() *circuit.Circuit {
+	b := circuit.NewBuilder("sn7485")
+	a := b.InputBus("A", 4)
+	bv := b.InputBus("B", 4)
+	gtIn := b.Input("GTIN")
+	eqIn := b.Input("EQIN")
+	ltIn := b.Input("LTIN")
+	gt, eq, lt := comparatorSlice(b, "u0", a, bv, gtIn, eqIn, ltIn, true)
+	b.MarkOutputs(gt, eq, lt)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: sn7485: " + err.Error())
+	}
+	return c
+}
+
+// Comp24 returns "COMP": a 24-bit word comparator cascaded from 16
+// SN7485-style slices (Figure 7 of the paper), with 51 primary inputs
+// (A0..A23, B0..B23, TI1..TI3) and outputs GT, EQ, LT.
+//
+// Topology (a reconstruction; the paper's figure is not machine
+// readable): 12 leaf slices compare 2 bits each and expose (gt, lt,
+// eqLoc); the (gt, lt) pairs feed 3 second-level 4-bit slices as A/B
+// vectors (a leaf's gt bit exceeding its lt bit means "this pair
+// decided greater"), and a final 3-bit slice combines the second-level
+// results — 12 + 3 + 1 = 16 slices.  The word-equality rail ripples the
+// leaf eqLoc outputs through an AND cascade, exactly like the serial
+// SN7485 eq chain; the cascade inputs TI1 (gt), TI2 (eq), TI3 (lt) are
+// combined with that rail:
+//
+//	GT = gtTree ∨ (eqWords ∧ TI1)
+//	EQ = eqWords ∧ TI2
+//	LT = ltTree ∨ (eqWords ∧ TI3)
+//
+// Like the paper's COMP it is severely random-pattern resistant: the EQ
+// output requires all 24 bit pairs equal, an event of probability 2^-24
+// under uniform patterns — and, as in the original, the equality chain
+// is built from primary-input XNORs, so the probabilistic analysis sees
+// the resistance exactly.
+func Comp24() *circuit.Circuit {
+	b := circuit.NewBuilder("comp24")
+	a := b.InputBus("A", 24)
+	bv := b.InputBus("B", 24)
+	ti1 := b.Input("TI1") // gt cascade in
+	ti2 := b.Input("TI2") // eq cascade in
+	ti3 := b.Input("TI3") // lt cascade in
+	none := circuit.InvalidNode
+
+	// 12 leaves over bit pairs; leaf j covers bits (2j, 2j+1),
+	// leaf 11 is most significant.
+	gtL := make([]circuit.NodeID, 12)
+	ltL := make([]circuit.NodeID, 12)
+	eqL := make([]circuit.NodeID, 12)
+	for j := 0; j < 12; j++ {
+		av := []circuit.NodeID{a[2*j], a[2*j+1]}
+		bb := []circuit.NodeID{bv[2*j], bv[2*j+1]}
+		gt, eq, lt := comparatorSlice(b, fmt.Sprintf("l%d", j), av, bb, none, none, none, true)
+		gtL[j], ltL[j], eqL[j] = gt, lt, eq
+	}
+
+	// Second level: slice m covers leaves 4m..4m+3 (leaf gt bits as A,
+	// leaf lt bits as B).  Equal leaves give gt=lt=0, i.e. equal bits.
+	gtM := make([]circuit.NodeID, 3)
+	ltM := make([]circuit.NodeID, 3)
+	for mIdx := 0; mIdx < 3; mIdx++ {
+		av := gtL[4*mIdx : 4*mIdx+4]
+		bb := ltL[4*mIdx : 4*mIdx+4]
+		gt, _, lt := comparatorSlice(b, fmt.Sprintf("m%d", mIdx), av, bb, none, none, none, false)
+		gtM[mIdx], ltM[mIdx] = gt, lt
+	}
+
+	// Final slice over the 3 second-level results.
+	gtT, _, ltT := comparatorSlice(b, "f", gtM, ltM, none, none, none, false)
+
+	// Word-equality rail: serial AND cascade of the leaf eqLoc outputs.
+	eqWords := eqL[0]
+	for j := 1; j < 12; j++ {
+		eqWords = b.And(fmt.Sprintf("eqw%d", j), eqWords, eqL[j])
+	}
+
+	gtO := b.Or("GT", gtT, b.And("gt_cas", eqWords, ti1))
+	eqO := b.And("EQ", eqWords, ti2)
+	ltO := b.Or("LT", ltT, b.And("lt_cas", eqWords, ti3))
+	b.MarkOutputs(gtO, eqO, ltO)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: comp24: " + err.Error())
+	}
+	return c
+}
+
+// Comp24Reference computes the expected (gt, eq, lt) of Comp24 for
+// 24-bit words a and b and cascade inputs.
+func Comp24Reference(a, b uint32, ti1, ti2, ti3 bool) (gt, eq, lt bool) {
+	a &= 1<<24 - 1
+	b &= 1<<24 - 1
+	switch {
+	case a > b:
+		return true, false, false
+	case a < b:
+		return false, false, true
+	default:
+		return ti1, ti2, ti3
+	}
+}

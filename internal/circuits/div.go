@@ -1,0 +1,197 @@
+package circuits
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+)
+
+// Div16 returns "DIV": the combinational part of a 16-bit divider.  It
+// is a restoring array divider with a 16-bit divisor (32-bit dividend):
+// 16 rows, each shifting the partial remainder left by one dividend
+// bit, subtracting the divisor through a row of controlled-subtract
+// cells and selecting (multiplexing) the result on the row's sign.
+// Inputs (48): A0..A31 (dividend), B0..B15 (divisor); outputs:
+// Q0..Q15 (quotient).  The quotient is valid when A/B fits in 16 bits
+// (A[31:16] < B, the usual array-divider precondition); the circuit is
+// well defined for all inputs.
+//
+// Only the quotient is exposed — faults inside the array must
+// propagate through the borrow chains of the following rows, which
+// makes the circuit severely random-pattern resistant (the bulk of its
+// faults needs near-tie operand slices), exactly the behaviour Tables
+// 3 and 6 of the paper quantify.
+func Div16() *circuit.Circuit {
+	return DivN(16)
+}
+
+// sbit is a symbolic bit: either a circuit node or a known constant.
+// Constant folding keeps tie-off faults out of the generated netlist.
+type sbit struct {
+	node  circuit.NodeID
+	konst bool // valid when node == InvalidNode
+}
+
+func nodeBit(id circuit.NodeID) sbit { return sbit{node: id} }
+func constBit(v bool) sbit           { return sbit{node: circuit.InvalidNode, konst: v} }
+
+func (s sbit) isConst() bool { return s.node == circuit.InvalidNode }
+
+// symNot negates a symbolic bit.
+func symNot(b *circuit.Builder, label string, x sbit) sbit {
+	if x.isConst() {
+		return constBit(!x.konst)
+	}
+	return nodeBit(b.Not(label, x.node))
+}
+
+// symAnd2 and symOr2 fold constants.
+func symAnd2(b *circuit.Builder, label string, x, y sbit) sbit {
+	if x.isConst() {
+		if !x.konst {
+			return constBit(false)
+		}
+		return y
+	}
+	if y.isConst() {
+		if !y.konst {
+			return constBit(false)
+		}
+		return x
+	}
+	return nodeBit(b.And(label, x.node, y.node))
+}
+
+func symOr2(b *circuit.Builder, label string, x, y sbit) sbit {
+	if x.isConst() {
+		if x.konst {
+			return constBit(true)
+		}
+		return y
+	}
+	if y.isConst() {
+		if y.konst {
+			return constBit(true)
+		}
+		return x
+	}
+	return nodeBit(b.Or(label, x.node, y.node))
+}
+
+func symXor2(b *circuit.Builder, label string, x, y sbit) sbit {
+	if x.isConst() {
+		if x.konst {
+			return symNot(b, label, y)
+		}
+		return y
+	}
+	if y.isConst() {
+		if y.konst {
+			return symNot(b, label, x)
+		}
+		return x
+	}
+	return nodeBit(b.Xor(label, x.node, y.node))
+}
+
+// symFullAdder adds three symbolic bits.
+func symFullAdder(b *circuit.Builder, label string, x, y, cin sbit) (sum, cout sbit) {
+	xy := symXor2(b, label+"_ax", x, y)
+	sum = symXor2(b, label+"_s", xy, cin)
+	c1 := symAnd2(b, label+"_c1", x, y)
+	c2 := symAnd2(b, label+"_c2", xy, cin)
+	cout = symOr2(b, label+"_c", c1, c2)
+	return sum, cout
+}
+
+// symCarry builds only the carry of a full-adder cell (for columns
+// whose sum bit has no consumer).
+func symCarry(b *circuit.Builder, label string, x, y, cin sbit) sbit {
+	xy := symXor2(b, label+"_ax", x, y)
+	c1 := symAnd2(b, label+"_c1", x, y)
+	c2 := symAnd2(b, label+"_c2", xy, cin)
+	return symOr2(b, label+"_c", c1, c2)
+}
+
+// symMux2 selects t when sel=1, f when sel=0 (sel is a real node).
+func symMux2(b *circuit.Builder, label string, sel, nsel circuit.NodeID, t, f sbit) sbit {
+	tt := symAnd2(b, label+"_t", nodeBit(sel), t)
+	ff := symAnd2(b, label+"_f", nodeBit(nsel), f)
+	return symOr2(b, label, tt, ff)
+}
+
+// DivN builds a restoring array divider with a 2n-bit dividend and an
+// n-bit divisor (n rows of n+1 controlled-subtract columns).
+func DivN(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("circuits: divider needs n >= 2")
+	}
+	// Named by divisor width, matching the paper's "16 bit divider".
+	b := circuit.NewBuilder(fmt.Sprintf("div%d", n))
+	a := b.InputBus("A", 2*n)
+	bv := b.InputBus("B", n)
+
+	nb := make([]sbit, n)
+	for i := 0; i < n; i++ {
+		nb[i] = nodeBit(b.Not(fmt.Sprintf("nB%d", i), bv[i]))
+	}
+
+	// Partial remainder starts as the dividend's high half.
+	rem := make([]sbit, n)
+	for i := range rem {
+		rem[i] = nodeBit(a[n+i])
+	}
+	q := make([]circuit.NodeID, n)
+
+	for row := 0; row < n; row++ {
+		bit := n - 1 - row // dividend bit consumed this row
+		last := row == n-1
+		// shifted = rem << 1 | a[bit]; n+1 bits.
+		shifted := make([]sbit, n+1)
+		shifted[0] = nodeBit(a[bit])
+		for i := 0; i < n; i++ {
+			shifted[i+1] = rem[i]
+		}
+		// diff = shifted + ~B(n+1 bits) + 1; carry-out = 1 iff
+		// shifted >= B.  The extension column's addend is constant 1,
+		// so its carry is just shifted[n] ∨ cin, and its sum bit is
+		// never consumed (building it would create dead logic).  The
+		// last row needs only its quotient bit, so its sum bits are
+		// skipped too.
+		diff := make([]sbit, n)
+		carry := constBit(true)
+		for i := 0; i < n; i++ {
+			label := fmt.Sprintf("r%d_s%d", row, i)
+			if last {
+				carry = symCarry(b, label, shifted[i], nb[i], carry)
+			} else {
+				diff[i], carry = symFullAdder(b, label, shifted[i], nb[i], carry)
+			}
+		}
+		carry = symOr2(b, fmt.Sprintf("r%d_s%d_c", row, n), shifted[n], carry)
+		if carry.isConst() {
+			panic("circuits: divider internal: constant quotient bit")
+		}
+		qi := b.Buf(fmt.Sprintf("Q%d", bit), carry.node)
+		q[bit] = qi
+		if last {
+			break // no remainder consumer beyond this row
+		}
+		nqi := b.Not(fmt.Sprintf("r%d_nq", row), qi)
+		// rem = qi ? diff[0..n-1] : shifted[0..n-1].
+		for i := 0; i < n; i++ {
+			rem[i] = symMux2(b, fmt.Sprintf("r%d_m%d", row, i), qi, nqi, diff[i], shifted[i])
+		}
+	}
+
+	outs := make([]circuit.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		outs = append(outs, q[i])
+	}
+	b.MarkOutputs(outs...)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: divider: " + err.Error())
+	}
+	return c
+}

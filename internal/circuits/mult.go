@@ -1,0 +1,151 @@
+package circuits
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+)
+
+// Mult8 returns "MULT": the combinational datapath computing
+// F = A + B + C*D for 8-bit operands (the [Hart80] proposal the paper
+// instantiates with 1568 gate equivalents).  Structure:
+//
+//   - an 8×8 array multiplier (64 partial-product AND gates reduced by
+//     rows of carry-save adders) produces C*D (16 bits);
+//   - a ripple adder computes A + B (9 bits);
+//   - a final 16-bit ripple adder adds the two, giving the 17-bit
+//     result F0..F16.
+//
+// Inputs (32): A0..A7, B0..B7, C0..C7, D0..D7.
+func Mult8() *circuit.Circuit {
+	return multAdd("mult8", 8)
+}
+
+// MultN generalizes Mult8 to n-bit operands (used for scaling
+// experiments).
+func MultN(n int) *circuit.Circuit {
+	return multAdd(fmt.Sprintf("mult%d", n), n)
+}
+
+func multAdd(name string, n int) *circuit.Circuit {
+	if n < 2 {
+		panic("circuits: multiplier needs n >= 2")
+	}
+	b := circuit.NewBuilder(name)
+	a := b.InputBus("A", n)
+	bb := b.InputBus("B", n)
+	cc := b.InputBus("C", n)
+	dd := b.InputBus("D", n)
+
+	prod := arrayMultiplier(b, cc, dd) // 2n bits
+
+	// A + B: ripple adder without carry-in, n+1 bits.
+	abSum := make([]circuit.NodeID, n+1)
+	{
+		var carry circuit.NodeID
+		s0, c0 := halfAdder(b, "ab0", a[0], bb[0])
+		abSum[0] = s0
+		carry = c0
+		for i := 1; i < n; i++ {
+			abSum[i], carry = fullAdder(b, fmt.Sprintf("ab%d", i), a[i], bb[i], carry)
+		}
+		abSum[n] = b.Buf("ab_cout", carry)
+	}
+
+	// prod + (A+B): 2n-bit ripple adder; the shorter operand is
+	// implicitly zero-extended (half adders beyond its width).
+	f := make([]circuit.NodeID, 2*n+1)
+	var carry circuit.NodeID
+	{
+		s0, c0 := halfAdder(b, "f0", prod[0], abSum[0])
+		f[0] = s0
+		carry = c0
+		for i := 1; i < 2*n; i++ {
+			if i < len(abSum) {
+				f[i], carry = fullAdder(b, fmt.Sprintf("f%d", i), prod[i], abSum[i], carry)
+			} else {
+				// Only the product contributes; add the carry.
+				s, c2 := halfAdder(b, fmt.Sprintf("f%d", i), prod[i], carry)
+				f[i], carry = s, c2
+			}
+		}
+		f[2*n] = b.Buf("f_cout", carry)
+	}
+
+	outs := make([]circuit.NodeID, 0, 2*n+1)
+	for i, fi := range f {
+		outs = append(outs, b.Buf(fmt.Sprintf("F%d", i), fi))
+	}
+	b.MarkOutputs(outs...)
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: " + name + ": " + err.Error())
+	}
+	return c
+}
+
+// arrayMultiplier builds an unsigned array multiplier over the operand
+// buses and returns the 2n product bits.
+func arrayMultiplier(b *circuit.Builder, x, y []circuit.NodeID) []circuit.NodeID {
+	n := len(x)
+	if n != len(y) {
+		panic("circuits: multiplier operand mismatch")
+	}
+	// Partial products pp[i][j] = x_j AND y_i, weight i+j.
+	pp := make([][]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]circuit.NodeID, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = b.And(fmt.Sprintf("pp%d_%d", i, j), x[j], y[i])
+		}
+	}
+	// Row-by-row accumulation by absolute weight: acc[w] holds the
+	// current partial-sum bit of weight w (InvalidNode when empty).
+	acc := make([]circuit.NodeID, 2*n)
+	for w := range acc {
+		acc[w] = circuit.InvalidNode
+	}
+	copy(acc, pp[0])
+	for i := 1; i < n; i++ {
+		carry := circuit.InvalidNode
+		for j := 0; j < n; j++ {
+			w := i + j
+			label := fmt.Sprintf("m%d_%d", i, j)
+			acc[w], carry = addInto(b, label, acc[w], pp[i][j], carry)
+		}
+		// Ripple the row's final carry upward.
+		for w := i + n; carry != circuit.InvalidNode; w++ {
+			label := fmt.Sprintf("m%d_c%d", i, w)
+			acc[w], carry = addInto(b, label, acc[w], carry, circuit.InvalidNode)
+		}
+	}
+	for w, bit := range acc {
+		if bit == circuit.InvalidNode {
+			panic(fmt.Sprintf("circuits: multiplier internal: missing product bit %d", w))
+		}
+	}
+	return acc
+}
+
+// addInto sums up to three optional bits (InvalidNode = absent) into a
+// (sum, carry) pair, instantiating a half or full adder as needed.
+func addInto(b *circuit.Builder, label string, bits ...circuit.NodeID) (sum, carry circuit.NodeID) {
+	var present []circuit.NodeID
+	for _, bit := range bits {
+		if bit != circuit.InvalidNode {
+			present = append(present, bit)
+		}
+	}
+	switch len(present) {
+	case 0:
+		return circuit.InvalidNode, circuit.InvalidNode
+	case 1:
+		return present[0], circuit.InvalidNode
+	case 2:
+		s, c := halfAdder(b, label, present[0], present[1])
+		return s, c
+	default:
+		s, c := fullAdder(b, label, present[0], present[1], present[2])
+		return s, c
+	}
+}

@@ -1,0 +1,214 @@
+// Package core implements PROTEST's probabilistic testability analysis:
+// estimation of signal probabilities with reconvergent-fanout correction
+// via joining points (section 2 of the paper), observability estimation
+// through the signal-flow model (section 3), and per-fault detection
+// probabilities for the single stuck-at model.
+//
+// The estimation works with nearly linear effort, as the exact problem
+// is NP-hard [Wu84].  Accuracy is controlled by the two parameters the
+// paper names MAXVERS (how many joining points are conditioned per
+// gate) and MAXLIST (how far joining points are searched).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/logic"
+)
+
+// ObsModel selects how fan-out branch observabilities combine into the
+// stem observability s(x).
+type ObsModel int
+
+const (
+	// ObsXorTree folds branch observabilities with t ⊞ y = t+y-2ty,
+	// the paper's default model (odd number of sensitized paths).
+	// Note the model's known artifact, the source of the systematic
+	// under-estimation the paper reports: branches whose effects reach
+	// *different* outputs are still treated as potentially cancelling,
+	// so two branches with observability ≈1 combine to ≈0 even though
+	// disjoint observation paths cannot cancel physically.
+	ObsXorTree ObsModel = iota
+	// ObsOr uses s(x) = 1 - Π(1-s(x_i)), the paper's alternative model
+	// for circuits with a large number of primary outputs.  It never
+	// under-estimates a stem below its best branch and therefore never
+	// produces the spurious zeros ObsXorTree can.
+	ObsOr
+)
+
+// Params tunes the estimation effort.
+type Params struct {
+	// MaxVers is the maximal number of joining points conditioned per
+	// gate (the cardinality bound on W ⊆ V).  0 disables reconvergence
+	// correction entirely (pure independence model).
+	MaxVers int
+	// MaxList bounds the path length along which joining points are
+	// searched (depth of the per-pin fanin cones).
+	MaxList int
+	// MaxCandidates bounds how many joining-point candidates are scored
+	// per gate; the closest candidates (BFS order) are preferred.
+	MaxCandidates int
+	// MaxConeSize bounds the size of the per-gate conditioning cone.
+	MaxConeSize int
+	// ObsModel selects the stem-combination model.
+	ObsModel ObsModel
+	// PaperLocalDiff uses the paper's ⊞-cofactor approximation
+	// f(..0..) ⊞ f(..1..) for pin sensitization instead of the exact
+	// boolean-difference probability.
+	PaperLocalDiff bool
+}
+
+// DefaultParams returns the setting used for the experiments in this
+// repository: MAXVERS=4, MAXLIST=8.
+func DefaultParams() Params {
+	return Params{
+		MaxVers:       4,
+		MaxList:       8,
+		MaxCandidates: 12,
+		MaxConeSize:   192,
+		ObsModel:      ObsXorTree,
+	}
+}
+
+// FastParams is a cheaper setting for inner optimization loops.
+func FastParams() Params {
+	return Params{
+		MaxVers:       2,
+		MaxList:       4,
+		MaxCandidates: 6,
+		MaxConeSize:   64,
+		ObsModel:      ObsXorTree,
+	}
+}
+
+func (p Params) validate() error {
+	if p.MaxVers < 0 || p.MaxVers > 16 {
+		return fmt.Errorf("core: MaxVers %d out of range [0,16]", p.MaxVers)
+	}
+	if p.MaxList < 0 {
+		return fmt.Errorf("core: MaxList %d negative", p.MaxList)
+	}
+	if p.MaxCandidates < p.MaxVers {
+		return fmt.Errorf("core: MaxCandidates %d < MaxVers %d", p.MaxCandidates, p.MaxVers)
+	}
+	return nil
+}
+
+// Analysis holds the result of one probabilistic analysis run.
+type Analysis struct {
+	C          *circuit.Circuit
+	Params     Params
+	InputProbs []float64 // per primary input, by input position
+	// Prob is the estimated signal probability of every node.
+	Prob []float64
+	// Obs is the estimated observability s(x) of every node output.
+	Obs []float64
+	// PinObs[g][i] is the estimated observability of gate g's input pin
+	// i; nil for primary inputs.
+	PinObs [][]float64
+}
+
+// Analyzer precomputes the static conditioning plan for one circuit so
+// that repeated analyses (as in the input-probability optimizer) do not
+// re-derive cones and joining points every time.
+type Analyzer struct {
+	c      *circuit.Circuit
+	params Params
+	plans  []gatePlan
+
+	// scratch for conditional propagation
+	val []float64
+	gen []uint32
+	cur uint32
+}
+
+// NewAnalyzer builds the analysis plan.
+func NewAnalyzer(c *circuit.Circuit, params Params) (*Analyzer, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		c:      c,
+		params: params,
+		val:    make([]float64, c.NumNodes()),
+		gen:    make([]uint32, c.NumNodes()),
+	}
+	a.buildPlans()
+	return a, nil
+}
+
+// Circuit returns the planned circuit.
+func (a *Analyzer) Circuit() *circuit.Circuit { return a.c }
+
+// Run estimates signal probabilities and observabilities for the given
+// per-input signal probabilities.
+func (a *Analyzer) Run(inputProbs []float64) (*Analysis, error) {
+	c := a.c
+	if len(inputProbs) != len(c.Inputs) {
+		return nil, fmt.Errorf("core: %d input probabilities for %d inputs", len(inputProbs), len(c.Inputs))
+	}
+	for i, p := range inputProbs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("core: input %d probability %v out of [0,1]", i, p)
+		}
+	}
+	res := &Analysis{
+		C:          c,
+		Params:     a.params,
+		InputProbs: append([]float64(nil), inputProbs...),
+		Prob:       make([]float64, c.NumNodes()),
+		Obs:        make([]float64, c.NumNodes()),
+		PinObs:     make([][]float64, c.NumNodes()),
+	}
+	a.signalPass(res)
+	a.observePass(res)
+	return res, nil
+}
+
+// Analyze is the one-shot convenience form of NewAnalyzer + Run.
+func Analyze(c *circuit.Circuit, inputProbs []float64, params Params) (*Analysis, error) {
+	an, err := NewAnalyzer(c, params)
+	if err != nil {
+		return nil, err
+	}
+	return an.Run(inputProbs)
+}
+
+// UniformProbs returns the conventional tuple p_i = 0.5 for every input.
+func UniformProbs(c *circuit.Circuit) []float64 {
+	ps := make([]float64, len(c.Inputs))
+	for i := range ps {
+		ps[i] = 0.5
+	}
+	return ps
+}
+
+// DetectProb estimates the detection probability of one stuck-at fault:
+// the probability the faulty line carries the value opposite to the
+// stuck value times the probability the fault site is observed.
+func (r *Analysis) DetectProb(f fault.Fault) float64 {
+	site := f.Site(r.C)
+	ctrl := r.Prob[site]
+	var obs float64
+	if f.IsStem() {
+		obs = r.Obs[f.Gate]
+	} else {
+		obs = r.PinObs[f.Gate][f.Pin]
+	}
+	if f.StuckAt {
+		return logic.Clamp01((1 - ctrl) * obs)
+	}
+	return logic.Clamp01(ctrl * obs)
+}
+
+// DetectProbs evaluates DetectProb over a fault list.
+func (r *Analysis) DetectProbs(fs []fault.Fault) []float64 {
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = r.DetectProb(f)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"protest/internal/circuits"
+	"protest/internal/fault"
+)
+
+func TestExactProbsAnd(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+`, "and")
+	probs, err := ExactProbs(c, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.ByName("y")
+	if math.Abs(probs[y]-0.125) > 1e-12 {
+		t.Errorf("exact p(y) = %v", probs[y])
+	}
+}
+
+// Weighted enumeration must reproduce the input probabilities at the
+// inputs themselves.
+func TestExactProbsInputs(t *testing.T) {
+	c := circuits.C17()
+	in := []float64{0.1, 0.9, 0.3, 0.6, 0.5}
+	probs, err := ExactProbs(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range c.Inputs {
+		if math.Abs(probs[id]-in[i]) > 1e-12 {
+			t.Errorf("input %d: %v want %v", i, probs[id], in[i])
+		}
+	}
+}
+
+// Property: pattern weights sum to 1 for random probability tuples.
+func TestPatternWeightsSumToOne(t *testing.T) {
+	f := func(raw [4]uint8) bool {
+		probs := make([]float64, 4)
+		for i, r := range raw {
+			probs[i] = float64(r) / 255
+		}
+		ws := patternWeights(probs)
+		sum := 0.0
+		for _, w := range ws {
+			sum += w
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactProbsRefusesHuge(t *testing.T) {
+	c := circuits.Comp24() // 51 inputs
+	if _, err := ExactProbs(c, UniformProbs(c)); err == nil {
+		t.Error("51 inputs must be refused")
+	}
+	if _, err := ExactDetectProbs(c, fault.Collapse(c), UniformProbs(c)); err == nil {
+		t.Error("51 inputs must be refused for detection too")
+	}
+}
+
+func TestExactProbsLengthValidation(t *testing.T) {
+	c := circuits.C17()
+	if _, err := ExactProbs(c, []float64{0.5}); err == nil {
+		t.Error("wrong tuple size must be refused")
+	}
+}
+
+// ExactDetectProbs with uniform inputs equals exhaustive detection
+// counts / 2^n.
+func TestExactDetectMatchesCounts(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Collapse(c)
+	probs, err := ExactDetectProbs(c, faults, UniformProbs(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probs {
+		scaled := p * 32
+		if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+			t.Errorf("fault %d: %v is not a multiple of 1/32", i, p)
+		}
+		if p <= 0 {
+			t.Errorf("fault %d undetectable in fully testable c17", i)
+		}
+	}
+}
+
+// Weighted detection: a fault needing input a=1 has detection
+// probability scaling with p(a).
+func TestExactDetectWeighted(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = BUF(a)
+`, "wire")
+	a, _ := c.ByName("a")
+	f := []fault.Fault{{Gate: a, Pin: fault.StemPin, StuckAt: false}}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		got, err := ExactDetectProbs(c, f, []float64{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[0]-p) > 1e-12 {
+			t.Errorf("p=%v: detect %v", p, got[0])
+		}
+	}
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	c := circuits.C17()
+	probs := UniformProbs(c)
+	exact, err := ExactProbs(c, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarloProbs(c, probs, 64*4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range exact {
+		if math.Abs(mc[id]-exact[id]) > 0.02 {
+			t.Errorf("node %d: MC %v exact %v", id, mc[id], exact[id])
+		}
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	c := circuits.C17()
+	if _, err := MonteCarloProbs(c, []float64{2, 0, 0, 0, 0}, 64, 1); err == nil {
+		t.Error("invalid probability must be refused")
+	}
+	if _, err := MonteCarloProbs(c, []float64{0.5}, 64, 1); err == nil {
+		t.Error("wrong tuple size must be refused")
+	}
+}

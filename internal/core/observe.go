@@ -1,0 +1,106 @@
+package core
+
+import (
+	"protest/internal/circuit"
+	"protest/internal/logic"
+)
+
+// observePass implements section 3 of the paper: the signal-flow model
+// of path sensitization.  In reverse topological order each node's
+// observability s(x) — the probability a change at x reaches a primary
+// output — is estimated:
+//
+//   - a primary output contributes a branch of observability 1;
+//   - fan-out branches combine with t ⊞ y = t+y-2ty (ObsXorTree) or
+//     with 1-Π(1-s) (ObsOr);
+//   - a gate input pin e_i sees s(e_i) = s(x)·Pr[∂f/∂e_i], the gate
+//     output observability damped by the local sensitization
+//     probability of the pin.
+func (a *Analyzer) observePass(res *Analysis) {
+	c := a.c
+	order := c.TopoOrder()
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.IsInput {
+			res.PinObs[i] = make([]float64, len(n.Fanin))
+		}
+	}
+	var branches []float64
+	var faninProbs []float64
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		id := order[oi]
+		n := c.Node(id)
+
+		// Stem observability from output flag and fanout branches.
+		branches = branches[:0]
+		if n.IsOutput {
+			branches = append(branches, 1)
+		}
+		for fi, g := range n.Fanout {
+			if duplicateBefore(n.Fanout, fi) {
+				continue // handle multi-pin successors once
+			}
+			for _, pin := range c.PinIndex(g, id) {
+				branches = append(branches, res.PinObs[g][pin])
+			}
+		}
+		var s float64
+		switch a.params.ObsModel {
+		case ObsOr:
+			s = logic.OrProb(branches)
+		default:
+			s = logic.XorProbN(branches)
+		}
+		res.Obs[id] = logic.Clamp01(s)
+
+		if n.IsInput {
+			continue
+		}
+		// Pin observabilities.
+		faninProbs = faninProbs[:0]
+		for _, f := range n.Fanin {
+			faninProbs = append(faninProbs, res.Prob[f])
+		}
+		for pin := range n.Fanin {
+			local := a.localDiff(n, faninProbs, pin)
+			res.PinObs[id][pin] = logic.Clamp01(s * local)
+		}
+	}
+}
+
+// localDiff is the local sensitization probability Pr[∂f/∂e_i] of pin i,
+// either exact over the gate's truth table or the paper's
+// f(..0..) ⊞ f(..1..) approximation.
+func (a *Analyzer) localDiff(n *circuit.Node, faninProbs []float64, pin int) float64 {
+	if n.Op == logic.TableOp {
+		if a.params.PaperLocalDiff {
+			f0 := probWithPinned(n, faninProbs, pin, 0)
+			f1 := probWithPinned(n, faninProbs, pin, 1)
+			return logic.XorProb(f0, f1)
+		}
+		return n.Table.DiffProb(faninProbs, pin)
+	}
+	if a.params.PaperLocalDiff {
+		return logic.DiffProbPaper(n.Op, faninProbs, pin)
+	}
+	return logic.DiffProb(n.Op, faninProbs, pin)
+}
+
+func probWithPinned(n *circuit.Node, probs []float64, pin int, v float64) float64 {
+	tmp := make([]float64, len(probs))
+	copy(tmp, probs)
+	tmp[pin] = v
+	return n.Table.Prob(tmp)
+}
+
+// duplicateBefore reports whether fanout[fi] already occurred earlier in
+// the list (fanout entries repeat when a node feeds several pins of the
+// same gate).
+func duplicateBefore(fanout []circuit.NodeID, fi int) bool {
+	for j := 0; j < fi; j++ {
+		if fanout[j] == fanout[fi] {
+			return true
+		}
+	}
+	return false
+}

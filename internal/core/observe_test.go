@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/stats"
+)
+
+// Single AND gate: obs(a) = p(b), detection probabilities match the
+// exact values.
+func TestObservabilityAndGate(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+`, "and")
+	res, err := Analyze(c, []float64{0.5, 0.25}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.ByName("a")
+	b, _ := c.ByName("b")
+	y, _ := c.ByName("y")
+	if res.Obs[y] != 1 {
+		t.Errorf("obs(y) = %v, want 1 (primary output)", res.Obs[y])
+	}
+	if math.Abs(res.Obs[a]-0.25) > 1e-12 {
+		t.Errorf("obs(a) = %v, want 0.25", res.Obs[a])
+	}
+	if math.Abs(res.Obs[b]-0.5) > 1e-12 {
+		t.Errorf("obs(b) = %v, want 0.5", res.Obs[b])
+	}
+}
+
+// Detection probabilities of all c17 faults must match the exact values
+// reasonably and correlate almost perfectly.
+func TestDetectProbsC17(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Collapse(c)
+	probs := UniformProbs(c)
+	res, err := Analyze(c, probs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.DetectProbs(faults)
+	exact, err := ExactDetectProbs(c, faults, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's >0.9 correlation claim is for circuits with hundreds
+	// of faults (validated in the Table 1 experiment on the ALU); on
+	// the 28 clustered faults of c17 the signal-flow model's
+	// multiple-path blindness costs more, so the bar is lower here.
+	sum := stats.Summarize(est, exact)
+	if sum.Corr < 0.75 {
+		t.Errorf("correlation %v < 0.75 on c17; summary %v", sum.Corr, sum)
+	}
+	if sum.AvgErr > 0.12 {
+		t.Errorf("average error %v too large; summary %v", sum.AvgErr, sum)
+	}
+	// The paper observes systematic under-estimation (P_SIM > P_PROT).
+	if sum.Bias < 0 {
+		t.Errorf("expected under-estimation bias, got %v", sum.Bias)
+	}
+	for i, f := range faults {
+		if est[i] < 0 || est[i] > 1 {
+			t.Fatalf("fault %v: estimate %v out of range", f.Name(c), est[i])
+		}
+	}
+}
+
+// For an inverter chain every fault is detected with probability 1
+// under any input probability strictly inside (0,1)?  No — detection
+// needs the right value at the site: p or 1-p.  Check the exact values.
+func TestDetectProbInverterChain(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+`, "inv")
+	res, err := Analyze(c, []float64{0.3}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.ByName("a")
+	f0 := fault.Fault{Gate: a, Pin: fault.StemPin, StuckAt: false}
+	f1 := fault.Fault{Gate: a, Pin: fault.StemPin, StuckAt: true}
+	if got := res.DetectProb(f0); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("a/sa0 detect = %v, want 0.3", got)
+	}
+	if got := res.DetectProb(f1); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("a/sa1 detect = %v, want 0.7", got)
+	}
+}
+
+// ObsOr vs ObsXorTree: on a tree (no fanout) they coincide; with fanout
+// the OR model dominates the XOR-tree model.
+func TestObsModels(t *testing.T) {
+	c := mustParse(t, `
+INPUT(s)
+INPUT(u)
+INPUT(v)
+OUTPUT(y)
+OUTPUT(z)
+y = AND(s, u)
+z = AND(s, v)
+`, "fan")
+	pXor := DefaultParams()
+	pOr := DefaultParams()
+	pOr.ObsModel = ObsOr
+	probs := []float64{0.5, 0.5, 0.5}
+	rXor, err := Analyze(c, probs, pXor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOr, err := Analyze(c, probs, pOr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.ByName("s")
+	// XOR-tree: 0.5 ⊞ 0.5 = 0.5; OR: 1 - 0.25 = 0.75.
+	if math.Abs(rXor.Obs[s]-0.5) > 1e-12 {
+		t.Errorf("xor-tree obs(s) = %v, want 0.5", rXor.Obs[s])
+	}
+	if math.Abs(rOr.Obs[s]-0.75) > 1e-12 {
+		t.Errorf("or obs(s) = %v, want 0.75", rOr.Obs[s])
+	}
+	u, _ := c.ByName("u")
+	if math.Abs(rXor.Obs[u]-0.5) > 1e-12 {
+		t.Errorf("obs(u) = %v, want 0.5", rXor.Obs[u])
+	}
+}
+
+// The paper's local ⊞ approximation differs from the exact boolean
+// difference on gates where the cofactors are correlated, e.g. OR2 at
+// high input probability, but must stay within [0,1] and close enough.
+func TestPaperLocalDiffMode(t *testing.T) {
+	c := circuits.C17()
+	probs := UniformProbs(c)
+	exact := DefaultParams()
+	paper := DefaultParams()
+	paper.PaperLocalDiff = true
+	rExact, err := Analyze(c, probs, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPaper, err := Analyze(c, probs, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range rPaper.Obs {
+		if rPaper.Obs[id] < 0 || rPaper.Obs[id] > 1 {
+			t.Fatalf("paper obs out of range: %v", rPaper.Obs[id])
+		}
+	}
+	// They should be close on c17 (NAND2s: the approximation is exact
+	// for the zero cofactor).
+	for id := range rExact.Obs {
+		if math.Abs(rExact.Obs[id]-rPaper.Obs[id]) > 0.25 {
+			t.Errorf("node %d: exact %v paper %v", id, rExact.Obs[id], rPaper.Obs[id])
+		}
+	}
+}
+
+// Single-path estimator: on a fanout-free chain there is exactly one
+// path, so P(single path) == P(path sensitized) == Obs.
+func TestSinglePathOnChain(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+INPUT(cc)
+OUTPUT(y)
+n = AND(a, b)
+y = OR(n, cc)
+`, "chain")
+	res, err := Analyze(c, []float64{0.5, 0.5, 0.25}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.ByName("a")
+	sp := res.SinglePathObs(a, DefaultSinglePathOptions())
+	if math.Abs(sp-res.Obs[a]) > 1e-12 {
+		t.Errorf("single-path %v != obs %v on a chain", sp, res.Obs[a])
+	}
+}
+
+// Single-path detection probability never exceeds... actually it can
+// exceed the ⊞ estimate, but both must be within [0,1]; on c17 it is a
+// valid lower-ish estimate that correlates with the exact values.
+func TestSinglePathDetectC17(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Collapse(c)
+	probs := UniformProbs(c)
+	res, err := Analyze(c, probs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactDetectProbs(c, faults, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultSinglePathOptions()
+	est := make([]float64, len(faults))
+	for i, f := range faults {
+		est[i] = res.SinglePathDetectProb(f, opt)
+		if est[i] < 0 || est[i] > 1 {
+			t.Fatalf("fault %v single-path estimate %v", f.Name(c), est[i])
+		}
+	}
+	if corr := stats.Correlation(est, exact); corr < 0.7 {
+		t.Errorf("single-path correlation %v < 0.7", corr)
+	}
+}
+
+// Undetectable fault (tautology): estimated detection probability must
+// be 0 for the stem s-a-1.
+func TestUndetectableEstimatedZero(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+na = NOT(a)
+y = OR(a, na)
+`, "taut")
+	res, err := Analyze(c, []float64{0.5}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.ByName("y")
+	f := fault.Fault{Gate: y, Pin: fault.StemPin, StuckAt: true}
+	// p(y) should be estimated as 1 (conditioning recovers the
+	// tautology), so sa1 detection = (1-p)*obs = 0.
+	if got := res.DetectProb(f); math.Abs(got) > 1e-9 {
+		t.Errorf("tautology sa1 estimate %v, want 0", got)
+	}
+}

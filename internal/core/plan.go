@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sort"
+
+	"protest/internal/circuit"
+)
+
+// gatePlan is the static part of the reconvergence analysis of one gate:
+// its bounded conditioning cone and the joining-point candidates found
+// inside it.  Probabilities change between runs; the plan does not.
+type gatePlan struct {
+	// candidates are the joining-point candidates V (bounded subset),
+	// ordered by BFS distance (closest first).
+	candidates []circuit.NodeID
+	// cone lists the nodes of the union of the per-pin fanin cones in
+	// topological (ascending ID) order; conditional propagation
+	// re-evaluates exactly these nodes.
+	cone []circuit.NodeID
+}
+
+// buildPlans derives a gatePlan for every multi-input gate whose pins'
+// cones intersect (the only places where the independence assumption of
+// case 3 of the paper breaks).
+func (a *Analyzer) buildPlans() {
+	c := a.c
+	a.plans = make([]gatePlan, c.NumNodes())
+	if a.params.MaxVers == 0 || a.params.MaxList == 0 {
+		return
+	}
+	// pinMask[k] = bitmask of this gate's pins whose cone contains k.
+	pinMask := make(map[circuit.NodeID]uint64)
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if n.IsInput || len(n.Fanin) < 2 {
+			continue
+		}
+		a.planGate(circuit.NodeID(id), pinMask)
+	}
+}
+
+func (a *Analyzer) planGate(g circuit.NodeID, pinMask map[circuit.NodeID]uint64) {
+	c := a.c
+	n := c.Node(g)
+	clear(pinMask)
+	npins := len(n.Fanin)
+	if npins > 64 {
+		npins = 64
+	}
+
+	// Bounded BFS from every pin; remember BFS discovery order so that
+	// candidate preference goes to close joining points.
+	var bfsOrder []circuit.NodeID
+	for pin := 0; pin < npins; pin++ {
+		f := n.Fanin[pin]
+		bit := uint64(1) << pin
+		type item struct {
+			id    circuit.NodeID
+			depth int
+		}
+		queue := []item{{f, 0}}
+		if pinMask[f] == 0 {
+			bfsOrder = append(bfsOrder, f)
+		}
+		pinMask[f] |= bit
+		for len(queue) > 0 && len(pinMask) < a.params.MaxConeSize {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.depth >= a.params.MaxList {
+				continue
+			}
+			for _, anc := range c.Node(cur.id).Fanin {
+				if pinMask[anc]&bit != 0 {
+					continue
+				}
+				if pinMask[anc] == 0 {
+					bfsOrder = append(bfsOrder, anc)
+				}
+				pinMask[anc] |= bit
+				queue = append(queue, item{anc, cur.depth + 1})
+			}
+		}
+	}
+
+	// Reconvergence exists only if some node sits in >= 2 pin cones.
+	shared := false
+	for _, m := range pinMask {
+		if m&(m-1) != 0 {
+			shared = true
+			break
+		}
+	}
+	// Repeated fanin (same node on two pins) is reconvergence too.
+	repeated := make(map[circuit.NodeID]bool)
+	for pin := 0; pin < npins; pin++ {
+		f := n.Fanin[pin]
+		for q := pin + 1; q < npins; q++ {
+			if n.Fanin[q] == f {
+				repeated[f] = true
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		return
+	}
+
+	// Candidate test: a node k is a joining point if two distinct
+	// outgoing edges of k lead toward two distinct pins.  Edges to the
+	// gate itself count as "toward pin i" when k is fanin i.
+	var candidates []circuit.NodeID
+	for _, k := range bfsOrder {
+		if repeated[k] {
+			candidates = append(candidates, k)
+			continue
+		}
+		kn := c.Node(k)
+		if len(kn.Fanout) < 2 {
+			continue
+		}
+		// Collect the pin masks reachable through each successor.
+		var masks []uint64
+		for _, s := range kn.Fanout {
+			m := uint64(0)
+			if s == g {
+				for pin := 0; pin < npins; pin++ {
+					if n.Fanin[pin] == k {
+						m |= 1 << pin
+					}
+				}
+			} else {
+				m = pinMask[s]
+			}
+			if m != 0 {
+				masks = append(masks, m)
+			}
+		}
+		if qualifies(masks) {
+			candidates = append(candidates, k)
+		}
+		if len(candidates) >= a.params.MaxCandidates {
+			break
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	if len(candidates) > a.params.MaxCandidates {
+		candidates = candidates[:a.params.MaxCandidates]
+	}
+
+	cone := make([]circuit.NodeID, 0, len(pinMask))
+	for k := range pinMask {
+		cone = append(cone, k)
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	a.plans[g] = gatePlan{candidates: candidates, cone: cone}
+}
+
+// qualifies reports whether two distinct outgoing edges cover two
+// distinct pins: either one edge reaches >= 2 pins together with any
+// other nonzero edge, or two edges reach different pins.
+func qualifies(masks []uint64) bool {
+	for i := 0; i < len(masks); i++ {
+		for j := i + 1; j < len(masks); j++ {
+			u := masks[i] | masks[j]
+			if u&(u-1) != 0 { // >= 2 bits
+				return true
+			}
+		}
+	}
+	return false
+}

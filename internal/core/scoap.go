@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/logic"
+)
+
+// Scoap holds SCOAP-style combinational testability measures.  The
+// paper cites Agrawal/Mercer's finding [AgMe82] that detection
+// probabilities derived from SCOAP correlate only ~0.4 with simulated
+// values; this implementation provides that baseline for the Table 1
+// experiment.
+type Scoap struct {
+	C *circuit.Circuit
+	// CC0, CC1 are the combinational 0-/1-controllabilities per node.
+	CC0, CC1 []int
+	// CO is the combinational observability per node (stem).
+	CO []int
+	// PinCO is the observability per gate input pin.
+	PinCO [][]int
+}
+
+const scoapInf = math.MaxInt32 / 4
+
+// ComputeScoap derives the classic SCOAP measures.
+func ComputeScoap(c *circuit.Circuit) *Scoap {
+	s := &Scoap{
+		C:     c,
+		CC0:   make([]int, c.NumNodes()),
+		CC1:   make([]int, c.NumNodes()),
+		CO:    make([]int, c.NumNodes()),
+		PinCO: make([][]int, c.NumNodes()),
+	}
+	// Controllability: forward pass.
+	for _, id := range c.TopoOrder() {
+		n := c.Node(id)
+		if n.IsInput {
+			s.CC0[id], s.CC1[id] = 1, 1
+			continue
+		}
+		s.CC0[id], s.CC1[id] = s.gateControllability(n)
+	}
+	// Observability: backward pass.
+	order := c.TopoOrder()
+	for i := range c.Nodes {
+		if n := &c.Nodes[i]; !n.IsInput {
+			s.PinCO[i] = make([]int, len(n.Fanin))
+		}
+	}
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		id := order[oi]
+		n := c.Node(id)
+		co := scoapInf
+		if n.IsOutput {
+			co = 0
+		}
+		for fi, g := range n.Fanout {
+			if duplicateBefore(n.Fanout, fi) {
+				continue
+			}
+			for _, pin := range c.PinIndex(g, id) {
+				if v := s.PinCO[g][pin]; v < co {
+					co = v
+				}
+			}
+		}
+		s.CO[id] = co
+		if n.IsInput {
+			continue
+		}
+		for pin := range n.Fanin {
+			s.PinCO[id][pin] = capAdd(co, s.pinSensitizationCost(n, pin)+1)
+		}
+	}
+	return s
+}
+
+// gateControllability computes (CC0, CC1) of a gate from its fanins.
+func (s *Scoap) gateControllability(n *circuit.Node) (cc0, cc1 int) {
+	sum := func(cs []int) int {
+		t := 0
+		for _, v := range cs {
+			t = capAdd(t, v)
+		}
+		return t
+	}
+	minOf := func(cs []int) int {
+		m := scoapInf
+		for _, v := range cs {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	f0 := make([]int, len(n.Fanin))
+	f1 := make([]int, len(n.Fanin))
+	for i, f := range n.Fanin {
+		f0[i], f1[i] = s.CC0[f], s.CC1[f]
+	}
+	switch n.Op {
+	case logic.Buf:
+		return f0[0] + 1, f1[0] + 1
+	case logic.Not:
+		return f1[0] + 1, f0[0] + 1
+	case logic.And:
+		return minOf(f0) + 1, capAdd(sum(f1), 1)
+	case logic.Nand:
+		return capAdd(sum(f1), 1), minOf(f0) + 1
+	case logic.Or:
+		return capAdd(sum(f0), 1), minOf(f1) + 1
+	case logic.Nor:
+		return minOf(f1) + 1, capAdd(sum(f0), 1)
+	case logic.Const0:
+		return 1, scoapInf
+	case logic.Const1:
+		return scoapInf, 1
+	case logic.Xor, logic.Xnor, logic.TableOp:
+		return s.tableControllability(n, f0, f1)
+	}
+	return scoapInf, scoapInf
+}
+
+// tableControllability handles XOR/XNOR/arbitrary functions by
+// enumerating the gate's truth table: the cost of a value v is the
+// cheapest input assignment producing v.
+func (s *Scoap) tableControllability(n *circuit.Node, f0, f1 []int) (cc0, cc1 int) {
+	k := len(n.Fanin)
+	if k > 16 {
+		return scoapInf, scoapInf
+	}
+	eval := func(r int) bool {
+		if n.Op == logic.TableOp {
+			return n.Table.Get(r)
+		}
+		in := make([]bool, k)
+		for i := 0; i < k; i++ {
+			in[i] = r>>i&1 == 1
+		}
+		return logic.Eval(n.Op, in)
+	}
+	cc0, cc1 = scoapInf, scoapInf
+	for r := 0; r < 1<<k; r++ {
+		cost := 1
+		for i := 0; i < k; i++ {
+			if r>>i&1 == 1 {
+				cost = capAdd(cost, f1[i])
+			} else {
+				cost = capAdd(cost, f0[i])
+			}
+		}
+		if eval(r) {
+			if cost < cc1 {
+				cc1 = cost
+			}
+		} else if cost < cc0 {
+			cc0 = cost
+		}
+	}
+	return cc0, cc1
+}
+
+// pinSensitizationCost is the cost of setting the side inputs of pin so
+// that the gate output depends on the pin.
+func (s *Scoap) pinSensitizationCost(n *circuit.Node, pin int) int {
+	switch n.Op {
+	case logic.Buf, logic.Not:
+		return 0
+	case logic.And, logic.Nand:
+		t := 0
+		for i, f := range n.Fanin {
+			if i != pin {
+				t = capAdd(t, s.CC1[f])
+			}
+		}
+		return t
+	case logic.Or, logic.Nor:
+		t := 0
+		for i, f := range n.Fanin {
+			if i != pin {
+				t = capAdd(t, s.CC0[f])
+			}
+		}
+		return t
+	default:
+		// XOR-like and table gates: any side assignment sensitizes or
+		// not; use the cheapest side assignment that makes the two
+		// cofactors differ.
+		k := len(n.Fanin)
+		if k > 16 {
+			return scoapInf
+		}
+		best := scoapInf
+		for r := 0; r < 1<<k; r++ {
+			if r>>pin&1 == 1 {
+				continue
+			}
+			v0 := s.evalRow(n, r)
+			v1 := s.evalRow(n, r|1<<pin)
+			if v0 == v1 {
+				continue
+			}
+			cost := 0
+			for i, f := range n.Fanin {
+				if i == pin {
+					continue
+				}
+				if r>>i&1 == 1 {
+					cost = capAdd(cost, s.CC1[f])
+				} else {
+					cost = capAdd(cost, s.CC0[f])
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		return best
+	}
+}
+
+func (s *Scoap) evalRow(n *circuit.Node, r int) bool {
+	if n.Op == logic.TableOp {
+		return n.Table.Get(r)
+	}
+	in := make([]bool, len(n.Fanin))
+	for i := range in {
+		in[i] = r>>i&1 == 1
+	}
+	return logic.Eval(n.Op, in)
+}
+
+func capAdd(a, b int) int {
+	if a >= scoapInf || b >= scoapInf {
+		return scoapInf
+	}
+	return a + b
+}
+
+// DetectEstimate transforms the SCOAP numbers of a fault into a
+// pseudo-probability, reconstructing the P_SCOAP comparison of
+// [AgMe82]: the harder a fault is to control and observe, the smaller
+// the value.  The specific monotone transform 1/(CC_v + CO) follows the
+// "difficulty adds, probability is its reciprocal" reading used there.
+func (s *Scoap) DetectEstimate(f fault.Fault) float64 {
+	site := f.Site(s.C)
+	var co int
+	if f.IsStem() {
+		co = s.CO[f.Gate]
+	} else {
+		co = s.PinCO[f.Gate][f.Pin]
+	}
+	var cc int
+	if f.StuckAt {
+		cc = s.CC0[site] // detection needs the line at 0
+	} else {
+		cc = s.CC1[site]
+	}
+	d := capAdd(cc, co)
+	if d >= scoapInf {
+		return 0
+	}
+	return 1 / float64(1+d)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/stats"
+)
+
+func TestScoapBasics(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n = AND(a, b)
+y = NOT(n)
+`, "small")
+	s := ComputeScoap(c)
+	a, _ := c.ByName("a")
+	n, _ := c.ByName("n")
+	y, _ := c.ByName("y")
+	if s.CC0[a] != 1 || s.CC1[a] != 1 {
+		t.Errorf("input controllabilities must be 1, got %d/%d", s.CC0[a], s.CC1[a])
+	}
+	// AND: CC1 = CC1(a)+CC1(b)+1 = 3; CC0 = min+1 = 2.
+	if s.CC1[n] != 3 || s.CC0[n] != 2 {
+		t.Errorf("AND controllabilities CC1=%d CC0=%d, want 3/2", s.CC1[n], s.CC0[n])
+	}
+	// NOT: swaps.
+	if s.CC1[y] != 3 || s.CC0[y] != 4 {
+		t.Errorf("NOT controllabilities CC1=%d CC0=%d, want 3/4", s.CC1[y], s.CC0[y])
+	}
+	// Output observability 0; NOT input: 0+0+1 = 1; AND pin a: CO(n) +
+	// CC1(b) + 1 = 1 + 1 + 1 = 3.
+	if s.CO[y] != 0 {
+		t.Errorf("CO(output) = %d", s.CO[y])
+	}
+	if s.CO[n] != 1 {
+		t.Errorf("CO(n) = %d, want 1", s.CO[n])
+	}
+	if s.CO[a] != 3 {
+		t.Errorf("CO(a) = %d, want 3", s.CO[a])
+	}
+}
+
+func TestScoapXor(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+`, "xor")
+	s := ComputeScoap(c)
+	y, _ := c.ByName("y")
+	// XOR CC1: cheapest odd assignment = 1+1+1 = 3.
+	if s.CC1[y] != 3 || s.CC0[y] != 3 {
+		t.Errorf("XOR controllabilities = %d/%d, want 3/3", s.CC0[y], s.CC1[y])
+	}
+}
+
+func TestScoapFanoutStemObservability(t *testing.T) {
+	c := mustParse(t, `
+INPUT(s)
+INPUT(u)
+OUTPUT(y)
+OUTPUT(z)
+y = AND(s, u)
+z = BUF(s)
+`, "fan")
+	s := ComputeScoap(c)
+	sid, _ := c.ByName("s")
+	// Stem CO = min over branches: BUF branch costs 0+0+1 = 1, AND
+	// branch costs 0+CC1(u)+1 = 2; min = 1.
+	if s.CO[sid] != 1 {
+		t.Errorf("CO(stem) = %d, want 1", s.CO[sid])
+	}
+}
+
+func TestScoapDetectEstimateRange(t *testing.T) {
+	c := circuits.C17()
+	s := ComputeScoap(c)
+	for _, f := range fault.Universe(c) {
+		p := s.DetectEstimate(f)
+		if p < 0 || p > 1 {
+			t.Fatalf("fault %v: estimate %v out of range", f.Name(c), p)
+		}
+		if p == 0 {
+			t.Errorf("fault %v: c17 is fully testable, estimate must be positive", f.Name(c))
+		}
+	}
+}
+
+func TestScoapUndetectable(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+na = NOT(a)
+y = OR(a, na)
+`, "taut")
+	s := ComputeScoap(c)
+	y, _ := c.ByName("y")
+	// y is constant 1: CC0 should be huge (unachievable through this
+	// structure SCOAP cannot see, but 0-controllability remains finite
+	// for SCOAP — it is a heuristic).  Just check it does not panic and
+	// estimates stay in range.
+	f := fault.Fault{Gate: y, Pin: fault.StemPin, StuckAt: true}
+	if p := s.DetectEstimate(f); p < 0 || p > 1 {
+		t.Errorf("estimate %v out of range", p)
+	}
+}
+
+// The paper's point: SCOAP-derived probabilities correlate much worse
+// with the exact detection probabilities than PROTEST's estimates.
+func TestScoapCorrelatesWorseThanProtest(t *testing.T) {
+	c := circuits.ALU74181()
+	faults := fault.Collapse(c)
+	probs := UniformProbs(c)
+	res, err := Analyze(c, probs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactDetectProbs(c, faults, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protest := res.DetectProbs(faults)
+	sc := ComputeScoap(c)
+	scoap := make([]float64, len(faults))
+	for i, f := range faults {
+		scoap[i] = sc.DetectEstimate(f)
+	}
+	cProt := stats.Correlation(protest, exact)
+	cScoap := stats.Correlation(scoap, exact)
+	if cProt <= cScoap {
+		t.Errorf("PROTEST correlation %v should beat SCOAP %v", cProt, cScoap)
+	}
+	if cProt < 0.9 {
+		t.Errorf("PROTEST correlation %v < 0.9 on the ALU", cProt)
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"protest/internal/circuit"
+	"protest/internal/logic"
+)
+
+// signalPass estimates the signal probability of every node in
+// topological order, implementing the four cases of section 2:
+//
+//  1. primary inputs carry the given probability;
+//  2. inverters (and all single-input gates) transform directly;
+//  3. gates without joining points combine under independence;
+//  4. gates with joining points enumerate the value assignments A_v of
+//     a selected subset W of V and sum the conditional products
+//     (formula (2) of the paper).
+func (a *Analyzer) signalPass(res *Analysis) {
+	c := a.c
+	probs := res.Prob
+	for _, id := range c.TopoOrder() {
+		n := c.Node(id)
+		if n.IsInput {
+			probs[id] = res.InputProbs[c.InputIndex(id)]
+			continue
+		}
+		plan := &a.plans[id]
+		if len(plan.candidates) == 0 {
+			probs[id] = a.independentProb(n, probs)
+			continue
+		}
+		probs[id] = a.conditionedProb(id, plan, probs)
+	}
+}
+
+// independentProb is case 3: the gate's arithmetic extension applied to
+// the fanin probabilities.
+func (a *Analyzer) independentProb(n *circuit.Node, probs []float64) float64 {
+	var buf [8]float64
+	in := buf[:0]
+	for _, f := range n.Fanin {
+		in = append(in, probs[f])
+	}
+	if n.Op == logic.TableOp {
+		return logic.Clamp01(n.Table.Prob(in))
+	}
+	return logic.Clamp01(logic.Prob(n.Op, in))
+}
+
+// conditionedProb is case 4.  It first scores each joining-point
+// candidate x by |Cov(f_i,x)·Cov(f_j,x)| / S(x)² (the paper's selection
+// heuristic), keeps the best MaxVers as W, and then enumerates the 2^|W|
+// assignments of formula (2).
+func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []float64) float64 {
+	c := a.c
+	n := c.Node(g)
+	npins := len(n.Fanin)
+
+	// Score candidates.  With Cov(f,x) = p_x(1-p_x)·(P(f|x=1)-P(f|x=0))
+	// and S(x)² = p_x(1-p_x), the paper's weight
+	// |Cov(f_i,x)·Cov(f_j,x)|/S(x)² reduces to
+	// p_x(1-p_x)·|Δ_i(x)|·|Δ_j(x)| with Δ the conditional swing.
+	type scored struct {
+		x     circuit.NodeID
+		score float64
+	}
+	cands := make([]scored, 0, len(plan.candidates))
+	hi := make([]float64, npins)
+	lo := make([]float64, npins)
+	onePin := make([]circuit.NodeID, 1)
+	oneVal := make([]float64, 1)
+	for _, x := range plan.candidates {
+		px := probs[x]
+		if px <= 0 || px >= 1 {
+			continue // constant node: no correlation contribution
+		}
+		onePin[0] = x
+		oneVal[0] = 1
+		a.condPropagate(plan, probs, onePin, oneVal)
+		a.readPinProbs(n, probs, hi)
+		oneVal[0] = 0
+		a.condPropagate(plan, probs, onePin, oneVal)
+		a.readPinProbs(n, probs, lo)
+		best := 0.0
+		for i := 0; i < npins; i++ {
+			si := math.Abs(hi[i] - lo[i])
+			for j := i + 1; j < npins; j++ {
+				if s := si * math.Abs(hi[j]-lo[j]); s > best {
+					best = s
+				}
+			}
+		}
+		score := px * (1 - px) * best
+		if score > 1e-15 {
+			cands = append(cands, scored{x, score})
+		}
+	}
+	if len(cands) == 0 {
+		return a.independentProb(n, probs)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	w := a.params.MaxVers
+	if w > len(cands) {
+		w = len(cands)
+	}
+	pins := make([]circuit.NodeID, w)
+	for i := 0; i < w; i++ {
+		pins[i] = cands[i].x
+	}
+
+	// Enumerate assignments A_v over W (formula (2)).  The probability
+	// of A_v itself is estimated from the joining points' global
+	// probabilities, treating them as independent of each other.
+	vals := make([]float64, w)
+	condIn := make([]float64, npins)
+	total := 0.0
+	for v := 0; v < 1<<w; v++ {
+		weight := 1.0
+		for i := 0; i < w; i++ {
+			if v>>i&1 == 1 {
+				vals[i] = 1
+				weight *= probs[pins[i]]
+			} else {
+				vals[i] = 0
+				weight *= 1 - probs[pins[i]]
+			}
+		}
+		if weight == 0 {
+			continue
+		}
+		a.condPropagate(plan, probs, pins, vals)
+		a.readPinProbs(n, probs, condIn)
+		var pv float64
+		if n.Op == logic.TableOp {
+			pv = n.Table.Prob(condIn)
+		} else {
+			pv = logic.Prob(n.Op, condIn)
+		}
+		total += weight * pv
+	}
+	return logic.Clamp01(total)
+}
+
+// condPropagate re-evaluates the plan's cone with the given nodes pinned
+// to constants, writing results into the analyzer's generation-stamped
+// scratch arrays.  Nodes outside the cone (or inside it but independent
+// of every pinned node) keep their global estimates.
+func (a *Analyzer) condPropagate(plan *gatePlan, probs []float64, pins []circuit.NodeID, vals []float64) {
+	a.cur++
+	cur := a.cur
+	for i, p := range pins {
+		a.val[p] = vals[i]
+		a.gen[p] = cur
+	}
+	c := a.c
+	var buf [8]float64
+	for _, id := range plan.cone {
+		if a.gen[id] == cur {
+			continue // pinned
+		}
+		n := c.Node(id)
+		if n.IsInput {
+			continue // unpinned inputs keep their global probability
+		}
+		in := buf[:0]
+		changed := false
+		for _, f := range n.Fanin {
+			if a.gen[f] == cur {
+				in = append(in, a.val[f])
+				changed = true
+			} else {
+				in = append(in, probs[f])
+			}
+		}
+		if !changed {
+			continue // does not depend on any pinned node
+		}
+		var p float64
+		if n.Op == logic.TableOp {
+			p = n.Table.Prob(in)
+		} else {
+			p = logic.Prob(n.Op, in)
+		}
+		a.val[id] = logic.Clamp01(p)
+		a.gen[id] = cur
+	}
+}
+
+// readPinProbs fills dst with the conditional probabilities of gate n's
+// fanins after a condPropagate call (falling back to global estimates
+// for unaffected fanins).
+func (a *Analyzer) readPinProbs(n *circuit.Node, probs []float64, dst []float64) {
+	for i, f := range n.Fanin {
+		if a.gen[f] == a.cur {
+			dst[i] = a.val[f]
+		} else {
+			dst[i] = probs[f]
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/logic"
+)
+
+// Single-path sensitization (section 3 of the paper): PROTEST offers
+// the option to estimate the probability that *exactly one* path from a
+// node to a primary output is sensitized.  A test pattern sensitizes a
+// single path from x to output o if there is exactly one path from x to
+// o on which every node's value depends on the value at x.
+//
+// The estimator enumerates paths from the node to the outputs (bounded
+// by maxPaths), computes each path's sensitization probability as the
+// product of the local pin sensitization probabilities along it, and
+// combines them as P(exactly one) = Σ_i π_i·Π_{j≠i}(1-π_j), treating
+// paths as independent.
+
+// SinglePathOptions bounds the path enumeration.
+type SinglePathOptions struct {
+	// MaxPaths caps how many paths are enumerated per node (DFS order).
+	MaxPaths int
+}
+
+// DefaultSinglePathOptions enumerates at most 64 paths.
+func DefaultSinglePathOptions() SinglePathOptions { return SinglePathOptions{MaxPaths: 64} }
+
+// SinglePathObs estimates the probability that exactly one path from
+// node x to some primary output is sensitized.
+func (r *Analysis) SinglePathObs(x circuit.NodeID, opt SinglePathOptions) float64 {
+	if opt.MaxPaths <= 0 {
+		opt.MaxPaths = 64
+	}
+	paths := r.collectPathProbs(x, opt.MaxPaths)
+	return exactlyOne(paths)
+}
+
+// SinglePathDetectProb estimates a stuck-at fault's detection
+// probability with the single-path model: the site must carry the value
+// opposite to the stuck value and a single path must be sensitized.
+func (r *Analysis) SinglePathDetectProb(f fault.Fault, opt SinglePathOptions) float64 {
+	site := f.Site(r.C)
+	ctrl := r.Prob[site]
+	if f.StuckAt {
+		ctrl = 1 - ctrl
+	}
+	var obs float64
+	if f.IsStem() {
+		obs = r.SinglePathObs(f.Gate, opt)
+	} else {
+		// Branch fault: the path starts through this specific pin.
+		if opt.MaxPaths <= 0 {
+			opt.MaxPaths = 64
+		}
+		local := r.pinLocalDiff(f.Gate, f.Pin)
+		sub := r.collectPathProbs(f.Gate, opt.MaxPaths)
+		for i := range sub {
+			sub[i] *= local
+		}
+		obs = exactlyOne(sub)
+	}
+	return logic.Clamp01(ctrl * obs)
+}
+
+// collectPathProbs enumerates sensitization probabilities of paths from
+// x to the primary outputs by DFS.  A path ending at an output node has
+// probability Π of the local pin sensitizations along the way.
+func (r *Analysis) collectPathProbs(x circuit.NodeID, maxPaths int) []float64 {
+	var probs []float64
+	var dfs func(id circuit.NodeID, acc float64)
+	dfs = func(id circuit.NodeID, acc float64) {
+		if len(probs) >= maxPaths {
+			return
+		}
+		n := r.C.Node(id)
+		if n.IsOutput {
+			probs = append(probs, acc)
+			// An output with further fanout keeps propagating; the
+			// observed path already counts.
+		}
+		for fi, g := range n.Fanout {
+			if duplicateBefore(n.Fanout, fi) {
+				continue
+			}
+			for _, pin := range r.C.PinIndex(g, id) {
+				local := r.pinLocalDiff(g, pin)
+				if local <= 0 {
+					continue
+				}
+				dfs(g, acc*local)
+				if len(probs) >= maxPaths {
+					return
+				}
+			}
+		}
+	}
+	dfs(x, 1)
+	return probs
+}
+
+// pinLocalDiff recomputes the local sensitization probability of gate
+// g's pin using the analysis' signal probabilities.
+func (r *Analysis) pinLocalDiff(g circuit.NodeID, pin int) float64 {
+	n := r.C.Node(g)
+	faninProbs := make([]float64, len(n.Fanin))
+	for i, f := range n.Fanin {
+		faninProbs[i] = r.Prob[f]
+	}
+	if n.Op == logic.TableOp {
+		return n.Table.DiffProb(faninProbs, pin)
+	}
+	return logic.DiffProb(n.Op, faninProbs, pin)
+}
+
+// exactlyOne combines independent event probabilities into the
+// probability that exactly one occurs.
+func exactlyOne(ps []float64) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	// Π(1-p_j) and Σ p_i/(1-p_i)·Π(1-p_j) computed stably: fall back to
+	// direct O(n²) when some p is 1.
+	total := 0.0
+	for i := range ps {
+		term := ps[i]
+		for j := range ps {
+			if j != i {
+				term *= 1 - ps[j]
+			}
+		}
+		total += term
+	}
+	return logic.Clamp01(total)
+}

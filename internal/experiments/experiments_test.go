@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/core"
+	"protest/internal/fault"
+)
+
+var fastCfg = Config{Seed: 1, Fast: true}
+
+// Table 1 claims: PROTEST correlates > 0.9 with simulation on ALU and
+// MULT, beats the SCOAP baseline, and under-estimates on average.
+func TestTable1ReproducesPaperClaims(t *testing.T) {
+	rows, err := Table1(Config{Seed: 1, Patterns: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Summary.Corr < 0.88 {
+			t.Errorf("%s: correlation %.3f < 0.88 (paper: >0.9)", r.Circuit, r.Summary.Corr)
+		}
+		if r.Summary.Corr <= r.ScoapCorr {
+			t.Errorf("%s: PROTEST %.2f should beat SCOAP %.2f", r.Circuit, r.Summary.Corr, r.ScoapCorr)
+		}
+		if r.Summary.Bias < 0 {
+			t.Errorf("%s: expected under-estimation (P_SIM > P_PROT), bias %.3f", r.Circuit, r.Summary.Bias)
+		}
+		if r.Summary.MaxErr > 0.6 {
+			t.Errorf("%s: max error %.2f implausibly large", r.Circuit, r.Summary.MaxErr)
+		}
+	}
+	text := RenderTable1(rows)
+	if !strings.Contains(text, "alu74181") || !strings.Contains(text, "mult8") {
+		t.Error("render missing circuits")
+	}
+	// Figures 5/6 render non-trivially.
+	for _, r := range rows {
+		if sc := r.Scatter(); !strings.Contains(sc, "+") && !strings.Contains(sc, "*") {
+			t.Errorf("%s scatter has no points", r.Circuit)
+		}
+	}
+}
+
+// Table 2 claims: a couple of hundred patterns suffice for ALU and
+// MULT and reach (almost) full coverage in simulation.
+func TestTable2ReproducesPaperClaims(t *testing.T) {
+	r, err := Table2(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range r.Rows {
+		if row.Err != nil {
+			t.Fatalf("%s: %v", row.Circuit, row.Err)
+		}
+		if row.N < 10 || row.N > 5000 {
+			t.Errorf("%s: N = %d outside the paper's order of magnitude (212/454)", row.Circuit, row.N)
+		}
+		if r.Coverage[i] < 98.5 {
+			t.Errorf("%s: validated coverage %.1f%% < 98.5%%", row.Circuit, r.Coverage[i])
+		}
+	}
+}
+
+// Table 3 claims: DIV needs ~10^6 patterns (d=0.98) and COMP ~10^8,
+// making uniform random testing uneconomical.
+func TestTable3ReproducesPaperClaims(t *testing.T) {
+	rows, err := Table3(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := rows["div16"]
+	comp := rows["comp24"]
+	if len(div) != 6 || len(comp) != 6 {
+		t.Fatalf("table shapes: div %d comp %d", len(div), len(comp))
+	}
+	// d=0.98, e=0.95 is row index 3.
+	if div[3].Err != nil || div[3].N < 1e5 || div[3].N > 1e8 {
+		t.Errorf("DIV d=0.98 e=0.95: N=%v err=%v (paper ~5·10^5)", div[3].N, div[3].Err)
+	}
+	if comp[0].Err != nil || comp[0].N < 1e7 || comp[0].N > 5e9 {
+		t.Errorf("COMP d=1 e=0.95: N=%v err=%v (paper ~2.9·10^8)", comp[0].N, comp[0].Err)
+	}
+	// N grows with e within each d block.
+	for _, rows := range [][]SizeRow{div, comp} {
+		if rows[0].N > rows[2].N {
+			t.Error("N must grow with e")
+		}
+	}
+}
+
+// Tables 4+5 claims: optimization moves probabilities off 0.5 and cuts
+// COMP's test length by ~4 orders of magnitude.
+func TestTables45ReproducePaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimization experiment skipped in -short")
+	}
+	cfg := Config{Seed: 1} // full sweeps: the fast budget stalls early
+	t4, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for _, p := range t4.Opt.Probs {
+		if p != 0.5 {
+			off++
+		}
+	}
+	if off < len(t4.Opt.Probs)/2 {
+		t.Errorf("only %d/%d probabilities moved off 0.5", off, len(t4.Opt.Probs))
+	}
+	if t4.Opt.Objective < t4.Opt.InitialObjective {
+		t.Error("objective worsened")
+	}
+	rows, err := SizeTable(t4.Circuit, t4.Opt.Probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=1.0, e=0.95 (paper: 8932, uniform 2.9·10^8).
+	if rows[0].Err != nil || rows[0].N > 1e6 {
+		t.Errorf("optimized COMP N = %v err=%v, want < 10^6 (paper ~9·10^3)", rows[0].N, rows[0].Err)
+	}
+}
+
+// Table 6 claim: optimized patterns dominate uniform ones on COMP by a
+// wide margin.
+func TestTable6ReproducesPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage experiment skipped in -short")
+	}
+	cfg := Config{Seed: 1}
+	_, tuples, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := Table6(cfg, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		lastU := p.Uniform[len(p.Uniform)-1].Coverage
+		lastO := p.Optimized[len(p.Optimized)-1].Coverage
+		if p.Circuit == "comp24" {
+			if lastO < lastU+20 {
+				t.Errorf("COMP: optimized %.1f%% should dominate uniform %.1f%% by ≥20 points", lastO, lastU)
+			}
+			if lastU > 70 {
+				t.Errorf("COMP uniform coverage %.1f%% unexpectedly high (paper stalls at 80.7%% on a shallower cascade)", lastU)
+			}
+		}
+		if p.Circuit == "div16" && lastO < lastU-0.5 {
+			t.Errorf("DIV: optimized %.1f%% should not lose to uniform %.1f%%", lastO, lastU)
+		}
+	}
+	if text := RenderTable6(pairs); !strings.Contains(text, "div16") {
+		t.Error("render missing div16")
+	}
+}
+
+func TestTable7Scaling(t *testing.T) {
+	rows, err := Table7(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Transistors <= rows[i-1].Transistors {
+			t.Error("ladder must grow in size")
+		}
+	}
+	if text := RenderTable7(rows); !strings.Contains(text, "transistors") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable8Scaling(t *testing.T) {
+	rows, err := Table8(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Optimize <= 0 {
+			t.Errorf("%s: zero optimization time", r.Circuit)
+		}
+	}
+	if text := RenderTable8(rows); !strings.Contains(text, "opt. test set") {
+		t.Error("render broken")
+	}
+}
+
+// The validity experiment must work for any circuit, not just the
+// paper's two.
+func TestValidityOnC17(t *testing.T) {
+	r, err := Validity(circuits.C17(), fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == 0 || len(r.PProt) != r.Faults || len(r.PSim) != r.Faults {
+		t.Error("validity result inconsistent")
+	}
+}
+
+// Cross-check: the estimated DIV detection probabilities must flag the
+// quotient-chain faults as the hardest ones.
+func TestDivHardFaultsAreQuotientChains(t *testing.T) {
+	c := circuits.Div16()
+	faults := fault.Collapse(c)
+	res, err := core.Analyze(c, core.UniformProbs(c), core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := res.DetectProbs(faults)
+	minP, minI := 2.0, -1
+	for i, p := range det {
+		if p < minP {
+			minP, minI = p, i
+		}
+	}
+	if minI < 0 || minP > 1e-3 {
+		t.Fatalf("hardest DIV fault p=%v, expected deep-chain resistance", minP)
+	}
+}

@@ -1,0 +1,301 @@
+// Package fault defines the single stuck-at fault model on the gate
+// level — the fault universe PROTEST computes detection probabilities
+// for — together with structural fault collapsing.
+//
+// Faults live on *pins*: a node's output (the stem) or an individual
+// gate input (a branch).  Stem and branch faults differ as soon as the
+// stem has fanout, which is exactly where testability analysis gets
+// interesting.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"protest/internal/circuit"
+	"protest/internal/logic"
+)
+
+// Fault is a single stuck-at fault.
+type Fault struct {
+	// Gate is the node owning the faulty pin.  For a stem fault this is
+	// the driving node itself; for a branch fault it is the gate whose
+	// input pin is stuck.
+	Gate circuit.NodeID
+	// Pin is the input pin index for a branch fault, or -1 for a stem
+	// fault on Gate's output.
+	Pin int
+	// StuckAt is the stuck value (false = s-a-0, true = s-a-1).
+	StuckAt bool
+}
+
+// StemPin marks a stem (output) fault in the Pin field.
+const StemPin = -1
+
+// IsStem reports whether the fault sits on a node output.
+func (f Fault) IsStem() bool { return f.Pin == StemPin }
+
+// Site returns the node whose signal value is perturbed: the gate
+// itself for a stem fault, the driving fanin node for a branch fault
+// (the branch carries that node's value into the gate).
+func (f Fault) site(c *circuit.Circuit) circuit.NodeID {
+	if f.IsStem() {
+		return f.Gate
+	}
+	return c.Node(f.Gate).Fanin[f.Pin]
+}
+
+// Site is the exported form of site.
+func (f Fault) Site(c *circuit.Circuit) circuit.NodeID { return f.site(c) }
+
+// String formats the fault using circuit names when available.
+func (f Fault) String() string {
+	v := 0
+	if f.StuckAt {
+		v = 1
+	}
+	if f.IsStem() {
+		return fmt.Sprintf("node#%d/sa%d", f.Gate, v)
+	}
+	return fmt.Sprintf("node#%d.pin%d/sa%d", f.Gate, f.Pin, v)
+}
+
+// Name formats the fault with signal names from the circuit.
+func (f Fault) Name(c *circuit.Circuit) string {
+	v := 0
+	if f.StuckAt {
+		v = 1
+	}
+	if f.IsStem() {
+		return fmt.Sprintf("%s/sa%d", c.Node(f.Gate).Name, v)
+	}
+	return fmt.Sprintf("%s.%d/sa%d", c.Node(f.Gate).Name, f.Pin, v)
+}
+
+// Universe enumerates the complete single stuck-at fault list of the
+// circuit: two faults per node output (stem) and two per gate input pin
+// (branch).  Branch faults on fanout-free connections are structurally
+// equivalent to the driver's stem faults and are included here; use
+// Collapse to remove redundancies.
+func Universe(c *circuit.Circuit) []Fault {
+	var fs []Fault
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		nid := circuit.NodeID(id)
+		fs = append(fs, Fault{nid, StemPin, false}, Fault{nid, StemPin, true})
+		if n.IsInput {
+			continue
+		}
+		for pin := range n.Fanin {
+			fs = append(fs, Fault{nid, pin, false}, Fault{nid, pin, true})
+		}
+	}
+	return fs
+}
+
+// Collapse performs structural equivalence collapsing and returns a
+// reduced fault list that still covers every fault class:
+//
+//   - For AND/NAND gates, s-a-0 on any input is equivalent to s-a-0
+//     (s-a-1 after inversion) on the output; dually for OR/NOR with
+//     s-a-1.  The input fault representative is kept, the output one
+//     dropped when possible.
+//   - For NOT/BUF, both input faults are equivalent to output faults.
+//   - A branch fault on a fanout-free connection is equivalent to the
+//     driver's stem fault; the stem representative is kept.
+//
+// The collapsed list keeps deterministic order (sorted by gate, pin,
+// stuck value).
+func Collapse(c *circuit.Circuit) []Fault {
+	drop := make(map[Fault]bool)
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		nid := circuit.NodeID(id)
+		if n.IsInput {
+			continue
+		}
+		// Branch == stem when the driver has a single fanout and the
+		// driver is not a primary output (a PO stem must stay
+		// observable in its own right for reporting, but as a fault
+		// class it is still equivalent; we keep the stem).
+		for pin, src := range n.Fanin {
+			if len(c.Node(src).Fanout) == 1 {
+				drop[Fault{nid, pin, false}] = true
+				drop[Fault{nid, pin, true}] = true
+			}
+		}
+		switch n.Op {
+		case logic.Buf:
+			// Input faults equivalent to output faults (same polarity).
+			drop[Fault{nid, 0, false}] = true
+			drop[Fault{nid, 0, true}] = true
+		case logic.Not:
+			drop[Fault{nid, 0, false}] = true
+			drop[Fault{nid, 0, true}] = true
+		case logic.And:
+			// in s-a-0 ≡ out s-a-0: keep one input representative,
+			// drop output s-a-0.
+			drop[Fault{nid, StemPin, false}] = true
+		case logic.Nand:
+			drop[Fault{nid, StemPin, true}] = true
+		case logic.Or:
+			drop[Fault{nid, StemPin, true}] = true
+		case logic.Nor:
+			drop[Fault{nid, StemPin, false}] = true
+		}
+	}
+	var out []Fault
+	for _, f := range Universe(c) {
+		if drop[f] {
+			continue
+		}
+		// The equivalence classes above assume the controlled fault is
+		// represented by a kept input fault; when every input branch
+		// fault was itself dropped (single-fanout drivers), fall back
+		// to keeping the stem fault.
+		out = append(out, f)
+	}
+	out = repairClasses(c, out, drop)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Gate != b.Gate {
+			return a.Gate < b.Gate
+		}
+		if a.Pin != b.Pin {
+			return a.Pin < b.Pin
+		}
+		return !a.StuckAt && b.StuckAt
+	})
+	return out
+}
+
+// repairClasses re-adds a stem fault if collapsing removed both the stem
+// fault and all equivalent branch representatives.
+func repairClasses(c *circuit.Circuit, kept []Fault, drop map[Fault]bool) []Fault {
+	have := make(map[Fault]bool, len(kept))
+	for _, f := range kept {
+		have[f] = true
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		nid := circuit.NodeID(id)
+		if n.IsInput {
+			continue
+		}
+		var stemVal bool
+		var covered bool
+		switch n.Op {
+		case logic.And:
+			stemVal = false
+		case logic.Nand:
+			stemVal = true
+		case logic.Or:
+			stemVal = true
+		case logic.Nor:
+			stemVal = false
+		default:
+			continue
+		}
+		inVal := false
+		if n.Op == logic.Or || n.Op == logic.Nor {
+			inVal = true
+		}
+		for pin := range n.Fanin {
+			if have[Fault{nid, pin, inVal}] {
+				covered = true
+				break
+			}
+			// Branch collapsed onto driver stem: the driver stem fault
+			// with matching polarity covers the class too.
+			src := n.Fanin[pin]
+			if len(c.Node(src).Fanout) == 1 && have[Fault{src, StemPin, inVal}] {
+				covered = true
+				break
+			}
+		}
+		if !covered && !have[Fault{nid, StemPin, stemVal}] {
+			f := Fault{nid, StemPin, stemVal}
+			kept = append(kept, f)
+			have[f] = true
+		}
+	}
+	return kept
+}
+
+// CountUniverse returns the size of the uncollapsed fault list without
+// materializing it.
+func CountUniverse(c *circuit.Circuit) int {
+	n := 2 * c.NumNodes()
+	for id := range c.Nodes {
+		if !c.Nodes[id].IsInput {
+			n += 2 * len(c.Nodes[id].Fanin)
+		}
+	}
+	return n
+}
+
+// CollapseDominance applies dominance collapsing on top of equivalence
+// collapsing: for a gate with a controlling value, the output fault
+// caused by the *non-controlled* case dominates each input fault of the
+// opposite polarity (any test for the input fault also tests the output
+// fault), so the dominated output fault can be dropped for test
+// generation purposes.
+//
+//   - AND:  out s-a-1 dominated by any input s-a-1   -> drop out/sa1
+//   - NAND: out s-a-0 dominated by any input s-a-1   -> drop out/sa0
+//   - OR:   out s-a-0 dominated by any input s-a-0   -> drop out/sa0
+//   - NOR:  out s-a-1 dominated by any input s-a-0   -> drop out/sa1
+//
+// The output fault is kept when the gate drives a primary output with
+// fanout or when every dominating input fault was itself collapsed
+// away, so the returned list still covers every detectable fault class
+// for test generation (dominance does NOT preserve per-fault detection
+// probabilities — use Collapse for testability analysis).
+func CollapseDominance(c *circuit.Circuit) []Fault {
+	base := Collapse(c)
+	have := make(map[Fault]bool, len(base))
+	for _, f := range base {
+		have[f] = true
+	}
+	var out []Fault
+	for _, f := range base {
+		if !f.IsStem() {
+			out = append(out, f)
+			continue
+		}
+		n := c.Node(f.Gate)
+		var dominatorVal bool
+		dominated := false
+		switch n.Op {
+		case logic.And:
+			dominated, dominatorVal = f.StuckAt, true
+		case logic.Nand:
+			dominated, dominatorVal = !f.StuckAt, true
+		case logic.Or:
+			dominated, dominatorVal = !f.StuckAt, false
+		case logic.Nor:
+			dominated, dominatorVal = f.StuckAt, false
+		}
+		if !dominated || n.IsOutput {
+			out = append(out, f)
+			continue
+		}
+		// Only drop when a dominating input-fault representative
+		// survives in the collapsed list.
+		found := false
+		for pin, src := range n.Fanin {
+			if have[Fault{f.Gate, pin, dominatorVal}] {
+				found = true
+				break
+			}
+			if len(c.Node(src).Fanout) == 1 && have[Fault{src, StemPin, dominatorVal}] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,394 @@
+// Package faultsim implements a bit-parallel single-fault-propagation
+// fault simulator: 64 random patterns are simulated against the good
+// circuit at once, and each fault is re-simulated only inside its
+// output cone.  It provides the two measurements the paper validates
+// PROTEST against:
+//
+//   - P_SIM, the fraction of applied patterns that detect each fault
+//     (section 4, Table 1 and the correlation diagrams), and
+//   - fault-coverage-versus-pattern-count curves with fault dropping
+//     (section 6, Table 6).
+package faultsim
+
+import (
+	"math/bits"
+	"sort"
+
+	"protest/internal/bitsim"
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/logic"
+	"protest/internal/pattern"
+)
+
+// Simulator fault-simulates one circuit.
+type Simulator struct {
+	c      *circuit.Circuit
+	good   *bitsim.Simulator
+	fvals  []uint64 // faulty values, one word per node
+	dirty  []circuit.NodeID
+	inCone []bool // scratch: nodes needing re-evaluation
+	inbuf  [][]uint64
+	// captureOut, when non-nil, receives the faulty output words of the
+	// next propagate call.
+	captureOut []uint64
+}
+
+// New creates a fault simulator.
+func New(c *circuit.Circuit) *Simulator {
+	return &Simulator{
+		c:      c,
+		good:   bitsim.New(c),
+		fvals:  make([]uint64, c.NumNodes()),
+		inCone: make([]bool, c.NumNodes()),
+		inbuf:  make([][]uint64, 0, 8),
+	}
+}
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// SimulateBlock runs one block of 64 patterns (given as one word per
+// primary input) against the good circuit and every fault in faults,
+// and returns for each fault the word of patterns that detect it
+// (bit b set = pattern b detects the fault at some primary output).
+func (s *Simulator) SimulateBlock(inputWords []uint64, faults []fault.Fault, detect []uint64) {
+	s.good.SetInputs(inputWords)
+	s.good.Run()
+	goodVals := s.good.Values()
+	for fi, f := range faults {
+		detect[fi] = s.simulateFault(goodVals, f)
+	}
+}
+
+// GoodOutputWords returns the good-circuit output words of the most
+// recent SimulateBlock / SimulateFaultBlock call.
+func (s *Simulator) GoodOutputWords(dst []uint64) {
+	s.good.OutputWords(dst)
+}
+
+// SimulateFaultBlock simulates one block of 64 patterns against a
+// single fault, fills outWords (one word per primary output) with the
+// *faulty* output values, and returns the detecting-pattern word.  Used
+// by response compaction (signature analysis), which needs the faulty
+// responses themselves, not just the difference.
+func (s *Simulator) SimulateFaultBlock(inputWords []uint64, f fault.Fault, outWords []uint64) uint64 {
+	s.good.SetInputs(inputWords)
+	s.good.Run()
+	goodVals := s.good.Values()
+	s.captureOut = outWords
+	det := s.simulateFault(goodVals, f)
+	s.captureOut = nil
+	if det == 0 {
+		// No output difference: the faulty responses equal the good
+		// ones (the capture in propagate only runs when the fault
+		// activates, so fill explicitly).
+		s.good.OutputWords(outWords)
+	}
+	return det
+}
+
+// simulateFault re-simulates the cone of one fault against the good
+// values and returns the detecting pattern word.
+func (s *Simulator) simulateFault(goodVals []uint64, f fault.Fault) uint64 {
+	site := f.Site(s.c)
+	var stuck uint64
+	if f.StuckAt {
+		stuck = ^uint64(0)
+	}
+	// Activation: patterns where the fault changes the site value.
+	act := goodVals[site] ^ stuck
+	if act == 0 {
+		return 0
+	}
+
+	if f.IsStem() {
+		return s.propagate(goodVals, site, stuck, fault.StemPin, 0)
+	}
+	return s.propagate(goodVals, f.Site(s.c), stuck, int(f.Gate), f.Pin)
+}
+
+// propagate re-evaluates the fanout cone.  For a stem fault the value of
+// `site` itself is forced to stuck; for a branch fault only gate
+// `branchGate`'s pin `branchPin` sees the stuck value.
+func (s *Simulator) propagate(goodVals []uint64, site circuit.NodeID, stuck uint64, branchGate, branchPin int) uint64 {
+	c := s.c
+	// Collect the cone in topological order.  Node IDs are topological,
+	// so a simple forward sweep from the first affected node works.
+	var first circuit.NodeID
+	stemFault := branchGate == fault.StemPin
+	if stemFault {
+		first = site
+		s.fvals[site] = stuck
+		s.inCone[site] = true
+	} else {
+		first = circuit.NodeID(branchGate)
+	}
+	dirty := s.dirty[:0]
+	var detected uint64
+	if stemFault {
+		dirty = append(dirty, site)
+		if c.Node(site).IsOutput {
+			detected |= stuck ^ goodVals[site]
+		}
+	}
+	n := circuit.NodeID(c.NumNodes())
+	for id := first; id < n; id++ {
+		node := &c.Nodes[id]
+		if node.IsInput {
+			continue
+		}
+		needs := false
+		if !stemFault && id == circuit.NodeID(branchGate) {
+			needs = true
+		} else {
+			for _, fin := range node.Fanin {
+				if s.inCone[fin] && s.fvals[fin] != goodVals[fin] {
+					needs = true
+					break
+				}
+			}
+		}
+		if !needs {
+			continue
+		}
+		v := s.evalFaulty(goodVals, id, stuck, branchGate, branchPin)
+		if v == goodVals[id] {
+			continue // fault effect absorbed here
+		}
+		if !s.inCone[id] {
+			s.inCone[id] = true
+			dirty = append(dirty, id)
+		}
+		s.fvals[id] = v
+		if node.IsOutput {
+			detected |= v ^ goodVals[id]
+		}
+	}
+	if s.captureOut != nil {
+		for i, out := range c.Outputs {
+			if s.inCone[out] {
+				s.captureOut[i] = s.fvals[out]
+			} else {
+				s.captureOut[i] = goodVals[out]
+			}
+		}
+	}
+	// Reset scratch state.
+	for _, id := range dirty {
+		s.inCone[id] = false
+	}
+	s.dirty = dirty[:0]
+	return detected
+}
+
+func (s *Simulator) evalFaulty(goodVals []uint64, id circuit.NodeID, stuck uint64, branchGate, branchPin int) uint64 {
+	node := &s.c.Nodes[id]
+	val := func(pin int, fin circuit.NodeID) uint64 {
+		if int(id) == branchGate && pin == branchPin {
+			return stuck
+		}
+		if s.inCone[fin] {
+			return s.fvals[fin]
+		}
+		return goodVals[fin]
+	}
+	switch len(node.Fanin) {
+	case 1:
+		v := val(0, node.Fanin[0])
+		switch node.Op {
+		case logic.Buf, logic.And, logic.Or, logic.Xor:
+			return v
+		case logic.Not, logic.Nand, logic.Nor, logic.Xnor:
+			return ^v
+		}
+	case 2:
+		a := val(0, node.Fanin[0])
+		b := val(1, node.Fanin[1])
+		switch node.Op {
+		case logic.And:
+			return a & b
+		case logic.Nand:
+			return ^(a & b)
+		case logic.Or:
+			return a | b
+		case logic.Nor:
+			return ^(a | b)
+		case logic.Xor:
+			return a ^ b
+		case logic.Xnor:
+			return ^(a ^ b)
+		}
+	}
+	for len(s.inbuf) <= len(node.Fanin) {
+		s.inbuf = append(s.inbuf, make([]uint64, len(s.inbuf)))
+	}
+	buf := s.inbuf[len(node.Fanin)]
+	for i, fin := range node.Fanin {
+		buf[i] = val(i, fin)
+	}
+	if node.Op == logic.TableOp {
+		return node.Table.EvalWord(buf)
+	}
+	return logic.EvalWord(node.Op, buf)
+}
+
+// Result of a detection-probability measurement.
+type Result struct {
+	Faults   []fault.Fault
+	Detected []int // #patterns detecting each fault
+	Applied  int   // total patterns applied
+}
+
+// PSim returns the measured detection probability of fault i.
+func (r *Result) PSim(i int) float64 {
+	return float64(r.Detected[i]) / float64(r.Applied)
+}
+
+// Coverage returns the fraction of faults detected at least once.
+func (r *Result) Coverage() float64 {
+	det := 0
+	for _, d := range r.Detected {
+		if d > 0 {
+			det++
+		}
+	}
+	return float64(det) / float64(len(r.Faults))
+}
+
+// MeasureDetection applies numPatterns patterns from gen to the circuit
+// and counts, for every fault, how many patterns detect it — the
+// experiment behind P_SIM in section 4 of the paper.  No fault dropping
+// is performed.
+func MeasureDetection(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns int) *Result {
+	s := New(c)
+	res := &Result{
+		Faults:   faults,
+		Detected: make([]int, len(faults)),
+	}
+	words := make([]uint64, len(c.Inputs))
+	det := make([]uint64, len(faults))
+	for applied := 0; applied < numPatterns; applied += 64 {
+		gen.NextBlock(words)
+		valid := numPatterns - applied
+		var mask uint64 = ^uint64(0)
+		if valid < 64 {
+			mask = (uint64(1) << valid) - 1
+		}
+		s.SimulateBlock(words, faults, det)
+		for i, d := range det {
+			res.Detected[i] += bits.OnesCount64(d & mask)
+		}
+	}
+	res.Applied = numPatterns
+	return res
+}
+
+// CoveragePoint is one row of a coverage curve.
+type CoveragePoint struct {
+	Patterns int
+	Coverage float64 // percent of faults detected so far
+}
+
+// CoverageCurve fault-simulates with fault dropping and records the
+// cumulative fault coverage at each checkpoint (pattern counts, sorted
+// ascending) — the experiment behind Table 6.
+func CoverageCurve(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int) []CoveragePoint {
+	cps := append([]int(nil), checkpoints...)
+	sort.Ints(cps)
+	s := New(c)
+	alive := append([]fault.Fault(nil), faults...)
+	det := make([]uint64, len(alive))
+	words := make([]uint64, len(c.Inputs))
+	total := len(faults)
+	dead := 0
+	var out []CoveragePoint
+	applied := 0
+	for _, cp := range cps {
+		for applied < cp {
+			gen.NextBlock(words)
+			valid := cp - applied
+			var mask uint64 = ^uint64(0)
+			if valid < 64 {
+				mask = (uint64(1) << valid) - 1
+			}
+			applied += min(64, valid)
+			s.SimulateBlock(words, alive, det[:len(alive)])
+			// Drop detected faults.
+			w := 0
+			for i := range alive {
+				if det[i]&mask != 0 {
+					dead++
+					continue
+				}
+				alive[w] = alive[i]
+				w++
+			}
+			alive = alive[:w]
+			if len(alive) == 0 {
+				break
+			}
+		}
+		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(dead) / float64(total)})
+	}
+	return out
+}
+
+// ExhaustiveDetection enumerates all 2^n input patterns (n <= 20) and
+// returns the exact number of patterns detecting each fault.  Used as a
+// ground-truth oracle in tests.
+func ExhaustiveDetection(c *circuit.Circuit, faults []fault.Fault) ([]int, error) {
+	if len(c.Inputs) > 20 {
+		return nil, errTooManyInputs(len(c.Inputs))
+	}
+	s := New(c)
+	counts := make([]int, len(faults))
+	det := make([]uint64, len(faults))
+	gsim := bitsim.New(c)
+	err := gsim.EnumerateExhaustive(func(base uint64, valid int) {
+		words := make([]uint64, len(c.Inputs))
+		for i := range words {
+			words[i] = enumInputWord(base, i)
+		}
+		var mask uint64 = ^uint64(0)
+		if valid < 64 {
+			mask = (uint64(1) << valid) - 1
+		}
+		s.SimulateBlock(words, faults, det)
+		for i, d := range det {
+			counts[i] += bits.OnesCount64(d & mask)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+type errTooManyInputs int
+
+func (e errTooManyInputs) Error() string {
+	return "faultsim: exhaustive detection limited to 20 inputs"
+}
+
+// enumInputWord mirrors bitsim's exhaustive enumeration pattern layout.
+func enumInputWord(base uint64, i int) uint64 {
+	masks := [6]uint64{
+		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+	}
+	if i < 6 {
+		return masks[i]
+	}
+	if base>>uint(i)&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package faultsim
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"protest/internal/bitsim"
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/pattern"
+)
+
+// MeasureDetectionParallel is MeasureDetection with the per-fault cone
+// simulation spread over worker goroutines.  The good-circuit values of
+// each block are computed once and shared read-only; every worker owns
+// its scratch state, so the result is bit-identical to the serial
+// version (same generator stream, same counts).  workers <= 0 selects
+// GOMAXPROCS.
+func MeasureDetectionParallel(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		return MeasureDetection(c, faults, gen, numPatterns)
+	}
+	good := bitsim.New(c)
+	sims := make([]*Simulator, workers)
+	for i := range sims {
+		sims[i] = New(c)
+	}
+	res := &Result{
+		Faults:   faults,
+		Detected: make([]int, len(faults)),
+	}
+	words := make([]uint64, len(c.Inputs))
+	chunk := (len(faults) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for applied := 0; applied < numPatterns; applied += 64 {
+		gen.NextBlock(words)
+		good.SetInputs(words)
+		good.Run()
+		goodVals := good.Values()
+		valid := numPatterns - applied
+		var mask uint64 = ^uint64(0)
+		if valid < 64 {
+			mask = (uint64(1) << valid) - 1
+		}
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(faults) {
+				hi = len(faults)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(sim *Simulator, lo, hi int) {
+				defer wg.Done()
+				for fi := lo; fi < hi; fi++ {
+					d := sim.simulateFault(goodVals, faults[fi])
+					res.Detected[fi] += bits.OnesCount64(d & mask)
+				}
+			}(sims[w], lo, hi)
+		}
+		wg.Wait()
+	}
+	res.Applied = numPatterns
+	return res
+}

@@ -1,0 +1,53 @@
+package faultsim
+
+import (
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/pattern"
+)
+
+// Parallel measurement must be bit-identical to the serial one.
+func TestParallelMatchesSerial(t *testing.T) {
+	c := circuits.ALU74181()
+	faults := fault.Collapse(c)
+	genA := pattern.NewUniform(len(c.Inputs), 31)
+	genB := pattern.NewUniform(len(c.Inputs), 31)
+	serial := MeasureDetection(c, faults, genA, 1000)
+	parallel := MeasureDetectionParallel(c, faults, genB, 1000, 4)
+	if serial.Applied != parallel.Applied {
+		t.Fatal("applied mismatch")
+	}
+	for i := range faults {
+		if serial.Detected[i] != parallel.Detected[i] {
+			t.Fatalf("fault %d: serial %d parallel %d", i, serial.Detected[i], parallel.Detected[i])
+		}
+	}
+}
+
+func TestParallelDegenerateWorkerCounts(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Collapse(c)
+	for _, w := range []int{0, 1, 100} {
+		gen := pattern.NewUniform(len(c.Inputs), 7)
+		res := MeasureDetectionParallel(c, faults, gen, 128, w)
+		if res.Applied != 128 {
+			t.Errorf("workers=%d: applied %d", w, res.Applied)
+		}
+		if res.Coverage() < 1 {
+			t.Errorf("workers=%d: coverage %v", w, res.Coverage())
+		}
+	}
+}
+
+func TestParallelRace(t *testing.T) {
+	// Exercised under -race in CI runs; keep the workload meaningful.
+	c := circuits.Mult8()
+	faults := fault.Collapse(c)
+	gen := pattern.NewUniform(len(c.Inputs), 9)
+	res := MeasureDetectionParallel(c, faults, gen, 256, 8)
+	if res.Coverage() <= 0.5 {
+		t.Errorf("implausible MULT coverage %v", res.Coverage())
+	}
+}

@@ -1,0 +1,265 @@
+package logic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+		Xor: "XOR", Xnor: "XNOR", Not: "NOT", Buf: "BUF",
+		Const0: "CONST0", Const1: "CONST1", Invalid: "INVALID",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}
+
+func TestParseOpRoundTrip(t *testing.T) {
+	for _, op := range []Op{Const0, Const1, Buf, Not, And, Nand, Or, Nor, Xor, Xnor} {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if got != op {
+			t.Errorf("ParseOp(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if _, err := ParseOp("FROB"); err == nil {
+		t.Error("ParseOp(FROB) should fail")
+	}
+	for alias, want := range map[string]Op{"BUFF": Buf, "INV": Not, "GND": Const0, "VDD": Const1} {
+		got, err := ParseOp(alias)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+}
+
+func TestArityOK(t *testing.T) {
+	if !Not.ArityOK(1) || Not.ArityOK(2) || Not.ArityOK(0) {
+		t.Error("Not arity rules wrong")
+	}
+	if !Const0.ArityOK(0) || Const0.ArityOK(1) {
+		t.Error("Const0 arity rules wrong")
+	}
+	if !And.ArityOK(2) || !And.ArityOK(9) || And.ArityOK(0) {
+		t.Error("And arity rules wrong")
+	}
+	if Invalid.ArityOK(1) {
+		t.Error("Invalid must reject all arities")
+	}
+}
+
+func TestEvalBasic(t *testing.T) {
+	tt := []struct {
+		op   Op
+		in   []bool
+		want bool
+	}{
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Xor, []bool{true, true, true}, true},
+		{Xor, []bool{true, true}, false},
+		{Xnor, []bool{true, false}, false},
+		{Not, []bool{true}, false},
+		{Buf, []bool{true}, true},
+		{Const0, nil, false},
+		{Const1, nil, true},
+	}
+	for _, c := range tt {
+		if got := Eval(c.op, c.in); got != c.want {
+			t.Errorf("Eval(%v, %v) = %v, want %v", c.op, c.in, got, c.want)
+		}
+	}
+}
+
+// EvalWord must agree with Eval bit by bit on random words.
+func TestEvalWordMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := []Op{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for _, op := range ops {
+		n := 1
+		if op != Buf && op != Not {
+			n = 1 + rng.Intn(4)
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		got := EvalWord(op, words)
+		for b := 0; b < 64; b++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = words[i]>>b&1 == 1
+			}
+			want := Eval(op, in)
+			if (got>>b&1 == 1) != want {
+				t.Fatalf("EvalWord(%v) bit %d mismatch", op, b)
+			}
+		}
+	}
+}
+
+func TestControllingValue(t *testing.T) {
+	if v, ok := And.ControllingValue(); !ok || v {
+		t.Error("And controlling value should be 0")
+	}
+	if v, ok := Or.ControllingValue(); !ok || !v {
+		t.Error("Or controlling value should be 1")
+	}
+	if _, ok := Xor.ControllingValue(); ok {
+		t.Error("Xor has no controlling value")
+	}
+}
+
+func TestXorProb(t *testing.T) {
+	if got := XorProb(0.5, 0.5); got != 0.5 {
+		t.Errorf("XorProb(0.5,0.5) = %v", got)
+	}
+	if got := XorProb(0, 0.3); got != 0.3 {
+		t.Errorf("XorProb(0,0.3) = %v", got)
+	}
+	if got := XorProb(1, 0.3); math.Abs(got-0.7) > 1e-15 {
+		t.Errorf("XorProb(1,0.3) = %v", got)
+	}
+}
+
+// ⊞ is commutative, associative and maps [0,1]² into [0,1].
+func TestXorProbProperties(t *testing.T) {
+	comm := func(a, b uint16) bool {
+		x, y := float64(a)/65535, float64(b)/65535
+		return math.Abs(XorProb(x, y)-XorProb(y, x)) < 1e-12
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	assoc := func(a, b, c uint16) bool {
+		x, y, z := float64(a)/65535, float64(b)/65535, float64(c)/65535
+		return math.Abs(XorProb(XorProb(x, y), z)-XorProb(x, XorProb(y, z))) < 1e-9
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	bounded := func(a, b uint16) bool {
+		v := XorProb(float64(a)/65535, float64(b)/65535)
+		return v >= -1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prob must equal the truth-table (Parker–McCluskey) computation for
+// every operator and random input probabilities.
+func TestProbMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range []Op{Buf, Not, And, Nand, Or, Nor, Xor, Xnor} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1
+			if op != Buf && op != Not {
+				n = 1 + rng.Intn(4)
+			}
+			in := make([]float64, n)
+			for i := range in {
+				in[i] = rng.Float64()
+			}
+			tbl, err := TableFromOp(op, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tbl.Prob(in)
+			got := Prob(op, in)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("Prob(%v, %v) = %v, table says %v", op, in, got, want)
+			}
+		}
+	}
+}
+
+// DiffProb must equal the truth-table boolean-difference computation.
+func TestDiffProbMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, op := range []Op{Buf, Not, And, Nand, Or, Nor, Xor, Xnor} {
+		n := 1
+		if op != Buf && op != Not {
+			n = 2 + rng.Intn(3)
+		}
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.Float64()
+		}
+		tbl, err := TableFromOp(op, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			want := tbl.DiffProb(in, i)
+			got := DiffProb(op, in, i)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("DiffProb(%v, pin %d) = %v, table says %v", op, i, got, want)
+			}
+		}
+	}
+}
+
+// The paper's ⊞-based pin sensitization must agree with the exact value
+// for inverters and 2-input gates with one side input (where the two
+// cofactors are genuinely independent or constant).
+func TestDiffProbPaperInverter(t *testing.T) {
+	if got := DiffProbPaper(Not, []float64{0.3}, 0); got != 1 {
+		t.Errorf("DiffProbPaper(Not) = %v, want 1", got)
+	}
+	// AND2: f0 = 0, f1 = p_other  =>  0 ⊞ p = p, which is exact.
+	got := DiffProbPaper(And, []float64{0.5, 0.25}, 0)
+	if math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("DiffProbPaper(And2, pin0) = %v, want 0.25", got)
+	}
+}
+
+func TestOrProb(t *testing.T) {
+	got := OrProb([]float64{0.5, 0.5})
+	if math.Abs(got-0.75) > 1e-15 {
+		t.Errorf("OrProb = %v, want 0.75", got)
+	}
+	if OrProb(nil) != 0 {
+		t.Error("OrProb(nil) should be 0")
+	}
+}
+
+func TestXorProbN(t *testing.T) {
+	// Odd parity of three independent 0.5 events is 0.5.
+	if got := XorProbN([]float64{0.5, 0.5, 0.5}); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("XorProbN = %v", got)
+	}
+	if XorProbN(nil) != 0 {
+		t.Error("XorProbN(nil) should be 0")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-0.1) != 0 || Clamp01(1.1) != 1 || Clamp01(0.4) != 0.4 {
+		t.Error("Clamp01 wrong")
+	}
+}
+
+func TestTransistorsSane(t *testing.T) {
+	if Transistors(Nand, 2) != 4 {
+		t.Errorf("NAND2 should be 4 transistors, got %d", Transistors(Nand, 2))
+	}
+	if Transistors(Not, 1) != 2 {
+		t.Errorf("NOT should be 2 transistors, got %d", Transistors(Not, 1))
+	}
+	if Transistors(And, 2) <= Transistors(Nand, 2) {
+		t.Error("AND2 must cost more than NAND2")
+	}
+}

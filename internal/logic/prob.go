@@ -1,0 +1,142 @@
+package logic
+
+// This file implements the arithmetic (Parker–McCluskey) extension of
+// gate functions: given the signal probabilities of statistically
+// independent inputs, it computes the exact output probability, the
+// boolean-difference probability used for observability propagation, and
+// the paper's ⊞ operator  t ⊞ y := t + y - 2ty.
+
+// XorProb returns a ⊞ b = a + b - 2ab, the probability that exactly one
+// of two independent events occurs.  It is the arithmetic image of XOR
+// and the combining operator the paper uses for fan-out stems.
+func XorProb(a, b float64) float64 {
+	return a + b - 2*a*b
+}
+
+// XorProbN folds XorProb over a slice (probability of odd parity of
+// independent events).  It returns 0 for an empty slice.
+func XorProbN(ps []float64) float64 {
+	v := 0.0
+	for _, p := range ps {
+		v = XorProb(v, p)
+	}
+	return v
+}
+
+// OrProb returns 1 - Π(1-p), the probability that at least one of the
+// independent events occurs.  This is the paper's alternative stem model
+// for circuits with a large number of primary outputs.
+func OrProb(ps []float64) float64 {
+	q := 1.0
+	for _, p := range ps {
+		q *= 1 - p
+	}
+	return 1 - q
+}
+
+// Prob computes the exact output probability of the operator assuming
+// the inputs are independent with probabilities in.  TableOp gates must
+// use TruthTable.Prob.
+func Prob(op Op, in []float64) float64 {
+	switch op {
+	case Const0:
+		return 0
+	case Const1:
+		return 1
+	case Buf:
+		return in[0]
+	case Not:
+		return 1 - in[0]
+	case And, Nand:
+		v := 1.0
+		for _, p := range in {
+			v *= p
+		}
+		if op == Nand {
+			return 1 - v
+		}
+		return v
+	case Or, Nor:
+		v := 1.0
+		for _, p := range in {
+			v *= 1 - p
+		}
+		if op == Nor {
+			return v
+		}
+		return 1 - v
+	case Xor, Xnor:
+		v := 0.0
+		for _, p := range in {
+			v = XorProb(v, p)
+		}
+		if op == Xnor {
+			return 1 - v
+		}
+		return v
+	}
+	panic("logic: Prob on " + op.String())
+}
+
+// DiffProb computes P[ f(..,e_i=0,..) != f(..,e_i=1,..) ], the
+// probability that the gate output depends on input i, assuming the
+// remaining inputs are independent with the given probabilities.
+// This is the exact local sensitization probability of pin i.
+func DiffProb(op Op, in []float64, i int) float64 {
+	switch op {
+	case Buf, Not:
+		return 1
+	case And, Nand:
+		v := 1.0
+		for j, p := range in {
+			if j != i {
+				v *= p
+			}
+		}
+		return v
+	case Or, Nor:
+		v := 1.0
+		for j, p := range in {
+			if j != i {
+				v *= 1 - p
+			}
+		}
+		return v
+	case Xor, Xnor:
+		return 1
+	case Const0, Const1:
+		return 0
+	}
+	panic("logic: DiffProb on " + op.String())
+}
+
+// DiffProbPaper is the paper's approximation of the local sensitization
+// probability:  f(p..,0,..p) ⊞ f(p..,1,..p)  where f is the arithmetic
+// extension of the gate.  It treats the two cofactor events as
+// independent, which is only an approximation (they share the remaining
+// inputs); DiffProb is exact.  Both are offered so the bias of the
+// original tool can be reproduced.
+func DiffProbPaper(op Op, in []float64, i int) float64 {
+	f0 := probWithPin(op, in, i, 0)
+	f1 := probWithPin(op, in, i, 1)
+	return XorProb(f0, f1)
+}
+
+func probWithPin(op Op, in []float64, i int, v float64) float64 {
+	tmp := make([]float64, len(in))
+	copy(tmp, in)
+	tmp[i] = v
+	return Prob(op, tmp)
+}
+
+// Clamp01 clamps p into [0,1]; estimation round-off can push values a few
+// ulps outside the interval.
+func Clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,198 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxTableInputs bounds the arity of explicit truth tables.  2^16 rows
+// is the largest table we are willing to enumerate.
+const MaxTableInputs = 16
+
+// TruthTable is an explicit representation of an arbitrary boolean
+// function of up to MaxTableInputs inputs.  Row r (the integer formed by
+// the input values with input 0 as the least significant bit) is output
+// bit r of the table.
+type TruthTable struct {
+	n    int
+	bits []uint64
+}
+
+// NewTruthTable creates a table for n inputs with all outputs 0.
+func NewTruthTable(n int) (*TruthTable, error) {
+	if n < 0 || n > MaxTableInputs {
+		return nil, fmt.Errorf("logic: truth table arity %d out of range [0,%d]", n, MaxTableInputs)
+	}
+	words := ((1 << n) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	return &TruthTable{n: n, bits: make([]uint64, words)}, nil
+}
+
+// TableFromFunc builds a truth table by evaluating f on every input
+// combination.  in[i] is input i.
+func TableFromFunc(n int, f func(in []bool) bool) (*TruthTable, error) {
+	t, err := NewTruthTable(n)
+	if err != nil {
+		return nil, err
+	}
+	in := make([]bool, n)
+	for r := 0; r < 1<<n; r++ {
+		for i := 0; i < n; i++ {
+			in[i] = r>>i&1 == 1
+		}
+		if f(in) {
+			t.Set(r, true)
+		}
+	}
+	return t, nil
+}
+
+// TableFromOp materializes a standard operator as a truth table.
+func TableFromOp(op Op, n int) (*TruthTable, error) {
+	if !op.ArityOK(n) {
+		return nil, fmt.Errorf("logic: %v does not accept %d inputs", op, n)
+	}
+	return TableFromFunc(n, func(in []bool) bool { return Eval(op, in) })
+}
+
+// N returns the number of inputs.
+func (t *TruthTable) N() int { return t.n }
+
+// Set assigns output bit for row r.
+func (t *TruthTable) Set(r int, v bool) {
+	if v {
+		t.bits[r/64] |= 1 << (r % 64)
+	} else {
+		t.bits[r/64] &^= 1 << (r % 64)
+	}
+}
+
+// Get returns the output for row r.
+func (t *TruthTable) Get(r int) bool {
+	return t.bits[r/64]>>(r%64)&1 == 1
+}
+
+// Eval evaluates the table on boolean inputs.
+func (t *TruthTable) Eval(in []bool) bool {
+	r := 0
+	for i := 0; i < t.n; i++ {
+		if in[i] {
+			r |= 1 << i
+		}
+	}
+	return t.Get(r)
+}
+
+// EvalWord evaluates the table bit-parallel on 64 patterns.
+func (t *TruthTable) EvalWord(in []uint64) uint64 {
+	var out uint64
+	for b := 0; b < 64; b++ {
+		r := 0
+		for i := 0; i < t.n; i++ {
+			if in[i]>>b&1 == 1 {
+				r |= 1 << i
+			}
+		}
+		if t.Get(r) {
+			out |= 1 << b
+		}
+	}
+	return out
+}
+
+// Prob computes the exact output probability assuming independent inputs
+// with probabilities in: the sum over all minterms of the product of the
+// corresponding input probabilities.  This is the arithmetic
+// (Parker–McCluskey) extension of the function.
+func (t *TruthTable) Prob(in []float64) float64 {
+	sum := 0.0
+	for r := 0; r < 1<<t.n; r++ {
+		if !t.Get(r) {
+			continue
+		}
+		p := 1.0
+		for i := 0; i < t.n; i++ {
+			if r>>i&1 == 1 {
+				p *= in[i]
+			} else {
+				p *= 1 - in[i]
+			}
+		}
+		sum += p
+	}
+	return sum
+}
+
+// DiffProb computes P[ f(e_i=0) != f(e_i=1) ] exactly, enumerating the
+// remaining inputs with their probabilities.
+func (t *TruthTable) DiffProb(in []float64, i int) float64 {
+	sum := 0.0
+	for r := 0; r < 1<<t.n; r++ {
+		if r>>i&1 == 1 {
+			continue // enumerate rows with input i = 0
+		}
+		if t.Get(r) == t.Get(r|1<<i) {
+			continue
+		}
+		p := 1.0
+		for j := 0; j < t.n; j++ {
+			if j == i {
+				continue
+			}
+			if r>>j&1 == 1 {
+				p *= in[j]
+			} else {
+				p *= 1 - in[j]
+			}
+		}
+		sum += p
+	}
+	return sum
+}
+
+// Cofactor returns the (n-1)-input table obtained by pinning input i to v.
+func (t *TruthTable) Cofactor(i int, v bool) *TruthTable {
+	ct, err := NewTruthTable(t.n - 1)
+	if err != nil {
+		panic(err)
+	}
+	for r := 0; r < 1<<(t.n-1); r++ {
+		// Re-insert bit i with value v.
+		low := r & (1<<i - 1)
+		high := r >> i << (i + 1)
+		full := high | low
+		if v {
+			full |= 1 << i
+		}
+		ct.Set(r, t.Get(full))
+	}
+	return ct
+}
+
+// String renders the output column as a bit string, row 0 first.
+func (t *TruthTable) String() string {
+	var sb strings.Builder
+	for r := 0; r < 1<<t.n; r++ {
+		if t.Get(r) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Equal reports whether two tables describe the same function.
+func (t *TruthTable) Equal(o *TruthTable) bool {
+	if t.n != o.n {
+		return false
+	}
+	for r := 0; r < 1<<t.n; r++ {
+		if t.Get(r) != o.Get(r) {
+			return false
+		}
+	}
+	return true
+}

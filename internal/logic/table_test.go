@@ -1,0 +1,188 @@
+package logic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTruthTableBounds(t *testing.T) {
+	if _, err := NewTruthTable(-1); err == nil {
+		t.Error("negative arity must fail")
+	}
+	if _, err := NewTruthTable(MaxTableInputs + 1); err == nil {
+		t.Error("oversized arity must fail")
+	}
+	tt, err := NewTruthTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Get(0) {
+		t.Error("fresh table must be all zero")
+	}
+}
+
+func TestTableSetGetEval(t *testing.T) {
+	tt, _ := NewTruthTable(3)
+	tt.Set(5, true) // in0=1, in1=0, in2=1
+	if !tt.Eval([]bool{true, false, true}) {
+		t.Error("Eval(101) should be true")
+	}
+	if tt.Eval([]bool{true, true, true}) {
+		t.Error("Eval(111) should be false")
+	}
+	tt.Set(5, false)
+	if tt.Get(5) {
+		t.Error("Set(false) did not clear")
+	}
+}
+
+func TestTableFromOpMatchesEval(t *testing.T) {
+	for _, op := range []Op{And, Or, Xor, Nand, Nor, Xnor} {
+		tbl, err := TableFromOp(op, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]bool, 3)
+		for r := 0; r < 8; r++ {
+			for i := range in {
+				in[i] = r>>i&1 == 1
+			}
+			if tbl.Eval(in) != Eval(op, in) {
+				t.Errorf("%v table row %d mismatch", op, r)
+			}
+		}
+	}
+}
+
+func TestTableEvalWord(t *testing.T) {
+	tbl, _ := TableFromOp(Xor, 2)
+	a := uint64(0xF0F0F0F0F0F0F0F0)
+	b := uint64(0xFF00FF00FF00FF00)
+	got := tbl.EvalWord([]uint64{a, b})
+	want := a ^ b
+	if got != want {
+		t.Errorf("EvalWord XOR = %x, want %x", got, want)
+	}
+}
+
+// Prob of a table over uniform inputs equals the fraction of 1-rows.
+func TestTableProbUniform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, _ := NewTruthTable(4)
+		ones := 0
+		for r := 0; r < 16; r++ {
+			if rng.Intn(2) == 1 {
+				tbl.Set(r, true)
+				ones++
+			}
+		}
+		in := []float64{0.5, 0.5, 0.5, 0.5}
+		return math.Abs(tbl.Prob(in)-float64(ones)/16) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Shannon expansion: P(f) = (1-p_i)·P(f|e_i=0) + p_i·P(f|e_i=1).
+func TestTableCofactorShannon(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		tbl, _ := NewTruthTable(n)
+		for r := 0; r < 1<<n; r++ {
+			tbl.Set(r, rng.Intn(2) == 1)
+		}
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.Float64()
+		}
+		for i := 0; i < n; i++ {
+			c0 := tbl.Cofactor(i, false)
+			c1 := tbl.Cofactor(i, true)
+			rest := make([]float64, 0, n-1)
+			for j, p := range in {
+				if j != i {
+					rest = append(rest, p)
+				}
+			}
+			want := (1-in[i])*c0.Prob(rest) + in[i]*c1.Prob(rest)
+			got := tbl.Prob(in)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("Shannon expansion violated at pin %d: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+// DiffProb on a random table equals direct enumeration of disagreeing rows.
+func TestTableDiffProbEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 4
+	tbl, _ := NewTruthTable(n)
+	for r := 0; r < 1<<n; r++ {
+		tbl.Set(r, rng.Intn(2) == 1)
+	}
+	in := []float64{0.1, 0.6, 0.4, 0.9}
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for r := 0; r < 1<<n; r++ {
+			if r>>i&1 == 1 {
+				continue
+			}
+			if tbl.Get(r) == tbl.Get(r|1<<i) {
+				continue
+			}
+			p := 1.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				if r>>j&1 == 1 {
+					p *= in[j]
+				} else {
+					p *= 1 - in[j]
+				}
+			}
+			want += p
+		}
+		if got := tbl.DiffProb(in, i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("DiffProb pin %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTableStringAndEqual(t *testing.T) {
+	a, _ := TableFromOp(And, 2)
+	if a.String() != "0001" {
+		t.Errorf("AND2 table = %q, want 0001", a.String())
+	}
+	b, _ := TableFromOp(And, 2)
+	if !a.Equal(b) {
+		t.Error("identical tables must be Equal")
+	}
+	c, _ := TableFromOp(Or, 2)
+	if a.Equal(c) {
+		t.Error("AND2 must differ from OR2")
+	}
+	d, _ := TableFromOp(And, 3)
+	if a.Equal(d) {
+		t.Error("different arities must differ")
+	}
+}
+
+func TestTableCofactorValues(t *testing.T) {
+	// f = a AND b; cofactor a=1 is identity in b, a=0 is constant 0.
+	tbl, _ := TableFromOp(And, 2)
+	c1 := tbl.Cofactor(0, true)
+	if !c1.Get(1) || c1.Get(0) {
+		t.Error("AND cofactor a=1 should be BUF(b)")
+	}
+	c0 := tbl.Cofactor(0, false)
+	if c0.Get(0) || c0.Get(1) {
+		t.Error("AND cofactor a=0 should be constant 0")
+	}
+}

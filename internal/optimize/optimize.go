@@ -1,0 +1,361 @@
+// Package optimize implements PROTEST's input signal probability
+// optimization (section 6 of the paper): hill climbing on the tuple
+// X = (p_i | i ∈ I) to maximize
+//
+//	J_N(X) = Π_f (1 - (1 - P_f(X))^N),
+//
+// the estimated probability that N weighted random patterns detect the
+// whole fault set.  N is only a numerical parameter; larger values push
+// the optimizer to care about the hardest faults.
+//
+// Probabilities move on a k/Grid lattice (Table 4 of the paper uses
+// sixteenths), matching what weighted pattern generators (the NLFSRs of
+// [KuWu84]) can realize in hardware.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"protest/internal/circuit"
+	"protest/internal/core"
+	"protest/internal/fault"
+	"protest/internal/pattern"
+)
+
+// Options controls the hill climbing.
+type Options struct {
+	// Grid is the probability lattice denominator (default 16).
+	Grid int
+	// N is the numerical pattern-count parameter of J_N.  When 0 it is
+	// chosen automatically as ~0.7/p_min from the initial analysis, so
+	// the objective stays sensitive at the hardest fault: a much larger
+	// N saturates J_N at 1 and destroys the gradient, a much smaller N
+	// ignores the hard tail.
+	N float64
+	// MaxSweeps bounds the number of full coordinate sweeps
+	// (default 24; a first-improvement sweep typically moves each
+	// input by one or two grid steps, so reaching a far-off optimum
+	// like the paper's 0.88/0.94 tuple needs several sweeps).
+	MaxSweeps int
+	// Steps lists the lattice step sizes tried per coordinate
+	// (default ±1, ±2, ±4 grid units).
+	Steps []int
+	// Params are the analysis parameters used inside the loop
+	// (default core.FastParams()).
+	Params *core.Params
+	// Restarts adds random restarts around the best tuple (default 0).
+	Restarts int
+	// Seed drives restart randomization.
+	Seed uint64
+	// OnImprove, when non-nil, is called after each improving move.
+	OnImprove func(sweep int, input int, objective float64)
+}
+
+func (o *Options) fill() {
+	if o.Grid <= 1 {
+		o.Grid = 16
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 24
+	}
+	if len(o.Steps) == 0 {
+		o.Steps = []int{1, -1, 2, -2, 4, -4}
+	}
+	if o.Params == nil {
+		p := core.FastParams()
+		o.Params = &p
+	}
+}
+
+// Result of an optimization run.
+type Result struct {
+	// Probs is the optimized input probability tuple.
+	Probs []float64
+	// Objective is log J_N at Probs.
+	Objective float64
+	// InitialObjective is log J_N at the uniform start tuple.
+	InitialObjective float64
+	// Evaluations counts analysis runs.
+	Evaluations int
+	// Sweeps counts completed coordinate sweeps.
+	Sweeps int
+	// N is the numerical parameter actually used (after auto-scaling).
+	N float64
+}
+
+// chooseN picks the J_N parameter from the detection probabilities of
+// the starting tuple: roughly ln2 / p_min, clamped to [10, 10^8].
+func chooseN(detect []float64) float64 {
+	pMin := 1.0
+	for _, p := range detect {
+		if p > 0 && p < pMin {
+			pMin = p
+		}
+	}
+	n := 0.7 / pMin
+	if n < 10 {
+		n = 10
+	}
+	if n > 1e8 {
+		n = 1e8
+	}
+	return n
+}
+
+// Objective evaluates log J_N for one tuple (exposed for tests and for
+// reporting tables).
+func Objective(an *core.Analyzer, faults []fault.Fault, probs []float64, n float64) (float64, error) {
+	res, err := an.Run(probs)
+	if err != nil {
+		return 0, err
+	}
+	return logJN(res.DetectProbs(faults), n), nil
+}
+
+// logJN computes Σ log(1 - (1-p)^N) with the same numerics as the
+// test-length package; undetectable faults contribute a large negative
+// penalty rather than -inf so the climber still gets a gradient.
+func logJN(detect []float64, n float64) float64 {
+	const penalty = -1e3
+	sum := 0.0
+	for _, p := range detect {
+		if p >= 1 {
+			continue
+		}
+		if p <= 1e-300 {
+			sum += penalty
+			continue
+		}
+		miss := n * math.Log1p(-p)
+		switch {
+		case miss >= 0:
+			sum += penalty
+		case miss > -math.Ln2:
+			sum += math.Log(-math.Expm1(miss))
+		default:
+			sum += math.Log1p(-math.Exp(miss))
+		}
+		if sum < penalty*1e6 {
+			return sum
+		}
+	}
+	return sum
+}
+
+// structuralPairs returns pairs of input positions that share an
+// immediate fanout gate.  Coordinate ascent alone stalls on such pairs:
+// e.g. for an XNOR(a,b) feeding an equality chain, P(XNOR=1) is
+// invariant under moving a alone while b sits at 0.5, so the climber
+// additionally tries moving structurally coupled inputs together.
+func structuralPairs(c *circuit.Circuit) [][2]int {
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if n.IsInput {
+			continue
+		}
+		var ins []int
+		for _, f := range n.Fanin {
+			if pos := c.InputIndex(f); pos >= 0 {
+				ins = append(ins, pos)
+			}
+		}
+		for i := 0; i < len(ins); i++ {
+			for j := i + 1; j < len(ins); j++ {
+				a, b := ins[i], ins[j]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if !seen[key] {
+					seen[key] = true
+					pairs = append(pairs, key)
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// Optimize runs first-improvement cyclic coordinate hill climbing from
+// the uniform tuple p_i = 0.5, with structural pair moves when single
+// moves stall.
+func Optimize(an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, error) {
+	opt.fill()
+	c := an.Circuit()
+	nin := len(c.Inputs)
+	if nin == 0 {
+		return nil, fmt.Errorf("optimize: circuit has no inputs")
+	}
+	grid := float64(opt.Grid)
+	pairs := structuralPairs(c)
+
+	// Start at the lattice point closest to 0.5.
+	cur := make([]int, nin) // lattice coordinates, 1..Grid-1
+	for i := range cur {
+		cur[i] = opt.Grid / 2
+	}
+	toProbs := func(coords []int) []float64 {
+		ps := make([]float64, nin)
+		for i, k := range coords {
+			ps[i] = float64(k) / grid
+		}
+		return ps
+	}
+	res := &Result{}
+	autoN := opt.N <= 0
+	// detectAt runs the analysis for a coordinate tuple and returns the
+	// per-fault detection probabilities.
+	detectAt := func(coords []int) ([]float64, error) {
+		r, err := an.Run(toProbs(coords))
+		if err != nil {
+			return nil, err
+		}
+		return r.DetectProbs(faults), nil
+	}
+	// Auto-scale N to the hardest fault of the starting tuple.
+	if autoN {
+		det, err := detectAt(cur)
+		if err != nil {
+			return nil, err
+		}
+		opt.N = chooseN(det)
+	}
+	eval := func(coords []int) (float64, error) {
+		res.Evaluations++
+		return Objective(an, faults, toProbs(coords), opt.N)
+	}
+
+	best, err := eval(cur)
+	if err != nil {
+		return nil, err
+	}
+	res.InitialObjective = best
+
+	inRange := func(k int) bool { return k >= 1 && k <= opt.Grid-1 }
+	climb := func(cur []int, best float64) (float64, error) {
+		for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+			// Adaptive N: as the hardest fault improves, J_N saturates
+			// and the gradient vanishes; re-scaling N to the current
+			// hardest fault keeps the pressure on the tail.  The paper
+			// calls N "only a numerical parameter"; this is its
+			// natural schedule.
+			if autoN && sweep > 0 {
+				det, err := detectAt(cur)
+				if err != nil {
+					return best, err
+				}
+				// Track 0.7/p_min in both directions: as the hardest
+				// fault improves, the old (larger) N saturates J at 1
+				// and kills the gradient.
+				if n := chooseN(det); n > opt.N*1.2 || n < opt.N/1.2 {
+					opt.N = n
+					best, err = eval(cur) // objectives are N-relative
+					if err != nil {
+						return best, err
+					}
+				}
+			}
+			improved := false
+			for i := 0; i < nin; i++ {
+				for _, step := range opt.Steps {
+					k := cur[i] + step
+					if !inRange(k) {
+						continue
+					}
+					old := cur[i]
+					cur[i] = k
+					obj, err := eval(cur)
+					if err != nil {
+						return best, err
+					}
+					if obj > best+1e-12 {
+						best = obj
+						improved = true
+						if opt.OnImprove != nil {
+							opt.OnImprove(sweep, i, best)
+						}
+						break // first improvement: keep the move
+					}
+					cur[i] = old
+				}
+			}
+			// Pair sweep: move structurally coupled inputs jointly
+			// (same and opposite directions).  This runs every sweep —
+			// on equality-style structures the coherent two-input
+			// moves carry the climb long after single moves degenerate
+			// into tiny oscillations.
+			for _, pr := range pairs {
+				i, j := pr[0], pr[1]
+			pairSteps:
+				for _, step := range opt.Steps {
+					for _, dir := range [2]int{step, -step} {
+						ki, kj := cur[i]+step, cur[j]+dir
+						if !inRange(ki) || !inRange(kj) {
+							continue
+						}
+						oi, oj := cur[i], cur[j]
+						cur[i], cur[j] = ki, kj
+						obj, err := eval(cur)
+						if err != nil {
+							return best, err
+						}
+						if obj > best+1e-12 {
+							best = obj
+							improved = true
+							if opt.OnImprove != nil {
+								opt.OnImprove(sweep, i, best)
+							}
+							break pairSteps // keep the pair move
+						}
+						cur[i], cur[j] = oi, oj
+					}
+				}
+			}
+			res.Sweeps++
+			if !improved {
+				break
+			}
+		}
+		return best, nil
+	}
+
+	best, err = climb(cur, best)
+	if err != nil {
+		return nil, err
+	}
+	bestCoords := append([]int(nil), cur...)
+
+	// Optional random restarts: perturb the best tuple and re-climb.
+	rng := pattern.NewRNG(opt.Seed)
+	for r := 0; r < opt.Restarts; r++ {
+		trial := append([]int(nil), bestCoords...)
+		for i := range trial {
+			if rng.Uint64()%4 == 0 {
+				trial[i] = 1 + int(rng.Uint64()%uint64(opt.Grid-1))
+			}
+		}
+		obj, err := eval(trial)
+		if err != nil {
+			return nil, err
+		}
+		obj, err = climb(trial, obj)
+		if err != nil {
+			return nil, err
+		}
+		if obj > best {
+			best = obj
+			bestCoords = append([]int(nil), trial...)
+		}
+	}
+
+	res.N = opt.N
+	res.Probs = toProbs(bestCoords)
+	res.Objective = best
+	return res, nil
+}

@@ -1,0 +1,145 @@
+// Package pattern generates the random test patterns PROTEST analyzes:
+// uniform patterns (every input is 1 with probability 0.5) and weighted
+// patterns where each primary input i is stimulated with its own signal
+// probability p_i — the key idea of section 6 of the paper.
+//
+// The generator is deterministic given a seed, so every experiment in
+// the repository is reproducible.
+package pattern
+
+import (
+	"fmt"
+	"math"
+)
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64* with a splitmix64-scrambled seed).  It deliberately does
+// not depend on math/rand so pattern streams are stable across Go
+// releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.  Any seed, including 0, is valid.
+func NewRNG(seed uint64) *RNG {
+	// splitmix64 scramble so that nearby seeds give unrelated streams.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: z}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Word returns 64 fair random bits (each 1 with probability 1/2).
+func (r *RNG) Word() uint64 { return r.Uint64() }
+
+// BiasedWord returns a word whose bits are independently 1 with
+// probability p.  Probabilities are honoured to full double precision
+// using one comparison per bit.
+func (r *RNG) BiasedWord(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ^uint64(0)
+	case p == 0.5:
+		return r.Uint64()
+	}
+	var w uint64
+	// Threshold comparison on 32-bit granules: two bits per Uint64 call
+	// would skew; use one 32-bit draw per bit, two bits per word.
+	thresh := uint64(math.Round(p * float64(1<<32)))
+	for b := 0; b < 64; b += 2 {
+		v := r.Uint64()
+		if v&0xFFFFFFFF < thresh {
+			w |= 1 << b
+		}
+		if v>>32 < thresh {
+			w |= 1 << (b + 1)
+		}
+	}
+	return w
+}
+
+// Generator produces pattern blocks (64 patterns at a time) for a fixed
+// number of inputs, each with its own probability of being logical "1".
+type Generator struct {
+	rng   *RNG
+	probs []float64
+}
+
+// NewUniform creates a generator where every one of n inputs is
+// stimulated with probability 0.5 (the conventional random test).
+func NewUniform(n int, seed uint64) *Generator {
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	return &Generator{rng: NewRNG(seed), probs: probs}
+}
+
+// NewWeighted creates a generator with per-input probabilities, e.g.
+// the optimized tuple computed by the PROTEST optimizer.
+func NewWeighted(probs []float64, seed uint64) (*Generator, error) {
+	for i, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("pattern: input %d probability %v out of [0,1]", i, p)
+		}
+	}
+	cp := make([]float64, len(probs))
+	copy(cp, probs)
+	return &Generator{rng: NewRNG(seed), probs: cp}, nil
+}
+
+// NumInputs returns the number of inputs per pattern.
+func (g *Generator) NumInputs() int { return len(g.probs) }
+
+// Probs returns the generator's per-input probabilities (not a copy).
+func (g *Generator) Probs() []float64 { return g.probs }
+
+// NextBlock fills words[i] with the next 64 values of input i.
+func (g *Generator) NextBlock(words []uint64) {
+	if len(words) != len(g.probs) {
+		panic(fmt.Sprintf("pattern: %d words for %d inputs", len(words), len(g.probs)))
+	}
+	for i, p := range g.probs {
+		words[i] = g.rng.BiasedWord(p)
+	}
+}
+
+// QuantizeGrid snaps each probability to the nearest multiple of 1/grid
+// inside [1/grid, (grid-1)/grid].  Hardware weighted-pattern generators
+// (the NLFSRs of [KuWu84]) realize probabilities on such a grid; the
+// paper's Table 4 uses grid = 16.
+func QuantizeGrid(probs []float64, grid int) []float64 {
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		k := math.Round(p * float64(grid))
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(grid-1) {
+			k = float64(grid - 1)
+		}
+		out[i] = k / float64(grid)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package pattern
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d equal words out of 100", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must still produce a live stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBiasedWordExtremes(t *testing.T) {
+	r := NewRNG(1)
+	if r.BiasedWord(0) != 0 {
+		t.Error("p=0 must give all zeros")
+	}
+	if r.BiasedWord(1) != ^uint64(0) {
+		t.Error("p=1 must give all ones")
+	}
+}
+
+// Empirical bit frequency of BiasedWord must approach p.
+func TestBiasedWordFrequency(t *testing.T) {
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.94} {
+		r := NewRNG(uint64(p * 1000))
+		ones := 0
+		const blocks = 2000
+		for i := 0; i < blocks; i++ {
+			ones += bits.OnesCount64(r.BiasedWord(p))
+		}
+		got := float64(ones) / (64 * blocks)
+		// 64*2000 = 128000 samples; tolerance ~4 sigma.
+		sigma := math.Sqrt(p * (1 - p) / (64 * blocks))
+		if math.Abs(got-p) > 4*sigma+1e-9 {
+			t.Errorf("p=%v: measured %v (|Δ|=%.5f > %.5f)", p, got, math.Abs(got-p), 4*sigma)
+		}
+	}
+}
+
+func TestGeneratorUniform(t *testing.T) {
+	g := NewUniform(3, 9)
+	if g.NumInputs() != 3 {
+		t.Fatal("NumInputs wrong")
+	}
+	for _, p := range g.Probs() {
+		if p != 0.5 {
+			t.Fatal("uniform generator must use 0.5 everywhere")
+		}
+	}
+	words := make([]uint64, 3)
+	g.NextBlock(words)
+	if words[0] == words[1] && words[1] == words[2] {
+		t.Error("input streams should be independent")
+	}
+}
+
+func TestGeneratorWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted([]float64{0.5, 1.5}, 1); err == nil {
+		t.Error("p>1 must be rejected")
+	}
+	if _, err := NewWeighted([]float64{-0.1}, 1); err == nil {
+		t.Error("p<0 must be rejected")
+	}
+	if _, err := NewWeighted([]float64{math.NaN()}, 1); err == nil {
+		t.Error("NaN must be rejected")
+	}
+	g, err := NewWeighted([]float64{0.25, 0.75}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint64, 2)
+	ones := [2]int{}
+	for i := 0; i < 500; i++ {
+		g.NextBlock(words)
+		ones[0] += bits.OnesCount64(words[0])
+		ones[1] += bits.OnesCount64(words[1])
+	}
+	f0 := float64(ones[0]) / (64 * 500)
+	f1 := float64(ones[1]) / (64 * 500)
+	if math.Abs(f0-0.25) > 0.02 || math.Abs(f1-0.75) > 0.02 {
+		t.Errorf("weighted frequencies %v %v", f0, f1)
+	}
+}
+
+func TestGeneratorNextBlockPanics(t *testing.T) {
+	g := NewUniform(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("NextBlock with wrong length should panic")
+		}
+	}()
+	g.NextBlock(make([]uint64, 1))
+}
+
+func TestQuantizeGrid(t *testing.T) {
+	in := []float64{0.0, 0.03, 0.5, 0.62, 0.94, 1.0}
+	out := QuantizeGrid(in, 16)
+	want := []float64{1.0 / 16, 1.0 / 16, 8.0 / 16, 10.0 / 16, 15.0 / 16, 15.0 / 16}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("QuantizeGrid[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestQuantizeGridProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := float64(raw) / 65535
+		q := QuantizeGrid([]float64{p}, 16)[0]
+		k := q * 16
+		return q >= 1.0/16 && q <= 15.0/16 && math.Abs(k-math.Round(k)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLFSRPeriod(t *testing.T) {
+	l, err := NewLFSR(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := l.Period(); p != 15 {
+		t.Errorf("4-bit LFSR period = %d, want 15", p)
+	}
+	l8, err := NewLFSR(8, 0xAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := l8.Period(); p != 255 {
+		t.Errorf("8-bit LFSR period = %d, want 255", p)
+	}
+	l16, err := NewLFSR(16, 0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := l16.Period(); p != 65535 {
+		t.Errorf("16-bit LFSR period = %d, want 65535", p)
+	}
+}
+
+func TestLFSRZeroSeed(t *testing.T) {
+	l, err := NewLFSR(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.State() == 0 {
+		t.Error("zero state would lock the LFSR")
+	}
+}
+
+func TestLFSRUnsupportedWidth(t *testing.T) {
+	if _, err := NewLFSR(7, 1); err == nil {
+		t.Error("width 7 should be rejected")
+	}
+}
+
+func TestLFSRPatternBits(t *testing.T) {
+	l, _ := NewLFSR(8, 0x5A)
+	p := l.Pattern()
+	if p > 0xFF {
+		t.Errorf("8-bit pattern has high bits: %x", p)
+	}
+}

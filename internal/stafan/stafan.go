@@ -1,0 +1,217 @@
+// Package stafan implements a STAFAN-style statistical fault analysis
+// (Jain/Agrawal, "STAFAN: An Alternative to Fault Simulation", DAC
+// 1984) — the tool the paper names as the contemporary alternative to
+// PROTEST.  Where PROTEST *computes* probabilities from the circuit
+// structure, STAFAN *extrapolates* them from a run of fault-free logic
+// simulation:
+//
+//   - controllability C1(l) is the measured fraction of patterns with
+//     line l at 1 (C0 = 1 - C1);
+//   - per-pin sensitization S(pin) is the measured fraction of patterns
+//     where the gate output would flip if the pin flipped;
+//   - observability propagates backward:
+//     O(pin) = O(out) · S(pin) / max over... — in the classic
+//     formulation O(input pin) = O(output) · S(pin) / C(pin value),
+//     approximated here as O(pin) = O(out) · S(pin), with fanout stems
+//     combined by the maximum branch (STAFAN's suggestion).
+//
+// Detection probability of a stuck-at-v fault at line l is then
+// estimated as C(¬v)(l) · O(l).  The implementation exists to
+// reproduce the paper's comparison experiments: a simulation-based
+// estimator whose quality depends on the pattern sample where
+// PROTEST's is analytic.
+package stafan
+
+import (
+	"fmt"
+	"math/bits"
+
+	"protest/internal/bitsim"
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/logic"
+	"protest/internal/pattern"
+)
+
+// Result holds the measured STAFAN statistics of one circuit.
+type Result struct {
+	C        *circuit.Circuit
+	Patterns int
+	// C1 is the measured 1-controllability per node.
+	C1 []float64
+	// Obs is the extrapolated observability per node.
+	Obs []float64
+	// PinObs is the extrapolated observability per gate input pin.
+	PinObs [][]float64
+}
+
+// Analyze simulates numPatterns fault-free patterns from gen and
+// extrapolates the STAFAN measures.
+func Analyze(c *circuit.Circuit, gen *pattern.Generator, numPatterns int) (*Result, error) {
+	if gen.NumInputs() != len(c.Inputs) {
+		return nil, fmt.Errorf("stafan: generator has %d inputs, circuit %d", gen.NumInputs(), len(c.Inputs))
+	}
+	if numPatterns < 64 {
+		numPatterns = 64
+	}
+	blocks := (numPatterns + 63) / 64
+	total := blocks * 64
+
+	sim := bitsim.New(c)
+	ones := make([]int, c.NumNodes())
+	// sens[gate][pin] counts patterns where the output is sensitive to
+	// the pin (the two cofactors differ).
+	sens := make([][]int, c.NumNodes())
+	for id := range c.Nodes {
+		if n := &c.Nodes[id]; !n.IsInput {
+			sens[id] = make([]int, len(n.Fanin))
+		}
+	}
+	words := make([]uint64, len(c.Inputs))
+	for bl := 0; bl < blocks; bl++ {
+		gen.NextBlock(words)
+		sim.SetInputs(words)
+		sim.Run()
+		vals := sim.Values()
+		for id := range c.Nodes {
+			ones[id] += bits.OnesCount64(vals[id])
+		}
+		for id := range c.Nodes {
+			n := &c.Nodes[id]
+			if n.IsInput {
+				continue
+			}
+			for pin := range n.Fanin {
+				sens[id][pin] += bits.OnesCount64(sensWord(n, vals, pin))
+			}
+		}
+	}
+
+	r := &Result{
+		C:        c,
+		Patterns: total,
+		C1:       make([]float64, c.NumNodes()),
+		Obs:      make([]float64, c.NumNodes()),
+		PinObs:   make([][]float64, c.NumNodes()),
+	}
+	for id := range c.Nodes {
+		r.C1[id] = float64(ones[id]) / float64(total)
+	}
+	// Backward observability pass over measured sensitizations.
+	order := c.TopoOrder()
+	for i := range c.Nodes {
+		if n := &c.Nodes[i]; !n.IsInput {
+			r.PinObs[i] = make([]float64, len(n.Fanin))
+		}
+	}
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		id := order[oi]
+		n := c.Node(id)
+		obs := 0.0
+		if n.IsOutput {
+			obs = 1
+		}
+		for fi, g := range n.Fanout {
+			if dupBefore(n.Fanout, fi) {
+				continue
+			}
+			for _, pin := range c.PinIndex(g, id) {
+				if v := r.PinObs[g][pin]; v > obs {
+					obs = v // STAFAN: stems take the best branch
+				}
+			}
+		}
+		r.Obs[id] = obs
+		if n.IsInput {
+			continue
+		}
+		for pin := range n.Fanin {
+			s := float64(sens[id][pin]) / float64(total)
+			r.PinObs[id][pin] = obs * s
+		}
+	}
+	return r, nil
+}
+
+// dupBefore reports whether fanout[fi] already occurred earlier (a node
+// feeding several pins of one gate repeats in the fanout list).
+func dupBefore(fanout []circuit.NodeID, fi int) bool {
+	for j := 0; j < fi; j++ {
+		if fanout[j] == fanout[fi] {
+			return true
+		}
+	}
+	return false
+}
+
+// sensWord returns, bit-parallel, the patterns where gate n's output is
+// sensitive to the given pin (cofactors differ).
+func sensWord(n *circuit.Node, vals []uint64, pin int) uint64 {
+	switch n.Op {
+	case logic.Buf, logic.Not:
+		return ^uint64(0)
+	case logic.Xor, logic.Xnor:
+		return ^uint64(0)
+	case logic.And, logic.Nand:
+		// Sensitive when all side inputs are 1.
+		w := ^uint64(0)
+		for i, f := range n.Fanin {
+			if i != pin {
+				w &= vals[f]
+			}
+		}
+		return w
+	case logic.Or, logic.Nor:
+		// Sensitive when all side inputs are 0.
+		w := ^uint64(0)
+		for i, f := range n.Fanin {
+			if i != pin {
+				w &= ^vals[f]
+			}
+		}
+		return w
+	case logic.TableOp:
+		var w uint64
+		in := make([]bool, len(n.Fanin))
+		for b := 0; b < 64; b++ {
+			for i, f := range n.Fanin {
+				in[i] = vals[f]>>b&1 == 1
+			}
+			in[pin] = false
+			v0 := n.Table.Eval(in)
+			in[pin] = true
+			if n.Table.Eval(in) != v0 {
+				w |= 1 << b
+			}
+		}
+		return w
+	}
+	return 0
+}
+
+// DetectEstimate returns the STAFAN estimate of a fault's detection
+// probability: controllability of the opposite value times the line
+// observability.
+func (r *Result) DetectEstimate(f fault.Fault) float64 {
+	site := f.Site(r.C)
+	ctrl := r.C1[site]
+	var obs float64
+	if f.IsStem() {
+		obs = r.Obs[f.Gate]
+	} else {
+		obs = r.PinObs[f.Gate][f.Pin]
+	}
+	if f.StuckAt {
+		return logic.Clamp01((1 - ctrl) * obs)
+	}
+	return logic.Clamp01(ctrl * obs)
+}
+
+// DetectEstimates evaluates DetectEstimate over a fault list.
+func (r *Result) DetectEstimates(fs []fault.Fault) []float64 {
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = r.DetectEstimate(f)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package stafan
+
+import (
+	"math"
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/core"
+	"protest/internal/fault"
+	"protest/internal/netlist"
+	"protest/internal/pattern"
+	"protest/internal/stats"
+)
+
+func TestControllabilityMatchesExact(t *testing.T) {
+	c := circuits.C17()
+	gen := pattern.NewUniform(len(c.Inputs), 5)
+	r, err := Analyze(c, gen, 64*2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.ExactProbs(c, core.UniformProbs(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range exact {
+		if math.Abs(r.C1[id]-exact[id]) > 0.02 {
+			t.Errorf("node %d: C1 %v exact %v", id, r.C1[id], exact[id])
+		}
+	}
+}
+
+func TestObservabilitySingleGate(t *testing.T) {
+	c, err := netlist.ParseString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+`, "and")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := pattern.NewUniform(2, 7)
+	r, err := Analyze(c, gen, 64*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.ByName("a")
+	// Obs(a) = measured fraction of b=1 ≈ 0.5.
+	if math.Abs(r.Obs[a]-0.5) > 0.03 {
+		t.Errorf("obs(a) = %v, want ~0.5", r.Obs[a])
+	}
+}
+
+func TestDetectEstimateRange(t *testing.T) {
+	c := circuits.ALU74181()
+	gen := pattern.NewUniform(len(c.Inputs), 9)
+	r, err := Analyze(c, gen, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fault.Collapse(c) {
+		p := r.DetectEstimate(f)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("fault %v: estimate %v", f.Name(c), p)
+		}
+	}
+}
+
+// STAFAN correlates with exact detection probabilities on the ALU —
+// the paper's point is that an analytic tool reaches similar (better)
+// quality without simulation; both must clearly beat SCOAP.
+func TestStafanQualityOnALU(t *testing.T) {
+	c := circuits.ALU74181()
+	faults := fault.Collapse(c)
+	gen := pattern.NewUniform(len(c.Inputs), 11)
+	r, err := Analyze(c, gen, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.ExactDetectProbs(c, faults, core.UniformProbs(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := r.DetectEstimates(faults)
+	corr := stats.Correlation(est, exact)
+	if corr < 0.7 {
+		t.Errorf("STAFAN correlation %.3f < 0.7 on ALU", corr)
+	}
+	sc := core.ComputeScoap(c)
+	scoap := make([]float64, len(faults))
+	for i, f := range faults {
+		scoap[i] = sc.DetectEstimate(f)
+	}
+	if corr <= stats.Correlation(scoap, exact) {
+		t.Error("STAFAN should beat the SCOAP transform")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	c := circuits.C17()
+	gen := pattern.NewUniform(3, 1) // wrong input count
+	if _, err := Analyze(c, gen, 100); err == nil {
+		t.Error("input-count mismatch must fail")
+	}
+}
+
+func TestSmallPatternCountRoundsUp(t *testing.T) {
+	c := circuits.C17()
+	gen := pattern.NewUniform(len(c.Inputs), 2)
+	r, err := Analyze(c, gen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Patterns < 64 {
+		t.Errorf("patterns = %d, want >= 64", r.Patterns)
+	}
+}

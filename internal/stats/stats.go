@@ -1,0 +1,218 @@
+// Package stats provides the statistical evaluation the paper uses to
+// validate PROTEST: correlation coefficients and error measures between
+// estimated and simulated detection probabilities (Table 1), and ASCII
+// correlation diagrams standing in for Figures 5 and 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MaxAbsError returns max_i |a_i - b_i|.
+func MaxAbsError(a, b []float64) float64 {
+	mustSameLen(a, b)
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanAbsError returns (Σ|a_i - b_i|) / n — the paper's Δ, the average
+// difference between simulated and estimated values.
+func MeanAbsError(a, b []float64) float64 {
+	mustSameLen(a, b)
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+// MeanBias returns (Σ(b_i - a_i)) / n, positive when b systematically
+// exceeds a.  The paper observes P_SIM > P_PROT on average.
+func MeanBias(a, b []float64) float64 {
+	mustSameLen(a, b)
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range a {
+		s += b[i] - a[i]
+	}
+	return s / float64(len(a))
+}
+
+// Correlation returns the Pearson correlation coefficient of a and b —
+// the paper's C₀.  It returns 0 when either vector is constant.
+func Correlation(a, b []float64) float64 {
+	mustSameLen(a, b)
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func mustSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// SpearmanCorrelation returns the rank correlation of a and b: the
+// Pearson correlation of their rank vectors, with ties assigned the
+// average rank.  For testability measures rank agreement often matters
+// more than value agreement (a monotone transform of a perfect measure
+// still orders the faults correctly), so Table-1-style comparisons
+// report both.
+func SpearmanCorrelation(a, b []float64) float64 {
+	mustSameLen(a, b)
+	return Correlation(ranks(a), ranks(b))
+}
+
+// ranks assigns average ranks (1-based) with tie handling.
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Scatter renders an ASCII correlation diagram of the points (x_i, y_i)
+// over the unit square, the textual analogue of the paper's Figures 5
+// and 6.  width and height are the plot dimensions in characters.
+// Cells hit by one point show '+', by several '*'.
+func Scatter(x, y []float64, width, height int, xLabel, yLabel string) string {
+	mustSameLen(x, y)
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	grid := make([][]int, height)
+	for r := range grid {
+		grid[r] = make([]int, width)
+	}
+	for i := range x {
+		cx := int(x[i] * float64(width-1))
+		cy := int(y[i] * float64(height-1))
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= width {
+			cx = width - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= height {
+			cy = height - 1
+		}
+		grid[height-1-cy][cx]++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", yLabel)
+	for r := 0; r < height; r++ {
+		yv := float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&sb, "%4.1f |", yv)
+		for c := 0; c < width; c++ {
+			switch {
+			case grid[r][c] == 0:
+				sb.WriteByte(' ')
+			case grid[r][c] == 1:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte('*')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("     +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "      0.0%s1.0  %s\n", strings.Repeat(" ", width-6), xLabel)
+	return sb.String()
+}
+
+// Histogram counts values into n equal-width buckets over [0,1].
+func Histogram(v []float64, n int) []int {
+	h := make([]int, n)
+	for _, x := range v {
+		b := int(x * float64(n))
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		h[b]++
+	}
+	return h
+}
+
+// Summary bundles the Table 1 measures for one circuit.
+type Summary struct {
+	MaxErr float64 // maximal |P_PROT - P_SIM|
+	AvgErr float64 // Δ, the average difference
+	Corr   float64 // C₀, correlation coefficient
+	Bias   float64 // mean(P_SIM - P_PROT); positive = under-estimation
+	N      int
+}
+
+// Summarize computes the Table 1 row for estimated vs simulated values.
+func Summarize(estimated, simulated []float64) Summary {
+	return Summary{
+		MaxErr: MaxAbsError(estimated, simulated),
+		AvgErr: MeanAbsError(estimated, simulated),
+		Corr:   Correlation(estimated, simulated),
+		Bias:   MeanBias(estimated, simulated),
+		N:      len(estimated),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d maxErr=%.2f avgErr=%.2f corr=%.2f bias=%+.3f",
+		s.N, s.MaxErr, s.AvgErr, s.Corr, s.Bias)
+}

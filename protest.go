@@ -1,0 +1,370 @@
+// Package protest is a Go implementation of PROTEST, the probabilistic
+// testability analysis tool of Wunderlich (DAC 1985).
+//
+// PROTEST estimates, for every single stuck-at fault of a combinational
+// circuit, the probability that a random test pattern detects it.  From
+// these estimates it derives
+//
+//   - a testability measure (poorly testable faults are the ones with
+//     tiny detection probabilities),
+//   - the number of random patterns needed to reach a target fault
+//     coverage with a chosen confidence, and
+//   - optimized per-input signal probabilities ("weighted random
+//     patterns") that can shrink the necessary test length by several
+//     orders of magnitude on random-pattern-resistant circuits.
+//
+// # Quick start
+//
+//	c, _ := protest.ParseNetlistString(src, "mydesign")
+//	faults := protest.Faults(c)
+//	res, _ := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+//	probs := res.DetectProbs(faults)
+//	n, _ := protest.RequiredPatterns(probs, 0.98)      // patterns for 98% confidence
+//	opt, _ := protest.OptimizeInputs(c, faults, protest.OptimizeOptions{})
+//
+// The analysis estimates signal probabilities with reconvergent-fanout
+// correction (joining points, bounded by the MAXVERS/MAXLIST parameters
+// of the original tool), propagates observabilities through the
+// signal-flow model with the operator t ⊞ y = t+y−2ty, and validates
+// everything against a built-in bit-parallel fault simulator.
+package protest
+
+import (
+	"io"
+
+	"protest/internal/atpg"
+	"protest/internal/bdd"
+	"protest/internal/bist"
+	"protest/internal/circuit"
+	"protest/internal/circuits"
+	"protest/internal/core"
+	"protest/internal/fault"
+	"protest/internal/faultsim"
+	"protest/internal/netlist"
+	"protest/internal/optimize"
+	"protest/internal/pattern"
+	"protest/internal/stafan"
+	"protest/internal/stats"
+	"protest/internal/testlen"
+)
+
+// Core circuit types, re-exported from the implementation packages so
+// downstream users need only import this package.
+type (
+	// Circuit is an immutable combinational circuit.
+	Circuit = circuit.Circuit
+	// NodeID indexes a node within a circuit.
+	NodeID = circuit.NodeID
+	// Node is one vertex of the circuit graph.
+	Node = circuit.Node
+	// Builder constructs circuits programmatically.
+	Builder = circuit.Builder
+	// Stats summarizes circuit structure.
+	CircuitStats = circuit.Stats
+
+	// Fault is a single stuck-at fault.
+	Fault = fault.Fault
+
+	// Params tunes the probabilistic analysis (MAXVERS, MAXLIST, ...).
+	Params = core.Params
+	// Analysis holds estimated signal probabilities, observabilities
+	// and fault detection probabilities.
+	Analysis = core.Analysis
+	// Analyzer caches the per-circuit analysis plan for repeated runs.
+	Analyzer = core.Analyzer
+	// ObsModel selects the fanout-stem observability model.
+	ObsModel = core.ObsModel
+
+	// Generator produces weighted random pattern blocks.
+	Generator = pattern.Generator
+
+	// SimResult holds per-fault detection counts from fault simulation.
+	SimResult = faultsim.Result
+	// CoveragePoint is one row of a fault-coverage curve.
+	CoveragePoint = faultsim.CoveragePoint
+
+	// OptimizeOptions controls input-probability optimization.
+	OptimizeOptions = optimize.Options
+	// OptimizeResult is the outcome of an optimization run.
+	OptimizeResult = optimize.Result
+
+	// TestLengthRow is one (d, e, N) row of a test-length table.
+	TestLengthRow = testlen.Row
+
+	// Summary bundles error and correlation measures between estimated
+	// and simulated detection probabilities.
+	Summary = stats.Summary
+)
+
+// Observability models for Params.ObsModel.
+const (
+	// ObsXorTree combines fanout branches with t ⊞ y = t+y-2ty.
+	ObsXorTree = core.ObsXorTree
+	// ObsOr combines fanout branches with 1-Π(1-s).
+	ObsOr = core.ObsOr
+)
+
+// NewBuilder starts constructing a circuit with the given name.
+func NewBuilder(name string) *Builder { return circuit.NewBuilder(name) }
+
+// ParseNetlist reads a circuit in .bench syntax.
+func ParseNetlist(r io.Reader, name string) (*Circuit, error) {
+	return netlist.Parse(r, name)
+}
+
+// ParseNetlistString parses a .bench netlist from a string.
+func ParseNetlistString(src, name string) (*Circuit, error) {
+	return netlist.ParseString(src, name)
+}
+
+// ScanInfo describes a combinational core extracted from a sequential
+// (scan-design) netlist: every DFF becomes a pseudo-input and a
+// pseudo-output, the reduction scan paths implement physically.
+type ScanInfo = netlist.ScanInfo
+
+// ParseScanNetlist reads an ISCAS-89-style netlist that may contain
+// DFF elements and extracts the combinational core PROTEST analyzes.
+func ParseScanNetlist(r io.Reader, name string) (*ScanInfo, error) {
+	return netlist.ParseScan(r, name)
+}
+
+// ParseScanNetlistString is the string form of ParseScanNetlist.
+func ParseScanNetlistString(src, name string) (*ScanInfo, error) {
+	return netlist.ParseScanString(src, name)
+}
+
+// WriteNetlist renders a circuit in .bench syntax.
+func WriteNetlist(w io.Writer, c *Circuit) error { return netlist.Write(w, c) }
+
+// NetlistString renders a circuit as a .bench string.
+func NetlistString(c *Circuit) (string, error) { return netlist.String(c) }
+
+// DefaultParams returns the analysis setting used throughout the paper
+// reproduction (MAXVERS=4, MAXLIST=8, exact local boolean differences).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// FastParams returns a cheaper setting for inner optimization loops.
+func FastParams() Params { return core.FastParams() }
+
+// UniformProbs returns the conventional tuple p_i = 0.5.
+func UniformProbs(c *Circuit) []float64 { return core.UniformProbs(c) }
+
+// Analyze estimates signal probabilities, observabilities and fault
+// detection probabilities for one input tuple.
+func Analyze(c *Circuit, inputProbs []float64, p Params) (*Analysis, error) {
+	return core.Analyze(c, inputProbs, p)
+}
+
+// NewAnalyzer precomputes the analysis plan for repeated Run calls.
+func NewAnalyzer(c *Circuit, p Params) (*Analyzer, error) {
+	return core.NewAnalyzer(c, p)
+}
+
+// Faults returns the collapsed single stuck-at fault list of a circuit.
+func Faults(c *Circuit) []Fault { return fault.Collapse(c) }
+
+// AllFaults returns the complete (uncollapsed) fault universe.
+func AllFaults(c *Circuit) []Fault { return fault.Universe(c) }
+
+// ExactDetectProbs computes exact detection probabilities by weighted
+// exhaustive enumeration (circuits with <= 20 inputs).
+func ExactDetectProbs(c *Circuit, faults []Fault, inputProbs []float64) ([]float64, error) {
+	return core.ExactDetectProbs(c, faults, inputProbs)
+}
+
+// RequiredPatterns returns the smallest N such that N random patterns
+// detect every fault (given its detection probability) with confidence
+// e — formula (3) of the paper.
+func RequiredPatterns(detectProbs []float64, e float64) (int64, error) {
+	return testlen.Required(detectProbs, e)
+}
+
+// RequiredPatternsFraction restricts the fault set to the d·100%
+// easiest faults before computing the test length (the paper's F_d).
+func RequiredPatternsFraction(detectProbs []float64, d, e float64) (int64, error) {
+	return testlen.RequiredFraction(detectProbs, d, e)
+}
+
+// PatternSetProbability returns P_F: the probability that n patterns
+// detect all faults.
+func PatternSetProbability(detectProbs []float64, n int64) float64 {
+	return testlen.SetProbability(detectProbs, n)
+}
+
+// ExpectedCoverage returns the expected fault coverage of n patterns.
+func ExpectedCoverage(detectProbs []float64, n int64) float64 {
+	return testlen.ExpectedCoverage(detectProbs, n)
+}
+
+// TestLengthTable computes N for every (d, e) combination.
+func TestLengthTable(detectProbs []float64, ds, es []float64) []TestLengthRow {
+	return testlen.Table(detectProbs, ds, es)
+}
+
+// OptimizeInputs hill-climbs the per-input signal probabilities to
+// maximize the estimated whole-set detection probability J_N.
+func OptimizeInputs(c *Circuit, faults []Fault, opt OptimizeOptions) (*OptimizeResult, error) {
+	if opt.Params == nil {
+		fp := FastParams()
+		opt.Params = &fp
+	}
+	an, err := core.NewAnalyzer(c, *opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	return optimize.Optimize(an, faults, opt)
+}
+
+// NewUniformGenerator creates a deterministic generator of uniform
+// random patterns for n inputs.
+func NewUniformGenerator(n int, seed uint64) *Generator {
+	return pattern.NewUniform(n, seed)
+}
+
+// NewWeightedGenerator creates a generator with per-input probabilities
+// (e.g. an optimized tuple).
+func NewWeightedGenerator(probs []float64, seed uint64) (*Generator, error) {
+	return pattern.NewWeighted(probs, seed)
+}
+
+// QuantizeProbs snaps probabilities onto the k/grid lattice realizable
+// by hardware weighted-pattern generators (Table 4 uses grid = 16).
+func QuantizeProbs(probs []float64, grid int) []float64 {
+	return pattern.QuantizeGrid(probs, grid)
+}
+
+// MeasureDetection fault-simulates numPatterns patterns and counts how
+// many detect each fault (the P_SIM measurement of the paper).
+func MeasureDetection(c *Circuit, faults []Fault, gen *Generator, numPatterns int) *SimResult {
+	return faultsim.MeasureDetection(c, faults, gen, numPatterns)
+}
+
+// CoverageCurve fault-simulates with fault dropping and reports the
+// cumulative coverage at each checkpoint (the Table 6 experiment).
+func CoverageCurve(c *Circuit, faults []Fault, gen *Generator, checkpoints []int) []CoveragePoint {
+	return faultsim.CoverageCurve(c, faults, gen, checkpoints)
+}
+
+// Summarize computes max/average error and correlation between
+// estimated and simulated detection probabilities (Table 1 measures).
+func Summarize(estimated, simulated []float64) Summary {
+	return stats.Summarize(estimated, simulated)
+}
+
+// ScatterPlot renders an ASCII correlation diagram (Figures 5/6).
+func ScatterPlot(x, y []float64, width, height int, xLabel, yLabel string) string {
+	return stats.Scatter(x, y, width, height, xLabel, yLabel)
+}
+
+// ExactProbsBDD computes exact signal probabilities through reduced
+// ordered binary decision diagrams.  Unlike ExactDetectProbs's 2^n
+// enumeration this scales with the circuit's BDD size, not its input
+// count (COMP's 51 inputs are exact in milliseconds); it fails with
+// bdd.ErrNodeBudget on circuits whose diagrams explode (multipliers).
+// nodeBudget <= 0 selects a one-million-node default.
+func ExactProbsBDD(c *Circuit, inputProbs []float64, nodeBudget int) ([]float64, error) {
+	bc, err := bdd.FromCircuit(c, nodeBudget)
+	if err != nil {
+		return nil, err
+	}
+	return bc.Probs(inputProbs)
+}
+
+// StafanResult holds STAFAN-style simulation-extrapolated testability
+// measures (the contemporary alternative the paper compares against).
+type StafanResult = stafan.Result
+
+// AnalyzeStafan extrapolates STAFAN controllabilities/observabilities
+// from numPatterns fault-free simulated patterns.
+func AnalyzeStafan(c *Circuit, gen *Generator, numPatterns int) (*StafanResult, error) {
+	return stafan.Analyze(c, gen, numPatterns)
+}
+
+// BISTPlan and BISTResult describe a simulated self-test session with
+// MISR response compaction (section 8 of the paper).
+type (
+	BISTPlan   = bist.Plan
+	BISTResult = bist.Result
+)
+
+// RunBIST simulates a complete self test: the generator stimulates the
+// circuit and every fault's response stream is compacted into a
+// signature; coverage accounts for MISR aliasing.
+func RunBIST(c *Circuit, faults []Fault, gen *Generator, plan BISTPlan) (*BISTResult, error) {
+	return bist.Run(c, faults, gen, plan)
+}
+
+// Multi-distribution optimization types (gradient-clustered weight
+// sets, the follow-up direction to the paper's single tuple).
+type (
+	MultiOptimizeOptions = optimize.MultiOptions
+	MultiOptimizeResult  = optimize.MultiResult
+)
+
+// OptimizeInputsMulti derives several weighted-pattern distributions,
+// each serving the fault group whose detection gradients align.
+func OptimizeInputsMulti(c *Circuit, faults []Fault, opt MultiOptimizeOptions) (*MultiOptimizeResult, error) {
+	if opt.PerSet.Params == nil {
+		fp := FastParams()
+		opt.PerSet.Params = &fp
+	}
+	an, err := core.NewAnalyzer(c, *opt.PerSet.Params)
+	if err != nil {
+		return nil, err
+	}
+	return optimize.OptimizeMulti(an, faults, opt)
+}
+
+// ATPG types: the deterministic second stage behind the random phase
+// PROTEST sizes (PODEM with SCOAP-guided backtrace).
+type (
+	// ATPG is a deterministic test generator for one circuit.
+	ATPG = atpg.Generator
+	// ATPGResult is the outcome of one generation attempt.
+	ATPGResult = atpg.Result
+)
+
+// ATPG statuses.
+const (
+	ATPGDetected   = atpg.Detected
+	ATPGUntestable = atpg.Untestable
+	ATPGAborted    = atpg.Aborted
+)
+
+// NewATPG creates a PODEM test generator for the circuit.
+func NewATPG(c *Circuit) *ATPG { return atpg.New(c) }
+
+// ATPGTestBools converts a PODEM test cube to a boolean pattern,
+// filling unassigned positions with fill.
+func ATPGTestBools(test []atpg.V, fill bool) []bool { return atpg.TestBools(test, fill) }
+
+// Benchmark returns one of the built-in benchmark circuits by name:
+// "c17", "alu" (SN74181), "mult" (8-bit A+B+C*D), "div" (16-bit array
+// divider), "comp" (24-bit cascaded comparator), "sn7485", "cla16"
+// (carry-lookahead adder), "add8" (ripple adder).
+func Benchmark(name string) (*Circuit, bool) {
+	switch name {
+	case "c17":
+		return circuits.C17(), true
+	case "alu":
+		return circuits.ALU74181(), true
+	case "mult":
+		return circuits.Mult8(), true
+	case "div":
+		return circuits.Div16(), true
+	case "comp":
+		return circuits.Comp24(), true
+	case "sn7485":
+		return circuits.SN7485(), true
+	case "cla16":
+		return circuits.CLAAdder(16), true
+	case "add8":
+		return circuits.RippleAdder(8), true
+	}
+	return nil, false
+}
+
+// BenchmarkNames lists the built-in benchmark circuits.
+func BenchmarkNames() []string {
+	return []string{"c17", "alu", "mult", "div", "comp", "sn7485", "cla16", "add8"}
+}
