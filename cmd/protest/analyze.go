@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -9,17 +10,18 @@ import (
 	"protest"
 )
 
-func runInfo(args []string) error {
+func runInfo(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	dump := fs.Bool("dump", false, "dump the netlist in .bench syntax")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
+	s, err := cf.openSession()
 	if err != nil {
 		return err
 	}
+	c := s.Circuit()
 	st := c.Stats()
 	fmt.Printf("circuit:     %s\n", c.Name)
 	fmt.Printf("inputs:      %d\n", st.Inputs)
@@ -28,7 +30,7 @@ func runInfo(args []string) error {
 	fmt.Printf("levels:      %d\n", st.MaxLevel)
 	fmt.Printf("transistors: %d (CMOS estimate)\n", st.Transistors)
 	fmt.Printf("fanout stems:%d\n", st.FanoutStems)
-	fmt.Printf("faults:      %d collapsed / %d total\n", len(protest.Faults(c)), len(protest.AllFaults(c)))
+	fmt.Printf("faults:      %d collapsed / %d total\n", len(s.Faults()), len(protest.AllFaults(c)))
 	if *dump {
 		fmt.Println()
 		if err := protest.WriteNetlist(os.Stdout, c); err != nil {
@@ -38,7 +40,7 @@ func runInfo(args []string) error {
 	return nil
 }
 
-func runAnalyze(args []string) error {
+func runAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	pSpec := fs.String("p", "0.5", "input signal probabilities: one value for all inputs or a comma list")
@@ -51,21 +53,22 @@ func runAnalyze(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
-	if err != nil {
-		return err
-	}
-	probs, err := loadProbs(*pSpec, *pFile, c)
-	if err != nil {
-		return err
-	}
 	params := protest.DefaultParams()
 	params.MaxVers = *maxVers
 	params.MaxList = *maxList
 	if *orModel {
 		params.ObsModel = protest.ObsOr
 	}
-	res, err := protest.Analyze(c, probs, params)
+	s, err := cf.openSession(protest.WithParams(params))
+	if err != nil {
+		return err
+	}
+	c := s.Circuit()
+	probs, err := loadProbs(*pSpec, *pFile, c)
+	if err != nil {
+		return err
+	}
+	res, err := s.Analyze(ctx, probs)
 	if err != nil {
 		return err
 	}
@@ -76,7 +79,7 @@ func runAnalyze(args []string) error {
 		}
 		fmt.Println()
 	}
-	faults := protest.Faults(c)
+	faults := s.Faults()
 	detect := res.DetectProbs(faults)
 	type fp struct {
 		i int
@@ -96,7 +99,7 @@ func runAnalyze(args []string) error {
 	return nil
 }
 
-func runTestLen(args []string) error {
+func runTestLen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("testlen", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	pSpec := fs.String("p", "0.5", "input signal probabilities")
@@ -106,11 +109,11 @@ func runTestLen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
+	s, err := cf.openSession()
 	if err != nil {
 		return err
 	}
-	probs, err := loadProbs(*pSpec, *pFile, c)
+	probs, err := loadProbs(*pSpec, *pFile, s.Circuit())
 	if err != nil {
 		return err
 	}
@@ -122,11 +125,11 @@ func runTestLen(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := protest.Analyze(c, probs, protest.DefaultParams())
+	res, err := s.Analyze(ctx, probs)
 	if err != nil {
 		return err
 	}
-	detect := res.DetectProbs(protest.Faults(c))
+	detect := res.DetectProbs(s.Faults())
 	rows := protest.TestLengthTable(detect, dList, eList)
 	fmt.Printf("%6s %7s %14s\n", "d", "e", "N")
 	for _, r := range rows {

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
 	"protest"
 )
 
-func runATPG(args []string) error {
+func runATPG(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("atpg", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	random := fs.Int("random", 0, "simulate this many random patterns first and only target the survivors")
@@ -16,15 +17,18 @@ func runATPG(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
+	s, err := cf.openSession(protest.WithSeed(*seed))
 	if err != nil {
 		return err
 	}
-	faults := protest.Faults(c)
+	c := s.Circuit()
+	faults := s.Faults()
 	targets := faults
 	if *random > 0 {
-		gen := protest.NewUniformGenerator(len(c.Inputs), *seed)
-		sim := protest.MeasureDetection(c, faults, gen, *random)
+		sim, err := s.Simulate(ctx, *random)
+		if err != nil {
+			return err
+		}
 		targets = targets[:0:0]
 		for i := range faults {
 			if sim.Detected[i] == 0 {
@@ -37,6 +41,9 @@ func runATPG(args []string) error {
 	g := protest.NewATPG(c)
 	detected, untestable, aborted := 0, 0, 0
 	for _, f := range targets {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %d of %d targets processed", protest.ErrCanceled, detected+untestable+aborted, len(targets))
+		}
 		res := g.Generate(f)
 		switch res.Status {
 		case protest.ATPGDetected:

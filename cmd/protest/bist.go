@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
 	"protest"
 )
 
-func runBist(args []string) error {
+func runBist(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bist", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	pSpec := fs.String("p", "0.5", "PRPG input probabilities (0.5 = classic BILBO)")
@@ -18,20 +19,16 @@ func runBist(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
+	s, err := cf.openSession(protest.WithSeed(*seed))
 	if err != nil {
 		return err
 	}
+	c := s.Circuit()
 	probs, err := loadProbs(*pSpec, *pFile, c)
 	if err != nil {
 		return err
 	}
-	gen, err := protest.NewWeightedGenerator(probs, *seed)
-	if err != nil {
-		return err
-	}
-	faults := protest.Faults(c)
-	res, err := protest.RunBIST(c, faults, gen, protest.BISTPlan{
+	res, err := s.RunBISTWeighted(ctx, probs, protest.BISTPlan{
 		Cycles:    *cycles,
 		MISRWidth: *width,
 	})
@@ -48,7 +45,7 @@ func runBist(args []string) error {
 	return nil
 }
 
-func runExact(args []string) error {
+func runExact(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("exact", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	pSpec := fs.String("p", "0.5", "input signal probabilities")
@@ -58,10 +55,11 @@ func runExact(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
+	s, err := cf.openSession()
 	if err != nil {
 		return err
 	}
+	c := s.Circuit()
 	probs, err := loadProbs(*pSpec, *pFile, c)
 	if err != nil {
 		return err
@@ -70,7 +68,7 @@ func runExact(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := protest.Analyze(c, probs, protest.DefaultParams())
+	res, err := s.Analyze(ctx, probs)
 	if err != nil {
 		return err
 	}

@@ -62,6 +62,33 @@ func (cf *circuitFlags) load() (*protest.Circuit, error) {
 	}
 }
 
+// openSession loads the circuit selected by the flags and opens a
+// protest.Session on it.
+func (cf *circuitFlags) openSession(opts ...protest.Option) (*protest.Session, error) {
+	c, err := cf.load()
+	if err != nil {
+		return nil, err
+	}
+	return protest.Open(c, opts...)
+}
+
+// stderrProgress returns a WithProgress option that renders a coarse
+// phase/percent ticker on stderr.
+func stderrProgress() protest.Option {
+	last := ""
+	return protest.WithProgress(func(ph protest.Phase, frac float64) {
+		line := fmt.Sprintf("%s %3.0f%%", ph, 100*frac)
+		if line == last {
+			return
+		}
+		last = line
+		fmt.Fprintf(os.Stderr, "\r# %-24s", line)
+		if frac >= 1 {
+			fmt.Fprint(os.Stderr, "\r")
+		}
+	})
+}
+
 // parseProbList parses "0.5" (uniform) or a comma list "0.5,0.25,..."
 // matched against the number of inputs.
 func parseProbList(spec string, n int) ([]float64, error) {

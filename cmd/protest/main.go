@@ -11,16 +11,24 @@
 //	analyze   estimate signal and fault detection probabilities
 //	testlen   compute necessary random test lengths
 //	optimize  optimize per-input signal probabilities
+//	pipeline  run the full analyze/size/optimize/validate pipeline
 //	gen       generate random pattern sets
 //	fsim      fault-simulate a pattern set and report coverage
 //
 // Circuits are read from .bench netlists (-f) or taken from the
 // built-in benchmark suite (-circuit alu|mult|div|comp|c17|sn7485).
+// Every long-running subcommand honors Ctrl-C: the first interrupt
+// cancels the in-flight work cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
+
+	"protest"
 )
 
 func main() {
@@ -28,27 +36,32 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "info":
-		err = runInfo(args)
+		err = runInfo(ctx, args)
 	case "analyze":
-		err = runAnalyze(args)
+		err = runAnalyze(ctx, args)
 	case "testlen":
-		err = runTestLen(args)
+		err = runTestLen(ctx, args)
 	case "optimize":
-		err = runOptimize(args)
+		err = runOptimize(ctx, args)
+	case "pipeline":
+		err = runPipeline(ctx, args)
 	case "gen":
-		err = runGen(args)
+		err = runGen(ctx, args)
 	case "fsim":
-		err = runFsim(args)
+		err = runFsim(ctx, args)
 	case "atpg":
-		err = runATPG(args)
+		err = runATPG(ctx, args)
 	case "bist":
-		err = runBist(args)
+		err = runBist(ctx, args)
 	case "exact":
-		err = runExact(args)
+		err = runExact(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -57,6 +70,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, protest.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "protest: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "protest:", err)
 		os.Exit(1)
 	}
@@ -72,6 +89,7 @@ subcommands:
   analyze   estimate signal and fault detection probabilities
   testlen   compute necessary random test lengths (formula 3)
   optimize  optimize per-input signal probabilities (hill climbing)
+  pipeline  one-call pipeline: analyze, size, optimize, validate (-json)
   gen       generate (weighted) random pattern sets
   fsim      fault-simulate patterns and report coverage
   atpg      deterministic test generation (PODEM)

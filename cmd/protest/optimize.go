@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
 	"protest"
 )
 
-func runOptimize(args []string) error {
+func runOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	sweeps := fs.Int("sweeps", 16, "maximal coordinate sweeps")
@@ -20,11 +23,11 @@ func runOptimize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
+	s, err := cf.openSession(protest.WithSeed(*seed))
 	if err != nil {
 		return err
 	}
-	faults := protest.Faults(c)
+	c := s.Circuit()
 	opt := protest.OptimizeOptions{
 		Grid:      *grid,
 		N:         *nParam,
@@ -37,7 +40,7 @@ func runOptimize(args []string) error {
 			fmt.Printf("# sweep %d input %d: log J = %.4f\n", sweep, input, obj)
 		}
 	}
-	res, err := protest.OptimizeInputs(c, faults, opt)
+	res, err := s.Optimize(ctx, opt)
 	if err != nil {
 		return err
 	}
@@ -47,11 +50,12 @@ func runOptimize(args []string) error {
 		fmt.Printf("%-8s %6.4f\n", c.Node(id).Name, res.Probs[i])
 	}
 	if *compare {
-		before, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+		faults := s.Faults()
+		before, err := s.Analyze(ctx, nil)
 		if err != nil {
 			return err
 		}
-		after, err := protest.Analyze(c, res.Probs, protest.DefaultParams())
+		after, err := s.Analyze(ctx, res.Probs)
 		if err != nil {
 			return err
 		}
@@ -70,4 +74,61 @@ func fmtN(n int64, err error) string {
 		return "unreachable"
 	}
 	return fmt.Sprintf("%d", n)
+}
+
+func runPipeline(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
+	cf := addCircuitFlags(fs)
+	d := fs.Float64("d", 1.0, "fault fraction d the test must cover")
+	e := fs.Float64("e", 0.95, "confidence e")
+	optimize := fs.Bool("optimize", true, "run the weighted-pattern optimization phase")
+	sweeps := fs.Int("sweeps", 8, "maximal optimizer coordinate sweeps")
+	grid := fs.Int("grid", 16, "weight quantization lattice denominator")
+	sim := fs.Int("sim", 0, "fault-simulation budget per plan (0 = derive from test length)")
+	maxSim := fs.Int("maxsim", 4096, "cap on the derived simulation budget")
+	bistCycles := fs.Int("bist", 0, "also run a MISR self-test with this many cycles (0 = off)")
+	misr := fs.Uint("misr", 16, "MISR width for -bist")
+	seed := fs.Uint64("seed", 1, "pattern generator seed")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	quiet := fs.Bool("q", false, "suppress the progress ticker")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *d <= 0 || *d > 1 {
+		return fmt.Errorf("pipeline: -d %v out of (0,1]", *d)
+	}
+	if *e <= 0 || *e >= 1 {
+		return fmt.Errorf("pipeline: -e %v out of (0,1)", *e)
+	}
+	opts := []protest.Option{protest.WithSeed(*seed)}
+	if !*quiet && !*asJSON {
+		opts = append(opts, stderrProgress())
+	}
+	s, err := cf.openSession(opts...)
+	if err != nil {
+		return err
+	}
+	spec := protest.PipelineSpec{
+		Fraction:        *d,
+		Confidence:      *e,
+		Optimize:        *optimize,
+		OptimizeOptions: protest.OptimizeOptions{MaxSweeps: *sweeps},
+		QuantizeGrid:    *grid,
+		SimPatterns:     *sim,
+		MaxSimPatterns:  *maxSim,
+	}
+	if *bistCycles > 0 {
+		spec.BIST = &protest.BISTPlan{Cycles: *bistCycles, MISRWidth: *misr}
+	}
+	rep, err := s.Run(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Print(rep.String())
+	return nil
 }

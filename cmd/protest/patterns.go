@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -9,7 +10,7 @@ import (
 	"protest"
 )
 
-func runGen(args []string) error {
+func runGen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	pSpec := fs.String("p", "0.5", "input signal probabilities")
@@ -45,6 +46,9 @@ func runGen(args []string) error {
 	words := make([]uint64, len(c.Inputs))
 	emitted := 0
 	for emitted < *count {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %d of %d patterns emitted", protest.ErrCanceled, emitted, *count)
+		}
 		gen.NextBlock(words)
 		for b := 0; b < 64 && emitted < *count; b++ {
 			for i := range words {
@@ -61,7 +65,7 @@ func runGen(args []string) error {
 	return nil
 }
 
-func runFsim(args []string) error {
+func runFsim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fsim", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
 	pSpec := fs.String("p", "0.5", "input signal probabilities for random patterns")
@@ -73,36 +77,39 @@ func runFsim(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := cf.load()
+	s, err := cf.openSession(protest.WithSeed(*seed))
 	if err != nil {
 		return err
 	}
+	c := s.Circuit()
 	probs, err := loadProbs(*pSpec, *pFile, c)
 	if err != nil {
 		return err
 	}
-	gen, err := protest.NewWeightedGenerator(probs, *seed)
-	if err != nil {
-		return err
-	}
-	faults := protest.Faults(c)
+	faults := s.Faults()
 	if *curve != "" {
 		var cps []int
-		for _, s := range splitComma(*curve) {
+		for _, cs := range splitComma(*curve) {
 			var v int
-			if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
-				return fmt.Errorf("bad checkpoint %q", s)
+			if _, err := fmt.Sscanf(cs, "%d", &v); err != nil {
+				return fmt.Errorf("bad checkpoint %q", cs)
 			}
 			cps = append(cps, v)
 		}
-		points := protest.CoverageCurve(c, faults, gen, cps)
+		points, err := s.CoverageCurve(ctx, probs, cps)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%10s %10s\n", "patterns", "coverage%")
 		for _, pt := range points {
 			fmt.Printf("%10d %10.1f\n", pt.Patterns, pt.Coverage)
 		}
 		return nil
 	}
-	res := protest.MeasureDetection(c, faults, gen, *count)
+	res, err := s.SimulateWeighted(ctx, probs, *count)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("# %s: %d patterns, %d faults, coverage %.2f%%\n",
 		c.Name, res.Applied, len(faults), 100*res.Coverage())
 	if *psim {

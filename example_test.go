@@ -1,0 +1,76 @@
+package protest_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"protest"
+)
+
+// Open a Session on a built-in benchmark and read the basics: the
+// collapsed fault list and the analysis configuration.
+func ExampleOpen() {
+	c, _ := protest.Benchmark("c17")
+	s, err := protest.Open(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %s: %d collapsed faults\n", s.Circuit().Name, len(s.Faults()))
+	// Output:
+	// circuit c17: 28 collapsed faults
+}
+
+// Analyze estimates signal probabilities and per-fault detection
+// probabilities; nil input probabilities mean the uniform p = 0.5.
+func ExampleSession_Analyze() {
+	c, _ := protest.Benchmark("c17")
+	s, err := protest.Open(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Analyze(context.Background(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := c.ByName("G22")
+	fmt.Printf("P(G22 = 1) = %.4f\n", res.Prob[out])
+	// Output:
+	// P(G22 = 1) = 0.5625
+}
+
+// TestLength answers the paper's central question: how many uniform
+// random patterns until the wanted fault coverage is reached with the
+// wanted confidence?
+func ExampleSession_TestLength() {
+	c, _ := protest.Benchmark("c17")
+	s, err := protest.Open(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := s.TestLength(1.0, 0.98)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("N(F_1.0, 0.98) = %d patterns\n", n)
+	// Output:
+	// N(F_1.0, 0.98) = 74 patterns
+}
+
+// Run executes the whole paper pipeline — analyze, size, validate by
+// fault simulation — in one call and returns a serializable Report.
+func ExampleSession_Run() {
+	c, _ := protest.Benchmark("c17")
+	s, err := protest.Open(c, protest.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := s.Run(context.Background(), protest.PipelineSpec{Confidence: 0.98})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test length %d, simulated coverage %.0f%%\n",
+		rep.Uniform.TestLength, 100*rep.Uniform.Simulated.Coverage)
+	// Output:
+	// test length 74, simulated coverage 100%
+}

@@ -11,12 +11,13 @@
 // The paper notes that with optimized patterns the fault-simulation
 // phase needed a quarter of the computing time and left fewer faults
 // for the second stage; this example quantifies both effects on the
-// DIV benchmark.
+// DIV benchmark, on one Session.
 //
 //	go run ./examples/atpg-seeding
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -25,14 +26,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	c, ok := protest.Benchmark("div")
 	if !ok {
 		log.Fatal("built-in DIV missing")
 	}
-	faults := protest.Faults(c)
+	s, err := protest.Open(c, protest.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := s.Faults()
 	fmt.Printf("DUT: %s — %d gates, %d collapsed faults\n\n", c.Name, c.Stats().Gates, len(faults))
 
-	res, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+	res, err := s.Analyze(ctx, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,13 +83,15 @@ func main() {
 	if len(show) > 10 {
 		show = show[:10]
 	}
-	for _, s := range show {
-		fmt.Printf("  %-20s P(detect) = %.2e\n", s.name, s.p)
+	for _, sv := range show {
+		fmt.Printf("  %-20s P(detect) = %.2e\n", sv.name, sv.p)
 	}
 
 	// Validate the prediction by actually simulating the random phase.
-	gen := protest.NewUniformGenerator(len(c.Inputs), 11)
-	sim := protest.MeasureDetection(c, faults, gen, int(knee))
+	sim, err := s.Simulate(ctx, int(knee))
+	if err != nil {
+		log.Fatal(err)
+	}
 	var leftovers []protest.Fault
 	for i := range faults {
 		if sim.Detected[i] == 0 {

@@ -4,13 +4,15 @@
 // PROTEST-optimized weighted pattern set tests it in a few thousand
 // patterns.
 //
-// The example reproduces the story end to end: estimation, test-length
-// explosion, optimization, and fault-simulation evidence.
+// The example reproduces the story end to end on one Session:
+// estimation, test-length explosion, optimization, and
+// fault-simulation evidence.
 //
 //	go run ./examples/comparator
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,24 +20,28 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	c, ok := protest.Benchmark("comp")
 	if !ok {
 		log.Fatal("built-in COMP missing")
 	}
-	st := c.Stats()
-	fmt.Printf("COMP: 24-bit cascaded comparator — %d gates, %d inputs\n\n", st.Gates, st.Inputs)
-	faults := protest.Faults(c)
-
-	// --- Act 1: the uniform random test is uneconomical.
-	uniform, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+	s, err := protest.Open(c, protest.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	detU := uniform.DetectProbs(faults)
+	st := c.Stats()
+	fmt.Printf("COMP: 24-bit cascaded comparator — %d gates, %d inputs\n\n", st.Gates, st.Inputs)
+	faults := s.Faults()
+
+	// --- Act 1: the uniform random test is uneconomical.
+	uniform, err := s.Analyze(ctx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	eq, _ := c.ByName("EQ")
 	fmt.Printf("estimated P(EQ = 1) under p = 0.5: %.3e (2^-24 ≈ 6e-8: the EQ rail needs all 24 bit pairs equal)\n", uniform.Prob[eq])
 	for _, de := range [][2]float64{{1.0, 0.95}, {0.98, 0.98}} {
-		n, err := protest.RequiredPatternsFraction(detU, de[0], de[1])
+		n, err := s.TestLength(de[0], de[1])
 		if err != nil {
 			fmt.Printf("uniform d=%.2f e=%.3f: unreachable (%v)\n", de[0], de[1], err)
 			continue
@@ -45,7 +51,7 @@ func main() {
 
 	// --- Act 2: optimize the input probabilities.
 	fmt.Println("\noptimizing input probabilities (hill climbing on J_N)...")
-	opt, err := protest.OptimizeInputs(c, faults, protest.OptimizeOptions{MaxSweeps: 16})
+	opt, err := s.Optimize(ctx, protest.OptimizeOptions{MaxSweeps: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +65,7 @@ func main() {
 	}
 	fmt.Println()
 
-	optimized, err := protest.Analyze(c, opt.Probs, protest.DefaultParams())
+	optimized, err := s.Analyze(ctx, opt.Probs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,17 +79,17 @@ func main() {
 		}
 		fmt.Printf("optimized d=%.2f e=%.3f: N = %d\n", de[0], de[1], n)
 	}
-
 	// --- Act 3: fault simulation evidence (the paper's Table 6).
 	fmt.Println("\nfault simulation, 12000 patterns each:")
 	checkpoints := []int{10, 100, 1000, 4000, 8000, 12000}
-	genU := protest.NewUniformGenerator(len(c.Inputs), 3)
-	curveU := protest.CoverageCurve(c, faults, genU, checkpoints)
-	genO, err := protest.NewWeightedGenerator(opt.Probs, 4)
+	curveU, err := s.CoverageCurve(ctx, nil, checkpoints)
 	if err != nil {
 		log.Fatal(err)
 	}
-	curveO := protest.CoverageCurve(c, faults, genO, checkpoints)
+	curveO, err := s.CoverageCurve(ctx, opt.Probs, checkpoints)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%10s %12s %12s\n", "patterns", "uniform %", "optimized %")
 	for i := range curveU {
 		fmt.Printf("%10d %12.1f %12.1f\n", curveU[i].Patterns, curveU[i].Coverage, curveO[i].Coverage)

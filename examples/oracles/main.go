@@ -1,19 +1,24 @@
 // Four ways to know a signal probability — and when each one works.
 //
 // The exact problem is NP-hard [Wu84], which is the reason PROTEST
-// estimates.  This example puts the estimator side by side with the
-// three reference oracles the repository provides, on the paper's COMP
-// benchmark (51 inputs — exhaustive enumeration is impossible):
+// estimates.  This example puts the Session estimator side by side
+// with the three reference oracles the repository provides, on the
+// paper's COMP benchmark (51 inputs — exhaustive enumeration is
+// impossible):
 //
 //   - PROTEST estimator    near-linear, always works, approximate
+//
 //   - BDD exact            exact, works while the diagrams stay small
+//
 //   - STAFAN extrapolation measured from fault-free simulation
+//
 //   - Monte Carlo          measured, converges as 1/sqrt(patterns)
 //
-//	go run ./examples/oracles
+//     go run ./examples/oracles
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,15 +27,20 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	c, ok := protest.Benchmark("comp")
 	if !ok {
 		log.Fatal("built-in COMP missing")
 	}
+	s, err := protest.Open(c, protest.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
 	probs := protest.UniformProbs(c)
 	fmt.Printf("circuit: %s (%d inputs — 2^51 patterns, enumeration impossible)\n\n", c.Name, len(c.Inputs))
 
-	// Estimator.
-	res, err := protest.Analyze(c, probs, protest.DefaultParams())
+	// Estimator (cached plan, cancellable).
+	res, err := s.Analyze(ctx, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,11 @@
-// Quickstart: load a netlist, estimate testability, compute a random
-// test length, and validate it by fault simulation.
+// Quickstart: open a Session on a netlist, estimate testability,
+// compute a random test length, and validate it by fault simulation.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -38,16 +39,24 @@ zero = AND(n0, n1)
 `
 
 func main() {
-	// 1. Parse the structure description.
+	ctx := context.Background()
+
+	// 1. Parse the structure description and open a Session: the fault
+	// list is collapsed and the analysis plan cached once.
 	c, err := protest.ParseNetlistString(netlist, "inc4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := protest.Open(c, protest.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := c.Stats()
 	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs\n\n", c.Name, st.Gates, st.Inputs, st.Outputs)
 
-	// 2. Probabilistic analysis at the conventional p = 0.5.
-	res, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+	// 2. Probabilistic analysis at the conventional p = 0.5 (nil means
+	// the uniform tuple).
+	res, err := s.Analyze(ctx, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +67,7 @@ func main() {
 	}
 
 	// 3. Fault detection probabilities: the testability measure.
-	faults := protest.Faults(c)
+	faults := s.Faults()
 	detect := res.DetectProbs(faults)
 	type hard struct {
 		name string
@@ -75,14 +84,24 @@ func main() {
 	}
 
 	// 4. How many random patterns for 99% confidence of full coverage?
-	n, err := protest.RequiredPatterns(detect, 0.99)
+	n, err := s.TestLength(1.0, 0.99)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrequired random patterns (e = 0.99): %d\n", n)
 
 	// 5. Validate by fault simulation.
-	gen := protest.NewUniformGenerator(len(c.Inputs), 42)
-	sim := protest.MeasureDetection(c, faults, gen, int(n))
-	fmt.Printf("simulated coverage with %d patterns: %.1f%%\n", n, 100*sim.Coverage())
+	sim, err := s.Simulate(ctx, int(n)*4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated coverage with %d patterns: %.1f%%\n", sim.Applied, 100*sim.Coverage())
+
+	// One-call form: Session.Run packs the same pipeline (and more)
+	// into a single serializable report.
+	rep, err := s.Run(ctx, protest.PipelineSpec{Confidence: 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipeline report:\n%s", rep)
 }

@@ -3,7 +3,8 @@
 // self tests and to derive the optimal probabilities for NLFSR-based
 // weighted pattern generators.
 //
-// This example plans a self test for the MULT datapath (A + B + C*D):
+// This example plans a self test for the MULT datapath (A + B + C*D)
+// on one Session:
 //
 //  1. estimate detection probabilities under uniform patterns (what a
 //     standard BILBO/LFSR produces),
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,22 +29,22 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	c, ok := protest.Benchmark("mult")
 	if !ok {
 		log.Fatal("built-in MULT missing")
 	}
-	st := c.Stats()
-	fmt.Printf("DUT: %s — %d gates, %d inputs (~%d transistors)\n\n",
-		c.Name, st.Gates, st.Inputs, st.Transistors)
-	faults := protest.Faults(c)
-
-	// Standard BILBO: every scan cell feeds a fair pseudo-random bit.
-	uniform, err := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
+	s, err := protest.Open(c, protest.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	detU := uniform.DetectProbs(faults)
-	nU, err := protest.RequiredPatternsFraction(detU, 0.98, 0.98)
+	st := c.Stats()
+	fmt.Printf("DUT: %s — %d gates, %d inputs (~%d transistors)\n\n",
+		c.Name, st.Gates, st.Inputs, st.Transistors)
+	faults := s.Faults()
+
+	// Standard BILBO: every scan cell feeds a fair pseudo-random bit.
+	nU, err := s.TestLength(0.98, 0.98)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,12 +52,12 @@ func main() {
 
 	// Weighted PRPG (NLFSR substitute): optimize, then quantize to the
 	// hardware grid.
-	opt, err := protest.OptimizeInputs(c, faults, protest.OptimizeOptions{MaxSweeps: 8})
+	opt, err := s.Optimize(ctx, protest.OptimizeOptions{MaxSweeps: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
 	weights := protest.QuantizeProbs(opt.Probs, 16)
-	weighted, err := protest.Analyze(c, weights, protest.DefaultParams())
+	weighted, err := s.Analyze(ctx, weights)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,24 +78,21 @@ func main() {
 	fmt.Println()
 
 	// Validate both plans by fault simulation at the planned lengths.
-	genU := protest.NewUniformGenerator(len(c.Inputs), 7)
-	simU := protest.MeasureDetection(c, faults, genU, int(nU))
-	genW, err := protest.NewWeightedGenerator(weights, 7)
+	simU, err := s.Simulate(ctx, int(nU))
 	if err != nil {
 		log.Fatal(err)
 	}
-	simW := protest.MeasureDetection(c, faults, genW, int(nW))
+	simW, err := s.SimulateWeighted(ctx, weights, int(nW))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nsimulated coverage: uniform %.2f%% in %d patterns, weighted %.2f%% in %d patterns\n",
 		100*simU.Coverage(), nU, 100*simW.Coverage(), nW)
 
 	// Run the full self-test session with MISR response compaction: the
 	// on-chip reality is a signature comparison, and a 16-bit MISR
 	// aliases with probability ~2^-16 per fault.
-	genB, err := protest.NewWeightedGenerator(weights, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	bist, err := protest.RunBIST(c, faults, genB, protest.BISTPlan{
+	bist, err := s.RunBISTWeighted(ctx, weights, protest.BISTPlan{
 		Cycles:    int(nW),
 		MISRWidth: 16,
 	})

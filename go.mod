@@ -1,0 +1,3 @@
+module protest
+
+go 1.24

@@ -8,6 +8,7 @@
 package bist
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -87,6 +88,9 @@ type Plan struct {
 // Result reports the outcome of a simulated self-test session.
 type Result struct {
 	GoodSignature uint64
+	// MISRWidth is the signature register width actually used (the
+	// plan's width after defaulting).
+	MISRWidth uint
 	// Detected counts faults whose signature differs from the good one.
 	Detected int
 	// OutputDetected counts faults that produced at least one erroneous
@@ -112,6 +116,13 @@ func (r *Result) Coverage() float64 {
 // one.  The generator supplies the stimulus (uniform for a classic
 // BILBO, weighted for the optimized NLFSR scheme).
 func Run(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan Plan) (*Result, error) {
+	return RunCtx(context.Background(), c, faults, gen, plan, nil)
+}
+
+// RunCtx is Run with cancellation and progress reporting: between
+// 64-cycle blocks it checks ctx and, on cancellation, returns ctx.Err()
+// and a nil result.
+func RunCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan Plan, progress faultsim.Progress) (*Result, error) {
 	if gen.NumInputs() != len(c.Inputs) {
 		return nil, fmt.Errorf("bist: generator has %d inputs, circuit %d", gen.NumInputs(), len(c.Inputs))
 	}
@@ -142,6 +153,9 @@ func Run(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan 
 
 	cycles := 0
 	for cycles < plan.Cycles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gen.NextBlock(inWords)
 		valid := plan.Cycles - cycles
 		if valid > 64 {
@@ -169,10 +183,14 @@ func Run(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan 
 			faultSigs[fi] = scratch.state
 		}
 		cycles += valid
+		if progress != nil {
+			progress(cycles, plan.Cycles)
+		}
 	}
 
 	res := &Result{
 		GoodSignature: goodMISR.Signature(),
+		MISRWidth:     plan.MISRWidth,
 		Faults:        len(faults),
 		Cycles:        plan.Cycles,
 	}

@@ -1,0 +1,63 @@
+package circuits
+
+import (
+	"sort"
+	"sync"
+
+	"protest/internal/circuit"
+)
+
+// The benchmark registry maps names to circuit constructors.  The
+// built-in suite registers itself in init below; callers (including
+// code outside this repository, through the protest facade) can add
+// their own designs with Register and enumerate everything with Names.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() *circuit.Circuit{}
+)
+
+// Register makes a circuit constructor available under name,
+// replacing any previous registration.  The constructor is invoked
+// once per Lookup, so it must build a fresh circuit each call.
+func Register(name string, build func() *circuit.Circuit) {
+	if name == "" || build == nil {
+		panic("circuits: Register needs a name and a constructor")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = build
+}
+
+// Lookup builds the registered circuit by name.
+func Lookup(name string) (*circuit.Circuit, bool) {
+	registryMu.RLock()
+	build, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return build(), true
+}
+
+// Names lists the registered circuit names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("c17", C17)
+	Register("alu", ALU74181)
+	Register("mult", Mult8)
+	Register("div", Div16)
+	Register("comp", Comp24)
+	Register("sn7485", SN7485)
+	Register("cla16", func() *circuit.Circuit { return CLAAdder(16) })
+	Register("add8", func() *circuit.Circuit { return RippleAdder(8) })
+}

@@ -1,0 +1,91 @@
+package circuits
+
+import (
+	"testing"
+
+	"protest/internal/circuit"
+	"protest/internal/netlist"
+)
+
+// Every registered benchmark must build, be acyclic (its topological
+// order covers every node with fanin strictly before fanout), and
+// survive a WriteNetlist/ParseNetlist round trip unchanged in
+// structure.
+func TestRegistryCircuitsBuildAcyclicRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("registry lists %d circuits, want the full built-in suite", len(names))
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			c, ok := Lookup(name)
+			if !ok || c == nil {
+				t.Fatalf("Lookup(%q) failed", name)
+			}
+			if c.NumGates() == 0 {
+				t.Fatal("circuit has no gates")
+			}
+
+			// Acyclic: the topological order covers all nodes and every
+			// fanin edge points backwards in it.
+			order := c.TopoOrder()
+			if len(order) != c.NumNodes() {
+				t.Fatalf("topological order covers %d of %d nodes", len(order), c.NumNodes())
+			}
+			pos := make([]int, c.NumNodes())
+			for i, id := range order {
+				pos[id] = i
+			}
+			for id := range c.Nodes {
+				for _, fin := range c.Nodes[id].Fanin {
+					if pos[fin] >= pos[circuit.NodeID(id)] {
+						t.Fatalf("edge %s -> %s violates topological order",
+							c.Node(fin).Name, c.Nodes[id].Name)
+					}
+				}
+			}
+
+			// Round trip through the .bench syntax.
+			text, err := netlist.String(c)
+			if err != nil {
+				t.Fatalf("WriteNetlist: %v", err)
+			}
+			c2, err := netlist.ParseString(text, name)
+			if err != nil {
+				t.Fatalf("ParseNetlist: %v", err)
+			}
+			if c2.NumNodes() != c.NumNodes() || c2.NumGates() != c.NumGates() {
+				t.Fatalf("round trip changed structure: %d/%d nodes, %d/%d gates",
+					c2.NumNodes(), c.NumNodes(), c2.NumGates(), c.NumGates())
+			}
+			if len(c2.Inputs) != len(c.Inputs) || len(c2.Outputs) != len(c.Outputs) {
+				t.Fatalf("round trip changed interface: %d/%d inputs, %d/%d outputs",
+					len(c2.Inputs), len(c.Inputs), len(c2.Outputs), len(c.Outputs))
+			}
+		})
+	}
+}
+
+// Register must accept user circuits and make them visible to Lookup
+// and Names.
+func TestRegisterUserCircuit(t *testing.T) {
+	Register("registry-test-diamond", Diamond)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, "registry-test-diamond")
+		registryMu.Unlock()
+	}()
+	c, ok := Lookup("registry-test-diamond")
+	if !ok || c == nil {
+		t.Fatal("registered circuit not found")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "registry-test-diamond" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Names does not list the registered circuit")
+	}
+}

@@ -11,6 +11,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,6 +20,10 @@ import (
 	"protest/internal/fault"
 	"protest/internal/logic"
 )
+
+// ErrBadProbs flags an input-probability vector that cannot drive an
+// analysis: wrong length, NaN, or a value outside [0,1].
+var ErrBadProbs = errors.New("bad input probabilities")
 
 // ObsModel selects how fan-out branch observabilities combine into the
 // stem observability s(x).
@@ -146,13 +152,22 @@ func (a *Analyzer) Circuit() *circuit.Circuit { return a.c }
 // Run estimates signal probabilities and observabilities for the given
 // per-input signal probabilities.
 func (a *Analyzer) Run(inputProbs []float64) (*Analysis, error) {
+	return a.RunCtx(context.Background(), inputProbs)
+}
+
+// RunCtx is Run with cancellation: it aborts with ctx.Err() before the
+// signal pass and between the signal and observability passes.
+func (a *Analyzer) RunCtx(ctx context.Context, inputProbs []float64) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c := a.c
 	if len(inputProbs) != len(c.Inputs) {
-		return nil, fmt.Errorf("core: %d input probabilities for %d inputs", len(inputProbs), len(c.Inputs))
+		return nil, fmt.Errorf("core: %w: %d input probabilities for %d inputs", ErrBadProbs, len(inputProbs), len(c.Inputs))
 	}
 	for i, p := range inputProbs {
 		if p < 0 || p > 1 || math.IsNaN(p) {
-			return nil, fmt.Errorf("core: input %d probability %v out of [0,1]", i, p)
+			return nil, fmt.Errorf("core: %w: input %d probability %v out of [0,1]", ErrBadProbs, i, p)
 		}
 	}
 	res := &Analysis{
@@ -164,6 +179,9 @@ func (a *Analyzer) Run(inputProbs []float64) (*Analysis, error) {
 		PinObs:     make([][]float64, c.NumNodes()),
 	}
 	a.signalPass(res)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a.observePass(res)
 	return res, nil
 }

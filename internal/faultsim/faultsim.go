@@ -11,6 +11,7 @@
 package faultsim
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 
@@ -20,6 +21,10 @@ import (
 	"protest/internal/logic"
 	"protest/internal/pattern"
 )
+
+// Progress receives (patterns applied, patterns requested) after each
+// simulated block.  Nil callbacks are allowed everywhere one is taken.
+type Progress func(done, total int)
 
 // Simulator fault-simulates one circuit.
 type Simulator struct {
@@ -261,6 +266,14 @@ func (r *Result) Coverage() float64 {
 // experiment behind P_SIM in section 4 of the paper.  No fault dropping
 // is performed.
 func MeasureDetection(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns int) *Result {
+	res, _ := MeasureDetectionCtx(context.Background(), c, faults, gen, numPatterns, nil)
+	return res
+}
+
+// MeasureDetectionCtx is MeasureDetection with cancellation and
+// progress reporting: between 64-pattern blocks it checks ctx and, on
+// cancellation, returns ctx.Err() and a nil result.
+func MeasureDetectionCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns int, progress Progress) (*Result, error) {
 	s := New(c)
 	res := &Result{
 		Faults:   faults,
@@ -269,6 +282,9 @@ func MeasureDetection(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Gen
 	words := make([]uint64, len(c.Inputs))
 	det := make([]uint64, len(faults))
 	for applied := 0; applied < numPatterns; applied += 64 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gen.NextBlock(words)
 		valid := numPatterns - applied
 		var mask uint64 = ^uint64(0)
@@ -279,9 +295,12 @@ func MeasureDetection(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Gen
 		for i, d := range det {
 			res.Detected[i] += bits.OnesCount64(d & mask)
 		}
+		if progress != nil {
+			progress(min(applied+64, numPatterns), numPatterns)
+		}
 	}
 	res.Applied = numPatterns
-	return res
+	return res, nil
 }
 
 // CoveragePoint is one row of a coverage curve.
@@ -294,6 +313,13 @@ type CoveragePoint struct {
 // cumulative fault coverage at each checkpoint (pattern counts, sorted
 // ascending) — the experiment behind Table 6.
 func CoverageCurve(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int) []CoveragePoint {
+	out, _ := CoverageCurveCtx(context.Background(), c, faults, gen, checkpoints, nil)
+	return out
+}
+
+// CoverageCurveCtx is CoverageCurve with cancellation and progress
+// reporting; it checks ctx between 64-pattern blocks.
+func CoverageCurveCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, progress Progress) ([]CoveragePoint, error) {
 	cps := append([]int(nil), checkpoints...)
 	sort.Ints(cps)
 	s := New(c)
@@ -301,11 +327,18 @@ func CoverageCurve(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Genera
 	det := make([]uint64, len(alive))
 	words := make([]uint64, len(c.Inputs))
 	total := len(faults)
+	lastCp := 0
+	if len(cps) > 0 {
+		lastCp = cps[len(cps)-1]
+	}
 	dead := 0
 	var out []CoveragePoint
 	applied := 0
 	for _, cp := range cps {
 		for applied < cp {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			gen.NextBlock(words)
 			valid := cp - applied
 			var mask uint64 = ^uint64(0)
@@ -313,6 +346,9 @@ func CoverageCurve(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Genera
 				mask = (uint64(1) << valid) - 1
 			}
 			applied += min(64, valid)
+			if progress != nil {
+				progress(applied, lastCp)
+			}
 			s.SimulateBlock(words, alive, det[:len(alive)])
 			// Drop detected faults.
 			w := 0
@@ -331,7 +367,7 @@ func CoverageCurve(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Genera
 		}
 		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(dead) / float64(total)})
 	}
-	return out
+	return out, nil
 }
 
 // ExhaustiveDetection enumerates all 2^n input patterns (n <= 20) and

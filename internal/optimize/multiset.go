@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 
 	"protest/internal/core"
@@ -54,6 +55,12 @@ func (r *MultiResult) TotalPatterns() int64 {
 // detection probability wants the weights to move, and each group gets
 // its own optimized tuple and session length.
 func OptimizeMulti(an *core.Analyzer, faults []fault.Fault, opt MultiOptions) (*MultiResult, error) {
+	return OptimizeMultiCtx(context.Background(), an, faults, opt)
+}
+
+// OptimizeMultiCtx is OptimizeMulti with cancellation, threading ctx
+// through the gradient clustering and each per-group climb.
+func OptimizeMultiCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, opt MultiOptions) (*MultiResult, error) {
 	if opt.Sets <= 0 {
 		opt.Sets = 2
 	}
@@ -61,7 +68,7 @@ func OptimizeMulti(an *core.Analyzer, faults []fault.Fault, opt MultiOptions) (*
 		opt.SessionConfidence = 0.95
 	}
 	res := &MultiResult{}
-	clusters, err := clusterByGradient(an, faults, opt.Sets)
+	clusters, err := clusterByGradient(ctx, an, faults, opt.Sets)
 	if err != nil {
 		return nil, err
 	}
@@ -69,11 +76,11 @@ func OptimizeMulti(an *core.Analyzer, faults []fault.Fault, opt MultiOptions) (*
 		if len(group) == 0 {
 			continue
 		}
-		single, err := Optimize(an, group, opt.PerSet)
+		single, err := OptimizeCtx(ctx, an, group, opt.PerSet)
 		if err != nil {
 			return nil, err
 		}
-		run, err := an.Run(single.Probs)
+		run, err := an.RunCtx(ctx, single.Probs)
 		if err != nil {
 			return nil, err
 		}
@@ -109,11 +116,11 @@ func OptimizeMulti(an *core.Analyzer, faults []fault.Fault, opt MultiOptions) (*
 // the first seed is the hardest fault, each further seed is the fault
 // most anti-aligned with the existing seeds, and every fault joins the
 // seed with the largest dot product.
-func clusterByGradient(an *core.Analyzer, faults []fault.Fault, sets int) ([][]fault.Fault, error) {
+func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fault, sets int) ([][]fault.Fault, error) {
 	c := an.Circuit()
 	nin := len(c.Inputs)
 	uniform := core.UniformProbs(c)
-	baseRun, err := an.Run(uniform)
+	baseRun, err := an.RunCtx(ctx, uniform)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +136,7 @@ func clusterByGradient(an *core.Analyzer, faults []fault.Fault, sets int) ([][]f
 	probe := append([]float64(nil), uniform...)
 	for i := 0; i < nin; i++ {
 		probe[i] = 0.5 + delta
-		run, err := an.Run(probe)
+		run, err := an.RunCtx(ctx, probe)
 		if err != nil {
 			return nil, err
 		}

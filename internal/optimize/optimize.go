@@ -14,6 +14,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,6 +51,9 @@ type Options struct {
 	Seed uint64
 	// OnImprove, when non-nil, is called after each improving move.
 	OnImprove func(sweep int, input int, objective float64)
+	// OnSweep, when non-nil, is called after each completed coordinate
+	// sweep with the sweep count and the MaxSweeps bound.
+	OnSweep func(done, max int)
 }
 
 func (o *Options) fill() {
@@ -106,7 +110,11 @@ func chooseN(detect []float64) float64 {
 // Objective evaluates log J_N for one tuple (exposed for tests and for
 // reporting tables).
 func Objective(an *core.Analyzer, faults []fault.Fault, probs []float64, n float64) (float64, error) {
-	res, err := an.Run(probs)
+	return objectiveCtx(context.Background(), an, faults, probs, n)
+}
+
+func objectiveCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, probs []float64, n float64) (float64, error) {
+	res, err := an.RunCtx(ctx, probs)
 	if err != nil {
 		return 0, err
 	}
@@ -186,6 +194,13 @@ func structuralPairs(c *circuit.Circuit) [][2]int {
 // the uniform tuple p_i = 0.5, with structural pair moves when single
 // moves stall.
 func Optimize(an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), an, faults, opt)
+}
+
+// OptimizeCtx is Optimize with cancellation: every objective
+// evaluation runs through Analyzer.RunCtx, so a cancelled context
+// aborts the climb within one analysis run and returns ctx.Err().
+func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, error) {
 	opt.fill()
 	c := an.Circuit()
 	nin := len(c.Inputs)
@@ -212,7 +227,7 @@ func Optimize(an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, er
 	// detectAt runs the analysis for a coordinate tuple and returns the
 	// per-fault detection probabilities.
 	detectAt := func(coords []int) ([]float64, error) {
-		r, err := an.Run(toProbs(coords))
+		r, err := an.RunCtx(ctx, toProbs(coords))
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +243,7 @@ func Optimize(an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, er
 	}
 	eval := func(coords []int) (float64, error) {
 		res.Evaluations++
-		return Objective(an, faults, toProbs(coords), opt.N)
+		return objectiveCtx(ctx, an, faults, toProbs(coords), opt.N)
 	}
 
 	best, err := eval(cur)
@@ -318,6 +333,9 @@ func Optimize(an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, er
 				}
 			}
 			res.Sweeps++
+			if opt.OnSweep != nil {
+				opt.OnSweep(res.Sweeps, opt.MaxSweeps)
+			}
 			if !improved {
 				break
 			}

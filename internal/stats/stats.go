@@ -192,13 +192,14 @@ func Histogram(v []float64, n int) []int {
 	return h
 }
 
-// Summary bundles the Table 1 measures for one circuit.
+// Summary bundles the Table 1 measures for one circuit.  The JSON tags
+// keep the serialized pipeline Report stable across refactors.
 type Summary struct {
-	MaxErr float64 // maximal |P_PROT - P_SIM|
-	AvgErr float64 // Δ, the average difference
-	Corr   float64 // C₀, correlation coefficient
-	Bias   float64 // mean(P_SIM - P_PROT); positive = under-estimation
-	N      int
+	MaxErr float64 `json:"max_err"` // maximal |P_PROT - P_SIM|
+	AvgErr float64 `json:"avg_err"` // Δ, the average difference
+	Corr   float64 `json:"corr"`    // C₀, correlation coefficient
+	Bias   float64 `json:"bias"`    // mean(P_SIM - P_PROT); positive = under-estimation
+	N      int     `json:"n"`
 }
 
 // Summarize computes the Table 1 row for estimated vs simulated values.

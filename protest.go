@@ -15,12 +15,35 @@
 //
 // # Quick start
 //
+// The package is organized around a per-circuit Session: Open collapses
+// the fault list and caches the analysis plan once, and every method
+// reuses them.
+//
 //	c, _ := protest.ParseNetlistString(src, "mydesign")
-//	faults := protest.Faults(c)
-//	res, _ := protest.Analyze(c, protest.UniformProbs(c), protest.DefaultParams())
-//	probs := res.DetectProbs(faults)
-//	n, _ := protest.RequiredPatterns(probs, 0.98)      // patterns for 98% confidence
-//	opt, _ := protest.OptimizeInputs(c, faults, protest.OptimizeOptions{})
+//	s, _ := protest.Open(c)                            // collapse faults, build the plan
+//	res, _ := s.Analyze(ctx, nil)                      // nil = uniform p = 0.5
+//	n, _ := s.TestLength(1.0, 0.98)                    // patterns for 98% confidence
+//	opt, _ := s.Optimize(ctx, protest.OptimizeOptions{})
+//
+// Sessions are configured with functional options (WithParams,
+// WithObsModel, WithSeed, WithFastParams, WithProgress), honor context
+// cancellation in every context-taking method (errors match
+// ErrCanceled), and expose the complete paper workflow — analyze,
+// size, optimize, quantize, validate — as one call:
+//
+//	rep, _ := s.Run(ctx, protest.PipelineSpec{Optimize: true})
+//
+// The returned Report is JSON-serializable and carries the estimated
+// and the fault-simulated evidence for each pattern plan.
+//
+// # Deprecated package-level functions
+//
+// The original release exposed the workflow as ~30 package-level
+// functions (Analyze, OptimizeInputs, MeasureDetection, RunBIST, ...).
+// They keep working — each is now a thin wrapper over the same
+// internals a Session drives — but new code should open a Session:
+// the package-level forms re-derive circuit state on every call and
+// cannot be cancelled or observed mid-run.
 //
 // The analysis estimates signal probabilities with reconvergent-fanout
 // correction (joining points, bounded by the MAXVERS/MAXLIST parameters
@@ -151,6 +174,9 @@ func UniformProbs(c *Circuit) []float64 { return core.UniformProbs(c) }
 
 // Analyze estimates signal probabilities, observabilities and fault
 // detection probabilities for one input tuple.
+//
+// Deprecated: open a Session and use Session.Analyze, which reuses the
+// cached analysis plan and honors cancellation.
 func Analyze(c *Circuit, inputProbs []float64, p Params) (*Analysis, error) {
 	return core.Analyze(c, inputProbs, p)
 }
@@ -203,6 +229,9 @@ func TestLengthTable(detectProbs []float64, ds, es []float64) []TestLengthRow {
 
 // OptimizeInputs hill-climbs the per-input signal probabilities to
 // maximize the estimated whole-set detection probability J_N.
+//
+// Deprecated: open a Session and use Session.Optimize, which reuses
+// the cached fast-parameter plan and honors cancellation.
 func OptimizeInputs(c *Circuit, faults []Fault, opt OptimizeOptions) (*OptimizeResult, error) {
 	if opt.Params == nil {
 		fp := FastParams()
@@ -235,12 +264,18 @@ func QuantizeProbs(probs []float64, grid int) []float64 {
 
 // MeasureDetection fault-simulates numPatterns patterns and counts how
 // many detect each fault (the P_SIM measurement of the paper).
+//
+// Deprecated: open a Session and use Session.Simulate or
+// Session.SimulateWeighted, which honor cancellation and progress.
 func MeasureDetection(c *Circuit, faults []Fault, gen *Generator, numPatterns int) *SimResult {
 	return faultsim.MeasureDetection(c, faults, gen, numPatterns)
 }
 
 // CoverageCurve fault-simulates with fault dropping and reports the
 // cumulative coverage at each checkpoint (the Table 6 experiment).
+//
+// Deprecated: open a Session and use Session.CoverageCurve, which
+// honors cancellation and progress.
 func CoverageCurve(c *Circuit, faults []Fault, gen *Generator, checkpoints []int) []CoveragePoint {
 	return faultsim.CoverageCurve(c, faults, gen, checkpoints)
 }
@@ -290,6 +325,9 @@ type (
 // RunBIST simulates a complete self test: the generator stimulates the
 // circuit and every fault's response stream is compacted into a
 // signature; coverage accounts for MISR aliasing.
+//
+// Deprecated: open a Session and use Session.RunBIST or
+// Session.RunBISTWeighted, which honor cancellation and progress.
 func RunBIST(c *Circuit, faults []Fault, gen *Generator, plan BISTPlan) (*BISTResult, error) {
 	return bist.Run(c, faults, gen, plan)
 }
@@ -303,6 +341,9 @@ type (
 
 // OptimizeInputsMulti derives several weighted-pattern distributions,
 // each serving the fault group whose detection gradients align.
+//
+// Deprecated: open a Session and use Session.OptimizeMulti, which
+// reuses the cached fast-parameter plan and honors cancellation.
 func OptimizeInputsMulti(c *Circuit, faults []Fault, opt MultiOptimizeOptions) (*MultiOptimizeResult, error) {
 	if opt.PerSet.Params == nil {
 		fp := FastParams()
@@ -338,33 +379,24 @@ func NewATPG(c *Circuit) *ATPG { return atpg.New(c) }
 // filling unassigned positions with fill.
 func ATPGTestBools(test []atpg.V, fill bool) []bool { return atpg.TestBools(test, fill) }
 
-// Benchmark returns one of the built-in benchmark circuits by name:
-// "c17", "alu" (SN74181), "mult" (8-bit A+B+C*D), "div" (16-bit array
-// divider), "comp" (24-bit cascaded comparator), "sn7485", "cla16"
-// (carry-lookahead adder), "add8" (ripple adder).
+// Benchmark builds a registered benchmark circuit by name.  The
+// built-in suite registers "c17", "alu" (SN74181), "mult" (8-bit
+// A+B+C*D), "div" (16-bit array divider), "comp" (24-bit cascaded
+// comparator), "sn7485", "cla16" (carry-lookahead adder) and "add8"
+// (ripple adder); RegisterBenchmark adds more.
 func Benchmark(name string) (*Circuit, bool) {
-	switch name {
-	case "c17":
-		return circuits.C17(), true
-	case "alu":
-		return circuits.ALU74181(), true
-	case "mult":
-		return circuits.Mult8(), true
-	case "div":
-		return circuits.Div16(), true
-	case "comp":
-		return circuits.Comp24(), true
-	case "sn7485":
-		return circuits.SN7485(), true
-	case "cla16":
-		return circuits.CLAAdder(16), true
-	case "add8":
-		return circuits.RippleAdder(8), true
-	}
-	return nil, false
+	return circuits.Lookup(name)
 }
 
-// BenchmarkNames lists the built-in benchmark circuits.
+// RegisterBenchmark makes a circuit constructor available to Benchmark
+// under name, replacing any previous registration.  The constructor
+// must build a fresh circuit on every call.
+func RegisterBenchmark(name string, build func() *Circuit) {
+	circuits.Register(name, build)
+}
+
+// BenchmarkNames lists the registered benchmark circuits in sorted
+// order.
 func BenchmarkNames() []string {
-	return []string{"c17", "alu", "mult", "div", "comp", "sn7485", "cla16", "add8"}
+	return circuits.Names()
 }

@@ -1,0 +1,370 @@
+package protest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"protest/internal/bist"
+	"protest/internal/core"
+	"protest/internal/fault"
+	"protest/internal/faultsim"
+	"protest/internal/optimize"
+	"protest/internal/pattern"
+	"protest/internal/testlen"
+)
+
+// Phase identifies one stage of a Session's work, as reported to the
+// WithProgress callback and executed by Session.Run.
+type Phase string
+
+// The pipeline phases, in the order Session.Run executes them.
+const (
+	PhaseAnalyze    Phase = "analyze"
+	PhaseTestLength Phase = "testlen"
+	PhaseOptimize   Phase = "optimize"
+	PhaseQuantize   Phase = "quantize"
+	PhaseSimulate   Phase = "simulate"
+	PhaseBIST       Phase = "bist"
+	PhaseSummarize  Phase = "summarize"
+)
+
+// Session is a per-circuit analysis engine: it owns the collapsed
+// fault list, the cached analysis plan (cones and joining points), and
+// the configuration shared by every run against the circuit.  Create
+// one with Open, then call its methods repeatedly — repeated analyses
+// reuse the plan instead of re-deriving it, which is what makes the
+// optimizer's thousands of evaluations affordable.
+//
+// All methods are safe for concurrent use; the Session serializes work
+// internally because the cached plan carries per-run scratch state.
+// Long-running methods take a context.Context and return an error
+// matching ErrCanceled when it is cancelled; cancellation never
+// corrupts the Session, which stays usable afterwards.
+type Session struct {
+	c        *Circuit
+	params   Params
+	fast     Params
+	seed     uint64
+	progress func(Phase, float64)
+
+	mu       sync.Mutex
+	faults   []Fault
+	an       *Analyzer // plan under params
+	fastAn   *Analyzer // plan under fast, built on first use
+	baseline *Analysis // cached uniform analysis under params
+}
+
+// Option configures a Session at Open time.  Options are applied in
+// order, so later options win over earlier ones.
+type Option func(*Session)
+
+// WithParams sets the analysis parameters used by Analyze, TestLength
+// and the reporting passes (default DefaultParams()).
+func WithParams(p Params) Option {
+	return func(s *Session) { s.params = p }
+}
+
+// WithObsModel selects the fanout-stem observability model on top of
+// the current parameters.
+func WithObsModel(m ObsModel) Option {
+	return func(s *Session) { s.params.ObsModel = m }
+}
+
+// WithFastParams sets the cheaper parameters used inside optimization
+// loops (default FastParams()).
+func WithFastParams(p Params) Option {
+	return func(s *Session) { s.fast = p }
+}
+
+// WithSeed seeds every deterministic random stream the Session derives
+// (pattern generators, optimizer restarts; default 1).
+func WithSeed(seed uint64) Option {
+	return func(s *Session) { s.seed = seed }
+}
+
+// WithProgress installs a callback receiving (phase, fraction in
+// [0,1]) while long-running methods work.  The callback runs on the
+// calling goroutine while the Session's internal lock is held: it
+// must be cheap and must not call back into the Session (doing so
+// deadlocks); cancelling a context from inside it is fine.
+func WithProgress(fn func(Phase, float64)) Option {
+	return func(s *Session) { s.progress = fn }
+}
+
+// Open creates a Session for the circuit: it collapses the fault list
+// and precomputes the analysis plan once.  It fails with ErrNoFaults
+// when the circuit has no faults to analyze, and with a parameter
+// error when an option selected invalid Params.
+func Open(c *Circuit, opts ...Option) (*Session, error) {
+	if c == nil {
+		return nil, fmt.Errorf("protest: Open: nil circuit")
+	}
+	s := &Session{
+		c:      c,
+		params: DefaultParams(),
+		fast:   FastParams(),
+		seed:   1,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	faults := fault.Collapse(c)
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoFaults, c.Name)
+	}
+	an, err := core.NewAnalyzer(c, s.params)
+	if err != nil {
+		return nil, err
+	}
+	s.faults = faults
+	s.an = an
+	return s, nil
+}
+
+// Circuit returns the circuit this Session analyzes.
+func (s *Session) Circuit() *Circuit { return s.c }
+
+// Params returns the analysis parameters the Session was opened with.
+func (s *Session) Params() Params { return s.params }
+
+// Faults returns a copy of the collapsed single stuck-at fault list.
+func (s *Session) Faults() []Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Fault(nil), s.faults...)
+}
+
+func (s *Session) emit(ph Phase, frac float64) {
+	if s.progress != nil {
+		s.progress(ph, frac)
+	}
+}
+
+// Analyze estimates signal probabilities, observabilities and (through
+// Analysis.DetectProbs) fault detection probabilities for one input
+// tuple.  A nil inputProbs means the conventional uniform tuple
+// p_i = 0.5.
+func (s *Session) Analyze(ctx context.Context, inputProbs []float64) (*Analysis, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.analyze(ctx, inputProbs)
+	if err != nil {
+		return nil, err
+	}
+	if res == s.baseline {
+		// The uniform analysis is cached for the Session's lifetime;
+		// hand callers a copy so mutating the result cannot corrupt
+		// TestLength and Run.
+		res = cloneAnalysis(res)
+	}
+	return res, nil
+}
+
+// cloneAnalysis deep-copies the mutable slices of an Analysis.
+func cloneAnalysis(a *Analysis) *Analysis {
+	cp := *a
+	cp.InputProbs = append([]float64(nil), a.InputProbs...)
+	cp.Prob = append([]float64(nil), a.Prob...)
+	cp.Obs = append([]float64(nil), a.Obs...)
+	cp.PinObs = make([][]float64, len(a.PinObs))
+	for i, pins := range a.PinObs {
+		if pins != nil {
+			cp.PinObs[i] = append([]float64(nil), pins...)
+		}
+	}
+	return &cp
+}
+
+// analyze is Analyze without locking, for use inside the pipeline.  It
+// caches the uniform analysis, which TestLength reuses.
+func (s *Session) analyze(ctx context.Context, inputProbs []float64) (*Analysis, error) {
+	uniform := inputProbs == nil
+	if uniform {
+		if s.baseline != nil {
+			return s.baseline, nil
+		}
+		inputProbs = core.UniformProbs(s.c)
+	}
+	s.emit(PhaseAnalyze, 0)
+	res, err := s.an.RunCtx(ctx, inputProbs)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	s.emit(PhaseAnalyze, 1)
+	if uniform {
+		s.baseline = res
+	}
+	return res, nil
+}
+
+// TestLength returns the number of uniform random patterns needed to
+// detect the d·100% easiest faults with confidence e — the paper's
+// N(F_d, e).  The underlying uniform analysis is computed once and
+// cached; the first call on a cold Session therefore runs a full
+// (uncancellable) analysis pass.  To keep that pass under a context,
+// prime the cache with Analyze(ctx, nil) first.
+func (s *Session) TestLength(d, e float64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.analyze(context.Background(), nil)
+	if err != nil {
+		return 0, err
+	}
+	return testlen.RequiredFraction(res.DetectProbs(s.faults), d, e)
+}
+
+// fastAnalyzer returns the cached plan under the fast parameters.
+func (s *Session) fastAnalyzer() (*Analyzer, error) {
+	if s.fastAn == nil {
+		an, err := core.NewAnalyzer(s.c, s.fast)
+		if err != nil {
+			return nil, err
+		}
+		s.fastAn = an
+	}
+	return s.fastAn, nil
+}
+
+// Optimize hill-climbs the per-input signal probabilities to maximize
+// the estimated whole-set detection probability J_N (section 6 of the
+// paper).  The zero Options value selects the documented defaults;
+// opt.Params defaults to the Session's fast parameters and opt.Seed to
+// the Session seed.
+func (s *Session) Optimize(ctx context.Context, opt OptimizeOptions) (*OptimizeResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.optimize(ctx, s.faults, opt)
+}
+
+func (s *Session) optimize(ctx context.Context, faults []Fault, opt OptimizeOptions) (*OptimizeResult, error) {
+	an, err := s.optimizeAnalyzer(&opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimize.OptimizeCtx(ctx, an, faults, opt)
+	return res, wrapCanceled(err)
+}
+
+// optimizeAnalyzer fills the option defaults (Params, Seed, progress)
+// and returns the analyzer the climb should run on.
+func (s *Session) optimizeAnalyzer(opt *OptimizeOptions) (*Analyzer, error) {
+	if opt.Seed == 0 {
+		opt.Seed = s.seed
+	}
+	if s.progress != nil && opt.OnSweep == nil {
+		opt.OnSweep = func(done, max int) {
+			// Sweep counts accumulate across restart climbs, so the
+			// ratio can pass 1; clamp to keep the [0,1] contract.
+			frac := float64(done) / float64(max)
+			if frac > 1 {
+				frac = 1
+			}
+			s.emit(PhaseOptimize, frac)
+		}
+	}
+	if opt.Params == nil {
+		fp := s.fast
+		opt.Params = &fp
+		return s.fastAnalyzer()
+	}
+	return core.NewAnalyzer(s.c, *opt.Params)
+}
+
+// OptimizeMulti derives several weighted-pattern distributions, each
+// serving the fault group whose detection gradients align (the
+// follow-up direction to the paper's single tuple).
+func (s *Session) OptimizeMulti(ctx context.Context, opt MultiOptimizeOptions) (*MultiOptimizeResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	an, err := s.optimizeAnalyzer(&opt.PerSet)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimize.OptimizeMultiCtx(ctx, an, s.faults, opt)
+	return res, wrapCanceled(err)
+}
+
+// generator builds the Session-seeded pattern source: uniform when
+// probs is nil, weighted otherwise.
+func (s *Session) generator(probs []float64) (*Generator, error) {
+	if probs == nil {
+		return pattern.NewUniform(len(s.c.Inputs), s.seed), nil
+	}
+	if len(probs) != len(s.c.Inputs) {
+		return nil, fmt.Errorf("protest: %w: %d probabilities for %d inputs", ErrBadProbs, len(probs), len(s.c.Inputs))
+	}
+	gen, err := pattern.NewWeighted(probs, s.seed)
+	if err != nil {
+		return nil, fmt.Errorf("protest: %w: %v", ErrBadProbs, err)
+	}
+	return gen, nil
+}
+
+// Simulate fault-simulates numPatterns uniform random patterns and
+// counts how many detect each fault (the P_SIM measurement).
+func (s *Session) Simulate(ctx context.Context, numPatterns int) (*SimResult, error) {
+	return s.SimulateWeighted(ctx, nil, numPatterns)
+}
+
+// SimulateWeighted is Simulate with per-input pattern probabilities; a
+// nil probs means uniform.
+func (s *Session) SimulateWeighted(ctx context.Context, probs []float64, numPatterns int) (*SimResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simulate(ctx, probs, numPatterns)
+}
+
+func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int) (*SimResult, error) {
+	gen, err := s.generator(probs)
+	if err != nil {
+		return nil, err
+	}
+	s.emit(PhaseSimulate, 0)
+	res, err := faultsim.MeasureDetectionCtx(ctx, s.c, s.faults, gen, numPatterns, func(done, total int) {
+		s.emit(PhaseSimulate, float64(done)/float64(total))
+	})
+	return res, wrapCanceled(err)
+}
+
+// CoverageCurve fault-simulates with fault dropping and reports the
+// cumulative coverage at each checkpoint; nil probs means uniform
+// patterns.
+func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoints []int) ([]CoveragePoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen, err := s.generator(probs)
+	if err != nil {
+		return nil, err
+	}
+	points, err := faultsim.CoverageCurveCtx(ctx, s.c, s.faults, gen, checkpoints, func(done, total int) {
+		s.emit(PhaseSimulate, float64(done)/float64(total))
+	})
+	return points, wrapCanceled(err)
+}
+
+// RunBIST simulates a complete self-test session with MISR response
+// compaction driven by uniform patterns (a classic BILBO source).
+func (s *Session) RunBIST(ctx context.Context, plan BISTPlan) (*BISTResult, error) {
+	return s.RunBISTWeighted(ctx, nil, plan)
+}
+
+// RunBISTWeighted is RunBIST with a weighted pattern source standing
+// in for an NLFSR generator; nil probs means uniform.
+func (s *Session) RunBISTWeighted(ctx context.Context, probs []float64, plan BISTPlan) (*BISTResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runBIST(ctx, probs, plan)
+}
+
+func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan) (*BISTResult, error) {
+	gen, err := s.generator(probs)
+	if err != nil {
+		return nil, err
+	}
+	s.emit(PhaseBIST, 0)
+	res, err := bist.RunCtx(ctx, s.c, s.faults, gen, plan, func(done, total int) {
+		s.emit(PhaseBIST, float64(done)/float64(total))
+	})
+	return res, wrapCanceled(err)
+}
