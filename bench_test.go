@@ -249,6 +249,62 @@ func BenchmarkOptimizeEq8Style(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeParallel is the same climb with the candidate moves
+// of each coordinate scored on one worker per core (identical result,
+// see optimize.Options.Workers).  On a single-core machine it
+// degenerates to the serial path; the interesting comparison against
+// BenchmarkOptimizeEq8Style needs GOMAXPROCS > 1.
+func BenchmarkOptimizeParallel(b *testing.B) {
+	c := circuits.Comp24()
+	an, err := core.NewAnalyzer(c, core.FastParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.Optimize(an, faults, optimize.Options{MaxSweeps: 1, Workers: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeIncrementalCOMP measures the optimizer's steady-state
+// evaluation unit: one single-input incremental update of a COMP
+// analysis plus the detection-probability fold.  It must report
+// 0 allocs/op — the hot path reuses caller buffers end to end.
+func BenchmarkAnalyzeIncrementalCOMP(b *testing.B) {
+	c := circuits.Comp24()
+	an, err := core.NewAnalyzer(c, core.FastParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	probs := core.UniformProbs(c)
+	res := an.NewAnalysis()
+	if err := an.RunInto(res, probs); err != nil {
+		b.Fatal(err)
+	}
+	// Prime the lazily built incremental regions.
+	probs[0] = 0.5625
+	if err := an.Update(res, []int{0}, probs); err != nil {
+		b.Fatal(err)
+	}
+	detect := make([]float64, len(faults))
+	steps := [2]float64{0.4375, 0.5625}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := i % len(probs)
+		probs[in] = steps[i%2]
+		if err := an.Update(res, []int{in}, probs); err != nil {
+			b.Fatal(err)
+		}
+		res.DetectProbsInto(detect, faults)
+	}
+}
+
 func BenchmarkWeightedPatternBlock(b *testing.B) {
 	gen, err := pattern.NewWeighted([]float64{0.88, 0.94, 0.12, 0.5, 0.63, 0.31, 0.75, 0.06}, 1)
 	if err != nil {

@@ -18,12 +18,13 @@ func runOptimize(ctx context.Context, args []string) error {
 	nParam := fs.Float64("n", 0, "numerical parameter N of J_N (0 = auto)")
 	restarts := fs.Int("restarts", 0, "random restarts")
 	seed := fs.Uint64("seed", 1, "restart randomization seed")
+	workers := fs.Int("workers", 1, "score candidate moves on this many goroutines (-1 = all cores; identical results)")
 	verbose := fs.Bool("v", false, "log improvements")
 	compare := fs.Bool("compare", true, "print test lengths before/after")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := cf.openSession(protest.WithSeed(*seed))
+	s, err := cf.openSession(protest.WithSeed(*seed), protest.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -34,6 +35,7 @@ func runOptimize(ctx context.Context, args []string) error {
 		MaxSweeps: *sweeps,
 		Restarts:  *restarts,
 		Seed:      *seed,
+		Workers:   *workers,
 	}
 	if *verbose {
 		opt.OnImprove = func(sweep, input int, obj float64) {
@@ -89,6 +91,7 @@ func runPipeline(ctx context.Context, args []string) error {
 	bistCycles := fs.Int("bist", 0, "also run a MISR self-test with this many cycles (0 = off)")
 	misr := fs.Uint("misr", 16, "MISR width for -bist")
 	seed := fs.Uint64("seed", 1, "pattern generator seed")
+	workers := fs.Int("workers", 1, "run optimizer scoring and fault simulation on this many goroutines (-1 = all cores; identical results)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	quiet := fs.Bool("q", false, "suppress the progress ticker")
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +119,7 @@ func runPipeline(ctx context.Context, args []string) error {
 		QuantizeGrid:    *grid,
 		SimPatterns:     *sim,
 		MaxSimPatterns:  *maxSim,
+		Workers:         *workers,
 	}
 	if *bistCycles > 0 {
 		spec.BIST = &protest.BISTPlan{Cycles: *bistCycles, MISRWidth: *misr}

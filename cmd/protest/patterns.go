@@ -72,12 +72,13 @@ func runFsim(ctx context.Context, args []string) error {
 	pFile := fs.String("pfile", "", "read per-input probabilities from `file`")
 	count := fs.Int("count", 10000, "number of random patterns")
 	seed := fs.Uint64("seed", 1, "generator seed")
+	workers := fs.Int("workers", 1, "simulate fault cones on this many goroutines (-1 = all cores; identical results)")
 	curve := fs.String("curve", "", "comma list of checkpoints for a coverage curve (e.g. 10,100,1000)")
 	psim := fs.Bool("psim", false, "report per-fault measured detection probabilities")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := cf.openSession(protest.WithSeed(*seed))
+	s, err := cf.openSession(protest.WithSeed(*seed), protest.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}

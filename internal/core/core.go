@@ -8,6 +8,26 @@
 // is NP-hard [Wu84].  Accuracy is controlled by the two parameters the
 // paper names MAXVERS (how many joining points are conditioned per
 // gate) and MAXLIST (how far joining points are searched).
+//
+// # Repeated evaluation
+//
+// The input-probability optimizer evaluates thousands of closely
+// related tuples, so the package offers three tiers of evaluation
+// cost on one Analyzer:
+//
+//   - Run/RunCtx: a full analysis allocating a fresh Analysis;
+//   - RunInto: a full analysis into caller-owned buffers (NewAnalysis),
+//     zero allocations in the steady state;
+//   - Update: an incremental re-analysis after a few inputs changed,
+//     re-evaluating only the statically precomputed signal and
+//     observability regions those inputs can reach — bit-identical to
+//     a full run (the conditioning plan is static, so cone-bounded
+//     recomputation is exact; see incremental.go for the argument and
+//     for when the full-pass fallback triggers).
+//
+// Analyzer.Clone shares the immutable plan across goroutines for
+// parallel evaluation; Analysis.CopyFrom checkpoints a state so a
+// speculative Update can be discarded.
 package core
 
 import (
@@ -120,15 +140,48 @@ type Analysis struct {
 // Analyzer precomputes the static conditioning plan for one circuit so
 // that repeated analyses (as in the input-probability optimizer) do not
 // re-derive cones and joining points every time.
+//
+// An Analyzer carries per-run scratch state and is therefore NOT safe
+// for concurrent use; Clone creates additional evaluators that share
+// the (immutable) plan for use from other goroutines.
 type Analyzer struct {
 	c      *circuit.Circuit
 	params Params
 	plans  []gatePlan
+	incr   *incremental // lazily built incremental-update plan, shared by clones
 
 	// scratch for conditional propagation
 	val []float64
 	gen []uint32
 	cur uint32
+
+	// scratch hoisted out of the per-gate evaluation so that steady
+	// state analysis performs zero allocations (sized to the circuit's
+	// maximal fanin / fanout / candidate counts at construction).
+	hi, lo     []float64          // conditional pin swings
+	condIn     []float64          // conditional pin probabilities
+	condBuf    []float64          // conditional-propagation wide-gate fallback
+	inProbs    []float64          // independent-case pin probabilities
+	diffBuf    []float64          // PaperLocalDiff cofactor scratch
+	onePin     []circuit.NodeID   // single-candidate pin list
+	oneVal     []float64          // single-candidate value list
+	pins       []circuit.NodeID   // selected joining points W
+	vals       []float64          // assignment A_v scratch
+	cands      []scoredCandidate  // candidate scoring scratch
+	reachMerge []circuit.NodeID   // merged reach of the selected joining points
+	mergeIdx   []int              // k-way merge cursor scratch
+	branches   []float64          // fanout-branch observabilities
+	faninProbs []float64          // fanin probabilities for localDiff
+	sigMerge   []circuit.NodeID   // merged dirty signal region
+	obsMerge   []circuit.NodeID   // merged dirty observability region
+	mergeLists [][]circuit.NodeID // per-input region list scratch
+	changedBuf []int              // normalized changed-input list
+}
+
+type scoredCandidate struct {
+	x     circuit.NodeID
+	ci    int // index into the plan's candidates/reach lists
+	score float64
 }
 
 // NewAnalyzer builds the analysis plan.
@@ -139,11 +192,75 @@ func NewAnalyzer(c *circuit.Circuit, params Params) (*Analyzer, error) {
 	a := &Analyzer{
 		c:      c,
 		params: params,
-		val:    make([]float64, c.NumNodes()),
-		gen:    make([]uint32, c.NumNodes()),
+		incr:   &incremental{},
 	}
 	a.buildPlans()
+	a.initScratch()
 	return a, nil
+}
+
+// initScratch sizes the per-run scratch buffers to the circuit.
+func (a *Analyzer) initScratch() {
+	c := a.c
+	maxFanin, maxBranches, maxCone := 1, 1, 1
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if len(n.Fanin) > maxFanin {
+			maxFanin = len(n.Fanin)
+		}
+		// One branch per fanout entry plus the primary-output branch.
+		if b := len(n.Fanout) + 1; b > maxBranches {
+			maxBranches = b
+		}
+	}
+	for i := range a.plans {
+		if len(a.plans[i].cone) > maxCone {
+			maxCone = len(a.plans[i].cone)
+		}
+	}
+	a.val = make([]float64, c.NumNodes())
+	a.gen = make([]uint32, c.NumNodes())
+	a.hi = make([]float64, maxFanin)
+	a.lo = make([]float64, maxFanin)
+	a.condIn = make([]float64, maxFanin)
+	a.condBuf = make([]float64, 0, maxFanin)
+	a.inProbs = make([]float64, 0, maxFanin)
+	a.diffBuf = make([]float64, maxFanin)
+	a.onePin = make([]circuit.NodeID, 1)
+	a.oneVal = make([]float64, 1)
+	a.pins = make([]circuit.NodeID, 0, a.params.MaxVers)
+	a.vals = make([]float64, 0, a.params.MaxVers)
+	a.cands = make([]scoredCandidate, 0, a.params.MaxCandidates+1)
+	a.reachMerge = make([]circuit.NodeID, 0, maxCone)
+	// The k-way merge scratch serves both the reach union (up to
+	// MaxVers lists) and the dirty-region union (up to
+	// maxIncrementalChanged lists).
+	maxMerge := a.params.MaxVers
+	if maxMerge < maxIncrementalChanged {
+		maxMerge = maxIncrementalChanged
+	}
+	a.mergeIdx = make([]int, maxMerge)
+	a.mergeLists = make([][]circuit.NodeID, 0, maxMerge)
+	a.branches = make([]float64, 0, maxBranches)
+	a.faninProbs = make([]float64, 0, maxFanin)
+	a.sigMerge = make([]circuit.NodeID, 0, c.NumNodes())
+	a.obsMerge = make([]circuit.NodeID, 0, c.NumNodes())
+	a.changedBuf = make([]int, 0, maxIncrementalChanged+1)
+}
+
+// Clone returns an independent evaluator over the same circuit and
+// plan.  The plan (cones, joining points, incremental regions) is
+// shared read-only; all mutable scratch is fresh, so the clone can run
+// concurrently with the original.  Used by the parallel optimizer.
+func (a *Analyzer) Clone() *Analyzer {
+	cp := &Analyzer{
+		c:      a.c,
+		params: a.params,
+		plans:  a.plans,
+		incr:   a.incr,
+	}
+	cp.initScratch()
+	return cp
 }
 
 // Circuit returns the planned circuit.
@@ -161,29 +278,97 @@ func (a *Analyzer) RunCtx(ctx context.Context, inputProbs []float64) (*Analysis,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c := a.c
-	if len(inputProbs) != len(c.Inputs) {
-		return nil, fmt.Errorf("core: %w: %d input probabilities for %d inputs", ErrBadProbs, len(inputProbs), len(c.Inputs))
+	if err := a.validateProbs(inputProbs); err != nil {
+		return nil, err
 	}
-	for i, p := range inputProbs {
-		if p < 0 || p > 1 || math.IsNaN(p) {
-			return nil, fmt.Errorf("core: %w: input %d probability %v out of [0,1]", ErrBadProbs, i, p)
-		}
-	}
-	res := &Analysis{
-		C:          c,
-		Params:     a.params,
-		InputProbs: append([]float64(nil), inputProbs...),
-		Prob:       make([]float64, c.NumNodes()),
-		Obs:        make([]float64, c.NumNodes()),
-		PinObs:     make([][]float64, c.NumNodes()),
-	}
+	res := a.NewAnalysis()
+	copy(res.InputProbs, inputProbs)
 	a.signalPass(res)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	a.observePass(res)
 	return res, nil
+}
+
+// NewAnalysis allocates an Analysis shaped for this analyzer's circuit
+// (including the per-gate PinObs rows), for use with RunInto and
+// Update.  Allocating the result once and reusing it keeps repeated
+// evaluation — the optimizer's inner loop — allocation free.
+func (a *Analyzer) NewAnalysis() *Analysis {
+	c := a.c
+	res := &Analysis{
+		C:          c,
+		Params:     a.params,
+		InputProbs: make([]float64, len(c.Inputs)),
+		Prob:       make([]float64, c.NumNodes()),
+		Obs:        make([]float64, c.NumNodes()),
+		PinObs:     make([][]float64, c.NumNodes()),
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.IsInput {
+			res.PinObs[i] = make([]float64, len(n.Fanin))
+		}
+	}
+	return res
+}
+
+// RunInto is Run writing into a caller-owned Analysis (from
+// NewAnalysis or a previous Run), reusing its buffers: the steady
+// state performs zero allocations.  The result is bit-identical to
+// Run with the same probabilities.
+func (a *Analyzer) RunInto(res *Analysis, inputProbs []float64) error {
+	if err := a.checkShape(res); err != nil {
+		return err
+	}
+	if err := a.validateProbs(inputProbs); err != nil {
+		return err
+	}
+	copy(res.InputProbs, inputProbs)
+	a.signalPass(res)
+	a.observePass(res)
+	return nil
+}
+
+// validateProbs rejects tuples of the wrong length or with entries
+// outside [0,1].
+func (a *Analyzer) validateProbs(inputProbs []float64) error {
+	if len(inputProbs) != len(a.c.Inputs) {
+		return fmt.Errorf("core: %w: %d input probabilities for %d inputs", ErrBadProbs, len(inputProbs), len(a.c.Inputs))
+	}
+	for i, p := range inputProbs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("core: %w: input %d probability %v out of [0,1]", ErrBadProbs, i, p)
+		}
+	}
+	return nil
+}
+
+// checkShape verifies that res belongs to this analyzer's circuit and
+// parameter set (an Analysis from another analyzer would mix estimates
+// computed under different plans).
+func (a *Analyzer) checkShape(res *Analysis) error {
+	if res.C != a.c || res.Params != a.params ||
+		len(res.Prob) != a.c.NumNodes() || len(res.Obs) != a.c.NumNodes() ||
+		len(res.PinObs) != a.c.NumNodes() || len(res.InputProbs) != len(a.c.Inputs) {
+		return fmt.Errorf("core: analysis does not belong to this analyzer (use NewAnalysis)")
+	}
+	return nil
+}
+
+// CopyFrom copies the analysis values of src into r, reusing r's
+// storage.  Both must be shaped for the same circuit (NewAnalysis of
+// the same analyzer or its clones); no allocation is performed.
+func (r *Analysis) CopyFrom(src *Analysis) {
+	r.C = src.C
+	r.Params = src.Params
+	copy(r.InputProbs, src.InputProbs)
+	copy(r.Prob, src.Prob)
+	copy(r.Obs, src.Obs)
+	for i, pins := range src.PinObs {
+		copy(r.PinObs[i], pins)
+	}
 }
 
 // Analyze is the one-shot convenience form of NewAnalyzer + Run.
@@ -224,9 +409,15 @@ func (r *Analysis) DetectProb(f fault.Fault) float64 {
 
 // DetectProbs evaluates DetectProb over a fault list.
 func (r *Analysis) DetectProbs(fs []fault.Fault) []float64 {
-	out := make([]float64, len(fs))
+	return r.DetectProbsInto(make([]float64, len(fs)), fs)
+}
+
+// DetectProbsInto is DetectProbs writing into a caller-owned slice
+// (len(dst) must equal len(fs)), the allocation-free form the
+// optimizer's inner loop uses.
+func (r *Analysis) DetectProbsInto(dst []float64, fs []fault.Fault) []float64 {
 	for i, f := range fs {
-		out[i] = r.DetectProb(f)
+		dst[i] = r.DetectProb(f)
 	}
-	return out
+	return dst
 }

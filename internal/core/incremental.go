@@ -1,0 +1,386 @@
+package core
+
+// Incremental re-analysis.
+//
+// The optimizer perturbs one or two input probabilities per candidate
+// move and needs the resulting Analysis thousands of times per climb.
+// A full pass re-evaluates every gate; this file re-evaluates only the
+// nodes a perturbation can reach.
+//
+// Exactness argument: the conditioning plan (cones, joining-point
+// candidates) is derived from the circuit structure alone and never
+// changes between runs.  Every gate's signal probability is therefore
+// a pure function gateProb(g, probs) of the probabilities of a static
+// dependency set deps(g) — the gate's fanins, its conditioning cone,
+// and the fanins of the cone's nodes.  Likewise Obs/PinObs values are
+// pure functions of downstream pin observabilities and fanin signal
+// probabilities.  Re-evaluating a superset of the nodes whose inputs
+// changed, in dependency order, with the shared per-node kernels
+// (gateProb, observeNode) therefore reproduces exactly what a full
+// pass would compute: changed nodes get the full-pass value because
+// the kernel is deterministic, and unchanged nodes already hold it.
+// Cone-bounded recomputation is lossless, not an approximation.
+//
+// The regions are precomputed per primary input on first use:
+//
+//   - sigRegion[i]: the forward closure of input i over the dependency
+//     edges d -> g (d in deps(g)), i.e. every gate whose signal
+//     probability can depend on p_i, sorted in topological order;
+//   - obsRegion[i]: the affected observability region — the reverse
+//     (fanin) closure of the gates that read a changed signal
+//     probability, since a changed PinObs at a gate dirties the stem
+//     observability of each of its fanins, which dirties their pin
+//     observabilities, and so on toward the primary inputs.
+//
+// When the merged dirty region of a move approaches the cost of a full
+// pass (see updateFallbackNum/Den) Update falls back to the full
+// signal + observability passes, which are equally exact.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"protest/internal/circuit"
+)
+
+// incremental is the lazily built change-propagation plan.  It is
+// derived once per Analyzer (guarded by once) and shared read-only by
+// all clones, so parallel optimizer workers reuse one plan.
+type incremental struct {
+	once sync.Once
+	// pos[id] is the topological position of node id.
+	pos []int32
+	// sigRegion[i] lists, for primary input position i, the gates whose
+	// signal probability can change when p_i changes, sorted by pos.
+	sigRegion [][]circuit.NodeID
+	// obsRegion[i] lists the nodes whose Obs/PinObs can change, sorted
+	// by pos (Update walks it backwards).
+	obsRegion [][]circuit.NodeID
+	// sigCost/obsCost estimate the recomputation cost of one node in
+	// the respective pass; totalCost is the estimated full-pass cost.
+	sigCost   []int64
+	obsCost   []int64
+	totalCost int64
+}
+
+const (
+	// maxIncrementalChanged bounds how many changed inputs Update
+	// handles incrementally; larger change sets (optimizer restarts,
+	// fresh tuples) recompute everything.
+	maxIncrementalChanged = 4
+	// updateFallbackNum/Den: Update runs incrementally only while the
+	// estimated dirty-region cost stays below 80% of a full pass.
+	updateFallbackNum = 4
+	updateFallbackDen = 5
+)
+
+// ensureIncremental builds the per-input regions on first use.
+func (a *Analyzer) ensureIncremental() *incremental {
+	inc := a.incr
+	inc.once.Do(func() { inc.build(a) })
+	return inc
+}
+
+func (inc *incremental) build(a *Analyzer) {
+	c := a.c
+	nn := c.NumNodes()
+	inc.pos = make([]int32, nn)
+	for p, id := range c.TopoOrder() {
+		inc.pos[id] = int32(p)
+	}
+
+	// Invert the per-gate dependency sets: affects[d] lists the gates
+	// whose gateProb reads probs[d].  deps(g) is the union of g's
+	// fanins, its conditioning cone, and the fanins of the cone's
+	// gates (conditional propagation reads the global estimates of
+	// fanins just outside the cone).
+	affects := make([][]circuit.NodeID, nn)
+	stamp := make([]int32, nn)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if n.IsInput {
+			continue
+		}
+		g := circuit.NodeID(id)
+		add := func(d circuit.NodeID) {
+			if stamp[d] == int32(id) {
+				return
+			}
+			stamp[d] = int32(id)
+			affects[d] = append(affects[d], g)
+		}
+		for _, f := range n.Fanin {
+			add(f)
+		}
+		plan := &a.plans[id]
+		for _, k := range plan.cone {
+			add(k)
+			kn := c.Node(k)
+			if kn.IsInput {
+				continue
+			}
+			for _, f := range kn.Fanin {
+				add(f)
+			}
+		}
+	}
+
+	// Static per-node cost estimates, used by the fallback decision.
+	// A conditioned gate re-propagates its cone once per candidate
+	// polarity and once per assignment of W; an unconditioned gate is
+	// one arithmetic evaluation; an observe step visits each branch
+	// and runs a localDiff per pin.
+	inc.sigCost = make([]int64, nn)
+	inc.obsCost = make([]int64, nn)
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		fin := int64(len(n.Fanin))
+		inc.obsCost[id] = 1 + int64(len(n.Fanout)) + fin*max64(fin, 1)
+		if n.IsInput {
+			continue
+		}
+		w := 1 + fin
+		if plan := &a.plans[id]; len(plan.candidates) > 0 {
+			mv := a.params.MaxVers
+			if mv > len(plan.candidates) {
+				mv = len(plan.candidates)
+			}
+			w += int64(len(plan.cone)) * int64(2*len(plan.candidates)+1<<mv)
+		}
+		inc.sigCost[id] = w
+		inc.totalCost += w
+	}
+	for id := range c.Nodes {
+		inc.totalCost += inc.obsCost[id]
+	}
+
+	// Per-input regions.
+	nin := len(c.Inputs)
+	inc.sigRegion = make([][]circuit.NodeID, nin)
+	inc.obsRegion = make([][]circuit.NodeID, nin)
+	seenS := make([]int32, nn)
+	seenO := make([]int32, nn)
+	for i := range seenS {
+		seenS[i] = -1
+		seenO[i] = -1
+	}
+	queue := make([]circuit.NodeID, 0, nn)
+	for ii, inID := range c.Inputs {
+		mark := int32(ii)
+
+		// Forward fanout cone over the dependency edges.
+		var sig []circuit.NodeID
+		queue = queue[:0]
+		seenS[inID] = mark
+		queue = append(queue, inID)
+		for qi := 0; qi < len(queue); qi++ {
+			for _, g := range affects[queue[qi]] {
+				if seenS[g] == mark {
+					continue
+				}
+				seenS[g] = mark
+				sig = append(sig, g)
+				queue = append(queue, g)
+			}
+		}
+		sortByPos(sig, inc.pos)
+		inc.sigRegion[ii] = sig
+
+		// Affected observability region: seed with every gate reading
+		// a dirty signal probability, close over fanin edges.
+		var obs []circuit.NodeID
+		queue = queue[:0]
+		visit := func(x circuit.NodeID) {
+			if seenO[x] == mark {
+				return
+			}
+			seenO[x] = mark
+			obs = append(obs, x)
+			queue = append(queue, x)
+		}
+		for _, g := range c.Node(inID).Fanout {
+			visit(g)
+		}
+		for _, d := range sig {
+			for _, g := range c.Node(d).Fanout {
+				visit(g)
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			for _, f := range c.Node(queue[qi]).Fanin {
+				visit(f)
+			}
+		}
+		sortByPos(obs, inc.pos)
+		inc.obsRegion[ii] = obs
+	}
+}
+
+func sortByPos(ids []circuit.NodeID, pos []int32) {
+	sort.Slice(ids, func(i, j int) bool { return pos[ids[i]] < pos[ids[j]] })
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Update re-analyzes res in place after the input probabilities at the
+// positions in changed moved to probs[i], re-evaluating only the
+// affected signal and observability regions.  The result is
+// bit-identical to a fresh Run with the same tuple (see the exactness
+// argument at the top of this file).
+//
+// Contract: res must hold a valid analysis previously produced by this
+// analyzer (or a clone) via Run, RunInto, Update or CopyFrom, and
+// probs may differ from res.InputProbs only at the positions listed in
+// changed — entries at other positions are ignored.  Indices may
+// repeat; entries whose probability is unchanged are skipped.  When
+// the dirty region would cost more than ~80% of a full pass, or more
+// than maxIncrementalChanged inputs moved, Update transparently runs
+// the full passes instead.
+func (a *Analyzer) Update(res *Analysis, changed []int, probs []float64) error {
+	if err := a.checkShape(res); err != nil {
+		return err
+	}
+	nin := len(a.c.Inputs)
+	if len(probs) != nin {
+		return fmt.Errorf("core: %w: %d input probabilities for %d inputs", ErrBadProbs, len(probs), nin)
+	}
+	// Normalize the changed list: bounds- and range-check, drop
+	// duplicates and no-ops.
+	ch := a.changedBuf[:0]
+	for _, i := range changed {
+		if i < 0 || i >= nin {
+			return fmt.Errorf("core: %w: changed input %d out of range [0,%d)", ErrBadProbs, i, nin)
+		}
+		p := probs[i]
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("core: %w: input %d probability %v out of [0,1]", ErrBadProbs, i, p)
+		}
+		if p == res.InputProbs[i] {
+			continue
+		}
+		dup := false
+		for _, j := range ch {
+			if j == i {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ch = append(ch, i)
+		}
+	}
+	a.changedBuf = ch[:0]
+	if len(ch) == 0 {
+		return nil
+	}
+	inc := a.ensureIncremental()
+	if len(ch) > maxIncrementalChanged {
+		return a.fullUpdate(res, ch, probs)
+	}
+	sig, obs, cost := a.mergeRegions(inc, ch)
+	if cost*updateFallbackDen > inc.totalCost*updateFallbackNum {
+		return a.fullUpdate(res, ch, probs)
+	}
+
+	for _, i := range ch {
+		res.InputProbs[i] = probs[i]
+		res.Prob[a.c.Inputs[i]] = probs[i]
+	}
+	for _, g := range sig {
+		res.Prob[g] = a.gateProb(g, res.Prob)
+	}
+	for k := len(obs) - 1; k >= 0; k-- {
+		a.observeNode(obs[k], res)
+	}
+	return nil
+}
+
+// fullUpdate applies the changed probabilities and reruns both full
+// passes in res's buffers (no allocation; equally exact).
+func (a *Analyzer) fullUpdate(res *Analysis, ch []int, probs []float64) error {
+	for _, i := range ch {
+		res.InputProbs[i] = probs[i]
+	}
+	a.signalPass(res)
+	a.observePass(res)
+	return nil
+}
+
+// mergeRegions unions the per-input regions of the changed inputs
+// (sorted merge with deduplication — node positions are unique, so
+// equal positions mean equal nodes) and sums the dirty-region cost.
+func (a *Analyzer) mergeRegions(inc *incremental, ch []int) (sig, obs []circuit.NodeID, cost int64) {
+	if len(ch) == 1 {
+		sig = inc.sigRegion[ch[0]]
+		obs = inc.obsRegion[ch[0]]
+	} else {
+		a.mergeLists = a.mergeLists[:0]
+		for _, i := range ch {
+			a.mergeLists = append(a.mergeLists, inc.sigRegion[i])
+		}
+		a.sigMerge = mergeSortedIDs(a.sigMerge[:0], a.mergeLists, a.mergeIdx, inc.pos)
+		sig = a.sigMerge
+		a.mergeLists = a.mergeLists[:0]
+		for _, i := range ch {
+			a.mergeLists = append(a.mergeLists, inc.obsRegion[i])
+		}
+		a.obsMerge = mergeSortedIDs(a.obsMerge[:0], a.mergeLists, a.mergeIdx, inc.pos)
+		obs = a.obsMerge
+	}
+	for _, g := range sig {
+		cost += inc.sigCost[g]
+	}
+	for _, x := range obs {
+		cost += inc.obsCost[x]
+	}
+	return sig, obs, cost
+}
+
+// mergeSortedIDs merges node-ID lists into dst, dropping duplicates.
+// Each list must be sorted ascending by key[id] (a nil key means the
+// IDs themselves); both key spaces are injective, so equal keys imply
+// equal nodes and duplicates surface consecutively.  idx provides the
+// per-list cursor scratch (len(idx) >= len(lists)).  Shared by the
+// dirty-region union (key = topo position) and the joining-point reach
+// union in sigprob.go (key = nil).
+func mergeSortedIDs(dst []circuit.NodeID, lists [][]circuit.NodeID, idx []int, key []int32) []circuit.NodeID {
+	idx = idx[:len(lists)]
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best := -1
+		var bestKey int32
+		var bestID circuit.NodeID
+		for li, l := range lists {
+			if idx[li] >= len(l) {
+				continue
+			}
+			id := l[idx[li]]
+			k := int32(id)
+			if key != nil {
+				k = key[id]
+			}
+			if best < 0 || k < bestKey {
+				best, bestKey, bestID = li, k, id
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		idx[best]++
+		if len(dst) == 0 || dst[len(dst)-1] != bestID {
+			dst = append(dst, bestID)
+		}
+	}
+}

@@ -21,50 +21,62 @@ func (a *Analyzer) observePass(res *Analysis) {
 	order := c.TopoOrder()
 	for i := range c.Nodes {
 		n := &c.Nodes[i]
-		if !n.IsInput {
+		if !n.IsInput && len(res.PinObs[i]) != len(n.Fanin) {
 			res.PinObs[i] = make([]float64, len(n.Fanin))
 		}
 	}
-	var branches []float64
-	var faninProbs []float64
 	for oi := len(order) - 1; oi >= 0; oi-- {
-		id := order[oi]
-		n := c.Node(id)
+		a.observeNode(order[oi], res)
+	}
+}
 
-		// Stem observability from output flag and fanout branches.
-		branches = branches[:0]
-		if n.IsOutput {
-			branches = append(branches, 1)
+// observeNode recomputes Obs[id] from the pin observabilities of id's
+// fanout gates and, for gates, PinObs[id] from the fresh Obs[id] and
+// the current fanin probabilities.  Like gateProb this is the shared
+// unit of work of the full pass and the incremental Update: it reads
+// only already-final downstream values (reverse topological order), so
+// re-running it with unchanged inputs reproduces the stored value
+// exactly.
+func (a *Analyzer) observeNode(id circuit.NodeID, res *Analysis) {
+	c := a.c
+	n := c.Node(id)
+
+	// Stem observability from output flag and fanout branches.
+	branches := a.branches[:0]
+	if n.IsOutput {
+		branches = append(branches, 1)
+	}
+	for fi, g := range n.Fanout {
+		if duplicateBefore(n.Fanout, fi) {
+			continue // handle multi-pin successors once
 		}
-		for fi, g := range n.Fanout {
-			if duplicateBefore(n.Fanout, fi) {
-				continue // handle multi-pin successors once
-			}
-			for _, pin := range c.PinIndex(g, id) {
+		// Inline c.PinIndex(g, id): the helper allocates its result.
+		for pin, f := range c.Node(g).Fanin {
+			if f == id {
 				branches = append(branches, res.PinObs[g][pin])
 			}
 		}
-		var s float64
-		switch a.params.ObsModel {
-		case ObsOr:
-			s = logic.OrProb(branches)
-		default:
-			s = logic.XorProbN(branches)
-		}
-		res.Obs[id] = logic.Clamp01(s)
+	}
+	var s float64
+	switch a.params.ObsModel {
+	case ObsOr:
+		s = logic.OrProb(branches)
+	default:
+		s = logic.XorProbN(branches)
+	}
+	res.Obs[id] = logic.Clamp01(s)
 
-		if n.IsInput {
-			continue
-		}
-		// Pin observabilities.
-		faninProbs = faninProbs[:0]
-		for _, f := range n.Fanin {
-			faninProbs = append(faninProbs, res.Prob[f])
-		}
-		for pin := range n.Fanin {
-			local := a.localDiff(n, faninProbs, pin)
-			res.PinObs[id][pin] = logic.Clamp01(s * local)
-		}
+	if n.IsInput {
+		return
+	}
+	// Pin observabilities.
+	faninProbs := a.faninProbs[:0]
+	for _, f := range n.Fanin {
+		faninProbs = append(faninProbs, res.Prob[f])
+	}
+	for pin := range n.Fanin {
+		local := a.localDiff(n, faninProbs, pin)
+		res.PinObs[id][pin] = logic.Clamp01(s * local)
 	}
 }
 
@@ -74,20 +86,20 @@ func (a *Analyzer) observePass(res *Analysis) {
 func (a *Analyzer) localDiff(n *circuit.Node, faninProbs []float64, pin int) float64 {
 	if n.Op == logic.TableOp {
 		if a.params.PaperLocalDiff {
-			f0 := probWithPinned(n, faninProbs, pin, 0)
-			f1 := probWithPinned(n, faninProbs, pin, 1)
+			f0 := a.probWithPinned(n, faninProbs, pin, 0)
+			f1 := a.probWithPinned(n, faninProbs, pin, 1)
 			return logic.XorProb(f0, f1)
 		}
 		return n.Table.DiffProb(faninProbs, pin)
 	}
 	if a.params.PaperLocalDiff {
-		return logic.DiffProbPaper(n.Op, faninProbs, pin)
+		return logic.DiffProbPaperBuf(n.Op, faninProbs, pin, a.diffBuf)
 	}
 	return logic.DiffProb(n.Op, faninProbs, pin)
 }
 
-func probWithPinned(n *circuit.Node, probs []float64, pin int, v float64) float64 {
-	tmp := make([]float64, len(probs))
+func (a *Analyzer) probWithPinned(n *circuit.Node, probs []float64, pin int, v float64) float64 {
+	tmp := a.diffBuf[:len(probs)]
 	copy(tmp, probs)
 	tmp[pin] = v
 	return n.Table.Prob(tmp)

@@ -14,9 +14,15 @@ type gatePlan struct {
 	// ordered by BFS distance (closest first).
 	candidates []circuit.NodeID
 	// cone lists the nodes of the union of the per-pin fanin cones in
-	// topological (ascending ID) order; conditional propagation
-	// re-evaluates exactly these nodes.
+	// topological (ascending ID) order.
 	cone []circuit.NodeID
+	// reach[i] lists the cone nodes with a cone-internal path from
+	// candidates[i], in the same topological order: exactly the nodes
+	// conditional propagation re-evaluates when candidates[i] is
+	// pinned (every other cone node keeps its global estimate, so
+	// skipping it statically is lossless).  Pinning several candidates
+	// re-evaluates the merged union of their reach lists.
+	reach [][]circuit.NodeID
 }
 
 // buildPlans derives a gatePlan for every multi-input gate whose pins'
@@ -154,7 +160,41 @@ func (a *Analyzer) planGate(g circuit.NodeID, pinMask map[circuit.NodeID]uint64)
 		cone = append(cone, k)
 	}
 	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
-	a.plans[g] = gatePlan{candidates: candidates, cone: cone}
+
+	// Per-candidate reach: the forward closure of the candidate along
+	// cone-internal fanin edges, computed by one sweep in topological
+	// order per candidate.
+	coneIdx := make(map[circuit.NodeID]int32, len(cone))
+	for i, k := range cone {
+		coneIdx[k] = int32(i)
+	}
+	reach := make([][]circuit.NodeID, len(candidates))
+	marked := make([]bool, len(cone))
+	for ci, x := range candidates {
+		for i := range marked {
+			marked[i] = false
+		}
+		marked[coneIdx[x]] = true
+		var r []circuit.NodeID
+		for i, k := range cone {
+			if marked[i] {
+				continue // the pinned candidate itself
+			}
+			kn := c.Node(k)
+			if kn.IsInput {
+				continue
+			}
+			for _, f := range kn.Fanin {
+				if j, ok := coneIdx[f]; ok && marked[j] {
+					marked[i] = true
+					r = append(r, k)
+					break
+				}
+			}
+		}
+		reach[ci] = r
+	}
+	a.plans[g] = gatePlan{candidates: candidates, cone: cone, reach: reach}
 }
 
 // qualifies reports whether two distinct outgoing edges cover two

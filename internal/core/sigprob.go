@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"protest/internal/circuit"
 	"protest/internal/logic"
@@ -26,20 +25,28 @@ func (a *Analyzer) signalPass(res *Analysis) {
 			probs[id] = res.InputProbs[c.InputIndex(id)]
 			continue
 		}
-		plan := &a.plans[id]
-		if len(plan.candidates) == 0 {
-			probs[id] = a.independentProb(n, probs)
-			continue
-		}
-		probs[id] = a.conditionedProb(id, plan, probs)
+		probs[id] = a.gateProb(id, probs)
 	}
+}
+
+// gateProb computes the signal probability of one gate from the
+// current probabilities of its (transitive) fanin.  This is the unit
+// of work both the full signal pass and the incremental Update share:
+// the value depends only on probs over the gate's static dependency
+// set, so recomputing it with unchanged dependencies reproduces the
+// previous value bit for bit.
+func (a *Analyzer) gateProb(g circuit.NodeID, probs []float64) float64 {
+	plan := &a.plans[g]
+	if len(plan.candidates) == 0 {
+		return a.independentProb(a.c.Node(g), probs)
+	}
+	return a.conditionedProb(g, plan, probs)
 }
 
 // independentProb is case 3: the gate's arithmetic extension applied to
 // the fanin probabilities.
 func (a *Analyzer) independentProb(n *circuit.Node, probs []float64) float64 {
-	var buf [8]float64
-	in := buf[:0]
+	in := a.inProbs[:0]
 	for _, f := range n.Fanin {
 		in = append(in, probs[f])
 	}
@@ -62,26 +69,22 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 	// and S(x)² = p_x(1-p_x), the paper's weight
 	// |Cov(f_i,x)·Cov(f_j,x)|/S(x)² reduces to
 	// p_x(1-p_x)·|Δ_i(x)|·|Δ_j(x)| with Δ the conditional swing.
-	type scored struct {
-		x     circuit.NodeID
-		score float64
-	}
-	cands := make([]scored, 0, len(plan.candidates))
-	hi := make([]float64, npins)
-	lo := make([]float64, npins)
-	onePin := make([]circuit.NodeID, 1)
-	oneVal := make([]float64, 1)
-	for _, x := range plan.candidates {
+	cands := a.cands[:0]
+	hi := a.hi[:npins]
+	lo := a.lo[:npins]
+	onePin := a.onePin
+	oneVal := a.oneVal
+	for ci, x := range plan.candidates {
 		px := probs[x]
 		if px <= 0 || px >= 1 {
 			continue // constant node: no correlation contribution
 		}
 		onePin[0] = x
 		oneVal[0] = 1
-		a.condPropagate(plan, probs, onePin, oneVal)
+		a.condPropagate(plan.reach[ci], probs, onePin, oneVal)
 		a.readPinProbs(n, probs, hi)
 		oneVal[0] = 0
-		a.condPropagate(plan, probs, onePin, oneVal)
+		a.condPropagate(plan.reach[ci], probs, onePin, oneVal)
 		a.readPinProbs(n, probs, lo)
 		best := 0.0
 		for i := 0; i < npins; i++ {
@@ -94,27 +97,37 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 		}
 		score := px * (1 - px) * best
 		if score > 1e-15 {
-			cands = append(cands, scored{x, score})
+			cands = append(cands, scoredCandidate{x, ci, score})
 		}
 	}
 	if len(cands) == 0 {
 		return a.independentProb(n, probs)
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	// Stable insertion sort by descending score: candidate lists are
+	// bounded by MaxCandidates, and unlike sort.SliceStable this does
+	// not allocate.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].score > cands[j-1].score; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
 	w := a.params.MaxVers
 	if w > len(cands) {
 		w = len(cands)
 	}
-	pins := make([]circuit.NodeID, w)
+	pins := a.pins[:w]
 	for i := 0; i < w; i++ {
 		pins[i] = cands[i].x
 	}
 
 	// Enumerate assignments A_v over W (formula (2)).  The probability
 	// of A_v itself is estimated from the joining points' global
-	// probabilities, treating them as independent of each other.
-	vals := make([]float64, w)
-	condIn := make([]float64, npins)
+	// probabilities, treating them as independent of each other.  All
+	// assignments share the pinned set W, so the merged reach list is
+	// computed once.
+	iter := a.mergeReach(plan, cands[:w])
+	vals := a.vals[:w]
+	condIn := a.condIn[:npins]
 	total := 0.0
 	for v := 0; v < 1<<w; v++ {
 		weight := 1.0
@@ -130,7 +143,7 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 		if weight == 0 {
 			continue
 		}
-		a.condPropagate(plan, probs, pins, vals)
+		a.condPropagate(iter, probs, pins, vals)
 		a.readPinProbs(n, probs, condIn)
 		var pv float64
 		if n.Op == logic.TableOp {
@@ -143,11 +156,14 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 	return logic.Clamp01(total)
 }
 
-// condPropagate re-evaluates the plan's cone with the given nodes pinned
-// to constants, writing results into the analyzer's generation-stamped
-// scratch arrays.  Nodes outside the cone (or inside it but independent
-// of every pinned node) keep their global estimates.
-func (a *Analyzer) condPropagate(plan *gatePlan, probs []float64, pins []circuit.NodeID, vals []float64) {
+// condPropagate re-evaluates the given cone subset with the pinned
+// nodes held at constants, writing results into the analyzer's
+// generation-stamped scratch arrays.  iter must be the statically
+// precomputed reach of the pinned set (plan.reach / mergeReach): every
+// node on it depends on a pinned node, and every cone node off it
+// keeps its global estimate — the same nodes the previous dynamic
+// dirty tracking re-evaluated, found without walking the full cone.
+func (a *Analyzer) condPropagate(iter []circuit.NodeID, probs []float64, pins []circuit.NodeID, vals []float64) {
 	a.cur++
 	cur := a.cur
 	for i, p := range pins {
@@ -156,26 +172,21 @@ func (a *Analyzer) condPropagate(plan *gatePlan, probs []float64, pins []circuit
 	}
 	c := a.c
 	var buf [8]float64
-	for _, id := range plan.cone {
+	for _, id := range iter {
 		if a.gen[id] == cur {
 			continue // pinned
 		}
 		n := c.Node(id)
-		if n.IsInput {
-			continue // unpinned inputs keep their global probability
-		}
 		in := buf[:0]
-		changed := false
+		if len(n.Fanin) > len(buf) {
+			in = a.condBuf[:0]
+		}
 		for _, f := range n.Fanin {
 			if a.gen[f] == cur {
 				in = append(in, a.val[f])
-				changed = true
 			} else {
 				in = append(in, probs[f])
 			}
-		}
-		if !changed {
-			continue // does not depend on any pinned node
 		}
 		var p float64
 		if n.Op == logic.TableOp {
@@ -186,6 +197,20 @@ func (a *Analyzer) condPropagate(plan *gatePlan, probs []float64, pins []circuit
 		a.val[id] = logic.Clamp01(p)
 		a.gen[id] = cur
 	}
+}
+
+// mergeReach unions the (ID-sorted) reach lists of the selected
+// joining points into analyzer scratch.
+func (a *Analyzer) mergeReach(plan *gatePlan, sel []scoredCandidate) []circuit.NodeID {
+	if len(sel) == 1 {
+		return plan.reach[sel[0].ci]
+	}
+	a.mergeLists = a.mergeLists[:0]
+	for _, s := range sel {
+		a.mergeLists = append(a.mergeLists, plan.reach[s.ci])
+	}
+	a.reachMerge = mergeSortedIDs(a.reachMerge[:0], a.mergeLists, a.mergeIdx, nil)
+	return a.reachMerge
 }
 
 // readPinProbs fills dst with the conditional probabilities of gate n's

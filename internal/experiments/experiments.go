@@ -28,6 +28,10 @@ type Config struct {
 	Seed     uint64
 	Patterns int  // P_SIM pattern budget (default 10000)
 	Fast     bool // reduced effort
+	// Workers spreads fault simulation (Validity, Table6) and optimizer
+	// candidate scoring over goroutines; <= 1 is serial, < 0 selects
+	// GOMAXPROCS.  Results are identical for every worker count.
+	Workers int
 }
 
 func (c Config) patterns() int {
@@ -71,7 +75,11 @@ func Validity(c *circuit.Circuit, cfg Config) (*ValidityResult, error) {
 	}
 	est := res.DetectProbs(faults)
 	gen := pattern.NewUniform(len(c.Inputs), cfg.Seed+1)
-	sim := faultsim.MeasureDetectionParallel(c, faults, gen, cfg.patterns(), 0)
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1 // zero value means serial, as documented on Config
+	}
+	sim := faultsim.MeasureDetectionParallel(c, faults, gen, cfg.patterns(), workers)
 	psim := make([]float64, len(faults))
 	for i := range faults {
 		psim[i] = sim.PSim(i)
@@ -266,6 +274,7 @@ func Table4(cfg Config) (*Table4Result, error) {
 	opt, err := optimize.Optimize(an, faults, optimize.Options{
 		MaxSweeps: cfg.sweeps(),
 		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -308,6 +317,7 @@ func Table5(cfg Config) (map[string][]SizeRow, map[string][]float64, error) {
 		opt, err := optimize.Optimize(an, faults, optimize.Options{
 			MaxSweeps: cfg.sweeps(),
 			Seed:      cfg.Seed,
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -356,8 +366,13 @@ func Table6(cfg Config, tuples map[string][]float64) ([]*CurvePair, error) {
 			return nil, err
 		}
 		pair := &CurvePair{Circuit: c.Name}
-		pair.Uniform = faultsim.CoverageCurve(c, faults, genU, checkpoints)
-		pair.Optimized = faultsim.CoverageCurve(c, faults, genO, checkpoints)
+		if cfg.Workers > 1 || cfg.Workers < 0 {
+			pair.Uniform = faultsim.CoverageCurveParallel(c, faults, genU, checkpoints, cfg.Workers)
+			pair.Optimized = faultsim.CoverageCurveParallel(c, faults, genO, checkpoints, cfg.Workers)
+		} else {
+			pair.Uniform = faultsim.CoverageCurve(c, faults, genU, checkpoints)
+			pair.Optimized = faultsim.CoverageCurve(c, faults, genO, checkpoints)
+		}
 		out = append(out, pair)
 	}
 	return out, nil
@@ -474,7 +489,7 @@ func Table8(cfg Config) ([]ScaleRow, error) {
 			sweeps = 1
 		}
 		start := time.Now()
-		opt, err := optimize.Optimize(an, faults, optimize.Options{MaxSweeps: sweeps, Seed: cfg.Seed})
+		opt, err := optimize.Optimize(an, faults, optimize.Options{MaxSweeps: sweeps, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

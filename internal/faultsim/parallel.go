@@ -1,8 +1,10 @@
 package faultsim
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 
 	"protest/internal/bitsim"
@@ -12,12 +14,22 @@ import (
 )
 
 // MeasureDetectionParallel is MeasureDetection with the per-fault cone
-// simulation spread over worker goroutines.  The good-circuit values of
-// each block are computed once and shared read-only; every worker owns
-// its scratch state, so the result is bit-identical to the serial
-// version (same generator stream, same counts).  workers <= 0 selects
+// simulation spread over worker goroutines.  workers <= 0 selects
 // GOMAXPROCS.
 func MeasureDetectionParallel(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns, workers int) *Result {
+	res, _ := MeasureDetectionParallelCtx(context.Background(), c, faults, gen, numPatterns, workers, nil)
+	return res
+}
+
+// MeasureDetectionParallelCtx is the parallel measurement with the
+// cancellation and progress treatment of the serial path: between
+// 64-pattern blocks it checks ctx (returning ctx.Err() and a nil
+// result on cancellation) and reports applied patterns to progress.
+// The good-circuit values of each block are computed once and shared
+// read-only; every worker owns its scratch state, so the result is
+// bit-identical to the serial version (same generator stream, same
+// counts).  workers <= 0 selects GOMAXPROCS.
+func MeasureDetectionParallelCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns, workers int, progress Progress) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -25,7 +37,7 @@ func MeasureDetectionParallel(c *circuit.Circuit, faults []fault.Fault, gen *pat
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		return MeasureDetection(c, faults, gen, numPatterns)
+		return MeasureDetectionCtx(ctx, c, faults, gen, numPatterns, progress)
 	}
 	good := bitsim.New(c)
 	sims := make([]*Simulator, workers)
@@ -40,6 +52,9 @@ func MeasureDetectionParallel(c *circuit.Circuit, faults []fault.Fault, gen *pat
 	chunk := (len(faults) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for applied := 0; applied < numPatterns; applied += 64 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gen.NextBlock(words)
 		good.SetInputs(words)
 		good.Run()
@@ -68,7 +83,110 @@ func MeasureDetectionParallel(c *circuit.Circuit, faults []fault.Fault, gen *pat
 			}(sims[w], lo, hi)
 		}
 		wg.Wait()
+		if progress != nil {
+			progress(min(applied+64, numPatterns), numPatterns)
+		}
 	}
 	res.Applied = numPatterns
-	return res
+	return res, nil
+}
+
+// CoverageCurveParallel is CoverageCurve with the per-fault cone
+// simulation of each block spread over worker goroutines.
+func CoverageCurveParallel(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, workers int) []CoveragePoint {
+	out, _ := CoverageCurveParallelCtx(context.Background(), c, faults, gen, checkpoints, workers, nil)
+	return out
+}
+
+// CoverageCurveParallelCtx fault-simulates with fault dropping like
+// CoverageCurveCtx, sharing each block's good-circuit values across
+// workers that re-simulate the cones of disjoint chunks of the live
+// fault list.  The per-fault detection words do not depend on the
+// partitioning, and dropping happens serially between blocks, so the
+// curve is identical to the serial one for any worker count.
+// workers <= 0 selects GOMAXPROCS.
+func CoverageCurveParallelCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, workers int, progress Progress) ([]CoveragePoint, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		return CoverageCurveCtx(ctx, c, faults, gen, checkpoints, progress)
+	}
+	cps := append([]int(nil), checkpoints...)
+	sort.Ints(cps)
+	good := bitsim.New(c)
+	sims := make([]*Simulator, workers)
+	for i := range sims {
+		sims[i] = New(c)
+	}
+	alive := append([]fault.Fault(nil), faults...)
+	det := make([]uint64, len(alive))
+	words := make([]uint64, len(c.Inputs))
+	total := len(faults)
+	lastCp := 0
+	if len(cps) > 0 {
+		lastCp = cps[len(cps)-1]
+	}
+	dead := 0
+	var out []CoveragePoint
+	applied := 0
+	var wg sync.WaitGroup
+	for _, cp := range cps {
+		for applied < cp {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			gen.NextBlock(words)
+			valid := cp - applied
+			var mask uint64 = ^uint64(0)
+			if valid < 64 {
+				mask = (uint64(1) << valid) - 1
+			}
+			applied += min(64, valid)
+			if progress != nil {
+				progress(applied, lastCp)
+			}
+			good.SetInputs(words)
+			good.Run()
+			goodVals := good.Values()
+			chunk := (len(alive) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > len(alive) {
+					hi = len(alive)
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(sim *Simulator, lo, hi int) {
+					defer wg.Done()
+					for fi := lo; fi < hi; fi++ {
+						det[fi] = sim.simulateFault(goodVals, alive[fi])
+					}
+				}(sims[w], lo, hi)
+			}
+			wg.Wait()
+			// Drop detected faults (serially, as in the serial curve).
+			w := 0
+			for i := range alive {
+				if det[i]&mask != 0 {
+					dead++
+					continue
+				}
+				alive[w] = alive[i]
+				w++
+			}
+			alive = alive[:w]
+			if len(alive) == 0 {
+				break
+			}
+		}
+		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(dead) / float64(total)})
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"testing"
 
 	"protest/internal/circuits"
@@ -49,5 +50,79 @@ func TestParallelRace(t *testing.T) {
 	res := MeasureDetectionParallel(c, faults, gen, 256, 8)
 	if res.Coverage() <= 0.5 {
 		t.Errorf("implausible MULT coverage %v", res.Coverage())
+	}
+}
+
+// The parallel coverage curve must be identical to the serial one for
+// any worker count: detection words are partition-independent and the
+// dropping pass runs serially between blocks.
+func TestCoverageCurveParallelMatchesSerial(t *testing.T) {
+	for _, name := range []string{"mult", "div"} {
+		c, ok := circuits.Lookup(name)
+		if !ok {
+			t.Fatalf("unknown circuit %s", name)
+		}
+		faults := fault.Collapse(c)
+		checkpoints := []int{10, 100, 500, 1000}
+		genA := pattern.NewUniform(len(c.Inputs), 13)
+		serial := CoverageCurve(c, faults, genA, checkpoints)
+		for _, w := range []int{2, 5, 16} {
+			genB := pattern.NewUniform(len(c.Inputs), 13)
+			parallel := CoverageCurveParallel(c, faults, genB, checkpoints, w)
+			if len(parallel) != len(serial) {
+				t.Fatalf("%s workers=%d: %d points != %d", name, w, len(parallel), len(serial))
+			}
+			for i := range serial {
+				if parallel[i] != serial[i] {
+					t.Fatalf("%s workers=%d: point %d = %+v, serial %+v", name, w, i, parallel[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// Cancelling mid-curve must return the context error and a nil curve.
+func TestCoverageCurveParallelCancellation(t *testing.T) {
+	c := circuits.Mult8()
+	faults := fault.Collapse(c)
+	gen := pattern.NewUniform(len(c.Inputs), 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	blocks := 0
+	out, err := CoverageCurveParallelCtx(ctx, c, faults, gen, []int{100000}, 4, func(done, total int) {
+		blocks++
+		if blocks == 2 {
+			cancel()
+		}
+	})
+	if err != context.Canceled || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+}
+
+// MeasureDetectionParallelCtx must honor cancellation and report
+// progress like the serial path.
+func TestMeasureDetectionParallelCtx(t *testing.T) {
+	c := circuits.ALU74181()
+	faults := fault.Collapse(c)
+	gen := pattern.NewUniform(len(c.Inputs), 5)
+	var last int
+	res, err := MeasureDetectionParallelCtx(context.Background(), c, faults, gen, 320, 4, func(done, total int) {
+		if done <= last || total != 320 {
+			t.Fatalf("bad progress (%d, %d) after %d", done, total, last)
+		}
+		last = done
+	})
+	if err != nil || res.Applied != 320 {
+		t.Fatalf("got (%+v, %v)", res, err)
+	}
+	if last != 320 {
+		t.Fatalf("final progress %d, want 320", last)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gen2 := pattern.NewUniform(len(c.Inputs), 5)
+	if _, err := MeasureDetectionParallelCtx(ctx, c, faults, gen2, 320, 4, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

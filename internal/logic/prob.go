@@ -117,16 +117,19 @@ func DiffProb(op Op, in []float64, i int) float64 {
 // inputs); DiffProb is exact.  Both are offered so the bias of the
 // original tool can be reproduced.
 func DiffProbPaper(op Op, in []float64, i int) float64 {
-	f0 := probWithPin(op, in, i, 0)
-	f1 := probWithPin(op, in, i, 1)
-	return XorProb(f0, f1)
+	return DiffProbPaperBuf(op, in, i, make([]float64, len(in)))
 }
 
-func probWithPin(op Op, in []float64, i int, v float64) float64 {
-	tmp := make([]float64, len(in))
+// DiffProbPaperBuf is DiffProbPaper through a caller-owned scratch
+// slice (len(buf) >= len(in)), for allocation-free hot paths.
+func DiffProbPaperBuf(op Op, in []float64, i int, buf []float64) float64 {
+	tmp := buf[:len(in)]
 	copy(tmp, in)
-	tmp[i] = v
-	return Prob(op, tmp)
+	tmp[i] = 0
+	f0 := Prob(op, tmp)
+	tmp[i] = 1
+	f1 := Prob(op, tmp)
+	return XorProb(f0, f1)
 }
 
 // Clamp01 clamps p into [0,1]; estimation round-off can push values a few

@@ -3,6 +3,8 @@ package optimize
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"protest/internal/core"
 	"protest/internal/fault"
@@ -68,7 +70,7 @@ func OptimizeMultiCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fau
 		opt.SessionConfidence = 0.95
 	}
 	res := &MultiResult{}
-	clusters, err := clusterByGradient(ctx, an, faults, opt.Sets)
+	clusters, err := clusterByGradient(ctx, an, faults, opt.Sets, opt.PerSet.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -115,13 +117,19 @@ func OptimizeMultiCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fau
 // uniform tuple and greedily clusters faults by gradient direction:
 // the first seed is the hardest fault, each further seed is the fault
 // most anti-aligned with the existing seeds, and every fault joins the
-// seed with the largest dot product.
-func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fault, sets int) ([][]fault.Fault, error) {
+// seed with the largest dot product.  Each probe perturbs a single
+// input, so the finite differences run through the incremental engine
+// (one cone update per input instead of one full analysis); with
+// workers > 1 the probes are scored concurrently on cloned analyzers.
+func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fault, sets, workers int) ([][]fault.Fault, error) {
 	c := an.Circuit()
 	nin := len(c.Inputs)
 	uniform := core.UniformProbs(c)
-	baseRun, err := an.RunCtx(ctx, uniform)
-	if err != nil {
+	baseRun := an.NewAnalysis()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := an.RunInto(baseRun, uniform); err != nil {
 		return nil, err
 	}
 	base := baseRun.DetectProbs(faults)
@@ -133,15 +141,17 @@ func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fa
 	for i := range grads {
 		grads[i] = make([]float64, nin)
 	}
-	probe := append([]float64(nil), uniform...)
-	for i := 0; i < nin; i++ {
+	probeInput := func(pa *core.Analyzer, work *core.Analysis, probe, det []float64, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work.CopyFrom(baseRun)
 		probe[i] = 0.5 + delta
-		run, err := an.RunCtx(ctx, probe)
-		if err != nil {
-			return nil, err
+		if err := pa.Update(work, []int{i}, probe); err != nil {
+			return err
 		}
 		probe[i] = 0.5
-		det := run.DetectProbs(faults)
+		work.DetectProbsInto(det, faults)
 		for fi := range faults {
 			// Relative change keeps hard faults comparable to easy
 			// ones.
@@ -150,6 +160,52 @@ func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fa
 				den = 1e-12
 			}
 			grads[fi][i] = (det[fi] - base[fi]) / den
+		}
+		return nil
+	}
+	if workers > 1 {
+		if workers > nin {
+			workers = nin
+		}
+		var next atomic.Int64
+		next.Store(-1)
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			pa := an
+			if w > 0 {
+				pa = an.Clone()
+			}
+			go func(pa *core.Analyzer) {
+				defer wg.Done()
+				work := pa.NewAnalysis()
+				probe := append([]float64(nil), uniform...)
+				det := make([]float64, len(faults))
+				for {
+					i := int(next.Add(1))
+					if i >= nin {
+						return
+					}
+					if err := probeInput(pa, work, probe, det, i); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}(pa)
+		}
+		wg.Wait()
+		if err, ok := firstErr.Load().(error); ok {
+			return nil, err
+		}
+	} else {
+		work := an.NewAnalysis()
+		probe := append([]float64(nil), uniform...)
+		det := make([]float64, len(faults))
+		for i := 0; i < nin; i++ {
+			if err := probeInput(an, work, probe, det, i); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Seed selection.

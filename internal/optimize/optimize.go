@@ -11,12 +11,25 @@
 // Probabilities move on a k/Grid lattice (Table 4 of the paper uses
 // sixteenths), matching what weighted pattern generators (the NLFSRs of
 // [KuWu84]) can realize in hardware.
+//
+// The climb is the repository's hottest loop, so candidate moves are
+// scored through core's incremental engine instead of full re-analyses:
+// every evaluation copies the current accepted state (a memcopy into
+// preallocated buffers) and calls Analyzer.Update with the 1–2 changed
+// inputs, which re-evaluates only the affected cones and is
+// bit-identical to a full run.  With Options.Workers > 1 the candidate
+// steps of one coordinate are scored concurrently on cloned analyzers;
+// acceptance still follows the serial first-improvement order, so the
+// result is identical for every worker count.
 package optimize
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"protest/internal/circuit"
 	"protest/internal/core"
@@ -45,6 +58,14 @@ type Options struct {
 	// Params are the analysis parameters used inside the loop
 	// (default core.FastParams()).
 	Params *core.Params
+	// Workers scores the candidate steps of one coordinate
+	// concurrently on that many goroutines (each owning a cloned
+	// analyzer).  0 or 1 evaluates serially; negative selects
+	// GOMAXPROCS.  The accepted moves — and therefore Result.Probs and
+	// Result.Objective — are identical for every worker count; only
+	// Result.Evaluations varies, because parallel scoring cannot stop
+	// at the first improvement.
+	Workers int
 	// Restarts adds random restarts around the best tuple (default 0).
 	Restarts int
 	// Seed drives restart randomization.
@@ -70,6 +91,9 @@ func (o *Options) fill() {
 		p := core.FastParams()
 		o.Params = &p
 	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Result of an optimization run.
@@ -80,7 +104,9 @@ type Result struct {
 	Objective float64
 	// InitialObjective is log J_N at the uniform start tuple.
 	InitialObjective float64
-	// Evaluations counts analysis runs.
+	// Evaluations counts objective evaluations.  With Workers > 1 all
+	// candidate steps of a coordinate are scored (no early stop), so
+	// the count is higher than the serial one for the same climb.
 	Evaluations int
 	// Sweeps counts completed coordinate sweeps.
 	Sweeps int
@@ -190,6 +216,247 @@ func structuralPairs(c *circuit.Circuit) [][2]int {
 	return pairs
 }
 
+// move is one candidate perturbation: up to two coordinates jump to
+// new lattice positions.
+type move struct {
+	n   int
+	idx [2]int
+	k   [2]int
+}
+
+// evalState is one evaluator's private machinery: an analyzer (the
+// caller's for state 0, clones for the workers), a scratch Analysis,
+// and the probability / detection buffers.  Everything is allocated
+// once per climb; steady-state evaluation does not allocate.
+type evalState struct {
+	an      *core.Analyzer
+	work    *core.Analysis
+	probs   []float64
+	detect  []float64
+	changed []int
+}
+
+// climber carries the shared state of one optimization run: the
+// analysis of the current accepted tuple and the evaluator states.
+type climber struct {
+	ctx    context.Context
+	faults []fault.Fault
+	opt    *Options
+	grid   float64
+	res    *Result
+
+	base       *core.Analysis // analysis at baseCoords, always in sync
+	baseCoords []int
+	baseProbs  []float64
+	detect     []float64 // detection probabilities at base
+
+	states []*evalState
+	moves  []move    // candidate batch scratch
+	objs   []float64 // candidate objective scratch
+}
+
+func newClimber(ctx context.Context, an *core.Analyzer, faults []fault.Fault, opt *Options, res *Result) *climber {
+	nin := len(an.Circuit().Inputs)
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	c := &climber{
+		ctx:        ctx,
+		faults:     faults,
+		opt:        opt,
+		grid:       float64(opt.Grid),
+		res:        res,
+		base:       an.NewAnalysis(),
+		baseCoords: make([]int, nin),
+		baseProbs:  make([]float64, nin),
+		detect:     make([]float64, len(faults)),
+		states:     make([]*evalState, workers),
+		moves:      make([]move, 0, 2*len(opt.Steps)),
+		objs:       make([]float64, 0, 2*len(opt.Steps)),
+	}
+	for w := range c.states {
+		wan := an
+		if w > 0 {
+			wan = an.Clone()
+		}
+		c.states[w] = &evalState{
+			an:      wan,
+			work:    wan.NewAnalysis(),
+			probs:   make([]float64, nin),
+			detect:  make([]float64, len(faults)),
+			changed: make([]int, 0, 4),
+		}
+	}
+	return c
+}
+
+// start runs the initial full analysis at coords.
+func (c *climber) start(coords []int) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	copy(c.baseCoords, coords)
+	c.coordsToProbs(coords, c.baseProbs)
+	if err := c.states[0].an.RunInto(c.base, c.baseProbs); err != nil {
+		return err
+	}
+	c.base.DetectProbsInto(c.detect, c.faults)
+	return nil
+}
+
+// gotoCoords moves base to coords through an incremental update (the
+// update falls back to a full pass internally when many coordinates
+// moved, e.g. on restarts).
+func (c *climber) gotoCoords(coords []int) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	st := c.states[0]
+	st.changed = st.changed[:0]
+	for i, k := range coords {
+		if k != c.baseCoords[i] {
+			st.changed = append(st.changed, i)
+			c.baseProbs[i] = float64(k) / c.grid
+		}
+	}
+	if len(st.changed) == 0 {
+		return nil
+	}
+	if err := st.an.Update(c.base, st.changed, c.baseProbs); err != nil {
+		return err
+	}
+	copy(c.baseCoords, coords)
+	c.base.DetectProbsInto(c.detect, c.faults)
+	return nil
+}
+
+func (c *climber) coordsToProbs(coords []int, dst []float64) {
+	for i, k := range coords {
+		dst[i] = float64(k) / c.grid
+	}
+}
+
+// baseObjective evaluates log J_N at the current accepted tuple
+// without re-analyzing (base is always in sync).
+func (c *climber) baseObjective() float64 {
+	c.res.Evaluations++
+	return logJN(c.detect, c.opt.N)
+}
+
+// evalOne scores one candidate move against the current base: copy the
+// accepted analysis into the state's scratch, update the 1–2 changed
+// cones, and fold the detection probabilities into log J_N.
+func (c *climber) evalOne(st *evalState, mv move) (float64, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	st.work.CopyFrom(c.base)
+	copy(st.probs, c.baseProbs)
+	st.changed = st.changed[:0]
+	for t := 0; t < mv.n; t++ {
+		st.changed = append(st.changed, mv.idx[t])
+		st.probs[mv.idx[t]] = float64(mv.k[t]) / c.grid
+	}
+	if err := st.an.Update(st.work, st.changed, st.probs); err != nil {
+		return 0, err
+	}
+	return logJN(st.work.DetectProbsInto(st.detect, c.faults), c.opt.N), nil
+}
+
+// firstImprovement scores the moves in order and accepts the first one
+// that beats best, committing it to base.  With one worker it stops at
+// the accepted move; with several it scores the whole batch
+// concurrently and then applies the same acceptance rule, so the
+// outcome is identical for any worker count.  It returns the accepted
+// move index (-1 if none) and the new best objective.
+func (c *climber) firstImprovement(cur []int, best float64) (int, float64, error) {
+	if len(c.moves) == 0 {
+		return -1, best, nil
+	}
+	if len(c.states) == 1 || len(c.moves) == 1 {
+		st := c.states[0]
+		for mi, mv := range c.moves {
+			obj, err := c.evalOne(st, mv)
+			if err != nil {
+				return -1, best, err
+			}
+			c.res.Evaluations++
+			if obj > best+1e-12 {
+				if err := c.commit(cur, mv); err != nil {
+					return -1, best, err
+				}
+				return mi, obj, nil
+			}
+		}
+		return -1, best, nil
+	}
+
+	// Parallel speculative waves: score the next `workers` moves
+	// concurrently, then apply the serial acceptance rule to the wave.
+	// Serial first-improvement usually accepts an early move, so
+	// scoring the whole batch up front would waste most of the work;
+	// waves keep the speculation bounded by the worker count while the
+	// accepted move — the first improving one in move order — stays
+	// identical for every worker count.
+	if cap(c.objs) < len(c.moves) {
+		c.objs = make([]float64, len(c.moves))
+	}
+	objs := c.objs[:len(c.moves)]
+	for waveStart := 0; waveStart < len(c.moves); {
+		waveEnd := waveStart + len(c.states)
+		if waveEnd > len(c.moves) {
+			waveEnd = len(c.moves)
+		}
+		var next atomic.Int64
+		next.Store(int64(waveStart) - 1)
+		var firstErr atomic.Value
+		workers := waveEnd - waveStart
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(st *evalState) {
+				defer wg.Done()
+				for {
+					mi := int(next.Add(1))
+					if mi >= waveEnd {
+						return
+					}
+					obj, err := c.evalOne(st, c.moves[mi])
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					objs[mi] = obj
+				}
+			}(c.states[w])
+		}
+		wg.Wait()
+		if err, ok := firstErr.Load().(error); ok {
+			return -1, best, err
+		}
+		c.res.Evaluations += waveEnd - waveStart
+		for mi := waveStart; mi < waveEnd; mi++ {
+			if obj := objs[mi]; obj > best+1e-12 {
+				if err := c.commit(cur, c.moves[mi]); err != nil {
+					return -1, best, err
+				}
+				return mi, obj, nil
+			}
+		}
+		waveStart = waveEnd
+	}
+	return -1, best, nil
+}
+
+// commit applies an accepted move to cur and to base.
+func (c *climber) commit(cur []int, mv move) error {
+	for t := 0; t < mv.n; t++ {
+		cur[mv.idx[t]] = mv.k[t]
+	}
+	return c.gotoCoords(cur)
+}
+
 // Optimize runs first-improvement cyclic coordinate hill climbing from
 // the uniform tuple p_i = 0.5, with structural pair moves when single
 // moves stall.
@@ -198,8 +465,8 @@ func Optimize(an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, er
 }
 
 // OptimizeCtx is Optimize with cancellation: every objective
-// evaluation runs through Analyzer.RunCtx, so a cancelled context
-// aborts the climb within one analysis run and returns ctx.Err().
+// evaluation checks ctx, so a cancelled context aborts the climb
+// within one incremental evaluation and returns ctx.Err().
 func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, error) {
 	opt.fill()
 	c := an.Circuit()
@@ -207,7 +474,6 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 	if nin == 0 {
 		return nil, fmt.Errorf("optimize: circuit has no inputs")
 	}
-	grid := float64(opt.Grid)
 	pairs := structuralPairs(c)
 
 	// Start at the lattice point closest to 0.5.
@@ -215,41 +481,17 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 	for i := range cur {
 		cur[i] = opt.Grid / 2
 	}
-	toProbs := func(coords []int) []float64 {
-		ps := make([]float64, nin)
-		for i, k := range coords {
-			ps[i] = float64(k) / grid
-		}
-		return ps
-	}
 	res := &Result{}
 	autoN := opt.N <= 0
-	// detectAt runs the analysis for a coordinate tuple and returns the
-	// per-fault detection probabilities.
-	detectAt := func(coords []int) ([]float64, error) {
-		r, err := an.RunCtx(ctx, toProbs(coords))
-		if err != nil {
-			return nil, err
-		}
-		return r.DetectProbs(faults), nil
+	cl := newClimber(ctx, an, faults, &opt, res)
+	if err := cl.start(cur); err != nil {
+		return nil, err
 	}
 	// Auto-scale N to the hardest fault of the starting tuple.
 	if autoN {
-		det, err := detectAt(cur)
-		if err != nil {
-			return nil, err
-		}
-		opt.N = chooseN(det)
+		opt.N = chooseN(cl.detect)
 	}
-	eval := func(coords []int) (float64, error) {
-		res.Evaluations++
-		return objectiveCtx(ctx, an, faults, toProbs(coords), opt.N)
-	}
-
-	best, err := eval(cur)
-	if err != nil {
-		return nil, err
-	}
+	best := cl.baseObjective()
 	res.InitialObjective = best
 
 	inRange := func(k int) bool { return k >= 1 && k <= opt.Grid-1 }
@@ -259,45 +501,36 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 			// and the gradient vanishes; re-scaling N to the current
 			// hardest fault keeps the pressure on the tail.  The paper
 			// calls N "only a numerical parameter"; this is its
-			// natural schedule.
+			// natural schedule.  Base always holds the analysis of the
+			// current tuple, so the rescaled objective is a fold over
+			// its detection probabilities — no re-analysis.
 			if autoN && sweep > 0 {
-				det, err := detectAt(cur)
-				if err != nil {
-					return best, err
-				}
 				// Track 0.7/p_min in both directions: as the hardest
 				// fault improves, the old (larger) N saturates J at 1
 				// and kills the gradient.
-				if n := chooseN(det); n > opt.N*1.2 || n < opt.N/1.2 {
+				if n := chooseN(cl.detect); n > opt.N*1.2 || n < opt.N/1.2 {
 					opt.N = n
-					best, err = eval(cur) // objectives are N-relative
-					if err != nil {
-						return best, err
-					}
+					best = cl.baseObjective() // objectives are N-relative
 				}
 			}
 			improved := false
 			for i := 0; i < nin; i++ {
+				cl.moves = cl.moves[:0]
 				for _, step := range opt.Steps {
-					k := cur[i] + step
-					if !inRange(k) {
-						continue
+					if k := cur[i] + step; inRange(k) {
+						cl.moves = append(cl.moves, move{n: 1, idx: [2]int{i}, k: [2]int{k}})
 					}
-					old := cur[i]
-					cur[i] = k
-					obj, err := eval(cur)
-					if err != nil {
-						return best, err
+				}
+				mi, obj, err := cl.firstImprovement(cur, best)
+				if err != nil {
+					return best, err
+				}
+				if mi >= 0 {
+					best = obj
+					improved = true
+					if opt.OnImprove != nil {
+						opt.OnImprove(sweep, i, best)
 					}
-					if obj > best+1e-12 {
-						best = obj
-						improved = true
-						if opt.OnImprove != nil {
-							opt.OnImprove(sweep, i, best)
-						}
-						break // first improvement: keep the move
-					}
-					cur[i] = old
 				}
 			}
 			// Pair sweep: move structurally coupled inputs jointly
@@ -307,28 +540,24 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 			// into tiny oscillations.
 			for _, pr := range pairs {
 				i, j := pr[0], pr[1]
-			pairSteps:
+				cl.moves = cl.moves[:0]
 				for _, step := range opt.Steps {
 					for _, dir := range [2]int{step, -step} {
 						ki, kj := cur[i]+step, cur[j]+dir
-						if !inRange(ki) || !inRange(kj) {
-							continue
+						if inRange(ki) && inRange(kj) {
+							cl.moves = append(cl.moves, move{n: 2, idx: [2]int{i, j}, k: [2]int{ki, kj}})
 						}
-						oi, oj := cur[i], cur[j]
-						cur[i], cur[j] = ki, kj
-						obj, err := eval(cur)
-						if err != nil {
-							return best, err
-						}
-						if obj > best+1e-12 {
-							best = obj
-							improved = true
-							if opt.OnImprove != nil {
-								opt.OnImprove(sweep, i, best)
-							}
-							break pairSteps // keep the pair move
-						}
-						cur[i], cur[j] = oi, oj
+					}
+				}
+				mi, obj, err := cl.firstImprovement(cur, best)
+				if err != nil {
+					return best, err
+				}
+				if mi >= 0 {
+					best = obj
+					improved = true
+					if opt.OnImprove != nil {
+						opt.OnImprove(sweep, i, best)
 					}
 				}
 			}
@@ -343,7 +572,7 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 		return best, nil
 	}
 
-	best, err = climb(cur, best)
+	best, err := climb(cur, best)
 	if err != nil {
 		return nil, err
 	}
@@ -358,10 +587,10 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 				trial[i] = 1 + int(rng.Uint64()%uint64(opt.Grid-1))
 			}
 		}
-		obj, err := eval(trial)
-		if err != nil {
+		if err := cl.gotoCoords(trial); err != nil {
 			return nil, err
 		}
+		obj := cl.baseObjective()
 		obj, err = climb(trial, obj)
 		if err != nil {
 			return nil, err
@@ -373,7 +602,8 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 	}
 
 	res.N = opt.N
-	res.Probs = toProbs(bestCoords)
+	res.Probs = make([]float64, nin)
+	cl.coordsToProbs(bestCoords, res.Probs)
 	res.Objective = best
 	return res, nil
 }

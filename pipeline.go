@@ -46,6 +46,11 @@ type PipelineSpec struct {
 	// driven by the final pattern source (optimized weights when the
 	// optimize phase ran, uniform otherwise).
 	BIST *BISTPlan `json:"bist,omitempty"`
+	// Workers overrides the Session's WithWorkers setting for this run:
+	// > 1 scores optimizer candidates and fault-simulates on that many
+	// goroutines, < 0 selects GOMAXPROCS, 0 keeps the Session default.
+	// Results are identical for every worker count.
+	Workers int `json:"workers,omitempty"`
 }
 
 func (spec *PipelineSpec) fill() error {
@@ -175,6 +180,14 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// The worker override applies to every phase of this run; the lock
+	// is held throughout, so restoring the Session default is safe.
+	if spec.Workers != 0 {
+		prev := s.workers
+		s.workers = spec.Workers
+		defer func() { s.workers = prev }()
+	}
 
 	st := s.c.Stats()
 	rep := &Report{

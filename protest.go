@@ -26,10 +26,10 @@
 //	opt, _ := s.Optimize(ctx, protest.OptimizeOptions{})
 //
 // Sessions are configured with functional options (WithParams,
-// WithObsModel, WithSeed, WithFastParams, WithProgress), honor context
-// cancellation in every context-taking method (errors match
-// ErrCanceled), and expose the complete paper workflow — analyze,
-// size, optimize, quantize, validate — as one call:
+// WithObsModel, WithSeed, WithFastParams, WithProgress, WithWorkers),
+// honor context cancellation in every context-taking method (errors
+// match ErrCanceled), and expose the complete paper workflow —
+// analyze, size, optimize, quantize, validate — as one call:
 //
 //	rep, _ := s.Run(ctx, protest.PipelineSpec{Optimize: true})
 //

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Benchmark trajectory tooling: runs the benchmark suite and records,
+# per benchmark, the best ns/op and allocs/op over the repetitions in
+# BENCH_<date>.json at the repository root.  Check the file in to keep
+# a performance trail next to the code it measures.
+#
+# Usage: scripts/bench.sh [bench-regex] [count] [benchtime]
+#   scripts/bench.sh                       # full suite, -count 3
+#   scripts/bench.sh 'Analyze' 1           # quick subset, single run
+#   scripts/bench.sh 'Optimize' 3 10x      # fixed iteration count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern=${1:-.}
+count=${2:-3}
+benchtime=${3:-}
+
+args=(test -run '^$' -bench "$pattern" -benchmem -count "$count")
+if [ -n "$benchtime" ]; then
+  args+=(-benchtime "$benchtime")
+fi
+args+=(./...)
+
+out="BENCH_$(date +%Y-%m-%d).json"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go "${args[@]}" | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
+    if (allocs != "" && (!(name in best_al) || allocs + 0 < best_al[name] + 0)) best_al[name] = allocs
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_per_op\": %s", name, best_ns[name]
+        if (name in best_al) printf ", \"allocs_per_op\": %s", best_al[name]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "}\n"
+}' "$tmp" > "$out"
+echo "wrote $out"

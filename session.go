@@ -46,6 +46,7 @@ type Session struct {
 	params   Params
 	fast     Params
 	seed     uint64
+	workers  int
 	progress func(Phase, float64)
 
 	mu       sync.Mutex
@@ -81,6 +82,18 @@ func WithFastParams(p Params) Option {
 // (pattern generators, optimizer restarts; default 1).
 func WithSeed(seed uint64) Option {
 	return func(s *Session) { s.seed = seed }
+}
+
+// WithWorkers runs the Session's parallelizable phases — optimizer
+// candidate scoring, gradient clustering, fault simulation and
+// coverage curves — on n goroutines.  Every result is identical to
+// the serial one: parallel fault simulation shares the same generator
+// stream and per-fault counts, and the optimizer accepts moves in the
+// serial first-improvement order.  n <= 1 stays serial (the default);
+// negative n selects GOMAXPROCS.  Individual OptimizeOptions.Workers
+// values override the Session default per call.
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.workers = n }
 }
 
 // WithProgress installs a callback receiving (phase, fraction in
@@ -246,11 +259,14 @@ func (s *Session) optimize(ctx context.Context, faults []Fault, opt OptimizeOpti
 	return res, wrapCanceled(err)
 }
 
-// optimizeAnalyzer fills the option defaults (Params, Seed, progress)
-// and returns the analyzer the climb should run on.
+// optimizeAnalyzer fills the option defaults (Params, Seed, Workers,
+// progress) and returns the analyzer the climb should run on.
 func (s *Session) optimizeAnalyzer(opt *OptimizeOptions) (*Analyzer, error) {
 	if opt.Seed == 0 {
 		opt.Seed = s.seed
+	}
+	if opt.Workers == 0 {
+		opt.Workers = s.workers
 	}
 	if s.progress != nil && opt.OnSweep == nil {
 		opt.OnSweep = func(done, max int) {
@@ -321,9 +337,15 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 		return nil, err
 	}
 	s.emit(PhaseSimulate, 0)
-	res, err := faultsim.MeasureDetectionCtx(ctx, s.c, s.faults, gen, numPatterns, func(done, total int) {
+	progress := func(done, total int) {
 		s.emit(PhaseSimulate, float64(done)/float64(total))
-	})
+	}
+	var res *SimResult
+	if s.workers > 1 || s.workers < 0 {
+		res, err = faultsim.MeasureDetectionParallelCtx(ctx, s.c, s.faults, gen, numPatterns, s.workers, progress)
+	} else {
+		res, err = faultsim.MeasureDetectionCtx(ctx, s.c, s.faults, gen, numPatterns, progress)
+	}
 	return res, wrapCanceled(err)
 }
 
@@ -337,9 +359,15 @@ func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoint
 	if err != nil {
 		return nil, err
 	}
-	points, err := faultsim.CoverageCurveCtx(ctx, s.c, s.faults, gen, checkpoints, func(done, total int) {
+	progress := func(done, total int) {
 		s.emit(PhaseSimulate, float64(done)/float64(total))
-	})
+	}
+	var points []CoveragePoint
+	if s.workers > 1 || s.workers < 0 {
+		points, err = faultsim.CoverageCurveParallelCtx(ctx, s.c, s.faults, gen, checkpoints, s.workers, progress)
+	} else {
+		points, err = faultsim.CoverageCurveCtx(ctx, s.c, s.faults, gen, checkpoints, progress)
+	}
 	return points, wrapCanceled(err)
 }
 
