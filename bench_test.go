@@ -204,6 +204,8 @@ func BenchmarkAnalyzeDIV(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultSimMULT64Patterns times one 64-pattern block of the
+// naive oracle engine (per-fault cone re-simulation).
 func BenchmarkFaultSimMULT64Patterns(b *testing.B) {
 	c := circuits.Mult8()
 	faults := fault.Collapse(c)
@@ -215,6 +217,23 @@ func BenchmarkFaultSimMULT64Patterns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		gen.NextBlock(words)
 		sim.SimulateBlock(words, faults, det)
+	}
+}
+
+// BenchmarkFaultSimFFRMULT64Patterns is the same block on the FFR
+// engine: critical path tracing + dominator-cut stem propagation
+// (bit-identical detection words; see internal/faultsim).
+func BenchmarkFaultSimFFRMULT64Patterns(b *testing.B) {
+	c := circuits.Mult8()
+	faults := fault.Collapse(c)
+	engine := faultsim.NewEngine(faultsim.NewPlan(c, faults))
+	gen := pattern.NewUniform(len(c.Inputs), 1)
+	words := make([]uint64, len(c.Inputs))
+	det := make([]uint64, len(faults))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.NextBlock(words)
+		engine.SimulateBlock(words, det, nil)
 	}
 }
 

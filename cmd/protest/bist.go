@@ -16,10 +16,15 @@ func runBist(ctx context.Context, args []string) error {
 	cycles := fs.Int("cycles", 1024, "self-test cycles")
 	width := fs.Uint("misr", 16, "MISR width (4, 8, 16, 24, 32)")
 	seed := fs.Uint64("seed", 1, "PRPG seed")
+	engine := fs.String("engine", "ffr", "fault-simulation engine: ffr or naive (identical signatures)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := cf.openSession(protest.WithSeed(*seed))
+	eng, err := protest.ParseSimEngine(*engine)
+	if err != nil {
+		return err
+	}
+	s, err := cf.openSession(protest.WithSeed(*seed), protest.WithSimEngine(eng))
 	if err != nil {
 		return err
 	}

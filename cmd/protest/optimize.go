@@ -92,6 +92,7 @@ func runPipeline(ctx context.Context, args []string) error {
 	misr := fs.Uint("misr", 16, "MISR width for -bist")
 	seed := fs.Uint64("seed", 1, "pattern generator seed")
 	workers := fs.Int("workers", 1, "run optimizer scoring and fault simulation on this many goroutines (-1 = all cores; identical results)")
+	engine := fs.String("engine", "ffr", "fault-simulation engine: ffr or naive (identical results)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	quiet := fs.Bool("q", false, "suppress the progress ticker")
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +112,10 @@ func runPipeline(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	eng, err := protest.ParseSimEngine(*engine)
+	if err != nil {
+		return err
+	}
 	spec := protest.PipelineSpec{
 		Fraction:        *d,
 		Confidence:      *e,
@@ -120,6 +125,7 @@ func runPipeline(ctx context.Context, args []string) error {
 		SimPatterns:     *sim,
 		MaxSimPatterns:  *maxSim,
 		Workers:         *workers,
+		SimEngine:       eng,
 	}
 	if *bistCycles > 0 {
 		spec.BIST = &protest.BISTPlan{Cycles: *bistCycles, MISRWidth: *misr}

@@ -83,6 +83,12 @@ type Plan struct {
 	MISRWidth uint
 	// MISRSeed seeds the register (default 0).
 	MISRSeed uint64
+	// Engine selects the fault-simulation engine producing the faulty
+	// responses (the zero value is the FFR engine; faultsim.EngineNaive
+	// selects the per-fault oracle).  Through a Session the zero value
+	// means "the Session's engine".  Signatures are bit-identical
+	// either way.
+	Engine faultsim.EngineKind
 }
 
 // Result reports the outcome of a simulated self-test session.
@@ -121,8 +127,16 @@ func Run(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan 
 
 // RunCtx is Run with cancellation and progress reporting: between
 // 64-cycle blocks it checks ctx and, on cancellation, returns ctx.Err()
-// and a nil result.
+// and a nil result.  It derives the FFR simulation plan itself; use
+// RunPlanCtx to reuse an existing one (e.g. the Session cache).
 func RunCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan Plan, progress faultsim.Progress) (*Result, error) {
+	return RunPlanCtx(ctx, c, faults, nil, gen, plan, progress)
+}
+
+// RunPlanCtx is RunCtx with a caller-provided FFR simulation plan.
+// simPlan must have been built over exactly c and faults (nil builds a
+// fresh one); it is ignored by the naive engine.
+func RunPlanCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, simPlan *faultsim.Plan, gen *pattern.Generator, plan Plan, progress faultsim.Progress) (*Result, error) {
 	if gen.NumInputs() != len(c.Inputs) {
 		return nil, fmt.Errorf("bist: generator has %d inputs, circuit %d", gen.NumInputs(), len(c.Inputs))
 	}
@@ -143,13 +157,30 @@ func RunCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *
 	}
 	outputDetected := make([]bool, len(faults))
 
-	sim := faultsim.New(c)
 	nOut := len(c.Outputs)
 	inWords := make([]uint64, len(c.Inputs))
 	goodOut := make([]uint64, nOut)
 	faultyOut := make([]uint64, nOut)
 	scratch := &MISR{width: plan.MISRWidth}
 	scratch.taps, _ = pattern.Taps(plan.MISRWidth)
+
+	// Engine selection: the FFR engine captures, per block, every
+	// stem's output-flip words once and composes each fault's faulty
+	// responses from them; the naive oracle re-simulates every fault's
+	// cone.  Both yield the same response words, hence identical
+	// signatures.
+	var engine *faultsim.Engine
+	var sim *faultsim.Simulator
+	var det []uint64
+	if plan.Engine == faultsim.EngineNaive {
+		sim = faultsim.New(c)
+	} else {
+		if simPlan == nil {
+			simPlan = faultsim.NewPlan(c, faults)
+		}
+		engine = faultsim.NewEngine(simPlan)
+		det = make([]uint64, len(faults))
+	}
 
 	cycles := 0
 	for cycles < plan.Cycles {
@@ -161,21 +192,28 @@ func RunCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *
 		if valid > 64 {
 			valid = 64
 		}
-		// Good responses: use a zero-fault SimulateFaultBlock (any
-		// fault with no activation would do; run the good sim via the
-		// first fault call below).  Simpler: simulate an impossible
-		// fault? Use the dedicated path:
-		sim.SimulateBlock(inWords, nil, nil)
-		sim.GoodOutputWords(goodOut)
+		var mask uint64 = ^uint64(0)
+		if valid < 64 {
+			mask = 1<<valid - 1
+		}
+		if engine != nil {
+			engine.SimulateBlockOutputs(inWords, det)
+			engine.GoodOutputWords(goodOut)
+		} else {
+			sim.SimulateBlock(inWords, nil, nil)
+			sim.GoodOutputWords(goodOut)
+		}
 		clockStream(goodMISR, goodOut, valid)
 
 		for fi, f := range faults {
-			det := sim.SimulateFaultBlock(inWords, f, faultyOut)
-			var mask uint64 = ^uint64(0)
-			if valid < 64 {
-				mask = 1<<valid - 1
+			var d uint64
+			if engine != nil {
+				d = det[fi]
+				engine.FaultOutputs(fi, faultyOut)
+			} else {
+				d = sim.SimulateFaultBlock(inWords, f, faultyOut)
 			}
-			if det&mask != 0 {
+			if d&mask != 0 {
 				outputDetected[fi] = true
 			}
 			scratch.state = faultSigs[fi]

@@ -3,6 +3,7 @@ package bist
 import (
 	"testing"
 
+	"protest/internal/circuit"
 	"protest/internal/circuits"
 	"protest/internal/fault"
 	"protest/internal/faultsim"
@@ -173,5 +174,32 @@ func TestRunDefaults(t *testing.T) {
 	}
 	if res.Cycles != 1024 {
 		t.Errorf("default cycles = %d", res.Cycles)
+	}
+}
+
+// TestEngineSignatureIdentity runs the same self-test session on the
+// FFR engine and the naive oracle and requires identical results down
+// to the signature: same good signature, same per-category counts.
+func TestEngineSignatureIdentity(t *testing.T) {
+	for _, build := range []func() *circuit.Circuit{circuits.C17, circuits.ALU74181, func() *circuit.Circuit {
+		return circuits.Random(circuits.RandomOptions{Inputs: 10, Gates: 90, Outputs: 5, Seed: 17})
+	}} {
+		c := build()
+		faults := fault.Collapse(c)
+		for _, cycles := range []int{64, 100, 257} {
+			plan := Plan{Cycles: cycles, MISRWidth: 16, MISRSeed: 5}
+			ffr, err := Run(c, faults, pattern.NewUniform(len(c.Inputs), 9), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan.Engine = faultsim.EngineNaive
+			naive, err := Run(c, faults, pattern.NewUniform(len(c.Inputs), 9), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *ffr != *naive {
+				t.Fatalf("%s cycles=%d: FFR result %+v != naive %+v", c.Name, cycles, ffr, naive)
+			}
+		}
 	}
 }

@@ -7,6 +7,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"protest/internal/logic"
 )
@@ -55,6 +56,9 @@ type Circuit struct {
 	order    []NodeID // topological order, inputs first
 	maxLevel int32
 	inputPos map[NodeID]int // node -> index into Inputs
+
+	ffrOnce sync.Once // guards the lazily built FFR/dominator index
+	ffr     *FFR
 }
 
 // NumNodes returns the total number of nodes (inputs + gates).

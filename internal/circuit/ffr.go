@@ -1,0 +1,164 @@
+package circuit
+
+import "sort"
+
+// This file provides the structural indexes the FFR-partitioned fault
+// simulator is built on: fanout-free regions (FFRs) and immediate
+// dominators of the fanout graph.
+//
+// A node is a *stem* when its value leaves the circuit in more than one
+// way: it has fanout != 1 or is observed directly as a primary output.
+// Every other node has exactly one fanout edge, so following that edge
+// leads to a unique stem; the nodes sharing a stem form the stem's
+// fanout-free region, a tree hanging off the stem with no internal
+// reconvergence.
+//
+// The immediate dominator of a node n (in the fanout direction, toward
+// a virtual sink fed by every primary output) is the unique first node
+// every propagation path from n to an observable output must cross.
+// Fault simulation exploits it as a cut: once a fault effect has been
+// propagated to Idom[n], everything beyond is the effect of flipping
+// Idom[n] alone.
+
+// DomSink marks a node whose immediate dominator is the virtual sink:
+// its fault effects reach primary outputs along paths with no common
+// interior node, so propagation cannot stop early.
+const DomSink NodeID = -2
+
+// FFR indexes the fanout-free regions and fanout dominators of a
+// circuit.  It is immutable and shared; obtain it with Circuit.FFR.
+type FFR struct {
+	// StemOf[n] is the root stem of the fanout-free region containing n
+	// (n itself when n is a stem).
+	StemOf []NodeID
+	// StemIndex[n] is the position of StemOf[n] within Stems.
+	StemIndex []int32
+	// Stems lists every stem in ascending (topological) ID order.
+	Stems []NodeID
+	// Members[i] lists the nodes of the region rooted at Stems[i] in
+	// descending ID order, starting with the stem itself.  Within a
+	// region the (unique) fanout edges always lead to higher IDs, so
+	// descending order is a valid reverse-topological sweep order.
+	Members [][]NodeID
+	// Idom[n] is the immediate dominator of n in the fanout graph:
+	// a node ID, DomSink (paths to several outputs share no interior
+	// node), or InvalidNode (no path to any primary output).
+	Idom []NodeID
+}
+
+// IsStem reports whether the node is an FFR root: fanout != 1 or a
+// primary output (an output is observed directly even when it also
+// feeds internal logic).
+func (c *Circuit) IsStem(id NodeID) bool {
+	n := &c.Nodes[id]
+	return n.IsOutput || len(n.Fanout) != 1
+}
+
+// FFR returns the fanout-free-region and dominator index of the
+// circuit, computed on first use and cached.
+func (c *Circuit) FFR() *FFR {
+	c.ffrOnce.Do(func() { c.ffr = buildFFR(c) })
+	return c.ffr
+}
+
+func buildFFR(c *Circuit) *FFR {
+	nn := c.NumNodes()
+	f := &FFR{
+		StemOf:    make([]NodeID, nn),
+		StemIndex: make([]int32, nn),
+		Idom:      make([]NodeID, nn),
+	}
+
+	// Region roots: follow the unique fanout edge of non-stems.  IDs
+	// are topological, so a descending sweep sees the consumer first.
+	for id := nn - 1; id >= 0; id-- {
+		nid := NodeID(id)
+		if c.IsStem(nid) {
+			f.StemOf[id] = nid
+			f.Stems = append(f.Stems, nid) // descending for now
+			continue
+		}
+		f.StemOf[id] = f.StemOf[c.Nodes[id].Fanout[0]]
+	}
+	sort.Slice(f.Stems, func(i, j int) bool { return f.Stems[i] < f.Stems[j] })
+	for i, s := range f.Stems {
+		f.StemIndex[s] = int32(i)
+	}
+	for id := 0; id < nn; id++ {
+		f.StemIndex[id] = f.StemIndex[f.StemOf[id]]
+	}
+	f.Members = make([][]NodeID, len(f.Stems))
+	for id := nn - 1; id >= 0; id-- {
+		si := f.StemIndex[id]
+		f.Members[si] = append(f.Members[si], NodeID(id))
+	}
+
+	f.computeIdom(c)
+	return f
+}
+
+// computeIdom runs the Cooper–Harvey–Kennedy immediate-dominator
+// algorithm on the fanout graph extended with a virtual sink that every
+// primary output feeds.  Node IDs are topological, so descending ID
+// order (after the sink) is a reverse postorder of the reversed graph
+// and a single pass suffices on a DAG: every fanout of a node is
+// processed before the node itself.
+func (f *FFR) computeIdom(c *Circuit) {
+	nn := c.NumNodes()
+	sink := int32(nn)
+	idom := make([]int32, nn+1)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[sink] = sink
+	// Processing order: sink first, then descending IDs; ord(x) is the
+	// position in that order, so walking idom chains decreases ord.
+	ord := func(x int32) int32 {
+		if x == sink {
+			return 0
+		}
+		return sink - x
+	}
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for ord(a) > ord(b) {
+				a = idom[a]
+			}
+			for ord(b) > ord(a) {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for id := nn - 1; id >= 0; id-- {
+		n := &c.Nodes[id]
+		cur := int32(-1)
+		consider := func(s int32) {
+			if idom[s] == -1 {
+				return // successor cannot reach the sink
+			}
+			if cur == -1 {
+				cur = s
+				return
+			}
+			cur = intersect(cur, s)
+		}
+		if n.IsOutput {
+			consider(sink)
+		}
+		for _, fo := range n.Fanout {
+			consider(int32(fo))
+		}
+		idom[id] = cur
+	}
+	for id := 0; id < nn; id++ {
+		switch d := idom[id]; d {
+		case -1:
+			f.Idom[id] = InvalidNode
+		case sink:
+			f.Idom[id] = DomSink
+		default:
+			f.Idom[id] = NodeID(d)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package circuit
+
+import (
+	"testing"
+
+	"protest/internal/logic"
+)
+
+// chainCircuit builds  a,b -> g1=AND -> g2=NOT -> out(g3=BUF), a simple
+// single-path circuit: every interior node is fanout-free.
+func ffrTestChain(t *testing.T) *Circuit {
+	b := NewBuilder("chain")
+	a := b.Input("a")
+	bb := b.Input("b")
+	g1 := b.And("g1", a, bb)
+	g2 := b.Not("g2", g1)
+	g3 := b.Buf("g3", g2)
+	b.MarkOutput(g3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFFRChain(t *testing.T) {
+	c := ffrTestChain(t)
+	f := c.FFR()
+	out, _ := c.ByName("g3")
+	// The whole chain is one FFR rooted at the output.
+	for id := 0; id < c.NumNodes(); id++ {
+		if got := f.StemOf[id]; got != out {
+			t.Errorf("StemOf[%d] = %d, want %d", id, got, out)
+		}
+	}
+	if len(f.Stems) != 1 || f.Stems[0] != out {
+		t.Fatalf("Stems = %v, want [%d]", f.Stems, out)
+	}
+	if len(f.Members[0]) != c.NumNodes() || f.Members[0][0] != out {
+		t.Fatalf("Members[0] = %v, want all nodes, stem first", f.Members[0])
+	}
+	// Interior dominators follow the chain; the output is sink-dominated.
+	g1, _ := c.ByName("g1")
+	g2, _ := c.ByName("g2")
+	if f.Idom[g1] != g2 || f.Idom[g2] != out {
+		t.Errorf("Idom chain = %d,%d want %d,%d", f.Idom[g1], f.Idom[g2], g2, out)
+	}
+	if f.Idom[out] != DomSink {
+		t.Errorf("Idom[out] = %d, want DomSink", f.Idom[out])
+	}
+}
+
+// ffrTestReconv builds a reconvergent diamond:
+//
+//	s = AND(a,b); u = NOT(s); v = BUF(s); r = OR(u,v) -> output
+//
+// s is a stem (fanout 2) whose immediate dominator is r.
+func TestFFRReconvergence(t *testing.T) {
+	b := NewBuilder("diamond")
+	a := b.Input("a")
+	bb := b.Input("b")
+	s := b.And("s", a, bb)
+	u := b.Not("u", s)
+	v := b.Buf("v", s)
+	r := b.Or("r", u, v)
+	b.MarkOutput(r)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.FFR()
+	if !c.IsStem(s) {
+		t.Fatal("s must be a stem")
+	}
+	if f.Idom[s] != r {
+		t.Errorf("Idom[s] = %d, want r=%d", f.Idom[s], r)
+	}
+	if f.StemOf[u] != r || f.StemOf[v] != r {
+		t.Errorf("u, v must belong to r's FFR, got %d, %d", f.StemOf[u], f.StemOf[v])
+	}
+	if f.StemOf[a] != s || f.StemOf[bb] != s {
+		t.Errorf("a, b must belong to s's FFR, got %d, %d", f.StemOf[a], f.StemOf[bb])
+	}
+}
+
+func TestFFROutputWithFanout(t *testing.T) {
+	// An output that also feeds internal logic is a stem even with a
+	// single fanout edge.
+	b := NewBuilder("po-fanout")
+	a := b.Input("a")
+	bb := b.Input("b")
+	g := b.And("g", a, bb)
+	h := b.Not("h", g)
+	b.MarkOutputs(g, h)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.FFR()
+	if !c.IsStem(g) {
+		t.Fatal("output g must be a stem despite single fanout")
+	}
+	if f.StemOf[h] != h {
+		t.Errorf("h is its own stem, got %d", f.StemOf[h])
+	}
+}
+
+func TestFFRDanglingNode(t *testing.T) {
+	// A node with no fanout that is not an output cannot reach the
+	// sink: idom undefined, own stem.
+	b := NewBuilder("dangling")
+	a := b.Input("a")
+	bb := b.Input("b")
+	g := b.And("g", a, bb)
+	_ = b.Not("dead", g)
+	o := b.Or("o", g, a)
+	b.MarkOutput(o)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.FFR()
+	dead, _ := c.ByName("dead")
+	if f.Idom[dead] != InvalidNode {
+		t.Errorf("Idom[dead] = %d, want InvalidNode", f.Idom[dead])
+	}
+	if f.StemOf[dead] != dead {
+		t.Errorf("dead node must be its own stem")
+	}
+}
+
+// TestIdomBruteForce cross-checks the CHK immediate dominators against
+// dominator sets computed by the textbook iterative dataflow method on
+// randomized circuits.
+func TestIdomBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		c := buildRandomDAG(t, seed)
+		f := c.FFR()
+		nn := c.NumNodes()
+		sink := nn
+		// dom[x] = set of nodes (incl. sink) dominating x on every
+		// path to sink; nil = unreachable.
+		dom := make([]map[int]bool, nn+1)
+		dom[sink] = map[int]bool{sink: true}
+		for id := nn - 1; id >= 0; id-- {
+			n := c.Node(NodeID(id))
+			var inter map[int]bool
+			consider := func(s int) {
+				if dom[s] == nil {
+					return
+				}
+				if inter == nil {
+					inter = make(map[int]bool, len(dom[s]))
+					for k := range dom[s] {
+						inter[k] = true
+					}
+					return
+				}
+				for k := range inter {
+					if !dom[s][k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if n.IsOutput {
+				consider(sink)
+			}
+			for _, fo := range n.Fanout {
+				consider(int(fo))
+			}
+			if inter == nil {
+				continue // unreachable
+			}
+			inter[id] = true
+			dom[id] = inter
+		}
+		for id := 0; id < nn; id++ {
+			want := InvalidNode
+			if dom[id] != nil {
+				// idom = the strict dominator with the smallest
+				// dominator set (dominators nest).
+				bestSize := -1
+				for k := range dom[id] {
+					if k == id {
+						continue
+					}
+					if bestSize == -1 || len(dom[k]) > bestSize {
+						bestSize = len(dom[k])
+						if k == sink {
+							want = DomSink
+						} else {
+							want = NodeID(k)
+						}
+					}
+				}
+			}
+			if got := f.Idom[id]; got != want {
+				t.Fatalf("seed %d: Idom[%d] = %d, want %d", seed, id, got, want)
+			}
+		}
+	}
+}
+
+// buildRandomDAG constructs a small random circuit without importing
+// the circuits package (which would create an import cycle).
+func buildRandomDAG(t *testing.T, seed uint64) *Circuit {
+	t.Helper()
+	rng := seed*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		rng = rng*2862933555777941757 + 3037000493
+		return int((rng >> 33) % uint64(n))
+	}
+	b := NewBuilder("rand")
+	var ids []NodeID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, b.Input("i"+string(rune('a'+i))))
+	}
+	ops := []logic.Op{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Not}
+	for g := 0; g < 30; g++ {
+		op := ops[next(len(ops))]
+		name := "g" + string(rune('A'+g%26)) + string(rune('0'+g/26))
+		if op == logic.Not {
+			ids = append(ids, b.Gate(op, name, ids[next(len(ids))]))
+			continue
+		}
+		x, y := ids[next(len(ids))], ids[next(len(ids))]
+		if x == y {
+			y = ids[next(len(ids))]
+		}
+		ids = append(ids, b.Gate(op, name, x, y))
+	}
+	// Mark a couple of outputs, leaving some nodes dangling.
+	b.MarkOutput(ids[len(ids)-1])
+	b.MarkOutput(ids[len(ids)-3])
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

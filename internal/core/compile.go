@@ -1,0 +1,346 @@
+package core
+
+// Compiled conditional propagation.
+//
+// conditionedProb dominates the analyzer's runtime: every conditioned
+// gate re-propagates its reconvergence cone 2×|candidates| times for
+// scoring plus 2^|W| times for the assignment enumeration, on every
+// evaluation.  The set of nodes re-evaluated and the classification of
+// every operand — pinned joining point, propagated cone value, or
+// global estimate — is *static* (it depends only on the plan, never on
+// the probabilities), so it can be compiled once into a flat program:
+// per node a specialized opcode plus pre-resolved operand sources,
+// replacing the per-visit generation-stamp bookkeeping, node lookups
+// and operator dispatch of the generic interpreter.
+//
+// The compiled evaluation performs the exact same floating-point
+// operations in the exact same order as the generic path (the opcode
+// bodies replicate logic.Prob's accumulation order), so results are
+// bit-identical; TestCompiledConditioningIdentity enforces this against
+// the retained generic interpreter.
+
+import (
+	"math"
+
+	"protest/internal/circuit"
+	"protest/internal/logic"
+)
+
+// Specialized opcodes.  The N variants replicate logic.Prob's loops
+// for any arity (including 1), the 2 variants hard-code the two-input
+// case with identical arithmetic.
+const (
+	pBuf uint8 = iota
+	pNot
+	pAnd2
+	pNand2
+	pOr2
+	pNor2
+	pXor2
+	pXnor2
+	pAndN
+	pNandN
+	pOrN
+	pNorN
+	pXorN
+	pXnorN
+	pConst0
+	pConst1
+	pTable
+)
+
+// opcodeFor maps a gate to its specialized opcode.
+func opcodeFor(n *circuit.Node) uint8 {
+	two := len(n.Fanin) == 2
+	switch n.Op {
+	case logic.Buf:
+		return pBuf
+	case logic.Not:
+		return pNot
+	case logic.And:
+		if two {
+			return pAnd2
+		}
+		return pAndN
+	case logic.Nand:
+		if two {
+			return pNand2
+		}
+		return pNandN
+	case logic.Or:
+		if two {
+			return pOr2
+		}
+		return pOrN
+	case logic.Nor:
+		if two {
+			return pNor2
+		}
+		return pNorN
+	case logic.Xor:
+		if two {
+			return pXor2
+		}
+		return pXorN
+	case logic.Xnor:
+		if two {
+			return pXnor2
+		}
+		return pXnorN
+	case logic.Const0:
+		return pConst0
+	case logic.Const1:
+		return pConst1
+	}
+	return pTable
+}
+
+// condProg is one compiled propagation: the nodes to re-evaluate in
+// topological order with pre-resolved operand sources, plus the
+// conditioned gate's own pin sources.
+//
+// Source encoding (nn = number of circuit nodes):
+//
+//	s >= 0        read the global estimate probs[s]
+//	s < 0, ^s < nn  read the propagated rail value of node ^s
+//	s < 0, ^s >= nn read pinned value number ^s-nn
+type condProg struct {
+	nodes    []circuit.NodeID
+	ops      []uint8
+	srcStart []int32 // len(nodes)+1 offsets into srcs
+	srcs     []int32
+	pinSrcs  []int32 // the conditioned gate's fanins
+}
+
+// compileProg builds the program for re-evaluating `nodes` (ID-sorted
+// reach list) with `pinned` held constant, reporting the pin sources of
+// gate g.  Nodes that are themselves pinned are skipped, matching the
+// generic interpreter.
+func compileProg(c *circuit.Circuit, nodes, pinned []circuit.NodeID, g circuit.NodeID) condProg {
+	nn := int32(c.NumNodes())
+	code := make(map[circuit.NodeID]int32, len(nodes)+len(pinned))
+	for i, p := range pinned {
+		code[p] = ^(nn + int32(i))
+	}
+	isPinned := func(id circuit.NodeID) bool {
+		s, ok := code[id]
+		return ok && ^s >= nn
+	}
+	for _, id := range nodes {
+		if !isPinned(id) {
+			code[id] = ^int32(id)
+		}
+	}
+	src := func(f circuit.NodeID) int32 {
+		if s, ok := code[f]; ok {
+			return s
+		}
+		return int32(f)
+	}
+	prog := condProg{
+		nodes:    make([]circuit.NodeID, 0, len(nodes)),
+		srcStart: make([]int32, 1, len(nodes)+1),
+	}
+	for _, id := range nodes {
+		if isPinned(id) {
+			continue
+		}
+		n := c.Node(id)
+		prog.nodes = append(prog.nodes, id)
+		prog.ops = append(prog.ops, opcodeFor(n))
+		for _, f := range n.Fanin {
+			prog.srcs = append(prog.srcs, src(f))
+		}
+		prog.srcStart = append(prog.srcStart, int32(len(prog.srcs)))
+	}
+	gn := c.Node(g)
+	prog.pinSrcs = make([]int32, len(gn.Fanin))
+	for i, f := range gn.Fanin {
+		prog.pinSrcs[i] = src(f)
+	}
+	return prog
+}
+
+// runProgHL evaluates a program on both rails at once: pinned slot
+// railSlot carries 1 on the rail written to a.val and 0 on the rail
+// written to a.val0, every other pinned slot reads vals (nil for the
+// single-candidate scoring programs, whose only slot is 0).  One
+// traversal replaces two generic propagations; each rail's arithmetic
+// is identical to the generic pass.
+func (a *Analyzer) runProgHL(p *condProg, probs, vals []float64, railSlot int32) {
+	nn := int32(len(a.val))
+	val1, val0 := a.val, a.val0
+	fetch := func(s int32) (h, l float64) {
+		if s >= 0 {
+			pr := probs[s]
+			return pr, pr
+		}
+		t := ^s
+		if t < nn {
+			return val1[t], val0[t]
+		}
+		if i := t - nn; i != railSlot {
+			v := vals[i]
+			return v, v
+		}
+		return 1, 0
+	}
+	srcs := p.srcs
+	for i, id := range p.nodes {
+		lo := p.srcStart[i]
+		var pH, pL float64
+		switch p.ops[i] {
+		case pBuf:
+			pH, pL = fetch(srcs[lo])
+		case pNot:
+			h, l := fetch(srcs[lo])
+			pH, pL = 1-h, 1-l
+		case pAnd2:
+			h0, l0 := fetch(srcs[lo])
+			h1, l1 := fetch(srcs[lo+1])
+			pH, pL = h0*h1, l0*l1
+		case pNand2:
+			h0, l0 := fetch(srcs[lo])
+			h1, l1 := fetch(srcs[lo+1])
+			pH, pL = 1-h0*h1, 1-l0*l1
+		case pOr2:
+			h0, l0 := fetch(srcs[lo])
+			h1, l1 := fetch(srcs[lo+1])
+			pH, pL = 1-(1-h0)*(1-h1), 1-(1-l0)*(1-l1)
+		case pNor2:
+			h0, l0 := fetch(srcs[lo])
+			h1, l1 := fetch(srcs[lo+1])
+			pH, pL = (1-h0)*(1-h1), (1-l0)*(1-l1)
+		case pXor2:
+			h0, l0 := fetch(srcs[lo])
+			h1, l1 := fetch(srcs[lo+1])
+			pH, pL = h0+h1-2*h0*h1, l0+l1-2*l0*l1
+		case pXnor2:
+			h0, l0 := fetch(srcs[lo])
+			h1, l1 := fetch(srcs[lo+1])
+			pH, pL = 1-(h0+h1-2*h0*h1), 1-(l0+l1-2*l0*l1)
+		default:
+			pH, pL = a.runWideHL(p, i, probs, vals, railSlot)
+		}
+		val1[id] = logic.Clamp01(pH)
+		val0[id] = logic.Clamp01(pL)
+	}
+}
+
+// runWideHL handles the N-ary and table opcodes of runProgHL,
+// replicating logic.Prob's accumulation order on each rail.
+func (a *Analyzer) runWideHL(p *condProg, i int, probs, vals []float64, railSlot int32) (pH, pL float64) {
+	nn := int32(len(a.val))
+	srcs := p.srcs[p.srcStart[i]:p.srcStart[i+1]]
+	bufH := a.condBuf[:0]
+	bufL := a.condBuf0[:0]
+	for _, s := range srcs {
+		var h, l float64
+		if s >= 0 {
+			h = probs[s]
+			l = h
+		} else if t := ^s; t < nn {
+			h, l = a.val[t], a.val0[t]
+		} else if j := t - nn; j != railSlot {
+			h = vals[j]
+			l = h
+		} else {
+			h, l = 1, 0
+		}
+		bufH = append(bufH, h)
+		bufL = append(bufL, l)
+	}
+	return a.evalWideOp(p.ops[i], p.nodes[i], bufH), a.evalWideOp(p.ops[i], p.nodes[i], bufL)
+}
+
+// evalWideOp evaluates one N-ary opcode with logic.Prob's exact
+// accumulation order.
+func (a *Analyzer) evalWideOp(op uint8, id circuit.NodeID, in []float64) float64 {
+	switch op {
+	case pAndN, pNandN:
+		v := 1.0
+		for _, p := range in {
+			v *= p
+		}
+		if op == pNandN {
+			return 1 - v
+		}
+		return v
+	case pOrN, pNorN:
+		v := 1.0
+		for _, p := range in {
+			v *= 1 - p
+		}
+		if op == pNorN {
+			return v
+		}
+		return 1 - v
+	case pXorN, pXnorN:
+		v := 0.0
+		for _, p := range in {
+			v = logic.XorProb(v, p)
+		}
+		if op == pXnorN {
+			return 1 - v
+		}
+		return v
+	case pConst0:
+		return 0
+	case pConst1:
+		return 1
+	case pTable:
+		return a.c.Node(id).Table.Prob(in)
+	}
+	// Unreachable: the 1/2-input opcodes are handled inline.
+	return math.NaN()
+}
+
+// fetchPinHL reads one pin source after runProgHL, with the same
+// pinned-slot treatment.
+func (a *Analyzer) fetchPinHL(s int32, probs, vals []float64, railSlot int32) (h, l float64) {
+	if s >= 0 {
+		pr := probs[s]
+		return pr, pr
+	}
+	t := ^s
+	if t < int32(len(a.val)) {
+		return a.val[t], a.val0[t]
+	}
+	if i := t - int32(len(a.val)); i != railSlot {
+		v := vals[i]
+		return v, v
+	}
+	return 1, 0
+}
+
+// mergedProg returns the compiled program for propagating the selected
+// joining points (mask over plan.candidates indices) of gate g, with
+// the pinned slots in canonical (ascending candidate index) order.
+// Programs are cached per Analyzer in a per-gate uint64-keyed map —
+// over a long optimization the selected subset of a gate can take many
+// values, so the lookup must stay O(1) as the cache fills; clones
+// compile their own, keeping the cache lock-free.
+func (a *Analyzer) mergedProg(g circuit.NodeID, plan *gatePlan, mask uint64) *condProg {
+	if a.merged == nil {
+		a.merged = make([]map[uint64]*condProg, a.c.NumNodes())
+	}
+	if p, ok := a.merged[g][mask]; ok {
+		return p
+	}
+	var sel []scoredCandidate
+	var pinned []circuit.NodeID
+	for ci := 0; ci < len(plan.candidates); ci++ {
+		if mask>>uint(ci)&1 == 1 {
+			sel = append(sel, scoredCandidate{x: plan.candidates[ci], ci: ci})
+			pinned = append(pinned, plan.candidates[ci])
+		}
+	}
+	iter := a.mergeReach(plan, sel)
+	prog := compileProg(a.c, iter, pinned, g)
+	p := &prog
+	if a.merged[g] == nil {
+		a.merged[g] = make(map[uint64]*condProg, 4)
+	}
+	a.merged[g][mask] = p
+	return p
+}

@@ -155,12 +155,26 @@ type Analyzer struct {
 	gen []uint32
 	cur uint32
 
+	// compiled-propagation state: val0 is the second rail of the fused
+	// candidate scoring (val carries rail 1), merged caches the lazily
+	// compiled assignment programs (per Analyzer — clones compile their
+	// own, keeping the cache lock-free), and noCompile forces the
+	// generic interpreter (the in-package oracle the compiled paths are
+	// property-tested against).
+	val0      []float64
+	merged    []map[uint64]*condProg
+	noCompile bool
+
 	// scratch hoisted out of the per-gate evaluation so that steady
 	// state analysis performs zero allocations (sized to the circuit's
 	// maximal fanin / fanout / candidate counts at construction).
-	hi, lo     []float64          // conditional pin swings
+	candHi     [][]float64        // per-candidate conditional pin probabilities (rail 1)
+	candLo     [][]float64        // per-candidate conditional pin probabilities (rail 0)
 	condIn     []float64          // conditional pin probabilities
 	condBuf    []float64          // conditional-propagation wide-gate fallback
+	condBuf0   []float64          // rail-0 twin of condBuf
+	cvals      []float64          // canonical-order pinned values
+	canonPos   []int              // score-order -> canonical-slot map
 	inProbs    []float64          // independent-case pin probabilities
 	diffBuf    []float64          // PaperLocalDiff cofactor scratch
 	onePin     []circuit.NodeID   // single-candidate pin list
@@ -219,11 +233,19 @@ func (a *Analyzer) initScratch() {
 		}
 	}
 	a.val = make([]float64, c.NumNodes())
+	a.val0 = make([]float64, c.NumNodes())
 	a.gen = make([]uint32, c.NumNodes())
-	a.hi = make([]float64, maxFanin)
-	a.lo = make([]float64, maxFanin)
+	a.candHi = make([][]float64, a.params.MaxCandidates)
+	a.candLo = make([][]float64, a.params.MaxCandidates)
+	for i := 0; i < a.params.MaxCandidates; i++ {
+		a.candHi[i] = make([]float64, maxFanin)
+		a.candLo[i] = make([]float64, maxFanin)
+	}
 	a.condIn = make([]float64, maxFanin)
 	a.condBuf = make([]float64, 0, maxFanin)
+	a.condBuf0 = make([]float64, 0, maxFanin)
+	a.cvals = make([]float64, a.params.MaxVers)
+	a.canonPos = make([]int, a.params.MaxVers)
 	a.inProbs = make([]float64, 0, maxFanin)
 	a.diffBuf = make([]float64, maxFanin)
 	a.onePin = make([]circuit.NodeID, 1)

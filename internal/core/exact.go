@@ -62,8 +62,8 @@ func ExactDetectProbs(c *circuit.Circuit, faults []fault.Fault, inputProbs []flo
 	det := make([]uint64, len(faults))
 	out := make([]float64, len(faults))
 	gsim := bitsim.New(c)
+	words := make([]uint64, n)
 	err := gsim.EnumerateExhaustive(func(base uint64, valid int) {
-		words := make([]uint64, n)
 		for i := range words {
 			words[i] = exhaustiveWord(base, i)
 		}

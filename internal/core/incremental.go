@@ -140,7 +140,7 @@ func (inc *incremental) build(a *Analyzer) {
 	for id := range c.Nodes {
 		n := &c.Nodes[id]
 		fin := int64(len(n.Fanin))
-		inc.obsCost[id] = 1 + int64(len(n.Fanout)) + fin*max64(fin, 1)
+		inc.obsCost[id] = 1 + int64(len(n.Fanout)) + fin*max(fin, 1)
 		if n.IsInput {
 			continue
 		}
@@ -223,13 +223,6 @@ func (inc *incremental) build(a *Analyzer) {
 
 func sortByPos(ids []circuit.NodeID, pos []int32) {
 	sort.Slice(ids, func(i, j int) bool { return pos[ids[i]] < pos[ids[j]] })
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Update re-analyzes res in place after the input probabilities at the

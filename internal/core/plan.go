@@ -23,6 +23,9 @@ type gatePlan struct {
 	// skipping it statically is lossless).  Pinning several candidates
 	// re-evaluates the merged union of their reach lists.
 	reach [][]circuit.NodeID
+	// progs[i] is the compiled single-candidate propagation of
+	// reach[i], used by the fused two-rail scoring (see compile.go).
+	progs []condProg
 }
 
 // buildPlans derives a gatePlan for every multi-input gate whose pins'
@@ -42,6 +45,55 @@ func (a *Analyzer) buildPlans() {
 			continue
 		}
 		a.planGate(circuit.NodeID(id), pinMask)
+	}
+	a.compactProgs()
+}
+
+// compactProgs re-homes every compiled scoring program into shared
+// backing arrays.  The programs are the analyzer's hottest read-only
+// data; packing them densely keeps their traversal cache- and
+// TLB-friendly independent of how fragmented the heap was when the
+// analyzer was built (long-running processes build analyzers late).
+func (a *Analyzer) compactProgs() {
+	var nNodes, nSrcs, nStarts, nPins int
+	for i := range a.plans {
+		for j := range a.plans[i].progs {
+			p := &a.plans[i].progs[j]
+			nNodes += len(p.nodes)
+			nSrcs += len(p.srcs)
+			nStarts += len(p.srcStart)
+			nPins += len(p.pinSrcs)
+		}
+	}
+	if nNodes == 0 {
+		return
+	}
+	nodes := make([]circuit.NodeID, 0, nNodes)
+	ops := make([]uint8, 0, nNodes)
+	srcs := make([]int32, 0, nSrcs)
+	starts := make([]int32, 0, nStarts)
+	pins := make([]int32, 0, nPins)
+	// Full-capacity re-slices: the programs are immutable after build,
+	// so sharing one backing array is safe.
+	for i := range a.plans {
+		for j := range a.plans[i].progs {
+			p := &a.plans[i].progs[j]
+			n0 := len(nodes)
+			nodes = append(nodes, p.nodes...)
+			p.nodes = nodes[n0:len(nodes):len(nodes)]
+			o0 := len(ops)
+			ops = append(ops, p.ops...)
+			p.ops = ops[o0:len(ops):len(ops)]
+			s0 := len(srcs)
+			srcs = append(srcs, p.srcs...)
+			p.srcs = srcs[s0:len(srcs):len(srcs)]
+			t0 := len(starts)
+			starts = append(starts, p.srcStart...)
+			p.srcStart = starts[t0:len(starts):len(starts)]
+			q0 := len(pins)
+			pins = append(pins, p.pinSrcs...)
+			p.pinSrcs = pins[q0:len(pins):len(pins)]
+		}
 	}
 }
 
@@ -169,6 +221,7 @@ func (a *Analyzer) planGate(g circuit.NodeID, pinMask map[circuit.NodeID]uint64)
 		coneIdx[k] = int32(i)
 	}
 	reach := make([][]circuit.NodeID, len(candidates))
+	progs := make([]condProg, len(candidates))
 	marked := make([]bool, len(cone))
 	for ci, x := range candidates {
 		for i := range marked {
@@ -193,8 +246,9 @@ func (a *Analyzer) planGate(g circuit.NodeID, pinMask map[circuit.NodeID]uint64)
 			}
 		}
 		reach[ci] = r
+		progs[ci] = compileProg(c, r, []circuit.NodeID{x}, g)
 	}
-	a.plans[g] = gatePlan{candidates: candidates, cone: cone, reach: reach}
+	a.plans[g] = gatePlan{candidates: candidates, cone: cone, reach: reach, progs: progs}
 }
 
 // qualifies reports whether two distinct outgoing edges cover two

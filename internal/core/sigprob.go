@@ -60,18 +60,22 @@ func (a *Analyzer) independentProb(n *circuit.Node, probs []float64) float64 {
 // candidate x by |Cov(f_i,x)·Cov(f_j,x)| / S(x)² (the paper's selection
 // heuristic), keeps the best MaxVers as W, and then enumerates the 2^|W|
 // assignments of formula (2).
+//
+// Both phases run on the compiled programs of compile.go by default
+// (one fused two-rail traversal per candidate, a cached merged program
+// per selected subset); a.noCompile selects the retained generic
+// interpreter.  The two produce bit-identical values.
 func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []float64) float64 {
 	c := a.c
 	n := c.Node(g)
 	npins := len(n.Fanin)
+	compiled := !a.noCompile && plan.progs != nil
 
 	// Score candidates.  With Cov(f,x) = p_x(1-p_x)·(P(f|x=1)-P(f|x=0))
 	// and S(x)² = p_x(1-p_x), the paper's weight
 	// |Cov(f_i,x)·Cov(f_j,x)|/S(x)² reduces to
 	// p_x(1-p_x)·|Δ_i(x)|·|Δ_j(x)| with Δ the conditional swing.
 	cands := a.cands[:0]
-	hi := a.hi[:npins]
-	lo := a.lo[:npins]
 	onePin := a.onePin
 	oneVal := a.oneVal
 	for ci, x := range plan.candidates {
@@ -79,13 +83,23 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 		if px <= 0 || px >= 1 {
 			continue // constant node: no correlation contribution
 		}
-		onePin[0] = x
-		oneVal[0] = 1
-		a.condPropagate(plan.reach[ci], probs, onePin, oneVal)
-		a.readPinProbs(n, probs, hi)
-		oneVal[0] = 0
-		a.condPropagate(plan.reach[ci], probs, onePin, oneVal)
-		a.readPinProbs(n, probs, lo)
+		hi := a.candHi[ci][:npins]
+		lo := a.candLo[ci][:npins]
+		if compiled {
+			prog := &plan.progs[ci]
+			a.runProgHL(prog, probs, nil, 0)
+			for pin, s := range prog.pinSrcs {
+				hi[pin], lo[pin] = a.fetchPinHL(s, probs, nil, 0)
+			}
+		} else {
+			onePin[0] = x
+			oneVal[0] = 1
+			a.condPropagate(plan.reach[ci], probs, onePin, oneVal)
+			a.readPinProbs(n, probs, hi)
+			oneVal[0] = 0
+			a.condPropagate(plan.reach[ci], probs, onePin, oneVal)
+			a.readPinProbs(n, probs, lo)
+		}
 		best := 0.0
 		for i := 0; i < npins; i++ {
 			si := math.Abs(hi[i] - lo[i])
@@ -122,9 +136,23 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 
 	// Enumerate assignments A_v over W (formula (2)).  The probability
 	// of A_v itself is estimated from the joining points' global
-	// probabilities, treating them as independent of each other.  All
-	// assignments share the pinned set W, so the merged reach list is
-	// computed once.
+	// probabilities, treating them as independent of each other.
+	if compiled && w == 1 {
+		// The two assignments of a single joining point are exactly the
+		// two scoring rails, already sitting in the candidate's hi/lo
+		// rows: no propagation needed.
+		px := probs[pins[0]]
+		ci := cands[0].ci
+		total := 0.0
+		total += (1 - px) * a.gatePv(n, a.candLo[ci][:npins])
+		total += px * a.gatePv(n, a.candHi[ci][:npins])
+		return logic.Clamp01(total)
+	}
+	if compiled && len(plan.candidates) <= 63 {
+		return a.conditionedAssignCompiled(g, plan, n, probs, cands[:w])
+	}
+	// Generic interpreter: all assignments share the pinned set W, so
+	// the merged reach list is computed once.
 	iter := a.mergeReach(plan, cands[:w])
 	vals := a.vals[:w]
 	condIn := a.condIn[:npins]
@@ -145,13 +173,82 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 		}
 		a.condPropagate(iter, probs, pins, vals)
 		a.readPinProbs(n, probs, condIn)
-		var pv float64
-		if n.Op == logic.TableOp {
-			pv = n.Table.Prob(condIn)
-		} else {
-			pv = logic.Prob(n.Op, condIn)
+		total += weight * a.gatePv(n, condIn)
+	}
+	return logic.Clamp01(total)
+}
+
+// gatePv evaluates the gate's arithmetic extension on conditional pin
+// probabilities.
+func (a *Analyzer) gatePv(n *circuit.Node, condIn []float64) float64 {
+	if n.Op == logic.TableOp {
+		return n.Table.Prob(condIn)
+	}
+	return logic.Prob(n.Op, condIn)
+}
+
+// conditionedAssignCompiled enumerates the assignments of the selected
+// joining points on the cached compiled program.  The program pins the
+// candidates in canonical (ascending candidate index) order while the
+// weight product keeps the original score order, so every float
+// operation matches the generic interpreter.  The first selected pin
+// is evaluated on both rails per traversal (its bit is bit 0 of the
+// assignment index v, so rails lo/hi are consecutive v values —
+// exactly the generic enumeration order at half the propagations).
+func (a *Analyzer) conditionedAssignCompiled(g circuit.NodeID, plan *gatePlan, n *circuit.Node, probs []float64, sel []scoredCandidate) float64 {
+	w := len(sel)
+	var mask uint64
+	for _, s := range sel {
+		mask |= 1 << uint(s.ci)
+	}
+	prog := a.mergedProg(g, plan, mask)
+	// canonPos[i] = canonical slot of sel[i]: its rank by candidate
+	// index, i.e. the number of selected candidates with a smaller ci.
+	canon := a.canonPos[:w]
+	for i, s := range sel {
+		rank := 0
+		for _, o := range sel {
+			if o.ci < s.ci {
+				rank++
+			}
 		}
-		total += weight * pv
+		canon[i] = rank
+	}
+	railSlot := int32(canon[0])
+	cvals := a.cvals[:w]
+	condInL := a.condIn[:len(n.Fanin)]
+	condInH := a.condBuf0[:len(n.Fanin)]
+	total := 0.0
+	for u := 0; u < 1<<(w-1); u++ {
+		// Weights of v = 2u (pin 0 low) and v = 2u+1 (pin 0 high),
+		// with the generic left-associated multiplication order.
+		wLo, wHi := 1.0, 1.0
+		wLo *= 1 - probs[sel[0].x]
+		wHi *= probs[sel[0].x]
+		for i := 1; i < w; i++ {
+			if u>>(i-1)&1 == 1 {
+				cvals[canon[i]] = 1
+				wLo *= probs[sel[i].x]
+				wHi *= probs[sel[i].x]
+			} else {
+				cvals[canon[i]] = 0
+				wLo *= 1 - probs[sel[i].x]
+				wHi *= 1 - probs[sel[i].x]
+			}
+		}
+		if wLo == 0 && wHi == 0 {
+			continue
+		}
+		a.runProgHL(prog, probs, cvals, railSlot)
+		for pin, s := range prog.pinSrcs {
+			condInH[pin], condInL[pin] = a.fetchPinHL(s, probs, cvals, railSlot)
+		}
+		if wLo != 0 {
+			total += wLo * a.gatePv(n, condInL)
+		}
+		if wHi != 0 {
+			total += wHi * a.gatePv(n, condInH)
+		}
 	}
 	return logic.Clamp01(total)
 }

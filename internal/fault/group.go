@@ -1,0 +1,45 @@
+package fault
+
+import "protest/internal/circuit"
+
+// FFRPartition groups a fault list by the fanout-free region the fault
+// effect must traverse: the region of the fault's *gate* for a branch
+// fault (the effect enters the circuit at the gate output) and of the
+// fault *site* for a stem fault.  Every fault in one group propagates
+// to the same FFR stem, which is what lets the FFR fault-simulation
+// engine evaluate a whole group from one backward trace plus one stem
+// propagation.
+type FFRPartition struct {
+	// FFR is the structural index the partition was built against.
+	FFR *circuit.FFR
+	// GroupOf[i] is the FFR index (position in FFR.Stems) of faults[i].
+	GroupOf []int32
+	// Groups[s] lists the indices of the faults in FFR s; empty for
+	// regions that carry no fault.
+	Groups [][]int32
+}
+
+// GroupByFFR partitions faults by fanout-free region.
+func GroupByFFR(c *circuit.Circuit, faults []Fault) *FFRPartition {
+	ffr := c.FFR()
+	p := &FFRPartition{
+		FFR:     ffr,
+		GroupOf: make([]int32, len(faults)),
+		Groups:  make([][]int32, len(ffr.Stems)),
+	}
+	for i, f := range faults {
+		// The effect of a branch fault on (gate, pin) first appears at
+		// the gate output; a stem fault perturbs the site node itself.
+		at := f.Gate
+		if f.IsStem() {
+			at = f.Site(c)
+		}
+		si := ffr.StemIndex[at]
+		p.GroupOf[i] = si
+		p.Groups[si] = append(p.Groups[si], int32(i))
+	}
+	return p
+}
+
+// NumGroups returns the number of FFRs (including fault-free ones).
+func (p *FFRPartition) NumGroups() int { return len(p.Groups) }

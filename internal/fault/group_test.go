@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"testing"
+
+	"protest/internal/circuit"
+	"protest/internal/logic"
+)
+
+// TestGroupByFFR checks the partition on a hand-built circuit with one
+// internal stem: s = AND(a,b) fans out to u = NOT(s) and v = BUF(s),
+// which reconverge in the output r = OR(u,v).
+func TestGroupByFFR(t *testing.T) {
+	b := circuit.NewBuilder("g")
+	a := b.Input("a")
+	bb := b.Input("b")
+	s := b.Gate(logic.And, "s", a, bb)
+	u := b.Gate(logic.Not, "u", s)
+	v := b.Buf("v", s)
+	r := b.Gate(logic.Or, "r", u, v)
+	b.MarkOutput(r)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := Universe(c)
+	p := GroupByFFR(c, faults)
+	if got, want := p.NumGroups(), len(c.FFR().Stems); got != want {
+		t.Fatalf("NumGroups = %d, want %d", got, want)
+	}
+	total := 0
+	for _, g := range p.Groups {
+		total += len(g)
+	}
+	if total != len(faults) {
+		t.Fatalf("partition covers %d faults, want %d", total, len(faults))
+	}
+	ffr := p.FFR
+	for i, f := range faults {
+		at := f.Gate
+		if f.IsStem() {
+			at = f.Site(c)
+		}
+		if want := ffr.StemIndex[at]; p.GroupOf[i] != want {
+			t.Errorf("fault %v grouped into %d, want %d", f, p.GroupOf[i], want)
+		}
+	}
+	// Spot checks: a branch fault on r's pin 0 (driven by u) belongs to
+	// r's region; the stem faults of s belong to s's own region.
+	rix := ffr.StemIndex[r]
+	six := ffr.StemIndex[s]
+	if rix == six {
+		t.Fatal("s and r must root different FFRs")
+	}
+	for i, f := range faults {
+		switch {
+		case f.Gate == r && f.Pin == 0:
+			if p.GroupOf[i] != rix {
+				t.Errorf("branch fault %v not in r's group", f)
+			}
+		case f.Gate == s && f.IsStem():
+			if p.GroupOf[i] != six {
+				t.Errorf("stem fault %v not in s's group", f)
+			}
+		}
+	}
+}

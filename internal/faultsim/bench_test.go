@@ -1,0 +1,74 @@
+package faultsim
+
+import (
+	"fmt"
+	"testing"
+
+	"protest/internal/circuit"
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/pattern"
+)
+
+// benchBlock times one 64-pattern block over the full collapsed fault
+// list — the unit of work both engines share.  The FFR engine's
+// per-block cost is O(gates + Σ stem regions) while the naive oracle
+// pays O(faults × cone), so the ratio widens with circuit size and
+// fanout density.
+func benchBlockFFR(b *testing.B, c *circuit.Circuit) {
+	faults := fault.Collapse(c)
+	plan := NewPlan(c, faults)
+	e := NewEngine(plan)
+	gen := pattern.NewUniform(len(c.Inputs), 1)
+	words := make([]uint64, len(c.Inputs))
+	det := make([]uint64, len(faults))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.NextBlock(words)
+		e.SimulateBlock(words, det, nil)
+	}
+}
+
+func benchBlockNaive(b *testing.B, c *circuit.Circuit) {
+	faults := fault.Collapse(c)
+	s := New(c)
+	gen := pattern.NewUniform(len(c.Inputs), 1)
+	words := make([]uint64, len(c.Inputs))
+	det := make([]uint64, len(faults))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.NextBlock(words)
+		s.SimulateBlock(words, faults, det)
+	}
+}
+
+// BenchmarkBlockEngines compares the engines per block on the paper
+// circuits.
+func BenchmarkBlockEngines(b *testing.B) {
+	for _, mk := range []func() *circuit.Circuit{circuits.Mult8, circuits.Div16, circuits.Comp24} {
+		c := mk()
+		b.Run(c.Name+"/ffr", func(b *testing.B) { benchBlockFFR(b, c) })
+		b.Run(c.Name+"/naive", func(b *testing.B) { benchBlockNaive(b, c) })
+	}
+}
+
+// BenchmarkBlockFanoutHeavy scales a fanout-heavy random circuit to
+// expose the asymptotic separation: the naive engine's per-block cost
+// grows with faults × cone while the FFR engine grows with the gate
+// count.
+func BenchmarkBlockFanoutHeavy(b *testing.B) {
+	for _, gates := range []int{250, 1000} {
+		c := circuits.Random(circuits.RandomOptions{
+			Inputs:   32,
+			Gates:    gates,
+			Outputs:  8,
+			Seed:     42,
+			MaxArity: 3,
+			Locality: 64,
+		})
+		b.Run(fmt.Sprintf("gates=%d/ffr", gates), func(b *testing.B) { benchBlockFFR(b, c) })
+		b.Run(fmt.Sprintf("gates=%d/naive", gates), func(b *testing.B) { benchBlockNaive(b, c) })
+	}
+}

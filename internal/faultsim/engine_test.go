@@ -1,0 +1,288 @@
+package faultsim
+
+import (
+	"context"
+	"testing"
+
+	"protest/internal/circuit"
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/pattern"
+)
+
+// engineTestCircuits returns the paper circuits plus a batch of random
+// fanout-heavy circuits the equivalence properties run on.
+func engineTestCircuits() []*circuit.Circuit {
+	cs := []*circuit.Circuit{
+		circuits.C17(),
+		circuits.ALU74181(),
+		circuits.Mult8(),
+		circuits.Div16(),
+		circuits.Comp24(),
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		cs = append(cs, circuits.Random(circuits.RandomOptions{
+			Inputs:   6 + int(seed),
+			Gates:    80,
+			Outputs:  3,
+			Seed:     seed,
+			MaxArity: 4,
+			Locality: 12,
+		}))
+	}
+	return cs
+}
+
+// TestEngineBlockIdentity drives the FFR engine and the naive oracle
+// with the same pattern blocks and requires word-for-word identical
+// detection words for every fault.
+func TestEngineBlockIdentity(t *testing.T) {
+	for _, c := range engineTestCircuits() {
+		faults := fault.Collapse(c)
+		plan := NewPlan(c, faults)
+		e := NewEngine(plan)
+		naive := New(c)
+		gen := pattern.NewUniform(len(c.Inputs), 7)
+		words := make([]uint64, len(c.Inputs))
+		detF := make([]uint64, len(faults))
+		detN := make([]uint64, len(faults))
+		for block := 0; block < 8; block++ {
+			gen.NextBlock(words)
+			e.SimulateBlock(words, detF, nil)
+			naive.SimulateBlock(words, faults, detN)
+			for i := range faults {
+				if detF[i] != detN[i] {
+					t.Fatalf("%s block %d fault %v: FFR %016x != naive %016x",
+						c.Name, block, faults[i], detF[i], detN[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineUncollapsedUniverse repeats the block identity on the full
+// (uncollapsed) fault universe, which exercises every stem and branch
+// position including equivalent and undetectable faults.
+func TestEngineUncollapsedUniverse(t *testing.T) {
+	for _, c := range engineTestCircuits()[:6] {
+		faults := fault.Universe(c)
+		plan := NewPlan(c, faults)
+		e := NewEngine(plan)
+		naive := New(c)
+		gen := pattern.NewUniform(len(c.Inputs), 99)
+		words := make([]uint64, len(c.Inputs))
+		detF := make([]uint64, len(faults))
+		detN := make([]uint64, len(faults))
+		for block := 0; block < 4; block++ {
+			gen.NextBlock(words)
+			e.SimulateBlock(words, detF, nil)
+			naive.SimulateBlock(words, faults, detN)
+			for i := range faults {
+				if detF[i] != detN[i] {
+					t.Fatalf("%s block %d fault %v: FFR %016x != naive %016x",
+						c.Name, block, faults[i], detF[i], detN[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineMeasureDetectionIdentity compares whole measurements:
+// detection counts and PSim between the engines, serial and parallel.
+func TestEngineMeasureDetectionIdentity(t *testing.T) {
+	for _, c := range engineTestCircuits() {
+		faults := fault.Collapse(c)
+		const n = 1000 // deliberately not a multiple of 64
+		ref := MeasureDetection(c, faults, pattern.NewUniform(len(c.Inputs), 3), n)
+		naive, err := MeasureDetectionOpt(context.Background(), c, faults,
+			pattern.NewUniform(len(c.Inputs), 3), n, Options{Engine: EngineNaive}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, -1} {
+			par, err := MeasureDetectionOpt(context.Background(), c, faults,
+				pattern.NewUniform(len(c.Inputs), 3), n, Options{Workers: workers}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range faults {
+				if ref.Detected[i] != par.Detected[i] {
+					t.Fatalf("%s workers=%d fault %v: serial %d != parallel %d",
+						c.Name, workers, faults[i], ref.Detected[i], par.Detected[i])
+				}
+			}
+		}
+		for i := range faults {
+			if ref.Detected[i] != naive.Detected[i] {
+				t.Fatalf("%s fault %v: FFR detected %d != naive %d",
+					c.Name, faults[i], ref.Detected[i], naive.Detected[i])
+			}
+			if ref.PSim(i) != naive.PSim(i) {
+				t.Fatalf("%s fault %v: PSim mismatch", c.Name, faults[i])
+			}
+		}
+	}
+}
+
+// TestEngineCoverageCurveIdentity compares coverage curves with fault
+// dropping across engines, worker counts and pattern sources, on
+// checkpoints that are deliberately not multiples of 64.
+func TestEngineCoverageCurveIdentity(t *testing.T) {
+	cps := []int{10, 100, 500, 777, 1500}
+	for _, c := range engineTestCircuits() {
+		faults := fault.Collapse(c)
+		probs := make([]float64, len(c.Inputs))
+		for i := range probs {
+			probs[i] = 0.25 + 0.5*float64(i%3)/2
+		}
+		gens := map[string]func(seed uint64) *pattern.Generator{
+			"uniform": func(seed uint64) *pattern.Generator {
+				return pattern.NewUniform(len(c.Inputs), seed)
+			},
+			"weighted": func(seed uint64) *pattern.Generator {
+				g, err := pattern.NewWeighted(probs, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		}
+		for name, mk := range gens {
+			ref := CoverageCurve(c, faults, mk(11), cps)
+			naive, err := CoverageCurveOpt(context.Background(), c, faults, mk(11), cps,
+				Options{Engine: EngineNaive}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := CoverageCurveOpt(context.Background(), c, faults, mk(11), cps,
+				Options{Workers: -1}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref) != len(naive) || len(ref) != len(par) {
+				t.Fatalf("%s/%s: curve lengths differ", c.Name, name)
+			}
+			for i := range ref {
+				if ref[i] != naive[i] {
+					t.Fatalf("%s/%s point %d: FFR %+v != naive %+v", c.Name, name, i, ref[i], naive[i])
+				}
+				if ref[i] != par[i] {
+					t.Fatalf("%s/%s point %d: serial %+v != parallel %+v", c.Name, name, i, ref[i], par[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineExhaustiveIdentity checks the FFR engine against exhaustive
+// enumeration (which internally runs the naive engine) on small
+// circuits: exact per-fault detection counts over all 2^n patterns.
+func TestEngineExhaustiveIdentity(t *testing.T) {
+	small := []*circuit.Circuit{
+		circuits.C17(),
+		circuits.RippleAdder(3),
+		circuits.Random(circuits.RandomOptions{Inputs: 8, Gates: 60, Outputs: 3, Seed: 5}),
+	}
+	for _, c := range small {
+		faults := fault.Collapse(c)
+		want, err := ExhaustiveDetection(c, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feed the engine the same enumeration layout.
+		plan := NewPlan(c, faults)
+		e := NewEngine(plan)
+		got := make([]int, len(faults))
+		det := make([]uint64, len(faults))
+		words := make([]uint64, len(c.Inputs))
+		total := 1 << len(c.Inputs)
+		for base := 0; base < total; base += 64 {
+			valid := min(64, total-base)
+			for i := range words {
+				words[i] = enumInputWord(uint64(base), i)
+			}
+			e.SimulateBlock(words, det, nil)
+			mask := blockMask(valid)
+			for i, d := range det {
+				got[i] += popcount(d & mask)
+			}
+		}
+		for i := range faults {
+			if got[i] != want[i] {
+				t.Fatalf("%s fault %v: FFR exhaustive count %d != oracle %d",
+					c.Name, faults[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// TestEngineLiveGroups checks that skipping dropped FFR groups leaves
+// the live groups' words untouched and exactly equal to a full block.
+func TestEngineLiveGroups(t *testing.T) {
+	c := circuits.Mult8()
+	faults := fault.Collapse(c)
+	plan := NewPlan(c, faults)
+	e := NewEngine(plan)
+	gen := pattern.NewUniform(len(c.Inputs), 21)
+	words := make([]uint64, len(c.Inputs))
+	gen.NextBlock(words)
+	full := make([]uint64, len(faults))
+	e.SimulateBlock(words, full, nil)
+	live := make([]bool, plan.NumGroups())
+	for si := 0; si < plan.NumGroups(); si += 2 {
+		live[si] = true
+	}
+	partial := make([]uint64, len(faults))
+	e.SimulateBlock(words, partial, live)
+	for i := range faults {
+		if !live[plan.GroupOf(i)] {
+			continue
+		}
+		if partial[i] != full[i] {
+			t.Fatalf("fault %v: live-group word %016x != full %016x", faults[i], partial[i], full[i])
+		}
+	}
+}
+
+// TestEngineCaptureOutputs checks capture mode against the naive
+// SimulateFaultBlock: identical faulty output words and detection
+// words for every fault.
+func TestEngineCaptureOutputs(t *testing.T) {
+	for _, c := range []*circuit.Circuit{circuits.C17(), circuits.ALU74181(),
+		circuits.Random(circuits.RandomOptions{Inputs: 9, Gates: 70, Outputs: 4, Seed: 3})} {
+		faults := fault.Collapse(c)
+		plan := NewPlan(c, faults)
+		e := NewEngine(plan)
+		naive := New(c)
+		gen := pattern.NewUniform(len(c.Inputs), 5)
+		words := make([]uint64, len(c.Inputs))
+		det := make([]uint64, len(faults))
+		outF := make([]uint64, len(c.Outputs))
+		outN := make([]uint64, len(c.Outputs))
+		for block := 0; block < 4; block++ {
+			gen.NextBlock(words)
+			e.SimulateBlockOutputs(words, det)
+			for fi, f := range faults {
+				dn := naive.SimulateFaultBlock(words, f, outN)
+				if det[fi] != dn {
+					t.Fatalf("%s fault %v: capture det %016x != naive %016x", c.Name, f, det[fi], dn)
+				}
+				e.FaultOutputs(fi, outF)
+				for oi := range outF {
+					if outF[oi] != outN[oi] {
+						t.Fatalf("%s fault %v output %d: capture %016x != naive %016x",
+							c.Name, f, oi, outF[oi], outN[oi])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,17 +1,23 @@
-// Package faultsim implements a bit-parallel single-fault-propagation
-// fault simulator: 64 random patterns are simulated against the good
-// circuit at once, and each fault is re-simulated only inside its
-// output cone.  It provides the two measurements the paper validates
-// PROTEST against:
+// Package faultsim implements two bit-parallel fault simulators for
+// the measurements the paper validates PROTEST against — P_SIM
+// (section 4, Table 1) and fault-coverage-versus-pattern-count curves
+// with fault dropping (section 6, Table 6):
 //
-//   - P_SIM, the fraction of applied patterns that detect each fault
-//     (section 4, Table 1 and the correlation diagrams), and
-//   - fault-coverage-versus-pattern-count curves with fault dropping
-//     (section 6, Table 6).
+//   - the FFR engine (Plan/Engine), the default: the collapsed fault
+//     list is partitioned by fanout-free region, each block runs one
+//     good simulation, one backward critical-path trace per live
+//     region and one dominator-bounded stem propagation per live stem,
+//     collapsing per-fault work to a few word operations;
+//   - the naive engine (Simulator), kept as the independent oracle:
+//     every fault is re-simulated individually inside its output cone.
+//
+// Both produce bit-identical detection words; the engine property
+// tests enforce it.  Select with Options.Engine.
 package faultsim
 
 import (
 	"context"
+	"fmt"
 	"math/bits"
 	"sort"
 
@@ -24,9 +30,59 @@ import (
 
 // Progress receives (patterns applied, patterns requested) after each
 // simulated block.  Nil callbacks are allowed everywhere one is taken.
+// When fault dropping exhausts the fault list before the last
+// checkpoint, the remaining blocks are skipped and one final
+// progress(total, total) call is reported.
 type Progress func(done, total int)
 
-// Simulator fault-simulates one circuit.
+// EngineKind selects the fault-simulation engine.
+type EngineKind int
+
+const (
+	// EngineFFR is the FFR-partitioned engine (default): critical path
+	// tracing inside fanout-free regions plus dominator-cut stem
+	// propagation.
+	EngineFFR EngineKind = iota
+	// EngineNaive re-simulates every fault's cone individually.  It is
+	// the slower, structurally independent oracle the FFR engine is
+	// validated against.
+	EngineNaive
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineFFR:
+		return "ffr"
+	case EngineNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// ParseEngine parses "ffr" or "naive".
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "", "ffr":
+		return EngineFFR, nil
+	case "naive":
+		return EngineNaive, nil
+	}
+	return 0, fmt.Errorf("faultsim: unknown engine %q (want ffr or naive)", s)
+}
+
+// Options tunes a measurement run.  The zero value selects the FFR
+// engine, serial.
+type Options struct {
+	// Engine selects the simulation engine.
+	Engine EngineKind
+	// Workers spreads the per-block work over goroutines; <= 1 is
+	// serial, < 0 selects GOMAXPROCS.  Results are identical for every
+	// worker count.
+	Workers int
+}
+
+// Simulator is the naive fault simulator: one cone re-simulation per
+// fault per block.
 type Simulator struct {
 	c      *circuit.Circuit
 	good   *bitsim.Simulator
@@ -39,7 +95,7 @@ type Simulator struct {
 	captureOut []uint64
 }
 
-// New creates a fault simulator.
+// New creates a naive fault simulator.
 func New(c *circuit.Circuit) *Simulator {
 	return &Simulator{
 		c:      c,
@@ -261,6 +317,15 @@ func (r *Result) Coverage() float64 {
 	return float64(det) / float64(len(r.Faults))
 }
 
+// blockMask returns the valid-pattern mask of a block: all ones except
+// when fewer than 64 patterns of the block count.
+func blockMask(valid int) uint64 {
+	if valid < 64 {
+		return (uint64(1) << valid) - 1
+	}
+	return ^uint64(0)
+}
+
 // MeasureDetection applies numPatterns patterns from gen to the circuit
 // and counts, for every fault, how many patterns detect it — the
 // experiment behind P_SIM in section 4 of the paper.  No fault dropping
@@ -274,6 +339,63 @@ func MeasureDetection(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Gen
 // progress reporting: between 64-pattern blocks it checks ctx and, on
 // cancellation, returns ctx.Err() and a nil result.
 func MeasureDetectionCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns int, progress Progress) (*Result, error) {
+	return MeasureDetectionOpt(ctx, c, faults, gen, numPatterns, Options{}, progress)
+}
+
+// MeasureDetectionOpt is MeasureDetectionCtx with engine and worker
+// selection.
+func MeasureDetectionOpt(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns int, opt Options, progress Progress) (*Result, error) {
+	if opt.Engine == EngineNaive {
+		if parallelWorkers(opt.Workers, len(faults)) > 1 {
+			return measureDetectionNaiveParallelCtx(ctx, c, faults, gen, numPatterns, opt.Workers, progress)
+		}
+		return measureDetectionNaiveCtx(ctx, c, faults, gen, numPatterns, progress)
+	}
+	return NewPlan(c, faults).MeasureDetectionCtx(ctx, gen, numPatterns, opt, progress)
+}
+
+// MeasureDetectionCtx measures detection counts with this plan's FFR
+// engine (or the naive oracle when opt.Engine says so).
+func (p *Plan) MeasureDetectionCtx(ctx context.Context, gen *pattern.Generator, numPatterns int, opt Options, progress Progress) (*Result, error) {
+	if opt.Engine == EngineNaive {
+		return MeasureDetectionOpt(ctx, p.c, p.faults, gen, numPatterns, opt, progress)
+	}
+	if parallelWorkers(opt.Workers, len(p.faults)) > 1 {
+		return p.measureDetectionFFRParallelCtx(ctx, gen, numPatterns, opt.Workers, progress)
+	}
+	return p.measureDetectionFFRCtx(ctx, gen, numPatterns, progress)
+}
+
+// measureDetectionFFRCtx is the serial FFR measurement loop.
+func (p *Plan) measureDetectionFFRCtx(ctx context.Context, gen *pattern.Generator, numPatterns int, progress Progress) (*Result, error) {
+	e := NewEngine(p)
+	res := &Result{
+		Faults:   p.faults,
+		Detected: make([]int, len(p.faults)),
+	}
+	words := make([]uint64, len(p.c.Inputs))
+	det := make([]uint64, len(p.faults))
+	for applied := 0; applied < numPatterns; applied += 64 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		gen.NextBlock(words)
+		mask := blockMask(numPatterns - applied)
+		e.SimulateBlock(words, det, nil)
+		for i, d := range det {
+			res.Detected[i] += bits.OnesCount64(d & mask)
+		}
+		if progress != nil {
+			progress(min(applied+64, numPatterns), numPatterns)
+		}
+	}
+	res.Applied = numPatterns
+	return res, nil
+}
+
+// measureDetectionNaiveCtx is the retained oracle implementation: one
+// cone re-simulation per fault per block.
+func measureDetectionNaiveCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns int, progress Progress) (*Result, error) {
 	s := New(c)
 	res := &Result{
 		Faults:   faults,
@@ -286,11 +408,7 @@ func MeasureDetectionCtx(ctx context.Context, c *circuit.Circuit, faults []fault
 			return nil, err
 		}
 		gen.NextBlock(words)
-		valid := numPatterns - applied
-		var mask uint64 = ^uint64(0)
-		if valid < 64 {
-			mask = (uint64(1) << valid) - 1
-		}
+		mask := blockMask(numPatterns - applied)
 		s.SimulateBlock(words, faults, det)
 		for i, d := range det {
 			res.Detected[i] += bits.OnesCount64(d & mask)
@@ -320,6 +438,122 @@ func CoverageCurve(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Genera
 // CoverageCurveCtx is CoverageCurve with cancellation and progress
 // reporting; it checks ctx between 64-pattern blocks.
 func CoverageCurveCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, progress Progress) ([]CoveragePoint, error) {
+	return CoverageCurveOpt(ctx, c, faults, gen, checkpoints, Options{}, progress)
+}
+
+// CoverageCurveOpt is CoverageCurveCtx with engine and worker
+// selection.
+func CoverageCurveOpt(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, opt Options, progress Progress) ([]CoveragePoint, error) {
+	if opt.Engine == EngineNaive {
+		if parallelWorkers(opt.Workers, len(faults)) > 1 {
+			return coverageCurveNaiveParallelCtx(ctx, c, faults, gen, checkpoints, opt.Workers, progress)
+		}
+		return coverageCurveNaiveCtx(ctx, c, faults, gen, checkpoints, progress)
+	}
+	return NewPlan(c, faults).CoverageCurveCtx(ctx, gen, checkpoints, opt, progress)
+}
+
+// CoverageCurveCtx computes the coverage curve with this plan's FFR
+// engine (or the naive oracle when opt.Engine says so).  Fault dropping
+// drops whole FFR groups: once every fault of a region is detected the
+// region is never traced again.
+func (p *Plan) CoverageCurveCtx(ctx context.Context, gen *pattern.Generator, checkpoints []int, opt Options, progress Progress) ([]CoveragePoint, error) {
+	if opt.Engine == EngineNaive {
+		return CoverageCurveOpt(ctx, p.c, p.faults, gen, checkpoints, opt, progress)
+	}
+	if parallelWorkers(opt.Workers, len(p.faults)) > 1 {
+		return p.coverageCurveFFRParallelCtx(ctx, gen, checkpoints, opt.Workers, progress)
+	}
+	return p.coverageCurveFFRCtx(ctx, gen, checkpoints, progress)
+}
+
+// dropState tracks the live fault set of a coverage run at FFR-group
+// granularity.
+type dropState struct {
+	plan       *Plan
+	aliveIdx   []int32 // indices of still-undetected faults
+	liveCount  []int32 // live faults per FFR group
+	liveGroups []bool  // liveCount > 0
+	dead       int
+}
+
+func newDropState(p *Plan) *dropState {
+	d := &dropState{
+		plan:       p,
+		aliveIdx:   make([]int32, len(p.faults)),
+		liveCount:  make([]int32, p.NumGroups()),
+		liveGroups: make([]bool, p.NumGroups()),
+	}
+	for i := range p.faults {
+		d.aliveIdx[i] = int32(i)
+		d.liveCount[p.part.GroupOf[i]]++
+	}
+	for si, n := range d.liveCount {
+		d.liveGroups[si] = n > 0
+	}
+	return d
+}
+
+// drop removes the faults whose masked det word is non-zero, releasing
+// exhausted FFR groups.
+func (d *dropState) drop(det []uint64, mask uint64) {
+	w := 0
+	for _, fi := range d.aliveIdx {
+		if det[fi]&mask != 0 {
+			d.dead++
+			g := d.plan.part.GroupOf[fi]
+			d.liveCount[g]--
+			if d.liveCount[g] == 0 {
+				d.liveGroups[g] = false
+			}
+			continue
+		}
+		d.aliveIdx[w] = fi
+		w++
+	}
+	d.aliveIdx = d.aliveIdx[:w]
+}
+
+// coverageCurveFFRCtx is the serial FFR coverage loop.
+func (p *Plan) coverageCurveFFRCtx(ctx context.Context, gen *pattern.Generator, checkpoints []int, progress Progress) ([]CoveragePoint, error) {
+	cps := append([]int(nil), checkpoints...)
+	sort.Ints(cps)
+	e := NewEngine(p)
+	ds := newDropState(p)
+	det := make([]uint64, len(p.faults))
+	words := make([]uint64, len(p.c.Inputs))
+	total := len(p.faults)
+	lastCp := 0
+	if len(cps) > 0 {
+		lastCp = cps[len(cps)-1]
+	}
+	var out []CoveragePoint
+	applied := 0
+	for _, cp := range cps {
+		for applied < cp && len(ds.aliveIdx) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			gen.NextBlock(words)
+			valid := cp - applied
+			mask := blockMask(valid)
+			applied += min(64, valid)
+			if progress != nil {
+				progress(applied, lastCp)
+			}
+			e.SimulateBlock(words, det, ds.liveGroups)
+			ds.drop(det, mask)
+		}
+		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(ds.dead) / float64(total)})
+	}
+	if progress != nil && applied < lastCp {
+		progress(lastCp, lastCp) // every fault dropped early
+	}
+	return out, nil
+}
+
+// coverageCurveNaiveCtx is the retained oracle implementation.
+func coverageCurveNaiveCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, progress Progress) ([]CoveragePoint, error) {
 	cps := append([]int(nil), checkpoints...)
 	sort.Ints(cps)
 	s := New(c)
@@ -335,16 +569,13 @@ func CoverageCurveCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fa
 	var out []CoveragePoint
 	applied := 0
 	for _, cp := range cps {
-		for applied < cp {
+		for applied < cp && len(alive) > 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			gen.NextBlock(words)
 			valid := cp - applied
-			var mask uint64 = ^uint64(0)
-			if valid < 64 {
-				mask = (uint64(1) << valid) - 1
-			}
+			mask := blockMask(valid)
 			applied += min(64, valid)
 			if progress != nil {
 				progress(applied, lastCp)
@@ -361,11 +592,11 @@ func CoverageCurveCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fa
 				w++
 			}
 			alive = alive[:w]
-			if len(alive) == 0 {
-				break
-			}
 		}
 		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(dead) / float64(total)})
+	}
+	if progress != nil && applied < lastCp {
+		progress(lastCp, lastCp) // every fault dropped early
 	}
 	return out, nil
 }
@@ -380,16 +611,13 @@ func ExhaustiveDetection(c *circuit.Circuit, faults []fault.Fault) ([]int, error
 	s := New(c)
 	counts := make([]int, len(faults))
 	det := make([]uint64, len(faults))
+	words := make([]uint64, len(c.Inputs))
 	gsim := bitsim.New(c)
 	err := gsim.EnumerateExhaustive(func(base uint64, valid int) {
-		words := make([]uint64, len(c.Inputs))
 		for i := range words {
 			words[i] = enumInputWord(base, i)
 		}
-		var mask uint64 = ^uint64(0)
-		if valid < 64 {
-			mask = (uint64(1) << valid) - 1
-		}
+		mask := blockMask(valid)
 		s.SimulateBlock(words, faults, det)
 		for i, d := range det {
 			counts[i] += bits.OnesCount64(d & mask)
@@ -404,7 +632,7 @@ func ExhaustiveDetection(c *circuit.Circuit, faults []fault.Fault) ([]int, error
 type errTooManyInputs int
 
 func (e errTooManyInputs) Error() string {
-	return "faultsim: exhaustive detection limited to 20 inputs"
+	return fmt.Sprintf("faultsim: exhaustive detection limited to 20 inputs, circuit has %d", int(e))
 }
 
 // enumInputWord mirrors bitsim's exhaustive enumeration pattern layout.
@@ -420,11 +648,4 @@ func enumInputWord(base uint64, i int) uint64 {
 		return ^uint64(0)
 	}
 	return 0
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -13,31 +13,105 @@ import (
 	"protest/internal/pattern"
 )
 
-// MeasureDetectionParallel is MeasureDetection with the per-fault cone
-// simulation spread over worker goroutines.  workers <= 0 selects
-// GOMAXPROCS.
+// parallelWorkers resolves an Options.Workers value: <= 1 is serial
+// (1), negative selects GOMAXPROCS.
+func parallelWorkers(workers, nFaults int) int {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || nFaults == 0 {
+		return 1
+	}
+	return workers
+}
+
+// MeasureDetectionParallel is MeasureDetection with the per-block work
+// spread over worker goroutines.  workers <= 0 selects GOMAXPROCS.
 func MeasureDetectionParallel(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns, workers int) *Result {
 	res, _ := MeasureDetectionParallelCtx(context.Background(), c, faults, gen, numPatterns, workers, nil)
 	return res
 }
 
 // MeasureDetectionParallelCtx is the parallel measurement with the
-// cancellation and progress treatment of the serial path: between
-// 64-pattern blocks it checks ctx (returning ctx.Err() and a nil
-// result on cancellation) and reports applied patterns to progress.
-// The good-circuit values of each block are computed once and shared
-// read-only; every worker owns its scratch state, so the result is
-// bit-identical to the serial version (same generator stream, same
-// counts).  workers <= 0 selects GOMAXPROCS.
+// cancellation and progress treatment of the serial path.  The result
+// is bit-identical to the serial version (same generator stream, same
+// counts) for any worker count.  workers <= 0 selects GOMAXPROCS.
 func MeasureDetectionParallelCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns, workers int, progress Progress) (*Result, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = -1
 	}
+	return MeasureDetectionOpt(ctx, c, faults, gen, numPatterns, Options{Workers: workers}, progress)
+}
+
+// measureDetectionFFRParallelCtx distributes whole 64-pattern blocks
+// over workers: each worker owns an Engine over the shared plan, input
+// words are drawn from the generator serially (same stream as the
+// serial path), and the per-block detection counts are folded in block
+// order.  Counts are sums of per-block popcounts, so the result is
+// identical for any worker count.
+func (p *Plan) measureDetectionFFRParallelCtx(ctx context.Context, gen *pattern.Generator, numPatterns, workers int, progress Progress) (*Result, error) {
+	workers = parallelWorkers(workers, len(p.faults))
+	if nBlocks := (numPatterns + 63) / 64; workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		return p.measureDetectionFFRCtx(ctx, gen, numPatterns, progress)
+	}
+	engines := make([]*Engine, workers)
+	blockWords := make([][]uint64, workers)
+	blockDet := make([][]uint64, workers)
+	for i := range engines {
+		engines[i] = NewEngine(p)
+		blockWords[i] = make([]uint64, len(p.c.Inputs))
+		blockDet[i] = make([]uint64, len(p.faults))
+	}
+	res := &Result{
+		Faults:   p.faults,
+		Detected: make([]int, len(p.faults)),
+	}
+	var wg sync.WaitGroup
+	for applied := 0; applied < numPatterns; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k := 0
+		for ; k < workers && applied+k*64 < numPatterns; k++ {
+			gen.NextBlock(blockWords[k])
+		}
+		for j := 0; j < k; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				engines[j].SimulateBlock(blockWords[j], blockDet[j], nil)
+			}(j)
+		}
+		wg.Wait()
+		for j := 0; j < k; j++ {
+			mask := blockMask(numPatterns - applied)
+			for i, d := range blockDet[j] {
+				res.Detected[i] += bits.OnesCount64(d & mask)
+			}
+			applied = min(applied+64, numPatterns)
+			if progress != nil {
+				progress(applied, numPatterns)
+			}
+		}
+	}
+	res.Applied = numPatterns
+	return res, nil
+}
+
+// measureDetectionNaiveParallelCtx is the retained oracle parallel
+// path: the good-circuit values of each block are computed once and
+// shared read-only; every worker re-simulates the cones of a disjoint
+// fault chunk.
+func measureDetectionNaiveParallelCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, numPatterns, workers int, progress Progress) (*Result, error) {
+	workers = parallelWorkers(workers, len(faults))
 	if workers > len(faults) {
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		return MeasureDetectionCtx(ctx, c, faults, gen, numPatterns, progress)
+		return measureDetectionNaiveCtx(ctx, c, faults, gen, numPatterns, progress)
 	}
 	good := bitsim.New(c)
 	sims := make([]*Simulator, workers)
@@ -59,17 +133,10 @@ func MeasureDetectionParallelCtx(ctx context.Context, c *circuit.Circuit, faults
 		good.SetInputs(words)
 		good.Run()
 		goodVals := good.Values()
-		valid := numPatterns - applied
-		var mask uint64 = ^uint64(0)
-		if valid < 64 {
-			mask = (uint64(1) << valid) - 1
-		}
+		mask := blockMask(numPatterns - applied)
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(faults) {
-				hi = len(faults)
-			}
+			hi := min(lo+chunk, len(faults))
 			if lo >= hi {
 				continue
 			}
@@ -91,29 +158,108 @@ func MeasureDetectionParallelCtx(ctx context.Context, c *circuit.Circuit, faults
 	return res, nil
 }
 
-// CoverageCurveParallel is CoverageCurve with the per-fault cone
-// simulation of each block spread over worker goroutines.
+// CoverageCurveParallel is CoverageCurve with the per-block work spread
+// over worker goroutines.
 func CoverageCurveParallel(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, workers int) []CoveragePoint {
 	out, _ := CoverageCurveParallelCtx(context.Background(), c, faults, gen, checkpoints, workers, nil)
 	return out
 }
 
 // CoverageCurveParallelCtx fault-simulates with fault dropping like
-// CoverageCurveCtx, sharing each block's good-circuit values across
-// workers that re-simulate the cones of disjoint chunks of the live
-// fault list.  The per-fault detection words do not depend on the
-// partitioning, and dropping happens serially between blocks, so the
+// CoverageCurveCtx; the per-fault detection words do not depend on the
+// partitioning and dropping is folded serially in block order, so the
 // curve is identical to the serial one for any worker count.
 // workers <= 0 selects GOMAXPROCS.
 func CoverageCurveParallelCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, workers int, progress Progress) ([]CoveragePoint, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = -1
 	}
+	return CoverageCurveOpt(ctx, c, faults, gen, checkpoints, Options{Workers: workers}, progress)
+}
+
+// coverageCurveFFRParallelCtx processes the blocks between checkpoints
+// in chunks of up to `workers` blocks: every worker simulates one block
+// against the live set snapshotted at chunk start, then the drops are
+// folded serially in block order.  A fault dropped mid-chunk is simply
+// ignored in the later blocks' words, so the curve is identical to the
+// serial one.  One divergence from the serial path: when dropping
+// exhausts the fault list mid-chunk, the pre-drawn blocks of that
+// chunk have already consumed generator output, so the caller's
+// generator may end up to workers-1 blocks further advanced than after
+// a serial run (the curve itself is unaffected).
+func (p *Plan) coverageCurveFFRParallelCtx(ctx context.Context, gen *pattern.Generator, checkpoints []int, workers int, progress Progress) ([]CoveragePoint, error) {
+	workers = parallelWorkers(workers, len(p.faults))
+	if workers <= 1 {
+		return p.coverageCurveFFRCtx(ctx, gen, checkpoints, progress)
+	}
+	cps := append([]int(nil), checkpoints...)
+	sort.Ints(cps)
+	engines := make([]*Engine, workers)
+	blockWords := make([][]uint64, workers)
+	blockDet := make([][]uint64, workers)
+	for i := range engines {
+		engines[i] = NewEngine(p)
+		blockWords[i] = make([]uint64, len(p.c.Inputs))
+		blockDet[i] = make([]uint64, len(p.faults))
+	}
+	ds := newDropState(p)
+	total := len(p.faults)
+	lastCp := 0
+	if len(cps) > 0 {
+		lastCp = cps[len(cps)-1]
+	}
+	var out []CoveragePoint
+	applied := 0
+	var wg sync.WaitGroup
+	for _, cp := range cps {
+		for applied < cp && len(ds.aliveIdx) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			k := 0
+			for ; k < workers && applied+k*64 < cp; k++ {
+				gen.NextBlock(blockWords[k])
+			}
+			for j := 0; j < k; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					// liveGroups is only mutated between chunks.
+					engines[j].SimulateBlock(blockWords[j], blockDet[j], ds.liveGroups)
+				}(j)
+			}
+			wg.Wait()
+			for j := 0; j < k; j++ {
+				valid := cp - applied
+				mask := blockMask(valid)
+				applied += min(64, valid)
+				if progress != nil {
+					progress(applied, lastCp)
+				}
+				ds.drop(blockDet[j], mask)
+				if len(ds.aliveIdx) == 0 {
+					break
+				}
+			}
+		}
+		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(ds.dead) / float64(total)})
+	}
+	if progress != nil && applied < lastCp {
+		progress(lastCp, lastCp) // every fault dropped early
+	}
+	return out, nil
+}
+
+// coverageCurveNaiveParallelCtx is the retained oracle parallel path:
+// workers re-simulate the cones of disjoint chunks of the live fault
+// list within each block.
+func coverageCurveNaiveParallelCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, checkpoints []int, workers int, progress Progress) ([]CoveragePoint, error) {
+	workers = parallelWorkers(workers, len(faults))
 	if workers > len(faults) {
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		return CoverageCurveCtx(ctx, c, faults, gen, checkpoints, progress)
+		return coverageCurveNaiveCtx(ctx, c, faults, gen, checkpoints, progress)
 	}
 	cps := append([]int(nil), checkpoints...)
 	sort.Ints(cps)
@@ -135,16 +281,13 @@ func CoverageCurveParallelCtx(ctx context.Context, c *circuit.Circuit, faults []
 	applied := 0
 	var wg sync.WaitGroup
 	for _, cp := range cps {
-		for applied < cp {
+		for applied < cp && len(alive) > 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			gen.NextBlock(words)
 			valid := cp - applied
-			var mask uint64 = ^uint64(0)
-			if valid < 64 {
-				mask = (uint64(1) << valid) - 1
-			}
+			mask := blockMask(valid)
 			applied += min(64, valid)
 			if progress != nil {
 				progress(applied, lastCp)
@@ -155,10 +298,7 @@ func CoverageCurveParallelCtx(ctx context.Context, c *circuit.Circuit, faults []
 			chunk := (len(alive) + workers - 1) / workers
 			for w := 0; w < workers; w++ {
 				lo := w * chunk
-				hi := lo + chunk
-				if hi > len(alive) {
-					hi = len(alive)
-				}
+				hi := min(lo+chunk, len(alive))
 				if lo >= hi {
 					continue
 				}
@@ -182,11 +322,11 @@ func CoverageCurveParallelCtx(ctx context.Context, c *circuit.Circuit, faults []
 				w++
 			}
 			alive = alive[:w]
-			if len(alive) == 0 {
-				break
-			}
 		}
 		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(dead) / float64(total)})
+	}
+	if progress != nil && applied < lastCp {
+		progress(lastCp, lastCp) // every fault dropped early
 	}
 	return out, nil
 }

@@ -102,9 +102,30 @@ func Required(probs []float64, e float64) (int64, error) {
 		}
 	}
 	logE := math.Log(e)
+	// The search evaluates log P_F for dozens of pattern counts over
+	// one fixed fault set; the per-fault miss-rate logs log(1-P_f)
+	// depend only on the set, so hoist them out of the search.  Faults
+	// with P_f >= 1 contribute 0 to every sum and are dropped.
+	logq := make([]float64, 0, len(probs))
+	for _, p := range probs {
+		if p < 1 {
+			logq = append(logq, math.Log1p(-p))
+		}
+	}
+	logSet := func(n int64) float64 {
+		sum := 0.0
+		for _, lq := range logq {
+			// log(1 - (1-p)^n) with (1-p)^n = exp(n·log(1-p)).
+			sum += log1mexp(float64(n) * lq)
+			if math.IsInf(sum, -1) {
+				return sum
+			}
+		}
+		return sum
+	}
 	// Exponential search for an upper bound.
 	lo, hi := int64(0), int64(1)
-	for logSetProbability(probs, hi) < logE {
+	for logSet(hi) < logE {
 		if hi >= MaxN/2 {
 			return 0, fmt.Errorf("testlen: required pattern count exceeds %d", MaxN)
 		}
@@ -114,7 +135,7 @@ func Required(probs []float64, e float64) (int64, error) {
 	// Binary search in (lo, hi].
 	for lo+1 < hi {
 		mid := lo + (hi-lo)/2
-		if logSetProbability(probs, mid) >= logE {
+		if logSet(mid) >= logE {
 			hi = mid
 		} else {
 			lo = mid

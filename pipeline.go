@@ -51,6 +51,10 @@ type PipelineSpec struct {
 	// goroutines, < 0 selects GOMAXPROCS, 0 keeps the Session default.
 	// Results are identical for every worker count.
 	Workers int `json:"workers,omitempty"`
+	// SimEngine overrides the Session's fault-simulation engine for
+	// this run; the zero value keeps the Session default.  Every
+	// engine produces bit-identical results (see WithSimEngine).
+	SimEngine SimEngine `json:"sim_engine,omitempty"`
 }
 
 func (spec *PipelineSpec) fill() error {
@@ -187,6 +191,11 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 		prev := s.workers
 		s.workers = spec.Workers
 		defer func() { s.workers = prev }()
+	}
+	if spec.SimEngine != SimEngineFFR {
+		prev := s.simEngine
+		s.simEngine = spec.SimEngine
+		defer func() { s.simEngine = prev }()
 	}
 
 	st := s.c.Stats()

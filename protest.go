@@ -105,6 +105,8 @@ type (
 	SimResult = faultsim.Result
 	// CoveragePoint is one row of a fault-coverage curve.
 	CoveragePoint = faultsim.CoveragePoint
+	// SimEngine selects the fault-simulation engine (see WithSimEngine).
+	SimEngine = faultsim.EngineKind
 
 	// OptimizeOptions controls input-probability optimization.
 	OptimizeOptions = optimize.Options
@@ -126,6 +128,22 @@ const (
 	// ObsOr combines fanout branches with 1-Π(1-s).
 	ObsOr = core.ObsOr
 )
+
+// Fault-simulation engines for WithSimEngine and BISTPlan.Engine.
+const (
+	// SimEngineFFR partitions the fault list by fanout-free region:
+	// critical path tracing to each stem plus one dominator-bounded
+	// stem propagation per region and block (the default).
+	SimEngineFFR = faultsim.EngineFFR
+	// SimEngineNaive re-simulates every fault cone individually — the
+	// independent oracle the FFR engine is validated against.
+	SimEngineNaive = faultsim.EngineNaive
+)
+
+// ParseSimEngine parses an engine name: "ffr" (or empty) and "naive".
+func ParseSimEngine(s string) (SimEngine, error) {
+	return faultsim.ParseEngine(s)
+}
 
 // NewBuilder starts constructing a circuit with the given name.
 func NewBuilder(name string) *Builder { return circuit.NewBuilder(name) }

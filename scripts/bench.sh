@@ -21,7 +21,14 @@ if [ -n "$benchtime" ]; then
 fi
 args+=(./...)
 
+# Never clobber an existing trail entry (e.g. a baseline recorded
+# earlier the same day): append a run counter instead.
 out="BENCH_$(date +%Y-%m-%d).json"
+n=2
+while [ -e "$out" ]; do
+  out="BENCH_$(date +%Y-%m-%d).$n.json"
+  n=$((n + 1))
+done
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 go "${args[@]}" | tee "$tmp"
@@ -51,3 +58,12 @@ END {
     printf "}\n"
 }' "$tmp" > "$out"
 echo "wrote $out"
+
+# Against the most recent other trail entry, print a delta table (also
+# used by CI for the job summary).  Version sort orders same-day run
+# counters correctly (BENCH_D.json < BENCH_D.2.json < later dates);
+# mtime would be ambiguous after a fresh checkout.
+base=$(ls BENCH_*.json 2>/dev/null | grep -v "^$out\$" | sort -V | tail -n 1 || true)
+if [ -n "$base" ]; then
+  go run ./scripts/benchdelta "$base" "$out" || true
+fi

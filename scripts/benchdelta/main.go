@@ -1,0 +1,112 @@
+// Command benchdelta compares two BENCH_*.json files produced by
+// scripts/bench.sh and prints a benchstat-style delta table in GitHub
+// markdown: one row per benchmark present in either file, with ns/op,
+// allocs/op and the relative change.  CI appends the output to the job
+// summary so performance drift is visible on every push without gating
+// the build.
+//
+// Usage: benchdelta OLD.json NEW.json
+//
+// Exit status is always 0 when both files parse — the table is
+// informational, not a gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]entry
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	d := (new - old) / old * 100
+	switch {
+	case d <= -2:
+		return fmt.Sprintf("**%+.1f%%** ✅", d)
+	case d >= 2:
+		return fmt.Sprintf("**%+.1f%%** ⚠️", d)
+	default:
+		return fmt.Sprintf("%+.1f%%", d)
+	}
+}
+
+func ns(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(cur))
+	seen := map[string]bool{}
+	for n := range cur {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range old {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("### Benchmark delta: %s → %s\n\n", os.Args[1], os.Args[2])
+	fmt.Println("| benchmark | old ns/op | new ns/op | Δ time | old allocs | new allocs |")
+	fmt.Println("|---|---:|---:|---:|---:|---:|")
+	for _, n := range names {
+		o, haveOld := old[n]
+		c, haveNew := cur[n]
+		switch {
+		case !haveOld:
+			fmt.Printf("| %s | — | %s | new | — | %.0f |\n", n, ns(c.NsPerOp), c.AllocsPerOp)
+		case !haveNew:
+			fmt.Printf("| %s | %s | — | removed | %.0f | — |\n", n, ns(o.NsPerOp), o.AllocsPerOp)
+		default:
+			fmt.Printf("| %s | %s | %s | %s | %.0f | %.0f |\n",
+				n, ns(o.NsPerOp), ns(c.NsPerOp), delta(o.NsPerOp, c.NsPerOp), o.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Δ is new vs old ns/op; ✅ faster, ⚠️ slower (±2% band). Single-run CI numbers are noisy — treat as a trail, not a gate.")
+}

@@ -42,18 +42,20 @@ const (
 // matching ErrCanceled when it is cancelled; cancellation never
 // corrupts the Session, which stays usable afterwards.
 type Session struct {
-	c        *Circuit
-	params   Params
-	fast     Params
-	seed     uint64
-	workers  int
-	progress func(Phase, float64)
+	c         *Circuit
+	params    Params
+	fast      Params
+	seed      uint64
+	workers   int
+	simEngine SimEngine
+	progress  func(Phase, float64)
 
 	mu       sync.Mutex
 	faults   []Fault
-	an       *Analyzer // plan under params
-	fastAn   *Analyzer // plan under fast, built on first use
-	baseline *Analysis // cached uniform analysis under params
+	an       *Analyzer      // plan under params
+	fastAn   *Analyzer      // plan under fast, built on first use
+	baseline *Analysis      // cached uniform analysis under params
+	simPlan  *faultsim.Plan // FFR fault-simulation plan, built on first use
 }
 
 // Option configures a Session at Open time.  Options are applied in
@@ -94,6 +96,16 @@ func WithSeed(seed uint64) Option {
 // values override the Session default per call.
 func WithWorkers(n int) Option {
 	return func(s *Session) { s.workers = n }
+}
+
+// WithSimEngine selects the fault-simulation engine used by Simulate,
+// SimulateWeighted, CoverageCurve, RunBIST and the pipeline's
+// validation phases.  The default SimEngineFFR partitions the fault
+// list by fanout-free region and is typically several times faster;
+// SimEngineNaive re-simulates every fault cone individually and is
+// kept as the independent oracle.  Results are bit-identical.
+func WithSimEngine(e SimEngine) Option {
+	return func(s *Session) { s.simEngine = e }
 }
 
 // WithProgress installs a callback receiving (phase, fraction in
@@ -227,6 +239,20 @@ func (s *Session) TestLength(d, e float64) (int64, error) {
 	return testlen.RequiredFraction(res.DetectProbs(s.faults), d, e)
 }
 
+// ensureSimPlan returns the Session's cached FFR fault-simulation
+// plan (callers must hold s.mu).
+func (s *Session) ensureSimPlan() *faultsim.Plan {
+	if s.simPlan == nil {
+		s.simPlan = faultsim.NewPlan(s.c, s.faults)
+	}
+	return s.simPlan
+}
+
+// simOptions bundles the Session's engine and worker configuration.
+func (s *Session) simOptions() faultsim.Options {
+	return faultsim.Options{Engine: s.simEngine, Workers: s.workers}
+}
+
 // fastAnalyzer returns the cached plan under the fast parameters.
 func (s *Session) fastAnalyzer() (*Analyzer, error) {
 	if s.fastAn == nil {
@@ -341,10 +367,11 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 		s.emit(PhaseSimulate, float64(done)/float64(total))
 	}
 	var res *SimResult
-	if s.workers > 1 || s.workers < 0 {
-		res, err = faultsim.MeasureDetectionParallelCtx(ctx, s.c, s.faults, gen, numPatterns, s.workers, progress)
+	if s.simEngine == SimEngineNaive {
+		// The oracle path never reads the FFR plan; skip building it.
+		res, err = faultsim.MeasureDetectionOpt(ctx, s.c, s.faults, gen, numPatterns, s.simOptions(), progress)
 	} else {
-		res, err = faultsim.MeasureDetectionCtx(ctx, s.c, s.faults, gen, numPatterns, progress)
+		res, err = s.ensureSimPlan().MeasureDetectionCtx(ctx, gen, numPatterns, s.simOptions(), progress)
 	}
 	return res, wrapCanceled(err)
 }
@@ -363,10 +390,10 @@ func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoint
 		s.emit(PhaseSimulate, float64(done)/float64(total))
 	}
 	var points []CoveragePoint
-	if s.workers > 1 || s.workers < 0 {
-		points, err = faultsim.CoverageCurveParallelCtx(ctx, s.c, s.faults, gen, checkpoints, s.workers, progress)
+	if s.simEngine == SimEngineNaive {
+		points, err = faultsim.CoverageCurveOpt(ctx, s.c, s.faults, gen, checkpoints, s.simOptions(), progress)
 	} else {
-		points, err = faultsim.CoverageCurveCtx(ctx, s.c, s.faults, gen, checkpoints, progress)
+		points, err = s.ensureSimPlan().CoverageCurveCtx(ctx, gen, checkpoints, s.simOptions(), progress)
 	}
 	return points, wrapCanceled(err)
 }
@@ -390,8 +417,20 @@ func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan) (
 	if err != nil {
 		return nil, err
 	}
+	// The Session's engine choice is the default.  SimEngineFFR is the
+	// zero value, so an explicit BISTPlan{Engine: SimEngineFFR} is
+	// indistinguishable from "unset" and likewise yields the Session
+	// default (results are bit-identical either way; only speed
+	// differs).
+	if plan.Engine == SimEngineFFR {
+		plan.Engine = s.simEngine
+	}
+	var simPlan *faultsim.Plan
+	if plan.Engine == SimEngineFFR {
+		simPlan = s.ensureSimPlan()
+	}
 	s.emit(PhaseBIST, 0)
-	res, err := bist.RunCtx(ctx, s.c, s.faults, gen, plan, func(done, total int) {
+	res, err := bist.RunPlanCtx(ctx, s.c, s.faults, simPlan, gen, plan, func(done, total int) {
 		s.emit(PhaseBIST, float64(done)/float64(total))
 	})
 	return res, wrapCanceled(err)

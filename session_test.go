@@ -319,3 +319,63 @@ func TestSessionTestLength(t *testing.T) {
 		t.Errorf("Session.TestLength %d, package-level %d", n, want)
 	}
 }
+
+// TestSessionSimEngineIdentity opens the same circuit under both
+// fault-simulation engines and requires identical measurements,
+// curves and BIST results through the Session API.
+func TestSessionSimEngineIdentity(t *testing.T) {
+	c, ok := Benchmark("alu")
+	if !ok {
+		t.Fatal("alu benchmark missing")
+	}
+	ffr, err := Open(c, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Open(c, WithSeed(3), WithSimEngine(SimEngineNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rf, err := ffr.Simulate(ctx, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := naive.Simulate(ctx, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rf.Detected {
+		if rf.Detected[i] != rn.Detected[i] {
+			t.Fatalf("fault %d: FFR detected %d != naive %d", i, rf.Detected[i], rn.Detected[i])
+		}
+	}
+
+	cps := []int{10, 70, 200}
+	cf, err := ffr.CoverageCurve(ctx, nil, cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := naive.CoverageCurve(ctx, nil, cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cf {
+		if cf[i] != cn[i] {
+			t.Fatalf("curve point %d: FFR %+v != naive %+v", i, cf[i], cn[i])
+		}
+	}
+
+	bf, err := ffr.RunBIST(ctx, BISTPlan{Cycles: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := naive.RunBIST(ctx, BISTPlan{Cycles: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *bf != *bn {
+		t.Fatalf("BIST: FFR %+v != naive %+v", bf, bn)
+	}
+}
