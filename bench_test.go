@@ -10,6 +10,10 @@ package protest
 // without requiring minutes per iteration.
 
 import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"protest/internal/circuits"
@@ -255,14 +259,14 @@ func BenchmarkTestLengthCOMP(b *testing.B) {
 
 func BenchmarkOptimizeEq8Style(b *testing.B) {
 	c := circuits.Comp24()
-	an, err := core.NewAnalyzer(c, core.FastParams())
+	prog, err := core.NewProgram(c, core.FastParams())
 	if err != nil {
 		b.Fatal(err)
 	}
 	faults := fault.Collapse(c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := optimize.Optimize(an, faults, optimize.Options{MaxSweeps: 1}); err != nil {
+		if _, err := optimize.Optimize(prog, faults, optimize.Options{MaxSweeps: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -275,7 +279,7 @@ func BenchmarkOptimizeEq8Style(b *testing.B) {
 // BenchmarkOptimizeEq8Style needs GOMAXPROCS > 1.
 func BenchmarkOptimizeParallel(b *testing.B) {
 	c := circuits.Comp24()
-	an, err := core.NewAnalyzer(c, core.FastParams())
+	prog, err := core.NewProgram(c, core.FastParams())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -283,7 +287,7 @@ func BenchmarkOptimizeParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := optimize.Optimize(an, faults, optimize.Options{MaxSweeps: 1, Workers: -1}); err != nil {
+		if _, err := optimize.Optimize(prog, faults, optimize.Options{MaxSweeps: 1, Workers: -1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -333,5 +337,57 @@ func BenchmarkWeightedPatternBlock(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gen.NextBlock(words)
+	}
+}
+
+// BenchmarkSessionThroughput measures sustained mixed-phase throughput
+// against ONE shared Session: each op is one weighted analysis plus a
+// 256-pattern fault simulation, and the sub-benchmarks drive the same
+// Session from 1, 4 and 8 goroutines.  Before the immutable-program /
+// scratch-state split the Session serialized every call behind a
+// mutex, pinning ns/op at the 1-goroutine value regardless of cores;
+// with pooled evaluators and engines the 8-goroutine ns/op should
+// shrink toward 1/min(8, cores) of it (ops/sec scale with cores).
+func BenchmarkSessionThroughput(b *testing.B) {
+	c, ok := Benchmark("alu")
+	if !ok {
+		b.Fatal("alu benchmark missing")
+	}
+	s, err := Open(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuple := make([]float64, len(c.Inputs))
+	for i := range tuple {
+		tuple[i] = float64(1+i%14) / 16
+	}
+	ctx := context.Background()
+	op := func() error {
+		if _, err := s.Analyze(ctx, tuple); err != nil {
+			return err
+		}
+		_, err := s.Simulate(ctx, 256)
+		return err
+	}
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			var next atomic.Int64
+			next.Store(-1)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) < int64(b.N) {
+						if err := op(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }

@@ -89,7 +89,8 @@ subcommands:
   analyze   estimate signal and fault detection probabilities
   testlen   compute necessary random test lengths (formula 3)
   optimize  optimize per-input signal probabilities (hill climbing)
-  pipeline  one-call pipeline: analyze, size, optimize, validate (-json)
+  pipeline  one-call pipeline: analyze, size, optimize, validate (-json);
+            -circuits a,b,c fans out concurrent Sessions, one per circuit
   gen       generate (weighted) random pattern sets
   fsim      fault-simulate patterns and report coverage
   atpg      deterministic test generation (PODEM)

@@ -6,6 +6,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"protest"
 )
@@ -81,6 +84,7 @@ func fmtN(n int64, err error) string {
 func runPipeline(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 	cf := addCircuitFlags(fs)
+	fanout := fs.String("circuits", "", "comma list of built-in circuits to pipeline concurrently, one Session per circuit (exclusive with -f/-circuit)")
 	d := fs.Float64("d", 1.0, "fault fraction d the test must cover")
 	e := fs.Float64("e", 0.95, "confidence e")
 	optimize := fs.Bool("optimize", true, "run the weighted-pattern optimization phase")
@@ -93,7 +97,7 @@ func runPipeline(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "pattern generator seed")
 	workers := fs.Int("workers", 1, "run optimizer scoring and fault simulation on this many goroutines (-1 = all cores; identical results)")
 	engine := fs.String("engine", "ffr", "fault-simulation engine: ffr or naive (identical results)")
-	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (an array with -circuits)")
 	quiet := fs.Bool("q", false, "suppress the progress ticker")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,14 +107,6 @@ func runPipeline(ctx context.Context, args []string) error {
 	}
 	if *e <= 0 || *e >= 1 {
 		return fmt.Errorf("pipeline: -e %v out of (0,1)", *e)
-	}
-	opts := []protest.Option{protest.WithSeed(*seed)}
-	if !*quiet && !*asJSON {
-		opts = append(opts, stderrProgress())
-	}
-	s, err := cf.openSession(opts...)
-	if err != nil {
-		return err
 	}
 	eng, err := protest.ParseSimEngine(*engine)
 	if err != nil {
@@ -130,6 +126,19 @@ func runPipeline(ctx context.Context, args []string) error {
 	if *bistCycles > 0 {
 		spec.BIST = &protest.BISTPlan{Cycles: *bistCycles, MISRWidth: *misr}
 	}
+
+	if *fanout != "" {
+		return runPipelineFanout(ctx, cf, *fanout, spec, *seed, *asJSON, *quiet)
+	}
+
+	opts := []protest.Option{protest.WithSeed(*seed)}
+	if !*quiet && !*asJSON {
+		opts = append(opts, stderrProgress())
+	}
+	s, err := cf.openSession(opts...)
+	if err != nil {
+		return err
+	}
 	rep, err := s.Run(ctx, spec)
 	if err != nil {
 		return err
@@ -140,5 +149,65 @@ func runPipeline(ctx context.Context, args []string) error {
 		return enc.Encode(rep)
 	}
 	fmt.Print(rep.String())
+	return nil
+}
+
+// runPipelineFanout runs the pipeline for several circuits at once:
+// one Session and one goroutine per circuit, all sharing the artifact
+// store (so repeated names — or other processes' equal circuits — pay
+// for compiled plans once).  Reports print in the order the circuits
+// were named, regardless of completion order.  The single-line \r
+// ticker cannot multiplex concurrent Sessions, so progress here is one
+// stderr line per completed circuit (suppressed by -q / -json).
+func runPipelineFanout(ctx context.Context, cf *circuitFlags, list string, spec protest.PipelineSpec, seed uint64, asJSON, quiet bool) error {
+	if cf.file != "" || cf.builtin != "" {
+		return fmt.Errorf("pipeline: -circuits is exclusive with -f/-circuit")
+	}
+	names := splitComma(list)
+	sessions := make([]*protest.Session, len(names))
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		names[i] = name
+		c, ok := protest.Benchmark(name)
+		if !ok {
+			return fmt.Errorf("unknown built-in circuit %q (have: %s)", name, strings.Join(protest.BenchmarkNames(), ", "))
+		}
+		s, err := protest.Open(c, protest.WithSeed(seed))
+		if err != nil {
+			return err
+		}
+		sessions[i] = s
+	}
+	reports := make([]*protest.Report, len(names))
+	errs := make([]error, len(names))
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = sessions[i].Run(ctx, spec)
+			if !quiet && !asJSON {
+				fmt.Fprintf(os.Stderr, "# %-8s done (%d/%d)\n", names[i], done.Add(1), len(names))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(rep.String())
+	}
 	return nil
 }

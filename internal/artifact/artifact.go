@@ -1,0 +1,233 @@
+// Package artifact is the shared store of compiled per-circuit
+// artifacts: analysis programs (core.Program, including the compiled
+// conditioning programs and incremental regions), collapsed fault
+// lists, FFR fault-simulation plans (faultsim.Plan, carrying the
+// FFR/dominator index) and self-test programs (bist.Program).
+//
+// Every artifact is a pure function of the circuit structure (plus,
+// for analysis programs, the parameter set), immutable once built, and
+// expensive enough to derive that rebuilding it per Session or per
+// call would dominate the workload.  The store therefore
+//
+//   - interns circuits by structural fingerprint, so independently
+//     built copies of the same design (e.g. two registry lookups, or
+//     N servers opening Sessions on the same netlist) share one
+//     canonical *Circuit and hence one set of artifacts;
+//   - deduplicates concurrent builds singleflight-style: the first
+//     caller of a key builds, every concurrent caller blocks on the
+//     same sync.Once and receives the shared result;
+//   - bounds memory with an LRU policy over the cache entries and a
+//     generation flush over the intern table (see Intern).  Eviction
+//     only drops the store's reference — users holding an artifact
+//     keep it alive; a later request simply rebuilds.
+//
+// All methods are safe for concurrent use.  The package-level Default
+// store is shared by every Session.
+package artifact
+
+import (
+	"container/list"
+	"sync"
+
+	"protest/internal/bist"
+	"protest/internal/circuit"
+	"protest/internal/core"
+	"protest/internal/fault"
+	"protest/internal/faultsim"
+)
+
+// DefaultCapacity is the entry bound of the Default store: generous
+// for realistic fleets (a handful of artifacts per hot circuit) while
+// bounding a pathological many-circuits workload.
+const DefaultCapacity = 256
+
+// Default is the process-wide store shared by all Sessions.
+var Default = NewStore(DefaultCapacity)
+
+type kind uint8
+
+const (
+	kindProgram kind = iota
+	kindFaults
+	kindSimPlan
+	kindBIST
+)
+
+// key identifies one artifact: the artifact kind, the interned circuit
+// identity, and (for analysis programs) the parameter set, which
+// includes the observability model.
+type key struct {
+	kind   kind
+	c      *circuit.Circuit
+	params core.Params // zero for kinds not parameterized
+}
+
+// entry is one cache slot.  once gives singleflight semantics: the
+// creating goroutine builds inside once.Do while concurrent readers of
+// the same key block on it.
+type entry struct {
+	key  key
+	elem *list.Element
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Store is a singleflight + LRU artifact cache.  The zero value is not
+// usable; create stores with NewStore.
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[key]*entry
+	lru     *list.List // of *entry; front = most recently used
+
+	internMu    sync.Mutex
+	interned    map[uint64][]*circuit.Circuit
+	internCount int
+}
+
+// NewStore creates a store bounded to capacity entries (values <= 0
+// select DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{
+		cap:      capacity,
+		entries:  make(map[key]*entry),
+		lru:      list.New(),
+		interned: make(map[uint64][]*circuit.Circuit),
+	}
+}
+
+// Intern returns the canonical instance of c: the first structurally
+// identical circuit the store has seen (possibly c itself).  All
+// artifact lookups intern internally; callers that hold many
+// equivalent circuits (e.g. per-request netlist parses) can intern
+// once up front and key everything off the canonical pointer.
+//
+// The intern table is bounded like the artifact entries: once it
+// holds several times the store capacity of distinct circuits it is
+// reset wholesale (generation flush).  Interned pointers handed out
+// earlier stay valid — a Session keeps its canonical circuit for its
+// lifetime — only future interns of *other* designs lose sharing with
+// pre-flush ones, and their artifacts rebuild under the new canonical
+// pointer.
+func (s *Store) Intern(c *circuit.Circuit) *circuit.Circuit {
+	fp := c.Fingerprint() // outside the lock: may compute lazily
+	s.internMu.Lock()
+	defer s.internMu.Unlock()
+	for _, o := range s.interned[fp] {
+		if circuit.Equal(c, o) {
+			return o
+		}
+	}
+	if s.internCount >= 4*s.cap {
+		s.interned = make(map[uint64][]*circuit.Circuit)
+		s.internCount = 0
+	}
+	s.interned[fp] = append(s.interned[fp], c)
+	s.internCount++
+	return c
+}
+
+// get returns the artifact under k, building it at most once per
+// concurrent burst.  Build errors are not cached: the failed entry is
+// removed so a later call can retry.
+func (s *Store) get(k key, build func() (any, error)) (any, error) {
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e = &entry{key: k}
+		e.elem = s.lru.PushFront(e)
+		s.entries[k] = e
+		for s.lru.Len() > s.cap {
+			back := s.lru.Back()
+			old := back.Value.(*entry)
+			s.lru.Remove(back)
+			delete(s.entries, old.key)
+		}
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() { e.val, e.err = build() })
+	if e.err != nil {
+		s.mu.Lock()
+		if cur, ok := s.entries[k]; ok && cur == e {
+			s.lru.Remove(e.elem)
+			delete(s.entries, k)
+		}
+		s.mu.Unlock()
+		return nil, e.err
+	}
+	return e.val, nil
+}
+
+// Program returns the shared compiled analysis program of (c, params),
+// building it on first use.
+func (s *Store) Program(c *circuit.Circuit, params core.Params) (*core.Program, error) {
+	c = s.Intern(c)
+	v, err := s.get(key{kind: kindProgram, c: c, params: params}, func() (any, error) {
+		return core.NewProgram(c, params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Program), nil
+}
+
+// Faults returns the shared collapsed single-stuck-at fault list of c.
+// The slice is shared: callers must not modify it.
+func (s *Store) Faults(c *circuit.Circuit) []fault.Fault {
+	c = s.Intern(c)
+	v, _ := s.get(key{kind: kindFaults, c: c}, func() (any, error) {
+		return fault.Collapse(c), nil
+	})
+	return v.([]fault.Fault)
+}
+
+// SimPlan returns the shared FFR fault-simulation plan of c over its
+// collapsed fault list.
+func (s *Store) SimPlan(c *circuit.Circuit) *faultsim.Plan {
+	c = s.Intern(c)
+	v, _ := s.get(key{kind: kindSimPlan, c: c}, func() (any, error) {
+		return faultsim.NewPlan(c, s.Faults(c)), nil
+	})
+	return v.(*faultsim.Plan)
+}
+
+// BIST returns the shared self-test program of c over its collapsed
+// fault list.  Its FFR simulation plan is the store's SimPlan(c),
+// resolved lazily on the first FFR-engine run.
+func (s *Store) BIST(c *circuit.Circuit) *bist.Program {
+	ci := s.Intern(c)
+	v, _ := s.get(key{kind: kindBIST, c: ci}, func() (any, error) {
+		return bist.NewProgram(ci, s.Faults(ci), func() *faultsim.Plan {
+			return s.SimPlan(ci)
+		}), nil
+	})
+	return v.(*bist.Program)
+}
+
+// Len returns the current number of cached entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Purge drops every cache entry and the interned circuit identities.
+// Canonical circuit pointers already handed out stay valid; future
+// interns start a fresh generation.
+func (s *Store) Purge() {
+	s.mu.Lock()
+	s.entries = make(map[key]*entry)
+	s.lru.Init()
+	s.mu.Unlock()
+	s.internMu.Lock()
+	s.interned = make(map[uint64][]*circuit.Circuit)
+	s.internCount = 0
+	s.internMu.Unlock()
+}

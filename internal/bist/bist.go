@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"protest/internal/circuit"
 	"protest/internal/fault"
@@ -117,6 +118,69 @@ func (r *Result) Coverage() float64 {
 	return float64(r.Detected) / float64(r.Faults)
 }
 
+// Program is the immutable self-test artifact of one (circuit, fault
+// list) pair.  It shares the FFR fault-simulation plan (lazily built on
+// first FFR-engine run, or injected by the caller) and pools the
+// per-run scratch — per-fault signature registers, response buffers —
+// so any number of goroutines can run self-test sessions concurrently
+// against one Program.  Every run is bit-identical to a serial run with
+// the same generator stream and plan.
+type Program struct {
+	c      *circuit.Circuit
+	faults []fault.Fault
+
+	planOnce sync.Once
+	planFn   func() *faultsim.Plan
+	simPlan  *faultsim.Plan
+
+	pool sync.Pool // *runState
+}
+
+// runState is one run's mutable scratch, pooled on the Program.
+type runState struct {
+	faultSigs      []uint64
+	outputDetected []bool
+	inWords        []uint64
+	goodOut        []uint64
+	faultyOut      []uint64
+	det            []uint64
+	sim            *faultsim.Simulator // naive engine, built on first use
+}
+
+// NewProgram builds the self-test artifact.  planFn supplies the
+// shared FFR simulation plan on first need (so naive-engine-only use
+// never builds it); nil derives a private plan from (c, faults).  The
+// plan returned by planFn must have been built over exactly c and
+// faults.
+func NewProgram(c *circuit.Circuit, faults []fault.Fault, planFn func() *faultsim.Plan) *Program {
+	p := &Program{c: c, faults: faults, planFn: planFn}
+	p.pool.New = func() any {
+		return &runState{
+			faultSigs:      make([]uint64, len(faults)),
+			outputDetected: make([]bool, len(faults)),
+			inWords:        make([]uint64, len(c.Inputs)),
+			goodOut:        make([]uint64, len(c.Outputs)),
+			faultyOut:      make([]uint64, len(c.Outputs)),
+			det:            make([]uint64, len(faults)),
+		}
+	}
+	return p
+}
+
+// plan returns the shared FFR simulation plan, building it on first
+// use.
+func (p *Program) plan() *faultsim.Plan {
+	p.planOnce.Do(func() {
+		if p.planFn != nil {
+			p.simPlan = p.planFn()
+		}
+		if p.simPlan == nil {
+			p.simPlan = faultsim.NewPlan(p.c, p.faults)
+		}
+	})
+	return p.simPlan
+}
+
 // Run simulates the complete self test: every fault's response stream
 // is compacted into its own signature and compared against the good
 // one.  The generator supplies the stimulus (uniform for a classic
@@ -128,7 +192,7 @@ func Run(c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan 
 // RunCtx is Run with cancellation and progress reporting: between
 // 64-cycle blocks it checks ctx and, on cancellation, returns ctx.Err()
 // and a nil result.  It derives the FFR simulation plan itself; use
-// RunPlanCtx to reuse an existing one (e.g. the Session cache).
+// RunPlanCtx (or a long-lived Program) to reuse an existing one.
 func RunCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *pattern.Generator, plan Plan, progress faultsim.Progress) (*Result, error) {
 	return RunPlanCtx(ctx, c, faults, nil, gen, plan, progress)
 }
@@ -137,6 +201,19 @@ func RunCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, gen *
 // simPlan must have been built over exactly c and faults (nil builds a
 // fresh one); it is ignored by the naive engine.
 func RunPlanCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, simPlan *faultsim.Plan, gen *pattern.Generator, plan Plan, progress faultsim.Progress) (*Result, error) {
+	p := NewProgram(c, faults, nil)
+	p.simPlan = simPlan
+	if simPlan != nil {
+		p.planOnce.Do(func() {})
+	}
+	return p.RunCtx(ctx, gen, plan, progress)
+}
+
+// RunCtx runs one self-test session on pooled scratch.  Safe for
+// concurrent use: concurrent runs share only the immutable plan and
+// the scratch pool.
+func (p *Program) RunCtx(ctx context.Context, gen *pattern.Generator, plan Plan, progress faultsim.Progress) (*Result, error) {
+	c, faults := p.c, p.faults
 	if gen.NumInputs() != len(c.Inputs) {
 		return nil, fmt.Errorf("bist: generator has %d inputs, circuit %d", gen.NumInputs(), len(c.Inputs))
 	}
@@ -150,17 +227,19 @@ func RunPlanCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, s
 	if err != nil {
 		return nil, err
 	}
+	st := p.pool.Get().(*runState)
+	defer p.pool.Put(st)
 	// Per-fault signature registers.
-	faultSigs := make([]uint64, len(faults))
+	faultSigs := st.faultSigs
 	for i := range faultSigs {
 		faultSigs[i] = plan.MISRSeed & (1<<plan.MISRWidth - 1)
 	}
-	outputDetected := make([]bool, len(faults))
+	outputDetected := st.outputDetected
+	for i := range outputDetected {
+		outputDetected[i] = false
+	}
 
-	nOut := len(c.Outputs)
-	inWords := make([]uint64, len(c.Inputs))
-	goodOut := make([]uint64, nOut)
-	faultyOut := make([]uint64, nOut)
+	inWords, goodOut, faultyOut := st.inWords, st.goodOut, st.faultyOut
 	scratch := &MISR{width: plan.MISRWidth}
 	scratch.taps, _ = pattern.Taps(plan.MISRWidth)
 
@@ -173,13 +252,14 @@ func RunPlanCtx(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, s
 	var sim *faultsim.Simulator
 	var det []uint64
 	if plan.Engine == faultsim.EngineNaive {
-		sim = faultsim.New(c)
-	} else {
-		if simPlan == nil {
-			simPlan = faultsim.NewPlan(c, faults)
+		if st.sim == nil {
+			st.sim = faultsim.New(c)
 		}
-		engine = faultsim.NewEngine(simPlan)
-		det = make([]uint64, len(faults))
+		sim = st.sim
+	} else {
+		engine = p.plan().AcquireEngine()
+		defer engine.Release()
+		det = st.det
 	}
 
 	cycles := 0

@@ -59,6 +59,9 @@ type Circuit struct {
 
 	ffrOnce sync.Once // guards the lazily built FFR/dominator index
 	ffr     *FFR
+
+	fpOnce sync.Once // guards the lazily computed structural fingerprint
+	fp     uint64
 }
 
 // NumNodes returns the total number of nodes (inputs + gates).

@@ -167,7 +167,7 @@ func compileProg(c *circuit.Circuit, nodes, pinned []circuit.NodeID, g circuit.N
 // single-candidate scoring programs, whose only slot is 0).  One
 // traversal replaces two generic propagations; each rail's arithmetic
 // is identical to the generic pass.
-func (a *Analyzer) runProgHL(p *condProg, probs, vals []float64, railSlot int32) {
+func (a *Evaluator) runProgHL(p *condProg, probs, vals []float64, railSlot int32) {
 	nn := int32(len(a.val))
 	val1, val0 := a.val, a.val0
 	fetch := func(s int32) (h, l float64) {
@@ -229,7 +229,7 @@ func (a *Analyzer) runProgHL(p *condProg, probs, vals []float64, railSlot int32)
 
 // runWideHL handles the N-ary and table opcodes of runProgHL,
 // replicating logic.Prob's accumulation order on each rail.
-func (a *Analyzer) runWideHL(p *condProg, i int, probs, vals []float64, railSlot int32) (pH, pL float64) {
+func (a *Evaluator) runWideHL(p *condProg, i int, probs, vals []float64, railSlot int32) (pH, pL float64) {
 	nn := int32(len(a.val))
 	srcs := p.srcs[p.srcStart[i]:p.srcStart[i+1]]
 	bufH := a.condBuf[:0]
@@ -255,7 +255,7 @@ func (a *Analyzer) runWideHL(p *condProg, i int, probs, vals []float64, railSlot
 
 // evalWideOp evaluates one N-ary opcode with logic.Prob's exact
 // accumulation order.
-func (a *Analyzer) evalWideOp(op uint8, id circuit.NodeID, in []float64) float64 {
+func (a *Evaluator) evalWideOp(op uint8, id circuit.NodeID, in []float64) float64 {
 	switch op {
 	case pAndN, pNandN:
 		v := 1.0
@@ -297,7 +297,7 @@ func (a *Analyzer) evalWideOp(op uint8, id circuit.NodeID, in []float64) float64
 
 // fetchPinHL reads one pin source after runProgHL, with the same
 // pinned-slot treatment.
-func (a *Analyzer) fetchPinHL(s int32, probs, vals []float64, railSlot int32) (h, l float64) {
+func (a *Evaluator) fetchPinHL(s int32, probs, vals []float64, railSlot int32) (h, l float64) {
 	if s >= 0 {
 		pr := probs[s]
 		return pr, pr
@@ -316,11 +316,11 @@ func (a *Analyzer) fetchPinHL(s int32, probs, vals []float64, railSlot int32) (h
 // mergedProg returns the compiled program for propagating the selected
 // joining points (mask over plan.candidates indices) of gate g, with
 // the pinned slots in canonical (ascending candidate index) order.
-// Programs are cached per Analyzer in a per-gate uint64-keyed map —
+// Programs are cached per Evaluator in a per-gate uint64-keyed map —
 // over a long optimization the selected subset of a gate can take many
-// values, so the lookup must stay O(1) as the cache fills; clones
+// values, so the lookup must stay O(1) as the cache fills; evaluators
 // compile their own, keeping the cache lock-free.
-func (a *Analyzer) mergedProg(g circuit.NodeID, plan *gatePlan, mask uint64) *condProg {
+func (a *Evaluator) mergedProg(g circuit.NodeID, plan *gatePlan, mask uint64) *condProg {
 	if a.merged == nil {
 		a.merged = make([]map[uint64]*condProg, a.c.NumNodes())
 	}

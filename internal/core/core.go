@@ -9,11 +9,32 @@
 // paper names MAXVERS (how many joining points are conditioned per
 // gate) and MAXLIST (how far joining points are searched).
 //
+// # Program / Evaluator split
+//
+// The package separates the analysis into two tiers:
+//
+//   - Program is the immutable compiled artifact of one (circuit,
+//     params) pair: the conditioning plan (cones and joining points),
+//     the compiled conditional-propagation programs, and the
+//     incremental-update regions.  A Program is safe for unlimited
+//     concurrent use and is meant to be shared — by optimizer workers,
+//     by concurrent Sessions, and through the artifact store.
+//   - Evaluator holds every piece of mutable per-run scratch.  An
+//     Evaluator is NOT safe for concurrent use; acquire one per
+//     goroutine from the Program's pool (Acquire/Release) or build a
+//     private one with NewEvaluator.
+//
+// Program.Run/RunCtx are the concurrency-safe convenience entries:
+// they acquire a pooled Evaluator, run, and release it.  Every
+// evaluation path — pooled, fresh, cloned, serial or parallel — is
+// bit-identical: the plan is static and the per-node kernels are
+// deterministic, so results depend only on the input tuple.
+//
 // # Repeated evaluation
 //
 // The input-probability optimizer evaluates thousands of closely
-// related tuples, so the package offers three tiers of evaluation
-// cost on one Analyzer:
+// related tuples, so an Evaluator offers three tiers of evaluation
+// cost:
 //
 //   - Run/RunCtx: a full analysis allocating a fresh Analysis;
 //   - RunInto: a full analysis into caller-owned buffers (NewAnalysis),
@@ -25,9 +46,8 @@
 //     recomputation is exact; see incremental.go for the argument and
 //     for when the full-pass fallback triggers).
 //
-// Analyzer.Clone shares the immutable plan across goroutines for
-// parallel evaluation; Analysis.CopyFrom checkpoints a state so a
-// speculative Update can be discarded.
+// Analysis.CopyFrom checkpoints a state so a speculative Update can be
+// discarded.
 package core
 
 import (
@@ -35,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"protest/internal/circuit"
 	"protest/internal/fault"
@@ -137,18 +158,142 @@ type Analysis struct {
 	PinObs [][]float64
 }
 
-// Analyzer precomputes the static conditioning plan for one circuit so
-// that repeated analyses (as in the input-probability optimizer) do not
-// re-derive cones and joining points every time.
+// Program is the immutable compiled analysis artifact of one (circuit,
+// params) pair: the static conditioning plan for every gate, the
+// compiled conditional-propagation programs, and (lazily, behind a
+// sync.Once) the incremental-update regions.  Building it is the
+// expensive step; once built it is strictly read-only and safe to
+// share between any number of goroutines and Sessions.
 //
-// An Analyzer carries per-run scratch state and is therefore NOT safe
-// for concurrent use; Clone creates additional evaluators that share
-// the (immutable) plan for use from other goroutines.
-type Analyzer struct {
+// Evaluation happens through Evaluators, which carry all mutable
+// scratch.  Acquire pools them so repeated concurrent calls reuse
+// warmed-up scratch (including the per-evaluator compiled-assignment
+// caches) instead of reallocating.
+type Program struct {
 	c      *circuit.Circuit
 	params Params
 	plans  []gatePlan
-	incr   *incremental // lazily built incremental-update plan, shared by clones
+	incr   *incremental // lazily built incremental-update plan
+
+	pool sync.Pool // *Evaluator
+}
+
+// NewProgram compiles the analysis plan for the circuit under the
+// given parameters.
+func NewProgram(c *circuit.Circuit, params Params) (*Program, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		c:      c,
+		params: params,
+		incr:   &incremental{},
+	}
+	p.buildPlans()
+	p.pool.New = func() any { return p.NewEvaluator() }
+	return p, nil
+}
+
+// Circuit returns the compiled circuit.
+func (p *Program) Circuit() *circuit.Circuit { return p.c }
+
+// Params returns the parameters the program was compiled under.
+func (p *Program) Params() Params { return p.params }
+
+// NewEvaluator allocates a fresh evaluator over this program, outside
+// the pool.  Prefer Acquire/Release unless the evaluator's lifetime is
+// managed explicitly (e.g. long-lived per-worker evaluators).
+func (p *Program) NewEvaluator() *Evaluator {
+	e := &Evaluator{Program: p, c: p.c, params: p.params, plans: p.plans}
+	e.initScratch()
+	return e
+}
+
+// Acquire returns a pooled evaluator.  The caller owns it until
+// Release; evaluators must not be shared between goroutines.
+func (p *Program) Acquire() *Evaluator {
+	return p.pool.Get().(*Evaluator)
+}
+
+// Run estimates signal probabilities and observabilities for one input
+// tuple on a pooled evaluator.  Safe for concurrent use.
+func (p *Program) Run(inputProbs []float64) (*Analysis, error) {
+	return p.RunCtx(context.Background(), inputProbs)
+}
+
+// RunCtx is Run with cancellation.  Safe for concurrent use: each call
+// acquires its own pooled evaluator and releases it before returning.
+func (p *Program) RunCtx(ctx context.Context, inputProbs []float64) (*Analysis, error) {
+	e := p.Acquire()
+	defer e.Release()
+	return e.RunCtx(ctx, inputProbs)
+}
+
+// NewAnalysis allocates an Analysis shaped for this program's circuit
+// (including the per-gate PinObs rows), for use with RunInto and
+// Update.  Allocating the result once and reusing it keeps repeated
+// evaluation — the optimizer's inner loop — allocation free.
+func (p *Program) NewAnalysis() *Analysis {
+	c := p.c
+	res := &Analysis{
+		C:          c,
+		Params:     p.params,
+		InputProbs: make([]float64, len(c.Inputs)),
+		Prob:       make([]float64, c.NumNodes()),
+		Obs:        make([]float64, c.NumNodes()),
+		PinObs:     make([][]float64, c.NumNodes()),
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.IsInput {
+			res.PinObs[i] = make([]float64, len(n.Fanin))
+		}
+	}
+	return res
+}
+
+// validateProbs rejects tuples of the wrong length or with entries
+// outside [0,1].
+func (p *Program) validateProbs(inputProbs []float64) error {
+	if len(inputProbs) != len(p.c.Inputs) {
+		return fmt.Errorf("core: %w: %d input probabilities for %d inputs", ErrBadProbs, len(inputProbs), len(p.c.Inputs))
+	}
+	for i, pr := range inputProbs {
+		if pr < 0 || pr > 1 || math.IsNaN(pr) {
+			return fmt.Errorf("core: %w: input %d probability %v out of [0,1]", ErrBadProbs, i, pr)
+		}
+	}
+	return nil
+}
+
+// checkShape verifies that res belongs to this program's circuit and
+// parameter set (an Analysis from another program would mix estimates
+// computed under different plans).
+func (p *Program) checkShape(res *Analysis) error {
+	if res.C != p.c || res.Params != p.params ||
+		len(res.Prob) != p.c.NumNodes() || len(res.Obs) != p.c.NumNodes() ||
+		len(res.PinObs) != p.c.NumNodes() || len(res.InputProbs) != len(p.c.Inputs) {
+		return fmt.Errorf("core: analysis does not belong to this program (use NewAnalysis)")
+	}
+	return nil
+}
+
+// Evaluator runs analyses over a shared immutable Program.  It owns
+// every piece of mutable per-run scratch and is therefore NOT safe for
+// concurrent use; each goroutine needs its own, normally from the
+// program pool (Program.Acquire / Evaluator.Release).
+//
+// Deprecated aliases: Analyzer names this type for callers of the
+// original single-tier API.
+type Evaluator struct {
+	*Program
+
+	// Hot immutable fields mirrored from the Program so the per-gate
+	// loops dereference one pointer, not two.  They alias the program's
+	// values exactly and are never written after construction.
+	c      *circuit.Circuit
+	params Params
+	plans  []gatePlan
 
 	// scratch for conditional propagation
 	val []float64
@@ -157,7 +302,7 @@ type Analyzer struct {
 
 	// compiled-propagation state: val0 is the second rail of the fused
 	// candidate scoring (val carries rail 1), merged caches the lazily
-	// compiled assignment programs (per Analyzer — clones compile their
+	// compiled assignment programs (per Evaluator — each compiles its
 	// own, keeping the cache lock-free), and noCompile forces the
 	// generic interpreter (the in-package oracle the compiled paths are
 	// property-tested against).
@@ -192,30 +337,41 @@ type Analyzer struct {
 	changedBuf []int              // normalized changed-input list
 }
 
+// Release returns the evaluator to its program's pool.  The caller
+// must not use it afterwards.
+func (e *Evaluator) Release() {
+	e.Program.pool.Put(e)
+}
+
+// Analyzer is the original name of Evaluator, kept so existing callers
+// compile unchanged.
+//
+// Deprecated: build a Program with NewProgram and use pooled
+// Evaluators (Program.Acquire / Program.Run) instead.
+type Analyzer = Evaluator
+
 type scoredCandidate struct {
 	x     circuit.NodeID
 	ci    int // index into the plan's candidates/reach lists
 	score float64
 }
 
-// NewAnalyzer builds the analysis plan.
+// NewAnalyzer compiles the analysis plan and returns a private
+// evaluator over it.
+//
+// Deprecated: use NewProgram; share the Program and acquire pooled
+// Evaluators per goroutine.
 func NewAnalyzer(c *circuit.Circuit, params Params) (*Analyzer, error) {
-	if err := params.validate(); err != nil {
+	p, err := NewProgram(c, params)
+	if err != nil {
 		return nil, err
 	}
-	a := &Analyzer{
-		c:      c,
-		params: params,
-		incr:   &incremental{},
-	}
-	a.buildPlans()
-	a.initScratch()
-	return a, nil
+	return p.NewEvaluator(), nil
 }
 
 // initScratch sizes the per-run scratch buffers to the circuit.
-func (a *Analyzer) initScratch() {
-	c := a.c
+func (e *Evaluator) initScratch() {
+	c := e.c
 	maxFanin, maxBranches, maxCone := 1, 1, 1
 	for i := range c.Nodes {
 		n := &c.Nodes[i]
@@ -227,161 +383,122 @@ func (a *Analyzer) initScratch() {
 			maxBranches = b
 		}
 	}
-	for i := range a.plans {
-		if len(a.plans[i].cone) > maxCone {
-			maxCone = len(a.plans[i].cone)
+	for i := range e.plans {
+		if len(e.plans[i].cone) > maxCone {
+			maxCone = len(e.plans[i].cone)
 		}
 	}
-	a.val = make([]float64, c.NumNodes())
-	a.val0 = make([]float64, c.NumNodes())
-	a.gen = make([]uint32, c.NumNodes())
-	a.candHi = make([][]float64, a.params.MaxCandidates)
-	a.candLo = make([][]float64, a.params.MaxCandidates)
-	for i := 0; i < a.params.MaxCandidates; i++ {
-		a.candHi[i] = make([]float64, maxFanin)
-		a.candLo[i] = make([]float64, maxFanin)
+	e.val = make([]float64, c.NumNodes())
+	e.val0 = make([]float64, c.NumNodes())
+	e.gen = make([]uint32, c.NumNodes())
+	e.candHi = make([][]float64, e.params.MaxCandidates)
+	e.candLo = make([][]float64, e.params.MaxCandidates)
+	for i := 0; i < e.params.MaxCandidates; i++ {
+		e.candHi[i] = make([]float64, maxFanin)
+		e.candLo[i] = make([]float64, maxFanin)
 	}
-	a.condIn = make([]float64, maxFanin)
-	a.condBuf = make([]float64, 0, maxFanin)
-	a.condBuf0 = make([]float64, 0, maxFanin)
-	a.cvals = make([]float64, a.params.MaxVers)
-	a.canonPos = make([]int, a.params.MaxVers)
-	a.inProbs = make([]float64, 0, maxFanin)
-	a.diffBuf = make([]float64, maxFanin)
-	a.onePin = make([]circuit.NodeID, 1)
-	a.oneVal = make([]float64, 1)
-	a.pins = make([]circuit.NodeID, 0, a.params.MaxVers)
-	a.vals = make([]float64, 0, a.params.MaxVers)
-	a.cands = make([]scoredCandidate, 0, a.params.MaxCandidates+1)
-	a.reachMerge = make([]circuit.NodeID, 0, maxCone)
+	e.condIn = make([]float64, maxFanin)
+	e.condBuf = make([]float64, 0, maxFanin)
+	e.condBuf0 = make([]float64, 0, maxFanin)
+	e.cvals = make([]float64, e.params.MaxVers)
+	e.canonPos = make([]int, e.params.MaxVers)
+	e.inProbs = make([]float64, 0, maxFanin)
+	e.diffBuf = make([]float64, maxFanin)
+	e.onePin = make([]circuit.NodeID, 1)
+	e.oneVal = make([]float64, 1)
+	e.pins = make([]circuit.NodeID, 0, e.params.MaxVers)
+	e.vals = make([]float64, 0, e.params.MaxVers)
+	e.cands = make([]scoredCandidate, 0, e.params.MaxCandidates+1)
+	e.reachMerge = make([]circuit.NodeID, 0, maxCone)
 	// The k-way merge scratch serves both the reach union (up to
 	// MaxVers lists) and the dirty-region union (up to
 	// maxIncrementalChanged lists).
-	maxMerge := a.params.MaxVers
+	maxMerge := e.params.MaxVers
 	if maxMerge < maxIncrementalChanged {
 		maxMerge = maxIncrementalChanged
 	}
-	a.mergeIdx = make([]int, maxMerge)
-	a.mergeLists = make([][]circuit.NodeID, 0, maxMerge)
-	a.branches = make([]float64, 0, maxBranches)
-	a.faninProbs = make([]float64, 0, maxFanin)
-	a.sigMerge = make([]circuit.NodeID, 0, c.NumNodes())
-	a.obsMerge = make([]circuit.NodeID, 0, c.NumNodes())
-	a.changedBuf = make([]int, 0, maxIncrementalChanged+1)
+	e.mergeIdx = make([]int, maxMerge)
+	e.mergeLists = make([][]circuit.NodeID, 0, maxMerge)
+	e.branches = make([]float64, 0, maxBranches)
+	e.faninProbs = make([]float64, 0, maxFanin)
+	e.sigMerge = make([]circuit.NodeID, 0, c.NumNodes())
+	e.obsMerge = make([]circuit.NodeID, 0, c.NumNodes())
+	e.changedBuf = make([]int, 0, maxIncrementalChanged+1)
 }
 
-// Clone returns an independent evaluator over the same circuit and
-// plan.  The plan (cones, joining points, incremental regions) is
-// shared read-only; all mutable scratch is fresh, so the clone can run
-// concurrently with the original.  Used by the parallel optimizer.
-func (a *Analyzer) Clone() *Analyzer {
-	cp := &Analyzer{
-		c:      a.c,
-		params: a.params,
-		plans:  a.plans,
-		incr:   a.incr,
-	}
-	cp.initScratch()
-	return cp
+// Clone returns an independent evaluator over the same program.  The
+// plan (cones, joining points, incremental regions) is shared
+// read-only; all mutable scratch is fresh, so the clone can run
+// concurrently with the original.
+//
+// Deprecated: use Program.Acquire / Evaluator.Release, which pool
+// evaluators instead of allocating new scratch every time.
+func (e *Evaluator) Clone() *Evaluator {
+	return e.Program.NewEvaluator()
 }
-
-// Circuit returns the planned circuit.
-func (a *Analyzer) Circuit() *circuit.Circuit { return a.c }
 
 // Run estimates signal probabilities and observabilities for the given
 // per-input signal probabilities.
-func (a *Analyzer) Run(inputProbs []float64) (*Analysis, error) {
-	return a.RunCtx(context.Background(), inputProbs)
+func (e *Evaluator) Run(inputProbs []float64) (*Analysis, error) {
+	return e.RunCtx(context.Background(), inputProbs)
 }
 
 // RunCtx is Run with cancellation: it aborts with ctx.Err() before the
 // signal pass and between the signal and observability passes.
-func (a *Analyzer) RunCtx(ctx context.Context, inputProbs []float64) (*Analysis, error) {
+func (e *Evaluator) RunCtx(ctx context.Context, inputProbs []float64) (*Analysis, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := a.validateProbs(inputProbs); err != nil {
+	if err := e.validateProbs(inputProbs); err != nil {
 		return nil, err
 	}
-	res := a.NewAnalysis()
+	res := e.NewAnalysis()
 	copy(res.InputProbs, inputProbs)
-	a.signalPass(res)
+	e.signalPass(res)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	a.observePass(res)
+	e.observePass(res)
 	return res, nil
-}
-
-// NewAnalysis allocates an Analysis shaped for this analyzer's circuit
-// (including the per-gate PinObs rows), for use with RunInto and
-// Update.  Allocating the result once and reusing it keeps repeated
-// evaluation — the optimizer's inner loop — allocation free.
-func (a *Analyzer) NewAnalysis() *Analysis {
-	c := a.c
-	res := &Analysis{
-		C:          c,
-		Params:     a.params,
-		InputProbs: make([]float64, len(c.Inputs)),
-		Prob:       make([]float64, c.NumNodes()),
-		Obs:        make([]float64, c.NumNodes()),
-		PinObs:     make([][]float64, c.NumNodes()),
-	}
-	for i := range c.Nodes {
-		n := &c.Nodes[i]
-		if !n.IsInput {
-			res.PinObs[i] = make([]float64, len(n.Fanin))
-		}
-	}
-	return res
 }
 
 // RunInto is Run writing into a caller-owned Analysis (from
 // NewAnalysis or a previous Run), reusing its buffers: the steady
 // state performs zero allocations.  The result is bit-identical to
 // Run with the same probabilities.
-func (a *Analyzer) RunInto(res *Analysis, inputProbs []float64) error {
-	if err := a.checkShape(res); err != nil {
+func (e *Evaluator) RunInto(res *Analysis, inputProbs []float64) error {
+	if err := e.checkShape(res); err != nil {
 		return err
 	}
-	if err := a.validateProbs(inputProbs); err != nil {
+	if err := e.validateProbs(inputProbs); err != nil {
 		return err
 	}
 	copy(res.InputProbs, inputProbs)
-	a.signalPass(res)
-	a.observePass(res)
+	e.signalPass(res)
+	e.observePass(res)
 	return nil
 }
 
-// validateProbs rejects tuples of the wrong length or with entries
-// outside [0,1].
-func (a *Analyzer) validateProbs(inputProbs []float64) error {
-	if len(inputProbs) != len(a.c.Inputs) {
-		return fmt.Errorf("core: %w: %d input probabilities for %d inputs", ErrBadProbs, len(inputProbs), len(a.c.Inputs))
-	}
-	for i, p := range inputProbs {
-		if p < 0 || p > 1 || math.IsNaN(p) {
-			return fmt.Errorf("core: %w: input %d probability %v out of [0,1]", ErrBadProbs, i, p)
+// Clone deep-copies the analysis, detaching every mutable slice, so
+// the original can be cached or shared read-only while the caller
+// mutates the copy.
+func (r *Analysis) Clone() *Analysis {
+	cp := *r
+	cp.InputProbs = append([]float64(nil), r.InputProbs...)
+	cp.Prob = append([]float64(nil), r.Prob...)
+	cp.Obs = append([]float64(nil), r.Obs...)
+	cp.PinObs = make([][]float64, len(r.PinObs))
+	for i, pins := range r.PinObs {
+		if pins != nil {
+			cp.PinObs[i] = append([]float64(nil), pins...)
 		}
 	}
-	return nil
-}
-
-// checkShape verifies that res belongs to this analyzer's circuit and
-// parameter set (an Analysis from another analyzer would mix estimates
-// computed under different plans).
-func (a *Analyzer) checkShape(res *Analysis) error {
-	if res.C != a.c || res.Params != a.params ||
-		len(res.Prob) != a.c.NumNodes() || len(res.Obs) != a.c.NumNodes() ||
-		len(res.PinObs) != a.c.NumNodes() || len(res.InputProbs) != len(a.c.Inputs) {
-		return fmt.Errorf("core: analysis does not belong to this analyzer (use NewAnalysis)")
-	}
-	return nil
+	return &cp
 }
 
 // CopyFrom copies the analysis values of src into r, reusing r's
 // storage.  Both must be shaped for the same circuit (NewAnalysis of
-// the same analyzer or its clones); no allocation is performed.
+// the same program); no allocation is performed.
 func (r *Analysis) CopyFrom(src *Analysis) {
 	r.C = src.C
 	r.Params = src.Params
@@ -393,13 +510,13 @@ func (r *Analysis) CopyFrom(src *Analysis) {
 	}
 }
 
-// Analyze is the one-shot convenience form of NewAnalyzer + Run.
+// Analyze is the one-shot convenience form of NewProgram + Run.
 func Analyze(c *circuit.Circuit, inputProbs []float64, params Params) (*Analysis, error) {
-	an, err := NewAnalyzer(c, params)
+	p, err := NewProgram(c, params)
 	if err != nil {
 		return nil, err
 	}
-	return an.Run(inputProbs)
+	return p.Run(inputProbs)
 }
 
 // UniformProbs returns the conventional tuple p_i = 0.5 for every input.

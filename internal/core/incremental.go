@@ -46,8 +46,8 @@ import (
 )
 
 // incremental is the lazily built change-propagation plan.  It is
-// derived once per Analyzer (guarded by once) and shared read-only by
-// all clones, so parallel optimizer workers reuse one plan.
+// derived once per Program (guarded by once) and shared read-only by
+// every evaluator, so parallel optimizer workers reuse one plan.
 type incremental struct {
 	once sync.Once
 	// pos[id] is the topological position of node id.
@@ -77,13 +77,13 @@ const (
 )
 
 // ensureIncremental builds the per-input regions on first use.
-func (a *Analyzer) ensureIncremental() *incremental {
-	inc := a.incr
-	inc.once.Do(func() { inc.build(a) })
+func (p *Program) ensureIncremental() *incremental {
+	inc := p.incr
+	inc.once.Do(func() { inc.build(p) })
 	return inc
 }
 
-func (inc *incremental) build(a *Analyzer) {
+func (inc *incremental) build(a *Program) {
 	c := a.c
 	nn := c.NumNodes()
 	inc.pos = make([]int32, nn)
@@ -239,7 +239,7 @@ func sortByPos(ids []circuit.NodeID, pos []int32) {
 // the dirty region would cost more than ~80% of a full pass, or more
 // than maxIncrementalChanged inputs moved, Update transparently runs
 // the full passes instead.
-func (a *Analyzer) Update(res *Analysis, changed []int, probs []float64) error {
+func (a *Evaluator) Update(res *Analysis, changed []int, probs []float64) error {
 	if err := a.checkShape(res); err != nil {
 		return err
 	}
@@ -300,7 +300,7 @@ func (a *Analyzer) Update(res *Analysis, changed []int, probs []float64) error {
 
 // fullUpdate applies the changed probabilities and reruns both full
 // passes in res's buffers (no allocation; equally exact).
-func (a *Analyzer) fullUpdate(res *Analysis, ch []int, probs []float64) error {
+func (a *Evaluator) fullUpdate(res *Analysis, ch []int, probs []float64) error {
 	for _, i := range ch {
 		res.InputProbs[i] = probs[i]
 	}
@@ -312,7 +312,7 @@ func (a *Analyzer) fullUpdate(res *Analysis, ch []int, probs []float64) error {
 // mergeRegions unions the per-input regions of the changed inputs
 // (sorted merge with deduplication — node positions are unique, so
 // equal positions mean equal nodes) and sums the dirty-region cost.
-func (a *Analyzer) mergeRegions(inc *incremental, ch []int) (sig, obs []circuit.NodeID, cost int64) {
+func (a *Evaluator) mergeRegions(inc *incremental, ch []int) (sig, obs []circuit.NodeID, cost int64) {
 	if len(ch) == 1 {
 		sig = inc.sigRegion[ch[0]]
 		obs = inc.obsRegion[ch[0]]

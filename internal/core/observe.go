@@ -16,7 +16,7 @@ import (
 //   - a gate input pin e_i sees s(e_i) = s(x)·Pr[∂f/∂e_i], the gate
 //     output observability damped by the local sensitization
 //     probability of the pin.
-func (a *Analyzer) observePass(res *Analysis) {
+func (a *Evaluator) observePass(res *Analysis) {
 	c := a.c
 	order := c.TopoOrder()
 	for i := range c.Nodes {
@@ -37,7 +37,7 @@ func (a *Analyzer) observePass(res *Analysis) {
 // only already-final downstream values (reverse topological order), so
 // re-running it with unchanged inputs reproduces the stored value
 // exactly.
-func (a *Analyzer) observeNode(id circuit.NodeID, res *Analysis) {
+func (a *Evaluator) observeNode(id circuit.NodeID, res *Analysis) {
 	c := a.c
 	n := c.Node(id)
 
@@ -83,7 +83,7 @@ func (a *Analyzer) observeNode(id circuit.NodeID, res *Analysis) {
 // localDiff is the local sensitization probability Pr[∂f/∂e_i] of pin i,
 // either exact over the gate's truth table or the paper's
 // f(..0..) ⊞ f(..1..) approximation.
-func (a *Analyzer) localDiff(n *circuit.Node, faninProbs []float64, pin int) float64 {
+func (a *Evaluator) localDiff(n *circuit.Node, faninProbs []float64, pin int) float64 {
 	if n.Op == logic.TableOp {
 		if a.params.PaperLocalDiff {
 			f0 := a.probWithPinned(n, faninProbs, pin, 0)
@@ -98,7 +98,7 @@ func (a *Analyzer) localDiff(n *circuit.Node, faninProbs []float64, pin int) flo
 	return logic.DiffProb(n.Op, faninProbs, pin)
 }
 
-func (a *Analyzer) probWithPinned(n *circuit.Node, probs []float64, pin int, v float64) float64 {
+func (a *Evaluator) probWithPinned(n *circuit.Node, probs []float64, pin int, v float64) float64 {
 	tmp := a.diffBuf[:len(probs)]
 	copy(tmp, probs)
 	tmp[pin] = v

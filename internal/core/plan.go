@@ -31,7 +31,7 @@ type gatePlan struct {
 // buildPlans derives a gatePlan for every multi-input gate whose pins'
 // cones intersect (the only places where the independence assumption of
 // case 3 of the paper breaks).
-func (a *Analyzer) buildPlans() {
+func (a *Program) buildPlans() {
 	c := a.c
 	a.plans = make([]gatePlan, c.NumNodes())
 	if a.params.MaxVers == 0 || a.params.MaxList == 0 {
@@ -54,7 +54,7 @@ func (a *Analyzer) buildPlans() {
 // data; packing them densely keeps their traversal cache- and
 // TLB-friendly independent of how fragmented the heap was when the
 // analyzer was built (long-running processes build analyzers late).
-func (a *Analyzer) compactProgs() {
+func (a *Program) compactProgs() {
 	var nNodes, nSrcs, nStarts, nPins int
 	for i := range a.plans {
 		for j := range a.plans[i].progs {
@@ -97,7 +97,7 @@ func (a *Analyzer) compactProgs() {
 	}
 }
 
-func (a *Analyzer) planGate(g circuit.NodeID, pinMask map[circuit.NodeID]uint64) {
+func (a *Program) planGate(g circuit.NodeID, pinMask map[circuit.NodeID]uint64) {
 	c := a.c
 	n := c.Node(g)
 	clear(pinMask)

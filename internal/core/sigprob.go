@@ -16,7 +16,7 @@ import (
 //  4. gates with joining points enumerate the value assignments A_v of
 //     a selected subset W of V and sum the conditional products
 //     (formula (2) of the paper).
-func (a *Analyzer) signalPass(res *Analysis) {
+func (a *Evaluator) signalPass(res *Analysis) {
 	c := a.c
 	probs := res.Prob
 	for _, id := range c.TopoOrder() {
@@ -35,7 +35,7 @@ func (a *Analyzer) signalPass(res *Analysis) {
 // the value depends only on probs over the gate's static dependency
 // set, so recomputing it with unchanged dependencies reproduces the
 // previous value bit for bit.
-func (a *Analyzer) gateProb(g circuit.NodeID, probs []float64) float64 {
+func (a *Evaluator) gateProb(g circuit.NodeID, probs []float64) float64 {
 	plan := &a.plans[g]
 	if len(plan.candidates) == 0 {
 		return a.independentProb(a.c.Node(g), probs)
@@ -45,7 +45,7 @@ func (a *Analyzer) gateProb(g circuit.NodeID, probs []float64) float64 {
 
 // independentProb is case 3: the gate's arithmetic extension applied to
 // the fanin probabilities.
-func (a *Analyzer) independentProb(n *circuit.Node, probs []float64) float64 {
+func (a *Evaluator) independentProb(n *circuit.Node, probs []float64) float64 {
 	in := a.inProbs[:0]
 	for _, f := range n.Fanin {
 		in = append(in, probs[f])
@@ -65,7 +65,7 @@ func (a *Analyzer) independentProb(n *circuit.Node, probs []float64) float64 {
 // (one fused two-rail traversal per candidate, a cached merged program
 // per selected subset); a.noCompile selects the retained generic
 // interpreter.  The two produce bit-identical values.
-func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []float64) float64 {
+func (a *Evaluator) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []float64) float64 {
 	c := a.c
 	n := c.Node(g)
 	npins := len(n.Fanin)
@@ -180,7 +180,7 @@ func (a *Analyzer) conditionedProb(g circuit.NodeID, plan *gatePlan, probs []flo
 
 // gatePv evaluates the gate's arithmetic extension on conditional pin
 // probabilities.
-func (a *Analyzer) gatePv(n *circuit.Node, condIn []float64) float64 {
+func (a *Evaluator) gatePv(n *circuit.Node, condIn []float64) float64 {
 	if n.Op == logic.TableOp {
 		return n.Table.Prob(condIn)
 	}
@@ -195,7 +195,7 @@ func (a *Analyzer) gatePv(n *circuit.Node, condIn []float64) float64 {
 // is evaluated on both rails per traversal (its bit is bit 0 of the
 // assignment index v, so rails lo/hi are consecutive v values —
 // exactly the generic enumeration order at half the propagations).
-func (a *Analyzer) conditionedAssignCompiled(g circuit.NodeID, plan *gatePlan, n *circuit.Node, probs []float64, sel []scoredCandidate) float64 {
+func (a *Evaluator) conditionedAssignCompiled(g circuit.NodeID, plan *gatePlan, n *circuit.Node, probs []float64, sel []scoredCandidate) float64 {
 	w := len(sel)
 	var mask uint64
 	for _, s := range sel {
@@ -260,7 +260,7 @@ func (a *Analyzer) conditionedAssignCompiled(g circuit.NodeID, plan *gatePlan, n
 // node on it depends on a pinned node, and every cone node off it
 // keeps its global estimate — the same nodes the previous dynamic
 // dirty tracking re-evaluated, found without walking the full cone.
-func (a *Analyzer) condPropagate(iter []circuit.NodeID, probs []float64, pins []circuit.NodeID, vals []float64) {
+func (a *Evaluator) condPropagate(iter []circuit.NodeID, probs []float64, pins []circuit.NodeID, vals []float64) {
 	a.cur++
 	cur := a.cur
 	for i, p := range pins {
@@ -298,7 +298,7 @@ func (a *Analyzer) condPropagate(iter []circuit.NodeID, probs []float64, pins []
 
 // mergeReach unions the (ID-sorted) reach lists of the selected
 // joining points into analyzer scratch.
-func (a *Analyzer) mergeReach(plan *gatePlan, sel []scoredCandidate) []circuit.NodeID {
+func (a *Evaluator) mergeReach(plan *gatePlan, sel []scoredCandidate) []circuit.NodeID {
 	if len(sel) == 1 {
 		return plan.reach[sel[0].ci]
 	}
@@ -313,7 +313,7 @@ func (a *Analyzer) mergeReach(plan *gatePlan, sel []scoredCandidate) []circuit.N
 // readPinProbs fills dst with the conditional probabilities of gate n's
 // fanins after a condPropagate call (falling back to global estimates
 // for unaffected fanins).
-func (a *Analyzer) readPinProbs(n *circuit.Node, probs []float64, dst []float64) {
+func (a *Evaluator) readPinProbs(n *circuit.Node, probs []float64, dst []float64) {
 	for i, f := range n.Fanin {
 		if a.gen[f] == a.cur {
 			dst[i] = a.val[f]

@@ -6,12 +6,13 @@
 //
 // The benchmark circuits are deterministic, immutable constructions
 // and the analysis/fault-simulation plans derived from them are pure
-// functions of the structure, so both are memoized at package level:
-// repeated experiment runs (benchmarks, the experiments command) pay
-// for circuit construction, fault collapsing, conditioning-plan and
-// FFR-plan derivation once.  Experiment functions are not safe for
-// concurrent use with each other (they share cached analyzer scratch);
-// internal parallelism via Config.Workers is fine.
+// functions of the structure, so both come from the shared artifact
+// store (internal/artifact): repeated experiment runs (benchmarks, the
+// experiments command) pay for circuit construction, fault collapsing,
+// conditioning-plan and FFR-plan derivation once — and share those
+// artifacts with any Session open on the same circuits.  Experiment
+// functions are safe for concurrent use (evaluation state is pooled
+// per call); internal parallelism via Config.Workers composes freely.
 package experiments
 
 import (
@@ -21,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"protest/internal/artifact"
 	"protest/internal/circuit"
 	"protest/internal/circuits"
 	"protest/internal/core"
@@ -32,7 +34,8 @@ import (
 	"protest/internal/testlen"
 )
 
-// Memoized circuit ladder.
+// Memoized circuit ladder (stable pointers keep artifact-store lookups
+// on the fast interned path).
 var (
 	alu74181 = sync.OnceValue(circuits.ALU74181)
 	mult8    = sync.OnceValue(circuits.Mult8)
@@ -43,51 +46,22 @@ var (
 	mult28   = sync.OnceValue(func() *circuit.Circuit { return circuits.MultN(28) })
 )
 
-// anKey identifies a cached analyzer.
-type anKey struct {
-	c *circuit.Circuit
-	p core.Params
-}
-
-var (
-	anCache    sync.Map // anKey -> *core.Analyzer
-	faultCache sync.Map // *circuit.Circuit -> []fault.Fault
-	planCache  sync.Map // *circuit.Circuit -> *faultsim.Plan
-)
-
-// analyzerFor returns the cached analyzer of (c, params), building it
-// on first use.  The conditioning plan derivation dominates one-shot
+// programFor returns the shared compiled analysis program of
+// (c, params).  The conditioning plan derivation dominates one-shot
 // analysis cost, so sharing it across experiment invocations matters.
-func analyzerFor(c *circuit.Circuit, p core.Params) (*core.Analyzer, error) {
-	key := anKey{c, p}
-	if an, ok := anCache.Load(key); ok {
-		return an.(*core.Analyzer), nil
-	}
-	an, err := core.NewAnalyzer(c, p)
-	if err != nil {
-		return nil, err
-	}
-	got, _ := anCache.LoadOrStore(key, an)
-	return got.(*core.Analyzer), nil
+func programFor(c *circuit.Circuit, p core.Params) (*core.Program, error) {
+	return artifact.Default.Program(c, p)
 }
 
-// faultsFor returns the cached collapsed fault list of c.
+// faultsFor returns the shared collapsed fault list of c.
 func faultsFor(c *circuit.Circuit) []fault.Fault {
-	if fs, ok := faultCache.Load(c); ok {
-		return fs.([]fault.Fault)
-	}
-	fs, _ := faultCache.LoadOrStore(c, fault.Collapse(c))
-	return fs.([]fault.Fault)
+	return artifact.Default.Faults(c)
 }
 
-// simPlanFor returns the cached FFR fault-simulation plan of c over
+// simPlanFor returns the shared FFR fault-simulation plan of c over
 // its collapsed fault list.
 func simPlanFor(c *circuit.Circuit) *faultsim.Plan {
-	if p, ok := planCache.Load(c); ok {
-		return p.(*faultsim.Plan)
-	}
-	p, _ := planCache.LoadOrStore(c, faultsim.NewPlan(c, faultsFor(c)))
-	return p.(*faultsim.Plan)
+	return artifact.Default.SimPlan(c)
 }
 
 // Config tunes experiment effort.  The zero value gives the full
@@ -138,7 +112,7 @@ type ValidityResult struct {
 // one circuit at p = 0.5.
 func Validity(c *circuit.Circuit, cfg Config) (*ValidityResult, error) {
 	faults := faultsFor(c)
-	an, err := analyzerFor(c, core.DefaultParams())
+	an, err := programFor(c, core.DefaultParams())
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +201,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 	out := &Table2Result{}
 	for _, c := range []*circuit.Circuit{alu74181(), mult8()} {
 		faults := faultsFor(c)
-		an, err := analyzerFor(c, core.DefaultParams())
+		an, err := programFor(c, core.DefaultParams())
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +252,7 @@ var tableEs = []float64{0.95, 0.98, 0.999}
 // under the given input probabilities.
 func SizeTable(c *circuit.Circuit, inputProbs []float64) ([]SizeRow, error) {
 	faults := faultsFor(c)
-	an, err := analyzerFor(c, core.DefaultParams())
+	an, err := programFor(c, core.DefaultParams())
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +323,7 @@ type Table4Result struct {
 // 1/16 grid, 0.88/0.94 on the high-order data bits, 0.63 on TI1..TI3).
 func Table4(cfg Config) (*Table4Result, error) {
 	c := comp24()
-	an, err := analyzerFor(c, core.FastParams())
+	an, err := programFor(c, core.FastParams())
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +366,7 @@ func Table5(cfg Config) (map[string][]SizeRow, map[string][]float64, error) {
 	out := make(map[string][]SizeRow)
 	tuples := make(map[string][]float64)
 	for _, c := range []*circuit.Circuit{div16(), comp24()} {
-		an, err := analyzerFor(c, core.FastParams())
+		an, err := programFor(c, core.FastParams())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -562,7 +536,7 @@ func RenderTable7(rows []ScaleRow) string {
 func Table8(cfg Config) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	for _, c := range scalingCircuits(cfg) {
-		an, err := analyzerFor(c, core.FastParams())
+		an, err := programFor(c, core.FastParams())
 		if err != nil {
 			return nil, err
 		}

@@ -368,7 +368,8 @@ func (p *Plan) MeasureDetectionCtx(ctx context.Context, gen *pattern.Generator, 
 
 // measureDetectionFFRCtx is the serial FFR measurement loop.
 func (p *Plan) measureDetectionFFRCtx(ctx context.Context, gen *pattern.Generator, numPatterns int, progress Progress) (*Result, error) {
-	e := NewEngine(p)
+	e := p.AcquireEngine()
+	defer e.Release()
 	res := &Result{
 		Faults:   p.faults,
 		Detected: make([]int, len(p.faults)),
@@ -518,7 +519,8 @@ func (d *dropState) drop(det []uint64, mask uint64) {
 func (p *Plan) coverageCurveFFRCtx(ctx context.Context, gen *pattern.Generator, checkpoints []int, progress Progress) ([]CoveragePoint, error) {
 	cps := append([]int(nil), checkpoints...)
 	sort.Ints(cps)
-	e := NewEngine(p)
+	e := p.AcquireEngine()
+	defer e.Release()
 	ds := newDropState(p)
 	det := make([]uint64, len(p.faults))
 	words := make([]uint64, len(p.c.Inputs))

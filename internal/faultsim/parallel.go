@@ -61,10 +61,15 @@ func (p *Plan) measureDetectionFFRParallelCtx(ctx context.Context, gen *pattern.
 	blockWords := make([][]uint64, workers)
 	blockDet := make([][]uint64, workers)
 	for i := range engines {
-		engines[i] = NewEngine(p)
+		engines[i] = p.AcquireEngine()
 		blockWords[i] = make([]uint64, len(p.c.Inputs))
 		blockDet[i] = make([]uint64, len(p.faults))
 	}
+	defer func() {
+		for _, e := range engines {
+			e.Release()
+		}
+	}()
 	res := &Result{
 		Faults:   p.faults,
 		Detected: make([]int, len(p.faults)),
@@ -198,10 +203,15 @@ func (p *Plan) coverageCurveFFRParallelCtx(ctx context.Context, gen *pattern.Gen
 	blockWords := make([][]uint64, workers)
 	blockDet := make([][]uint64, workers)
 	for i := range engines {
-		engines[i] = NewEngine(p)
+		engines[i] = p.AcquireEngine()
 		blockWords[i] = make([]uint64, len(p.c.Inputs))
 		blockDet[i] = make([]uint64, len(p.faults))
 	}
+	defer func() {
+		for _, e := range engines {
+			e.Release()
+		}
+	}()
 	ds := newDropState(p)
 	total := len(p.faults)
 	lastCp := 0

@@ -14,13 +14,17 @@ import (
 // the stem's immediate dominator.  Build it once per (circuit, fault
 // list) and attach any number of Engines — each Engine owns only
 // per-block scratch, so parallel workers share one Plan the same way
-// optimizer clones share one core.Analyzer plan.
+// concurrent evaluators share one core.Program.  AcquireEngine pools
+// the engines, so concurrent measurement calls over one shared Plan
+// reuse warmed-up scratch instead of allocating per call.
 type Plan struct {
 	c      *circuit.Circuit
 	ffr    *circuit.FFR
 	part   *fault.FFRPartition
 	faults []fault.Fault
 	info   []faultInfo
+
+	pool sync.Pool // *Engine
 
 	// regions[si] lists the nodes a flip at Stems[si] must be propagated
 	// through for *detection*: the nodes strictly between the stem and
@@ -100,7 +104,21 @@ func NewPlan(c *circuit.Circuit, faults []fault.Fault) *Plan {
 			p.regions[si] = r
 		}
 	}
+	p.pool.New = func() any { return NewEngine(p) }
 	return p
+}
+
+// AcquireEngine returns a pooled engine over this plan.  The caller
+// owns it until Release; engines must not be shared between
+// goroutines.
+func (p *Plan) AcquireEngine() *Engine {
+	return p.pool.Get().(*Engine)
+}
+
+// Release returns the engine to its plan's pool.  The caller must not
+// use it afterwards.
+func (e *Engine) Release() {
+	e.plan.pool.Put(e)
 }
 
 // cone collects the fanout cone of s in ascending ID order, not

@@ -196,3 +196,53 @@ func (t *TruthTable) Equal(o *TruthTable) bool {
 	}
 	return true
 }
+
+// Hash64 is an incremental FNV-1a hasher, the shared primitive under
+// the structural fingerprints of truth tables and circuits.  Start
+// from NewHash64 and fold values in with Word/String.
+type Hash64 uint64
+
+const (
+	hash64Offset uint64 = 14695981039346656037
+	hash64Prime  uint64 = 1099511628211
+)
+
+// NewHash64 returns the FNV-1a offset basis.
+func NewHash64() Hash64 { return Hash64(hash64Offset) }
+
+// Word folds 8 bytes (little-endian) into the hash.
+func (h *Hash64) Word(x uint64) {
+	v := uint64(*h)
+	for i := 0; i < 8; i++ {
+		v ^= x & 0xFF
+		v *= hash64Prime
+		x >>= 8
+	}
+	*h = Hash64(v)
+}
+
+// String folds a length-delimited string into the hash.
+func (h *Hash64) String(s string) {
+	v := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		v ^= uint64(s[i])
+		v *= hash64Prime
+	}
+	*h = Hash64(v)
+	h.Word(uint64(len(s)))
+}
+
+// Sum returns the current hash value.
+func (h Hash64) Sum() uint64 { return uint64(h) }
+
+// Fingerprint returns a deterministic structural hash of the table
+// (FNV-1a over the arity and the output bits), for use in circuit
+// identity fingerprints.
+func (t *TruthTable) Fingerprint() uint64 {
+	h := NewHash64()
+	h.Word(uint64(t.n))
+	for _, w := range t.bits {
+		h.Word(w)
+	}
+	return h.Sum()
+}

@@ -56,13 +56,13 @@ func (r *MultiResult) TotalPatterns() int64 {
 // analysis per input), faults are grouped by the direction their
 // detection probability wants the weights to move, and each group gets
 // its own optimized tuple and session length.
-func OptimizeMulti(an *core.Analyzer, faults []fault.Fault, opt MultiOptions) (*MultiResult, error) {
-	return OptimizeMultiCtx(context.Background(), an, faults, opt)
+func OptimizeMulti(prog *core.Program, faults []fault.Fault, opt MultiOptions) (*MultiResult, error) {
+	return OptimizeMultiCtx(context.Background(), prog, faults, opt)
 }
 
 // OptimizeMultiCtx is OptimizeMulti with cancellation, threading ctx
 // through the gradient clustering and each per-group climb.
-func OptimizeMultiCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, opt MultiOptions) (*MultiResult, error) {
+func OptimizeMultiCtx(ctx context.Context, prog *core.Program, faults []fault.Fault, opt MultiOptions) (*MultiResult, error) {
 	if opt.Sets <= 0 {
 		opt.Sets = 2
 	}
@@ -70,7 +70,7 @@ func OptimizeMultiCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fau
 		opt.SessionConfidence = 0.95
 	}
 	res := &MultiResult{}
-	clusters, err := clusterByGradient(ctx, an, faults, opt.Sets, opt.PerSet.Workers)
+	clusters, err := clusterByGradient(ctx, prog, faults, opt.Sets, opt.PerSet.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -78,11 +78,11 @@ func OptimizeMultiCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fau
 		if len(group) == 0 {
 			continue
 		}
-		single, err := OptimizeCtx(ctx, an, group, opt.PerSet)
+		single, err := OptimizeCtx(ctx, prog, group, opt.PerSet)
 		if err != nil {
 			return nil, err
 		}
-		run, err := an.RunCtx(ctx, single.Probs)
+		run, err := prog.RunCtx(ctx, single.Probs)
 		if err != nil {
 			return nil, err
 		}
@@ -120,15 +120,17 @@ func OptimizeMultiCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fau
 // seed with the largest dot product.  Each probe perturbs a single
 // input, so the finite differences run through the incremental engine
 // (one cone update per input instead of one full analysis); with
-// workers > 1 the probes are scored concurrently on cloned analyzers.
-func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fault, sets, workers int) ([][]fault.Fault, error) {
-	c := an.Circuit()
+// workers > 1 the probes are scored concurrently on pooled evaluators.
+func clusterByGradient(ctx context.Context, prog *core.Program, faults []fault.Fault, sets, workers int) ([][]fault.Fault, error) {
+	c := prog.Circuit()
 	nin := len(c.Inputs)
 	uniform := core.UniformProbs(c)
-	baseRun := an.NewAnalysis()
+	baseRun := prog.NewAnalysis()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	an := prog.Acquire()
+	defer an.Release()
 	if err := an.RunInto(baseRun, uniform); err != nil {
 		return nil, err
 	}
@@ -141,7 +143,7 @@ func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fa
 	for i := range grads {
 		grads[i] = make([]float64, nin)
 	}
-	probeInput := func(pa *core.Analyzer, work *core.Analysis, probe, det []float64, i int) error {
+	probeInput := func(pa *core.Evaluator, work *core.Analysis, probe, det []float64, i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -175,11 +177,14 @@ func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fa
 			wg.Add(1)
 			pa := an
 			if w > 0 {
-				pa = an.Clone()
+				pa = prog.Acquire()
 			}
-			go func(pa *core.Analyzer) {
+			go func(pa *core.Evaluator, release bool) {
 				defer wg.Done()
-				work := pa.NewAnalysis()
+				if release {
+					defer pa.Release()
+				}
+				work := prog.NewAnalysis()
 				probe := append([]float64(nil), uniform...)
 				det := make([]float64, len(faults))
 				for {
@@ -192,14 +197,14 @@ func clusterByGradient(ctx context.Context, an *core.Analyzer, faults []fault.Fa
 						return
 					}
 				}
-			}(pa)
+			}(pa, w > 0)
 		}
 		wg.Wait()
 		if err, ok := firstErr.Load().(error); ok {
 			return nil, err
 		}
 	} else {
-		work := an.NewAnalysis()
+		work := prog.NewAnalysis()
 		probe := append([]float64(nil), uniform...)
 		det := make([]float64, len(faults))
 		for i := 0; i < nin; i++ {

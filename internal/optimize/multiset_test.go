@@ -36,7 +36,7 @@ lo = NOR(a0, a1, a2, a3, a4, a5)
 
 func TestOptimizeMultiBeatsSingleOnConflict(t *testing.T) {
 	c := conflicted(t)
-	an, err := core.NewAnalyzer(c, core.DefaultParams())
+	an, err := core.NewProgram(c, core.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestOptimizeMultiBeatsSingleOnConflict(t *testing.T) {
 
 func TestOptimizeMultiSingleSetDegenerates(t *testing.T) {
 	c := conflicted(t)
-	an, err := core.NewAnalyzer(c, core.FastParams())
+	an, err := core.NewProgram(c, core.FastParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,10 +15,12 @@
 // The climb is the repository's hottest loop, so candidate moves are
 // scored through core's incremental engine instead of full re-analyses:
 // every evaluation copies the current accepted state (a memcopy into
-// preallocated buffers) and calls Analyzer.Update with the 1–2 changed
+// preallocated buffers) and calls Evaluator.Update with the 1–2 changed
 // inputs, which re-evaluates only the affected cones and is
-// bit-identical to a full run.  With Options.Workers > 1 the candidate
-// steps of one coordinate are scored concurrently on cloned analyzers;
+// bit-identical to a full run.  The climb runs over a shared immutable
+// core.Program; every worker acquires a pooled core.Evaluator for its
+// scratch and releases it when the climb ends.  With Options.Workers >
+// 1 the candidate steps of one coordinate are scored concurrently;
 // acceptance still follows the serial first-improvement order, so the
 // result is identical for every worker count.
 package optimize
@@ -134,13 +136,10 @@ func chooseN(detect []float64) float64 {
 }
 
 // Objective evaluates log J_N for one tuple (exposed for tests and for
-// reporting tables).
-func Objective(an *core.Analyzer, faults []fault.Fault, probs []float64, n float64) (float64, error) {
-	return objectiveCtx(context.Background(), an, faults, probs, n)
-}
-
-func objectiveCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, probs []float64, n float64) (float64, error) {
-	res, err := an.RunCtx(ctx, probs)
+// reporting tables).  Safe for concurrent use: it runs on a pooled
+// evaluator of the shared program.
+func Objective(prog *core.Program, faults []fault.Fault, probs []float64, n float64) (float64, error) {
+	res, err := prog.Run(probs)
 	if err != nil {
 		return 0, err
 	}
@@ -224,12 +223,13 @@ type move struct {
 	k   [2]int
 }
 
-// evalState is one evaluator's private machinery: an analyzer (the
-// caller's for state 0, clones for the workers), a scratch Analysis,
-// and the probability / detection buffers.  Everything is allocated
-// once per climb; steady-state evaluation does not allocate.
+// evalState is one worker's private machinery: a pooled evaluator
+// acquired from the shared program, a scratch Analysis, and the
+// probability / detection buffers.  Everything is acquired once per
+// climb and released at the end; steady-state evaluation does not
+// allocate.
 type evalState struct {
-	an      *core.Analyzer
+	an      *core.Evaluator
 	work    *core.Analysis
 	probs   []float64
 	detect  []float64
@@ -255,8 +255,8 @@ type climber struct {
 	objs   []float64 // candidate objective scratch
 }
 
-func newClimber(ctx context.Context, an *core.Analyzer, faults []fault.Fault, opt *Options, res *Result) *climber {
-	nin := len(an.Circuit().Inputs)
+func newClimber(ctx context.Context, prog *core.Program, faults []fault.Fault, opt *Options, res *Result) *climber {
+	nin := len(prog.Circuit().Inputs)
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
@@ -267,7 +267,7 @@ func newClimber(ctx context.Context, an *core.Analyzer, faults []fault.Fault, op
 		opt:        opt,
 		grid:       float64(opt.Grid),
 		res:        res,
-		base:       an.NewAnalysis(),
+		base:       prog.NewAnalysis(),
 		baseCoords: make([]int, nin),
 		baseProbs:  make([]float64, nin),
 		detect:     make([]float64, len(faults)),
@@ -276,19 +276,22 @@ func newClimber(ctx context.Context, an *core.Analyzer, faults []fault.Fault, op
 		objs:       make([]float64, 0, 2*len(opt.Steps)),
 	}
 	for w := range c.states {
-		wan := an
-		if w > 0 {
-			wan = an.Clone()
-		}
 		c.states[w] = &evalState{
-			an:      wan,
-			work:    wan.NewAnalysis(),
+			an:      prog.Acquire(),
+			work:    prog.NewAnalysis(),
 			probs:   make([]float64, nin),
 			detect:  make([]float64, len(faults)),
 			changed: make([]int, 0, 4),
 		}
 	}
 	return c
+}
+
+// release returns every worker's evaluator to the program pool.
+func (c *climber) release() {
+	for _, st := range c.states {
+		st.an.Release()
+	}
 }
 
 // start runs the initial full analysis at coords.
@@ -459,17 +462,18 @@ func (c *climber) commit(cur []int, mv move) error {
 
 // Optimize runs first-improvement cyclic coordinate hill climbing from
 // the uniform tuple p_i = 0.5, with structural pair moves when single
-// moves stall.
-func Optimize(an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, error) {
-	return OptimizeCtx(context.Background(), an, faults, opt)
+// moves stall.  It is safe to run any number of concurrent climbs over
+// one shared Program; each climb only acquires pooled evaluators.
+func Optimize(prog *core.Program, faults []fault.Fault, opt Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), prog, faults, opt)
 }
 
 // OptimizeCtx is Optimize with cancellation: every objective
 // evaluation checks ctx, so a cancelled context aborts the climb
 // within one incremental evaluation and returns ctx.Err().
-func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, opt Options) (*Result, error) {
+func OptimizeCtx(ctx context.Context, prog *core.Program, faults []fault.Fault, opt Options) (*Result, error) {
 	opt.fill()
-	c := an.Circuit()
+	c := prog.Circuit()
 	nin := len(c.Inputs)
 	if nin == 0 {
 		return nil, fmt.Errorf("optimize: circuit has no inputs")
@@ -483,7 +487,8 @@ func OptimizeCtx(ctx context.Context, an *core.Analyzer, faults []fault.Fault, o
 	}
 	res := &Result{}
 	autoN := opt.N <= 0
-	cl := newClimber(ctx, an, faults, &opt, res)
+	cl := newClimber(ctx, prog, faults, &opt, res)
+	defer cl.release()
 	if err := cl.start(cur); err != nil {
 		return nil, err
 	}

@@ -41,7 +41,7 @@ eq = AND(x0, x1, x2, x3)
 
 func TestObjectiveFiniteAndOrdered(t *testing.T) {
 	c := eq8(t)
-	an, err := core.NewAnalyzer(c, core.DefaultParams())
+	an, err := core.NewProgram(c, core.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestObjectiveFiniteAndOrdered(t *testing.T) {
 
 func TestOptimizeImprovesEq8(t *testing.T) {
 	c := eq8(t)
-	an, err := core.NewAnalyzer(c, core.DefaultParams())
+	an, err := core.NewProgram(c, core.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestOptimizeImprovesEq8(t *testing.T) {
 // required test length for the equality circuit by a large factor.
 func TestOptimizeReducesTestLength(t *testing.T) {
 	c := eq8(t)
-	an, err := core.NewAnalyzer(c, core.DefaultParams())
+	an, err := core.NewProgram(c, core.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestOptimizeReducesTestLength(t *testing.T) {
 
 func TestOptimizeWithRestarts(t *testing.T) {
 	c := eq8(t)
-	an, err := core.NewAnalyzer(c, core.FastParams())
+	an, err := core.NewProgram(c, core.FastParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestOptimizeWithRestarts(t *testing.T) {
 
 func TestOptimizeCallback(t *testing.T) {
 	c := eq8(t)
-	an, err := core.NewAnalyzer(c, core.FastParams())
+	an, err := core.NewProgram(c, core.FastParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestOptimizeCallback(t *testing.T) {
 
 func TestOptimizeDefaultsAndDeterminism(t *testing.T) {
 	c := circuits.C17()
-	an, err := core.NewAnalyzer(c, core.FastParams())
+	an, err := core.NewProgram(c, core.FastParams())
 	if err != nil {
 		t.Fatal(err)
 	}

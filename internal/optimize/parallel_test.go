@@ -21,7 +21,7 @@ func TestOptimizeWorkersDeterministic(t *testing.T) {
 		faults := fault.Collapse(c)
 		results := make([]*Result, 0, 3)
 		for _, workers := range []int{1, 3, 7} {
-			an, err := core.NewAnalyzer(c, core.FastParams())
+			an, err := core.NewProgram(c, core.FastParams())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,7 +58,7 @@ func TestOptimizeWorkersDeterministic(t *testing.T) {
 func TestOptimizeWorkersCancellation(t *testing.T) {
 	c, _ := circuits.Lookup("comp")
 	faults := fault.Collapse(c)
-	an, err := core.NewAnalyzer(c, core.FastParams())
+	an, err := core.NewProgram(c, core.FastParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestOptimizeMultiWorkersDeterministic(t *testing.T) {
 	faults := fault.Collapse(c)
 	var base *MultiResult
 	for _, workers := range []int{1, 4} {
-		an, err := core.NewAnalyzer(c, core.FastParams())
+		an, err := core.NewProgram(c, core.FastParams())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -182,20 +182,15 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	if err := spec.fill(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	// The worker override applies to every phase of this run; the lock
-	// is held throughout, so restoring the Session default is safe.
+	// The overrides apply to every phase of this run only; they travel
+	// in the per-call configuration, so concurrent runs with different
+	// overrides never observe each other.
+	cfg := s.cfg()
 	if spec.Workers != 0 {
-		prev := s.workers
-		s.workers = spec.Workers
-		defer func() { s.workers = prev }()
+		cfg.workers = spec.Workers
 	}
 	if spec.SimEngine != SimEngineFFR {
-		prev := s.simEngine
-		s.simEngine = spec.SimEngine
-		defer func() { s.simEngine = prev }()
+		cfg.engine = spec.SimEngine
 	}
 
 	st := s.c.Stats()
@@ -210,7 +205,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	}
 
 	// Phase 1+2: uniform analysis and test length.
-	uniform, err := s.planReport(ctx, spec, nil)
+	uniform, err := s.planReport(ctx, spec, nil, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +215,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	// hardware lattice.
 	var weights []float64
 	if spec.Optimize {
-		opt, err := s.optimize(ctx, s.faults, spec.OptimizeOptions)
+		opt, err := s.optimize(ctx, s.faults, spec.OptimizeOptions, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +224,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 			s.emit(PhaseQuantize, 1)
 			weights = pattern.QuantizeGrid(weights, spec.QuantizeGrid)
 		}
-		optimized, err := s.planReport(ctx, spec, weights)
+		optimized, err := s.planReport(ctx, spec, weights, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +233,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 
 	// Phase 5: optional self test with the final pattern source.
 	if spec.BIST != nil {
-		res, err := s.runBIST(ctx, weights, *spec.BIST)
+		res, err := s.runBIST(ctx, weights, *spec.BIST, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +254,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 // planReport builds the PlanReport for one pattern source (nil probs =
 // uniform): analysis, test length, fault-simulation validation, and
 // the estimated-vs-simulated summary.
-func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []float64) (*PlanReport, error) {
+func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []float64, cfg runCfg) (*PlanReport, error) {
 	res, err := s.analyze(ctx, probs)
 	if err != nil {
 		return nil, err
@@ -299,7 +294,7 @@ func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []flo
 	}
 	plan.ExpectedCoverage = testlen.ExpectedCoverage(detect, int64(budget))
 
-	sim, err := s.simulate(ctx, probs, budget)
+	sim, err := s.simulate(ctx, probs, budget, cfg)
 	if err != nil {
 		return nil, err
 	}

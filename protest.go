@@ -15,9 +15,12 @@
 //
 // # Quick start
 //
-// The package is organized around a per-circuit Session: Open collapses
-// the fault list and caches the analysis plan once, and every method
-// reuses them.
+// The package is organized around a per-circuit Session: Open resolves
+// the collapsed fault list and the compiled analysis plan through a
+// process-wide artifact store (so Sessions on the same circuit share
+// them), and every method reuses them.  Sessions are lock-free: all
+// methods are safe for concurrent use and run genuinely in parallel,
+// with results bit-identical to a serial execution.
 //
 //	c, _ := protest.ParseNetlistString(src, "mydesign")
 //	s, _ := protest.Open(c)                            // collapse faults, build the plan
@@ -93,7 +96,17 @@ type (
 	// Analysis holds estimated signal probabilities, observabilities
 	// and fault detection probabilities.
 	Analysis = core.Analysis
-	// Analyzer caches the per-circuit analysis plan for repeated runs.
+	// Program is the immutable compiled analysis artifact of one
+	// (circuit, params) pair: safe for unlimited concurrent use and
+	// shared between Sessions through the artifact store.
+	Program = core.Program
+	// Evaluator holds the mutable per-run scratch of one analysis
+	// evaluation; acquire one per goroutine from Program.Acquire.
+	Evaluator = core.Evaluator
+	// Analyzer is the original name of Evaluator.
+	//
+	// Deprecated: build a Program with NewProgram and acquire pooled
+	// Evaluators, or just open a Session.
 	Analyzer = core.Analyzer
 	// ObsModel selects the fanout-stem observability model.
 	ObsModel = core.ObsModel
@@ -199,7 +212,16 @@ func Analyze(c *Circuit, inputProbs []float64, p Params) (*Analysis, error) {
 	return core.Analyze(c, inputProbs, p)
 }
 
+// NewProgram compiles the analysis plan of (c, p) for repeated and
+// concurrent evaluation; see Program.
+func NewProgram(c *Circuit, p Params) (*Program, error) {
+	return core.NewProgram(c, p)
+}
+
 // NewAnalyzer precomputes the analysis plan for repeated Run calls.
+//
+// Deprecated: use NewProgram; share the Program and acquire pooled
+// Evaluators per goroutine.
 func NewAnalyzer(c *Circuit, p Params) (*Analyzer, error) {
 	return core.NewAnalyzer(c, p)
 }
@@ -255,11 +277,11 @@ func OptimizeInputs(c *Circuit, faults []Fault, opt OptimizeOptions) (*OptimizeR
 		fp := FastParams()
 		opt.Params = &fp
 	}
-	an, err := core.NewAnalyzer(c, *opt.Params)
+	prog, err := core.NewProgram(c, *opt.Params)
 	if err != nil {
 		return nil, err
 	}
-	return optimize.Optimize(an, faults, opt)
+	return optimize.Optimize(prog, faults, opt)
 }
 
 // NewUniformGenerator creates a deterministic generator of uniform
@@ -367,11 +389,11 @@ func OptimizeInputsMulti(c *Circuit, faults []Fault, opt MultiOptimizeOptions) (
 		fp := FastParams()
 		opt.PerSet.Params = &fp
 	}
-	an, err := core.NewAnalyzer(c, *opt.PerSet.Params)
+	prog, err := core.NewProgram(c, *opt.PerSet.Params)
 	if err != nil {
 		return nil, err
 	}
-	return optimize.OptimizeMulti(an, faults, opt)
+	return optimize.OptimizeMulti(prog, faults, opt)
 }
 
 // ATPG types: the deterministic second stage behind the random phase

@@ -3,11 +3,11 @@ package protest
 import (
 	"context"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
+	"protest/internal/artifact"
 	"protest/internal/bist"
 	"protest/internal/core"
-	"protest/internal/fault"
 	"protest/internal/faultsim"
 	"protest/internal/optimize"
 	"protest/internal/pattern"
@@ -29,15 +29,26 @@ const (
 	PhaseSummarize  Phase = "summarize"
 )
 
-// Session is a per-circuit analysis engine: it owns the collapsed
-// fault list, the cached analysis plan (cones and joining points), and
-// the configuration shared by every run against the circuit.  Create
-// one with Open, then call its methods repeatedly — repeated analyses
-// reuse the plan instead of re-deriving it, which is what makes the
-// optimizer's thousands of evaluations affordable.
+// Session is a per-circuit analysis handle.  Open resolves the
+// circuit's compiled artifacts — the collapsed fault list and the
+// analysis program (conditioning cones, joining points, compiled
+// propagation programs) — through the shared artifact store, so any
+// number of Sessions on the same circuit share one set of artifacts,
+// and every method reuses them instead of re-deriving circuit state.
 //
-// All methods are safe for concurrent use; the Session serializes work
-// internally because the cached plan carries per-run scratch state.
+// # Concurrency model
+//
+// All methods are safe for concurrent use, and genuinely concurrent:
+// a Session holds no lock around its work.  Its configuration and the
+// compiled artifacts are immutable after Open; every call acquires the
+// mutable evaluation scratch it needs (analysis evaluators, simulation
+// engines, BIST run state) from per-artifact sync.Pools and releases
+// it on return.  Results are bit-identical to a serial execution of
+// the same calls: artifacts are static, evaluation kernels are
+// deterministic, and every pattern stream is derived per call from the
+// Session seed — so N goroutines hammering one Session observe exactly
+// the values a single-threaded caller would.
+//
 // Long-running methods take a context.Context and return an error
 // matching ErrCanceled when it is cancelled; cancellation never
 // corrupts the Session, which stays usable afterwards.
@@ -49,17 +60,29 @@ type Session struct {
 	workers   int
 	simEngine SimEngine
 	progress  func(Phase, float64)
+	store     *artifact.Store
 
-	mu       sync.Mutex
-	faults   []Fault
-	an       *Analyzer      // plan under params
-	fastAn   *Analyzer      // plan under fast, built on first use
-	baseline *Analysis      // cached uniform analysis under params
-	simPlan  *faultsim.Plan // FFR fault-simulation plan, built on first use
+	faults []Fault       // shared store slice; hand out copies only
+	prog   *core.Program // compiled analysis program under params
+
+	// baseline caches the uniform (p = 0.5) analysis for TestLength and
+	// repeated Analyze(ctx, nil) calls.  Once published it is treated as
+	// strictly read-only; Analyze hands callers clones.
+	baseline atomic.Pointer[Analysis]
+
+	// simPlan and bistProg pin the Session's simulation artifacts after
+	// first use: they come from the artifact store (so concurrent cold
+	// Sessions share one build), but once resolved the hot paths read
+	// them lock-free and LRU eviction in the store cannot force a
+	// rebuild for this Session.
+	simPlan  atomic.Pointer[faultsim.Plan]
+	bistProg atomic.Pointer[bist.Program]
 }
 
 // Option configures a Session at Open time.  Options are applied in
-// order, so later options win over earlier ones.
+// order, so later options win over earlier ones.  A Session's
+// configuration is immutable after Open — that immutability is what
+// lets its methods run concurrently without locking.
 type Option func(*Session)
 
 // WithParams sets the analysis parameters used by Analyze, TestLength
@@ -110,44 +133,51 @@ func WithSimEngine(e SimEngine) Option {
 
 // WithProgress installs a callback receiving (phase, fraction in
 // [0,1]) while long-running methods work.  The callback runs on the
-// calling goroutine while the Session's internal lock is held: it
-// must be cheap and must not call back into the Session (doing so
-// deadlocks); cancelling a context from inside it is fine.
+// goroutine performing the work; when the Session is used from several
+// goroutines it is called concurrently and must be safe for that.  It
+// must be cheap; cancelling a context from inside it is fine, and so
+// is calling back into the Session (no lock is held).
 func WithProgress(fn func(Phase, float64)) Option {
 	return func(s *Session) { s.progress = fn }
 }
 
-// Open creates a Session for the circuit: it collapses the fault list
-// and precomputes the analysis plan once.  It fails with ErrNoFaults
-// when the circuit has no faults to analyze, and with a parameter
-// error when an option selected invalid Params.
+// Open creates a Session for the circuit.  It interns the circuit in
+// the shared artifact store and resolves the collapsed fault list and
+// the compiled analysis plan there, building them only if no other
+// Session (or experiment) has already paid for them.  It fails with
+// ErrNoFaults when the circuit has no faults to analyze, and with a
+// parameter error when an option selected invalid Params.
 func Open(c *Circuit, opts ...Option) (*Session, error) {
 	if c == nil {
 		return nil, fmt.Errorf("protest: Open: nil circuit")
 	}
 	s := &Session{
-		c:      c,
 		params: DefaultParams(),
 		fast:   FastParams(),
 		seed:   1,
+		store:  artifact.Default,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
-	faults := fault.Collapse(c)
+	s.c = s.store.Intern(c)
+	faults := s.store.Faults(s.c)
 	if len(faults) == 0 {
-		return nil, fmt.Errorf("%w: %s", ErrNoFaults, c.Name)
+		return nil, fmt.Errorf("%w: %s", ErrNoFaults, s.c.Name)
 	}
-	an, err := core.NewAnalyzer(c, s.params)
+	prog, err := s.store.Program(s.c, s.params)
 	if err != nil {
 		return nil, err
 	}
 	s.faults = faults
-	s.an = an
+	s.prog = prog
 	return s, nil
 }
 
-// Circuit returns the circuit this Session analyzes.
+// Circuit returns the circuit this Session analyzes — the canonical
+// interned instance, which is structurally identical to the circuit
+// passed to Open but may be a different pointer when another Session
+// opened an equal circuit first.
 func (s *Session) Circuit() *Circuit { return s.c }
 
 // Params returns the analysis parameters the Session was opened with.
@@ -155,8 +185,6 @@ func (s *Session) Params() Params { return s.params }
 
 // Faults returns a copy of the collapsed single stuck-at fault list.
 func (s *Session) Faults() []Fault {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return append([]Fault(nil), s.faults...)
 }
 
@@ -166,59 +194,61 @@ func (s *Session) emit(ph Phase, frac float64) {
 	}
 }
 
+// runCfg is the effective per-call configuration: the Session defaults
+// with any per-call overrides (PipelineSpec.Workers / SimEngine)
+// applied.  Threading it through instead of mutating Session fields is
+// what keeps concurrent calls isolated.
+type runCfg struct {
+	workers int
+	engine  SimEngine
+}
+
+func (s *Session) cfg() runCfg {
+	return runCfg{workers: s.workers, engine: s.simEngine}
+}
+
 // Analyze estimates signal probabilities, observabilities and (through
 // Analysis.DetectProbs) fault detection probabilities for one input
 // tuple.  A nil inputProbs means the conventional uniform tuple
 // p_i = 0.5.
 func (s *Session) Analyze(ctx context.Context, inputProbs []float64) (*Analysis, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	res, err := s.analyze(ctx, inputProbs)
 	if err != nil {
 		return nil, err
 	}
-	if res == s.baseline {
+	if res == s.baseline.Load() {
 		// The uniform analysis is cached for the Session's lifetime;
 		// hand callers a copy so mutating the result cannot corrupt
 		// TestLength and Run.
-		res = cloneAnalysis(res)
+		res = res.Clone()
 	}
 	return res, nil
 }
 
-// cloneAnalysis deep-copies the mutable slices of an Analysis.
-func cloneAnalysis(a *Analysis) *Analysis {
-	cp := *a
-	cp.InputProbs = append([]float64(nil), a.InputProbs...)
-	cp.Prob = append([]float64(nil), a.Prob...)
-	cp.Obs = append([]float64(nil), a.Obs...)
-	cp.PinObs = make([][]float64, len(a.PinObs))
-	for i, pins := range a.PinObs {
-		if pins != nil {
-			cp.PinObs[i] = append([]float64(nil), pins...)
-		}
-	}
-	return &cp
-}
-
-// analyze is Analyze without locking, for use inside the pipeline.  It
-// caches the uniform analysis, which TestLength reuses.
+// analyze is Analyze without the defensive copy, for use inside the
+// pipeline.  It caches the uniform analysis, which TestLength reuses;
+// the cached Analysis is shared and must be treated as read-only.
 func (s *Session) analyze(ctx context.Context, inputProbs []float64) (*Analysis, error) {
 	uniform := inputProbs == nil
 	if uniform {
-		if s.baseline != nil {
-			return s.baseline, nil
+		if res := s.baseline.Load(); res != nil {
+			return res, nil
 		}
 		inputProbs = core.UniformProbs(s.c)
 	}
 	s.emit(PhaseAnalyze, 0)
-	res, err := s.an.RunCtx(ctx, inputProbs)
+	res, err := s.prog.RunCtx(ctx, inputProbs)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
 	s.emit(PhaseAnalyze, 1)
 	if uniform {
-		s.baseline = res
+		// Concurrent cold calls may race to publish; every candidate is
+		// bit-identical (same program, same tuple), so first-in wins and
+		// the others adopt it.
+		if !s.baseline.CompareAndSwap(nil, res) {
+			res = s.baseline.Load()
+		}
 	}
 	return res, nil
 }
@@ -230,8 +260,6 @@ func (s *Session) analyze(ctx context.Context, inputProbs []float64) (*Analysis,
 // (uncancellable) analysis pass.  To keep that pass under a context,
 // prime the cache with Analyze(ctx, nil) first.
 func (s *Session) TestLength(d, e float64) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	res, err := s.analyze(context.Background(), nil)
 	if err != nil {
 		return 0, err
@@ -239,30 +267,31 @@ func (s *Session) TestLength(d, e float64) (int64, error) {
 	return testlen.RequiredFraction(res.DetectProbs(s.faults), d, e)
 }
 
-// ensureSimPlan returns the Session's cached FFR fault-simulation
-// plan (callers must hold s.mu).
+// simOptions bundles an effective engine and worker configuration.
+func (cfg runCfg) simOptions() faultsim.Options {
+	return faultsim.Options{Engine: cfg.engine, Workers: cfg.workers}
+}
+
+// ensureSimPlan returns the Session's pinned FFR fault-simulation
+// plan, resolving it through the artifact store on first use.
+// Concurrent cold calls may race to the store, which singleflights
+// the build; they all pin the same plan.
 func (s *Session) ensureSimPlan() *faultsim.Plan {
-	if s.simPlan == nil {
-		s.simPlan = faultsim.NewPlan(s.c, s.faults)
+	if p := s.simPlan.Load(); p != nil {
+		return p
 	}
-	return s.simPlan
+	s.simPlan.CompareAndSwap(nil, s.store.SimPlan(s.c))
+	return s.simPlan.Load()
 }
 
-// simOptions bundles the Session's engine and worker configuration.
-func (s *Session) simOptions() faultsim.Options {
-	return faultsim.Options{Engine: s.simEngine, Workers: s.workers}
-}
-
-// fastAnalyzer returns the cached plan under the fast parameters.
-func (s *Session) fastAnalyzer() (*Analyzer, error) {
-	if s.fastAn == nil {
-		an, err := core.NewAnalyzer(s.c, s.fast)
-		if err != nil {
-			return nil, err
-		}
-		s.fastAn = an
+// ensureBIST returns the Session's pinned self-test program, resolving
+// it through the artifact store on first use.
+func (s *Session) ensureBIST() *bist.Program {
+	if p := s.bistProg.Load(); p != nil {
+		return p
 	}
-	return s.fastAn, nil
+	s.bistProg.CompareAndSwap(nil, s.store.BIST(s.c))
+	return s.bistProg.Load()
 }
 
 // Optimize hill-climbs the per-input signal probabilities to maximize
@@ -271,28 +300,30 @@ func (s *Session) fastAnalyzer() (*Analyzer, error) {
 // opt.Params defaults to the Session's fast parameters and opt.Seed to
 // the Session seed.
 func (s *Session) Optimize(ctx context.Context, opt OptimizeOptions) (*OptimizeResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.optimize(ctx, s.faults, opt)
+	return s.optimize(ctx, s.faults, opt, s.cfg())
 }
 
-func (s *Session) optimize(ctx context.Context, faults []Fault, opt OptimizeOptions) (*OptimizeResult, error) {
-	an, err := s.optimizeAnalyzer(&opt)
+func (s *Session) optimize(ctx context.Context, faults []Fault, opt OptimizeOptions, cfg runCfg) (*OptimizeResult, error) {
+	prog, err := s.optimizeProgram(&opt, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimize.OptimizeCtx(ctx, an, faults, opt)
+	res, err := optimize.OptimizeCtx(ctx, prog, faults, opt)
 	return res, wrapCanceled(err)
 }
 
-// optimizeAnalyzer fills the option defaults (Params, Seed, Workers,
-// progress) and returns the analyzer the climb should run on.
-func (s *Session) optimizeAnalyzer(opt *OptimizeOptions) (*Analyzer, error) {
+// optimizeProgram fills the option defaults (Params, Seed, Workers,
+// progress) and returns the compiled program the climb should run on.
+// Both the fast-parameter default and per-call parameter overrides
+// resolve through the same artifact-store path, so repeated climbs —
+// from this Session or any other on the same circuit — share one
+// compiled plan per parameter set.
+func (s *Session) optimizeProgram(opt *OptimizeOptions, cfg runCfg) (*core.Program, error) {
 	if opt.Seed == 0 {
 		opt.Seed = s.seed
 	}
 	if opt.Workers == 0 {
-		opt.Workers = s.workers
+		opt.Workers = cfg.workers
 	}
 	if s.progress != nil && opt.OnSweep == nil {
 		opt.OnSweep = func(done, max int) {
@@ -308,22 +339,19 @@ func (s *Session) optimizeAnalyzer(opt *OptimizeOptions) (*Analyzer, error) {
 	if opt.Params == nil {
 		fp := s.fast
 		opt.Params = &fp
-		return s.fastAnalyzer()
 	}
-	return core.NewAnalyzer(s.c, *opt.Params)
+	return s.store.Program(s.c, *opt.Params)
 }
 
 // OptimizeMulti derives several weighted-pattern distributions, each
 // serving the fault group whose detection gradients align (the
 // follow-up direction to the paper's single tuple).
 func (s *Session) OptimizeMulti(ctx context.Context, opt MultiOptimizeOptions) (*MultiOptimizeResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	an, err := s.optimizeAnalyzer(&opt.PerSet)
+	prog, err := s.optimizeProgram(&opt.PerSet, s.cfg())
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimize.OptimizeMultiCtx(ctx, an, s.faults, opt)
+	res, err := optimize.OptimizeMultiCtx(ctx, prog, s.faults, opt)
 	return res, wrapCanceled(err)
 }
 
@@ -352,12 +380,10 @@ func (s *Session) Simulate(ctx context.Context, numPatterns int) (*SimResult, er
 // SimulateWeighted is Simulate with per-input pattern probabilities; a
 // nil probs means uniform.
 func (s *Session) SimulateWeighted(ctx context.Context, probs []float64, numPatterns int) (*SimResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.simulate(ctx, probs, numPatterns)
+	return s.simulate(ctx, probs, numPatterns, s.cfg())
 }
 
-func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int) (*SimResult, error) {
+func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int, cfg runCfg) (*SimResult, error) {
 	gen, err := s.generator(probs)
 	if err != nil {
 		return nil, err
@@ -367,11 +393,11 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 		s.emit(PhaseSimulate, float64(done)/float64(total))
 	}
 	var res *SimResult
-	if s.simEngine == SimEngineNaive {
+	if cfg.engine == SimEngineNaive {
 		// The oracle path never reads the FFR plan; skip building it.
-		res, err = faultsim.MeasureDetectionOpt(ctx, s.c, s.faults, gen, numPatterns, s.simOptions(), progress)
+		res, err = faultsim.MeasureDetectionOpt(ctx, s.c, s.faults, gen, numPatterns, cfg.simOptions(), progress)
 	} else {
-		res, err = s.ensureSimPlan().MeasureDetectionCtx(ctx, gen, numPatterns, s.simOptions(), progress)
+		res, err = s.ensureSimPlan().MeasureDetectionCtx(ctx, gen, numPatterns, cfg.simOptions(), progress)
 	}
 	return res, wrapCanceled(err)
 }
@@ -380,8 +406,7 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 // cumulative coverage at each checkpoint; nil probs means uniform
 // patterns.
 func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoints []int) ([]CoveragePoint, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	cfg := s.cfg()
 	gen, err := s.generator(probs)
 	if err != nil {
 		return nil, err
@@ -390,10 +415,10 @@ func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoint
 		s.emit(PhaseSimulate, float64(done)/float64(total))
 	}
 	var points []CoveragePoint
-	if s.simEngine == SimEngineNaive {
-		points, err = faultsim.CoverageCurveOpt(ctx, s.c, s.faults, gen, checkpoints, s.simOptions(), progress)
+	if cfg.engine == SimEngineNaive {
+		points, err = faultsim.CoverageCurveOpt(ctx, s.c, s.faults, gen, checkpoints, cfg.simOptions(), progress)
 	} else {
-		points, err = s.ensureSimPlan().CoverageCurveCtx(ctx, gen, checkpoints, s.simOptions(), progress)
+		points, err = s.ensureSimPlan().CoverageCurveCtx(ctx, gen, checkpoints, cfg.simOptions(), progress)
 	}
 	return points, wrapCanceled(err)
 }
@@ -407,12 +432,10 @@ func (s *Session) RunBIST(ctx context.Context, plan BISTPlan) (*BISTResult, erro
 // RunBISTWeighted is RunBIST with a weighted pattern source standing
 // in for an NLFSR generator; nil probs means uniform.
 func (s *Session) RunBISTWeighted(ctx context.Context, probs []float64, plan BISTPlan) (*BISTResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.runBIST(ctx, probs, plan)
+	return s.runBIST(ctx, probs, plan, s.cfg())
 }
 
-func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan) (*BISTResult, error) {
+func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan, cfg runCfg) (*BISTResult, error) {
 	gen, err := s.generator(probs)
 	if err != nil {
 		return nil, err
@@ -423,14 +446,10 @@ func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan) (
 	// default (results are bit-identical either way; only speed
 	// differs).
 	if plan.Engine == SimEngineFFR {
-		plan.Engine = s.simEngine
-	}
-	var simPlan *faultsim.Plan
-	if plan.Engine == SimEngineFFR {
-		simPlan = s.ensureSimPlan()
+		plan.Engine = cfg.engine
 	}
 	s.emit(PhaseBIST, 0)
-	res, err := bist.RunPlanCtx(ctx, s.c, s.faults, simPlan, gen, plan, func(done, total int) {
+	res, err := s.ensureBIST().RunCtx(ctx, gen, plan, func(done, total int) {
 		s.emit(PhaseBIST, float64(done)/float64(total))
 	})
 	return res, wrapCanceled(err)

@@ -1,0 +1,280 @@
+package protest_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"protest"
+)
+
+// The concurrency contract of a Session: methods run genuinely
+// concurrently (no serializing lock) and every call returns results
+// bit-identical to a serial execution.  These tests are meant to run
+// under -race; they hammer one shared Session from many goroutines
+// across all phases and compare exact values against serial
+// references.
+
+// serialRefs computes the serial reference results once.
+type serialRefs struct {
+	analysisU *protest.Analysis // uniform
+	analysisW *protest.Analysis // weighted tuple
+	testLen   int64
+	opt       *protest.OptimizeResult
+	sim       *protest.SimResult
+	curve     []protest.CoveragePoint
+	bist      *protest.BISTResult
+	report    *protest.Report
+}
+
+const (
+	stressSimPatterns = 512
+	stressBISTCycles  = 192
+	stressSweeps      = 2
+)
+
+func stressTuple(s *protest.Session) []float64 {
+	probs := make([]float64, len(s.Circuit().Inputs))
+	for i := range probs {
+		probs[i] = float64(1+i%14) / 16
+	}
+	return probs
+}
+
+func stressSpec() protest.PipelineSpec {
+	return protest.PipelineSpec{
+		Optimize:        true,
+		OptimizeOptions: protest.OptimizeOptions{MaxSweeps: stressSweeps},
+		SimPatterns:     256,
+		BIST:            &protest.BISTPlan{Cycles: 128},
+	}
+}
+
+func computeRefs(t *testing.T, s *protest.Session) *serialRefs {
+	t.Helper()
+	ctx := context.Background()
+	r := &serialRefs{}
+	var err error
+	if r.analysisU, err = s.Analyze(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.analysisW, err = s.Analyze(ctx, stressTuple(s)); err != nil {
+		t.Fatal(err)
+	}
+	if r.testLen, err = s.TestLength(1.0, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if r.opt, err = s.Optimize(ctx, protest.OptimizeOptions{MaxSweeps: stressSweeps}); err != nil {
+		t.Fatal(err)
+	}
+	if r.sim, err = s.Simulate(ctx, stressSimPatterns); err != nil {
+		t.Fatal(err)
+	}
+	if r.curve, err = s.CoverageCurve(ctx, nil, []int{64, 256}); err != nil {
+		t.Fatal(err)
+	}
+	if r.bist, err = s.RunBIST(ctx, protest.BISTPlan{Cycles: stressBISTCycles}); err != nil {
+		t.Fatal(err)
+	}
+	if r.report, err = s.Run(ctx, stressSpec()); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func checkAnalysis(t *testing.T, label string, got, want *protest.Analysis) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Prob, want.Prob) || !reflect.DeepEqual(got.Obs, want.Obs) ||
+		!reflect.DeepEqual(got.PinObs, want.PinObs) || !reflect.DeepEqual(got.InputProbs, want.InputProbs) {
+		t.Errorf("%s: concurrent analysis differs from serial reference", label)
+	}
+}
+
+// TestSessionConcurrentBitIdentical drives every Session phase from
+// many goroutines at once against one shared Session and requires all
+// results to be bit-identical to the serial references.  Run it with
+// -race to certify the lock-free Session.
+func TestSessionConcurrentBitIdentical(t *testing.T) {
+	c, ok := protest.Benchmark("alu")
+	if !ok {
+		t.Fatal("alu benchmark missing")
+	}
+	s, err := protest.Open(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := computeRefs(t, s)
+	tuple := stressTuple(s)
+
+	const goroutines = 8
+	iters := 2
+	if testing.Short() {
+		iters = 1
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for it := 0; it < iters; it++ {
+				// Every goroutine exercises a rotating subset of phases so
+				// distinct phases overlap in time.
+				switch (g + it) % 6 {
+				case 0:
+					res, err := s.Analyze(ctx, nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					checkAnalysis(t, "Analyze(uniform)", res, refs.analysisU)
+					// The cached baseline must be cloned per caller: writing
+					// into the result must not poison later calls.
+					res.Prob[0] = -1
+				case 1:
+					res, err := s.Analyze(ctx, tuple)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					checkAnalysis(t, "Analyze(weighted)", res, refs.analysisW)
+				case 2:
+					n, err := s.TestLength(1.0, 0.95)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if n != refs.testLen {
+						t.Errorf("TestLength: got %d, want %d", n, refs.testLen)
+					}
+					opt, err := s.Optimize(ctx, protest.OptimizeOptions{MaxSweeps: stressSweeps})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !reflect.DeepEqual(opt, refs.opt) {
+						t.Errorf("Optimize: concurrent result differs from serial reference")
+					}
+				case 3:
+					sim, err := s.Simulate(ctx, stressSimPatterns)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !reflect.DeepEqual(sim.Detected, refs.sim.Detected) || sim.Applied != refs.sim.Applied {
+						t.Errorf("Simulate: concurrent counts differ from serial reference")
+					}
+				case 4:
+					curve, err := s.CoverageCurve(ctx, nil, []int{64, 256})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !reflect.DeepEqual(curve, refs.curve) {
+						t.Errorf("CoverageCurve: concurrent curve differs from serial reference")
+					}
+				case 5:
+					bist, err := s.RunBIST(ctx, protest.BISTPlan{Cycles: stressBISTCycles})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !reflect.DeepEqual(bist, refs.bist) {
+						t.Errorf("RunBIST: concurrent result differs from serial reference")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSessionConcurrentPipelines runs whole pipelines concurrently on
+// one Session — including per-call engine and worker overrides, which
+// must stay call-local — and requires every report to equal the serial
+// reference.
+func TestSessionConcurrentPipelines(t *testing.T) {
+	c, ok := protest.Benchmark("c17")
+	if !ok {
+		t.Fatal("c17 benchmark missing")
+	}
+	s, err := protest.Open(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := s.Run(ctx, stressSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []protest.PipelineSpec{
+		stressSpec(),
+		stressSpec(),
+		stressSpec(),
+		stressSpec(),
+	}
+	// Per-call overrides: different engines and worker counts must not
+	// leak between concurrent runs, and results stay bit-identical.
+	specs[1].SimEngine = protest.SimEngineNaive
+	specs[2].Workers = 2
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec protest.PipelineSpec) {
+			defer wg.Done()
+			rep, err := s.Run(ctx, spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(rep, want) {
+				t.Errorf("pipeline %d: concurrent report differs from serial reference", i)
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+}
+
+// TestSessionsShareArtifacts opens many Sessions on independently
+// built, structurally equal circuits and checks they interned onto one
+// canonical circuit (the artifact-store sharing contract) and still
+// produce identical results.
+func TestSessionsShareArtifacts(t *testing.T) {
+	open := func() *protest.Session {
+		c, ok := protest.Benchmark("alu")
+		if !ok {
+			t.Fatal("alu benchmark missing")
+		}
+		s, err := protest.Open(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := open(), open()
+	if s1.Circuit() != s2.Circuit() {
+		t.Fatalf("equal circuits were not interned onto one canonical instance")
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	results := make([]*protest.Analysis, 2)
+	for i, s := range []*protest.Session{s1, s2} {
+		wg.Add(1)
+		go func(i int, s *protest.Session) {
+			defer wg.Done()
+			res, err := s.Analyze(ctx, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i, s)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	checkAnalysis(t, "shared-artifact analyze", results[1], results[0])
+}
