@@ -14,11 +14,13 @@
 //	pipeline  run the full analyze/size/optimize/validate pipeline
 //	gen       generate random pattern sets
 //	fsim      fault-simulate a pattern set and report coverage
+//	serve     long-running HTTP/JSON analysis service
 //
 // Circuits are read from .bench netlists (-f) or taken from the
 // built-in benchmark suite (-circuit alu|mult|div|comp|c17|sn7485).
-// Every long-running subcommand honors Ctrl-C: the first interrupt
-// cancels the in-flight work cleanly.
+// Every long-running subcommand honors Ctrl-C and SIGTERM: the first
+// signal cancels the in-flight work cleanly (serve drains its
+// in-flight requests first).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"protest"
 )
@@ -36,7 +39,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cmd, args := os.Args[1], os.Args[2:]
@@ -62,6 +65,8 @@ func main() {
 		err = runBist(ctx, args)
 	case "exact":
 		err = runExact(ctx, args)
+	case "serve":
+		err = runServe(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -96,6 +101,8 @@ subcommands:
   atpg      deterministic test generation (PODEM)
   bist      simulate a self-test session with MISR signature compaction
   exact     exact signal probabilities via BDDs, vs the estimator
+  serve     HTTP/JSON analysis service (POST /v1/pipeline, /v1/analyze;
+            admission control, SSE progress, graceful drain)
 
 run 'protest <subcommand> -h' for flags.
 `)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"protest"
+	"protest/internal/server"
+)
+
+// runServe boots the long-running HTTP analysis service and blocks
+// until the listener fails or ctx is cancelled (SIGINT/SIGTERM), then
+// drains in-flight requests gracefully for up to -drain before
+// forcibly closing the stragglers.
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen `address`")
+	inflight := fs.Int("inflight", 0, "max concurrently executing analyses (0 = 2×GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max requests queued beyond -inflight before 429 (0 = 4×inflight)")
+	sessions := fs.Int("sessions", 0, "max distinct circuits holding a live session (0 = 64)")
+	workers := fs.Int("workers", 0, "worker goroutines per analysis (0 = serial, <0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 1, "session seed for every deterministic pattern stream")
+	engineName := fs.String("engine", "", "fault-simulation engine: ffr (default) or naive")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain `timeout`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := protest.ParseSimEngine(*engineName)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		MaxInFlight: *inflight,
+		MaxQueue:    *queue,
+		MaxSessions: *sessions,
+		Workers:     *workers,
+		Seed:        *seed,
+		Engine:      engine,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "protest: serving on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Stop accepting and drain in-flight analyses.  Shutdown waits for
+	// them; past the drain budget, Close cuts the remaining
+	// connections, which cancels their request contexts and aborts the
+	// attached analyses through the Session cancellation paths.
+	fmt.Fprintf(os.Stderr, "protest: shutting down, draining for up to %s\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain timeout exceeded: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

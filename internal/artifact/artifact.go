@@ -17,7 +17,7 @@
 //     caller of a key builds, every concurrent caller blocks on the
 //     same sync.Once and receives the shared result;
 //   - bounds memory with an LRU policy over the cache entries and a
-//     generation flush over the intern table (see Intern).  Eviction
+//     partial trim over the intern table (see Intern).  Eviction
 //     only drops the store's reference — users holding an artifact
 //     keep it alive; a later request simply rebuilds.
 //
@@ -28,6 +28,7 @@ package artifact
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"protest/internal/bist"
 	"protest/internal/circuit"
@@ -84,6 +85,44 @@ type Store struct {
 	internMu    sync.Mutex
 	interned    map[uint64][]*circuit.Circuit
 	internCount int
+
+	// Effectiveness counters (see Stats).  They are monotonic over the
+	// store's lifetime — Purge does not reset them — so callers can
+	// diff snapshots across operations.
+	builds    atomic.Int64
+	hits      atomic.Int64
+	buildErrs atomic.Int64
+	evictions atomic.Int64
+}
+
+// Stats is a snapshot of a store's effectiveness counters.  The
+// headline signal is Builds: it advances only when an artifact is
+// actually constructed, so "a second request for the same circuit did
+// not recompile" is exactly "Builds did not change".
+type Stats struct {
+	// Builds counts artifact constructions (cache misses that ran a
+	// build function, including ones that later failed).
+	Builds int64 `json:"builds"`
+	// Hits counts lookups served by a live entry, including callers
+	// that blocked on a concurrent build of the same key.
+	Hits int64 `json:"hits"`
+	// BuildErrors counts failed builds; failures are never cached, so
+	// a later lookup retries (and counts another build).
+	BuildErrors int64 `json:"build_errors"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the store's counters.  Counters are
+// read individually (not under one lock), so a snapshot taken during
+// concurrent traffic is approximate; quiesce first for exact deltas.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Builds:      s.builds.Load(),
+		Hits:        s.hits.Load(),
+		BuildErrors: s.buildErrs.Load(),
+		Evictions:   s.evictions.Load(),
+	}
 }
 
 // NewStore creates a store bounded to capacity entries (values <= 0
@@ -107,12 +146,12 @@ func NewStore(capacity int) *Store {
 // once up front and key everything off the canonical pointer.
 //
 // The intern table is bounded like the artifact entries: once it
-// holds several times the store capacity of distinct circuits it is
-// reset wholesale (generation flush).  Interned pointers handed out
-// earlier stay valid — a Session keeps its canonical circuit for its
-// lifetime — only future interns of *other* designs lose sharing with
-// pre-flush ones, and their artifacts rebuild under the new canonical
-// pointer.
+// holds several times the store capacity of distinct circuits, a
+// pseudo-random half of the identities is shed.  Interned pointers
+// handed out earlier stay valid — a Session keeps its canonical
+// circuit for its lifetime — only future interns of the *shed*
+// designs lose sharing with pre-trim ones, and their artifacts
+// rebuild under the new canonical pointer.
 func (s *Store) Intern(c *circuit.Circuit) *circuit.Circuit {
 	fp := c.Fingerprint() // outside the lock: may compute lazily
 	s.internMu.Lock()
@@ -123,8 +162,21 @@ func (s *Store) Intern(c *circuit.Circuit) *circuit.Circuit {
 		}
 	}
 	if s.internCount >= 4*s.cap {
-		s.interned = make(map[uint64][]*circuit.Circuit)
-		s.internCount = 0
+		// Shed roughly half the identities instead of flushing the
+		// table wholesale: with untrusted inputs (an HTTP server
+		// interning client netlists) a stream of unique designs then
+		// degrades incrementally — most hot identities survive each
+		// trim — rather than invalidating every canonical pointer at
+		// once and triggering a recompile storm for all of them.
+		// Which buckets go is pseudo-random (map iteration order).
+		target := 2 * s.cap
+		for fp, list := range s.interned {
+			s.internCount -= len(list)
+			delete(s.interned, fp)
+			if s.internCount <= target {
+				break
+			}
+		}
 	}
 	s.interned[fp] = append(s.interned[fp], c)
 	s.internCount++
@@ -139,15 +191,18 @@ func (s *Store) get(k key, build func() (any, error)) (any, error) {
 	e, ok := s.entries[k]
 	if ok {
 		s.lru.MoveToFront(e.elem)
+		s.hits.Add(1)
 	} else {
 		e = &entry{key: k}
 		e.elem = s.lru.PushFront(e)
 		s.entries[k] = e
+		s.builds.Add(1)
 		for s.lru.Len() > s.cap {
 			back := s.lru.Back()
 			old := back.Value.(*entry)
 			s.lru.Remove(back)
 			delete(s.entries, old.key)
+			s.evictions.Add(1)
 		}
 	}
 	s.mu.Unlock()
@@ -156,6 +211,10 @@ func (s *Store) get(k key, build func() (any, error)) (any, error) {
 	if e.err != nil {
 		s.mu.Lock()
 		if cur, ok := s.entries[k]; ok && cur == e {
+			// First observer of the failure removes the entry (and
+			// counts the failed build exactly once); concurrent
+			// waiters on the same build just return the error.
+			s.buildErrs.Add(1)
 			s.lru.Remove(e.elem)
 			delete(s.entries, k)
 		}

@@ -155,3 +155,45 @@ func TestSharedDerivedArtifacts(t *testing.T) {
 		t.Fatal("sim plan lost its fault list")
 	}
 }
+
+func TestStoreStats(t *testing.T) {
+	s := NewStore(16)
+	c := circuits.C17()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("fresh store stats = %+v, want zeros", st)
+	}
+	if _, err := s.Program(c, core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Builds != 1 || st.Hits != 0 {
+		t.Fatalf("after one cold lookup: %+v, want 1 build, 0 hits", st)
+	}
+	// A warm lookup — even from an independently built equal circuit —
+	// must not rebuild: interning routes it to the cached entry.
+	if _, err := s.Program(circuits.C17(), core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Builds != 1 || st.Hits != 1 {
+		t.Fatalf("after warm lookup: %+v, want 1 build, 1 hit", st)
+	}
+	// Different params are a different artifact.
+	if _, err := s.Program(c, core.FastParams()); err != nil {
+		t.Fatal(err)
+	}
+	if st = s.Stats(); st.Builds != 2 {
+		t.Fatalf("after second param set: %+v, want 2 builds", st)
+	}
+}
+
+func TestStoreStatsEvictions(t *testing.T) {
+	s := NewStore(1)
+	c := circuits.C17()
+	s.Faults(c)
+	s.SimPlan(c) // evicts the fault-list entry (capacity 1)
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("capacity-1 store recorded no evictions: %+v", st)
+	}
+}

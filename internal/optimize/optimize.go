@@ -41,7 +41,9 @@ import (
 
 // Options controls the hill climbing.
 type Options struct {
-	// Grid is the probability lattice denominator (default 16).
+	// Grid is the probability lattice denominator.  Any value <= 1 is
+	// the sentinel for "default": the climb needs a real lattice to
+	// move on, so it uses the paper's 16.
 	Grid int
 	// N is the numerical pattern-count parameter of J_N.  When 0 it is
 	// chosen automatically as ~0.7/p_min from the initial analysis, so
@@ -62,16 +64,27 @@ type Options struct {
 	Params *core.Params
 	// Workers scores the candidate steps of one coordinate
 	// concurrently on that many goroutines (each owning a cloned
-	// analyzer).  0 or 1 evaluates serially; negative selects
-	// GOMAXPROCS.  The accepted moves — and therefore Result.Probs and
+	// analyzer).  The zero value is a sentinel: it evaluates serially
+	// here, and when the climb runs through a Session it adopts the
+	// Session's WithWorkers / per-call Workers default instead.  1
+	// always forces serial scoring; negative selects GOMAXPROCS.  The
+	// accepted moves — and therefore Result.Probs and
 	// Result.Objective — are identical for every worker count; only
 	// Result.Evaluations varies, because parallel scoring cannot stop
 	// at the first improvement.
 	Workers int
 	// Restarts adds random restarts around the best tuple (default 0).
 	Restarts int
-	// Seed drives restart randomization.
+	// Seed drives restart randomization.  Every value is a valid seed
+	// (pattern.NewRNG treats 0 like any other), but the zero value
+	// doubles as a sentinel when the climb runs through a Session:
+	// Seed == 0 with SeedSet false adopts the Session seed.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen.  The zero Options value
+	// keeps its documented "default to the Session seed" behavior; set
+	// SeedSet to make an explicit Seed = 0 stick, so seed-0 runs are
+	// reproducible instead of silently reseeded.
+	SeedSet bool
 	// OnImprove, when non-nil, is called after each improving move.
 	OnImprove func(sweep int, input int, objective float64)
 	// OnSweep, when non-nil, is called after each completed coordinate

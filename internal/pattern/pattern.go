@@ -129,8 +129,19 @@ func (g *Generator) NextBlock(words []uint64) {
 // inside [1/grid, (grid-1)/grid].  Hardware weighted-pattern generators
 // (the NLFSRs of [KuWu84]) realize probabilities on such a grid; the
 // paper's Table 4 uses grid = 16.
+//
+// A grid <= 1 has no lattice point strictly inside (0,1), so it means
+// "no quantization": the input is returned unchanged (as a fresh
+// slice).  This matches the PipelineSpec.QuantizeGrid contract and
+// rules out the degenerate grids that used to produce invalid
+// probability vectors (grid = 0 divided by zero, grid = 1 clamped
+// everything to 0).
 func QuantizeGrid(probs []float64, grid int) []float64 {
 	out := make([]float64, len(probs))
+	if grid <= 1 {
+		copy(out, probs)
+		return out
+	}
 	for i, p := range probs {
 		k := math.Round(p * float64(grid))
 		if k < 1 {

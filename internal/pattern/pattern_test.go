@@ -138,6 +138,45 @@ func TestQuantizeGrid(t *testing.T) {
 	}
 }
 
+func TestQuantizeGridEdgeGrids(t *testing.T) {
+	in := []float64{0.0, 0.03, 0.5, 0.62, 0.94, 1.0}
+	cases := []struct {
+		name string
+		grid int
+		want []float64
+	}{
+		// grid <= 1 has no lattice point inside (0,1): no quantization.
+		{"negative", -1, in},
+		{"zero", 0, in},
+		{"one", 1, in},
+		// grid = 2 is the smallest real lattice: everything snaps to 1/2.
+		{"two", 2, []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}},
+		// grid = 16 is the paper's Table 4 lattice.
+		{"sixteen", 16, []float64{1.0 / 16, 1.0 / 16, 8.0 / 16, 10.0 / 16, 15.0 / 16, 15.0 / 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := QuantizeGrid(in, tc.grid)
+			if len(out) != len(in) {
+				t.Fatalf("QuantizeGrid(len %d, grid %d) returned len %d", len(in), tc.grid, len(out))
+			}
+			for i := range tc.want {
+				if math.Abs(out[i]-tc.want[i]) > 1e-12 {
+					t.Errorf("QuantizeGrid(grid %d)[%d] = %v, want %v", tc.grid, i, out[i], tc.want[i])
+				}
+				if math.IsNaN(out[i]) || math.IsInf(out[i], 0) || out[i] < 0 || out[i] > 1 {
+					t.Errorf("QuantizeGrid(grid %d)[%d] = %v is not a probability", tc.grid, i, out[i])
+				}
+			}
+			// The result must always be a fresh slice: quantized tuples
+			// feed generators and reports that outlive the input.
+			if len(in) > 0 && &out[0] == &in[0] {
+				t.Errorf("QuantizeGrid(grid %d) aliases its input", tc.grid)
+			}
+		})
+	}
+}
+
 func TestQuantizeGridProperty(t *testing.T) {
 	f := func(raw uint16) bool {
 		p := float64(raw) / 65535

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy is returned by admit when both the in-flight bound and the
+// queue are full; handlers translate it into 429 Too Many Requests.
+var errBusy = errors.New("server: at capacity")
+
+// admission is two-level admission control: up to cap(slots) requests
+// execute concurrently, up to queue more wait for a slot, and anything
+// beyond that is rejected immediately — overload produces fast 429s
+// instead of an unbounded goroutine pileup with ever-growing latency.
+type admission struct {
+	slots  chan struct{}
+	queue  int64
+	queued atomic.Int64
+}
+
+func newAdmission(inFlight, queue int) *admission {
+	return &admission{slots: make(chan struct{}, inFlight), queue: int64(queue)}
+}
+
+// admit reserves an execution slot, waiting in the bounded queue when
+// every slot is busy.  It fails with errBusy when the queue is full
+// too, and with ctx.Err() when the caller gives up (disconnects)
+// while queued.  Every successful admit must be paired with release.
+func (a *admission) admit(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.queue {
+		a.queued.Add(-1)
+		return errBusy
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight and waiting are point-in-time gauges for health reporting.
+func (a *admission) inFlight() int { return len(a.slots) }
+func (a *admission) waiting() int  { return int(a.queued.Load()) }

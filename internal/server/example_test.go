@@ -1,0 +1,40 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"protest/internal/server"
+)
+
+// Example starts the analysis service in-process and runs one pipeline
+// request against a registered benchmark circuit — the same flow
+// `protest serve` exposes on a real listener.
+func Example() {
+	srv := server.New(server.Config{MaxInFlight: 2, Seed: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(server.PipelineRequest{
+		CircuitRef: server.CircuitRef{Circuit: "c17"},
+	})
+	resp, err := http.Post(ts.URL+"/v1/pipeline", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("request failed:", err)
+		return
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+
+	var report struct {
+		Circuit string `json:"circuit"`
+		Faults  int    `json:"faults"`
+	}
+	_ = json.Unmarshal(data, &report)
+	fmt.Printf("%d %s %d faults\n", resp.StatusCode, report.Circuit, report.Faults)
+	// Output: 200 c17 28 faults
+}

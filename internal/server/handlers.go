@@ -1,0 +1,298 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"protest"
+	"protest/internal/artifact"
+)
+
+// CircuitRef selects the circuit a request operates on: a registered
+// benchmark name or an inline .bench netlist (exactly one of the two).
+type CircuitRef struct {
+	// Circuit names a registered benchmark (GET /v1/circuits lists
+	// them).
+	Circuit string `json:"circuit,omitempty"`
+	// Netlist is inline .bench source.  Structurally equal netlists —
+	// across requests and clients — resolve to one shared Session and
+	// one set of compiled artifacts.
+	Netlist string `json:"netlist,omitempty"`
+	// Name names an inline netlist's design (default "netlist").  The
+	// name is part of the circuit identity, so reusing one name for
+	// one design maximizes artifact sharing.
+	Name string `json:"name,omitempty"`
+}
+
+// resolveCircuit builds the referenced circuit, with a fast path for
+// registered benchmarks: the first request for a name interns the
+// freshly built circuit and caches the canonical instance, so warm
+// named requests skip the registry rebuild and the structural
+// fingerprint walk entirely.
+func (s *Server) resolveCircuit(ref *CircuitRef) (*protest.Circuit, error) {
+	if ref.Circuit != "" && ref.Netlist == "" {
+		if c, ok := s.benchCache.Load(ref.Circuit); ok {
+			return c.(*protest.Circuit), nil
+		}
+		c, err := ref.resolve()
+		if err != nil {
+			return nil, err
+		}
+		ci := artifact.Default.Intern(c)
+		s.benchCache.Store(ref.Circuit, ci)
+		return ci, nil
+	}
+	return ref.resolve()
+}
+
+// resolve builds the referenced circuit.
+func (ref *CircuitRef) resolve() (*protest.Circuit, error) {
+	switch {
+	case ref.Circuit != "" && ref.Netlist != "":
+		return nil, fmt.Errorf("set either circuit or netlist, not both")
+	case ref.Circuit != "":
+		c, ok := protest.Benchmark(ref.Circuit)
+		if !ok {
+			return nil, fmt.Errorf("unknown circuit %q (GET /v1/circuits lists the registered ones)", ref.Circuit)
+		}
+		return c, nil
+	case ref.Netlist != "":
+		name := ref.Name
+		if name == "" {
+			name = "netlist"
+		}
+		return protest.ParseNetlistString(ref.Netlist, name)
+	default:
+		return nil, fmt.Errorf("no circuit given: set circuit or netlist")
+	}
+}
+
+// PipelineRequest is the body of POST /v1/pipeline.
+type PipelineRequest struct {
+	CircuitRef
+	// Spec configures the run; the zero value is the paper's default
+	// pipeline (uniform analysis, test length, simulated validation).
+	Spec protest.PipelineSpec `json:"spec"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	CircuitRef
+	// InputProbs are per-input signal probabilities; empty means the
+	// conventional uniform tuple p = 0.5.
+	InputProbs []float64 `json:"input_probs,omitempty"`
+}
+
+// FaultReport is one fault row of an AnalyzeResponse.
+type FaultReport struct {
+	Name       string  `json:"name"`
+	DetectProb float64 `json:"detect_prob"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Circuit      string        `json:"circuit"`
+	Gates        int           `json:"gates"`
+	Inputs       int           `json:"inputs"`
+	Outputs      int           `json:"outputs"`
+	Faults       []FaultReport `json:"faults"`
+	HardestFault string        `json:"hardest_fault"`
+	HardestProb  float64       `json:"hardest_prob"`
+}
+
+// errorResponse is the JSON error envelope of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) respond(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors at this point mean the client is gone; there is
+	// nobody left to report them to.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	s.respond(w, status, errorResponse{Error: err.Error()})
+}
+
+// decode reads a bounded JSON body into v.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// admit applies admission control, writing the rejection response
+// itself when the request cannot run.
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) bool {
+	err := s.adm.admit(r.Context())
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errBusy):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusTooManyRequests, errBusy)
+	default:
+		// The client disconnected while queued; nobody is listening.
+		s.canceled.Add(1)
+	}
+	return false
+}
+
+// wantSSE reports whether the request asked for a server-sent event
+// stream (progress + report) instead of one JSON document.
+func wantSSE(r *http.Request) bool {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		return true
+	}
+	switch r.URL.Query().Get("stream") {
+	case "sse", "1", "true":
+		return true
+	}
+	return false
+}
+
+// statusFor maps an analysis error to an HTTP status: caller mistakes
+// (bad probabilities, empty fault lists, spec validation) are 400s,
+// anything else is a 500.
+func statusFor(err error) int {
+	if errors.Is(err, protest.ErrBadProbs) || errors.Is(err, protest.ErrNoFaults) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req PipelineRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	c, err := s.resolveCircuit(&req.CircuitRef)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.admitRequest(w, r) {
+		return
+	}
+	defer s.adm.release()
+	sess, err := s.reg.session(c)
+	if err != nil {
+		s.failed.Add(1)
+		s.error(w, statusFor(err), err)
+		return
+	}
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	ctx := r.Context()
+	spec := req.Spec
+	if wantSSE(r) {
+		stream, ok := newSSEStream(w)
+		if !ok {
+			s.failed.Add(1)
+			s.error(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+			return
+		}
+		spec.Progress = stream.progress
+		rep, err := sess.Run(ctx, spec)
+		switch {
+		case errors.Is(err, protest.ErrCanceled):
+			// Client disconnect mid-run: the work was aborted through
+			// the Session's cancellation paths; nobody is listening.
+			s.canceled.Add(1)
+		case err != nil:
+			s.failed.Add(1)
+			stream.event("error", errorResponse{Error: err.Error()})
+		default:
+			s.completed.Add(1)
+			stream.event("report", rep)
+		}
+		return
+	}
+
+	rep, err := sess.Run(ctx, spec)
+	switch {
+	case errors.Is(err, protest.ErrCanceled):
+		s.canceled.Add(1)
+	case err != nil:
+		s.failed.Add(1)
+		s.error(w, statusFor(err), err)
+	default:
+		s.completed.Add(1)
+		s.respond(w, http.StatusOK, rep)
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	c, err := s.resolveCircuit(&req.CircuitRef)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.admitRequest(w, r) {
+		return
+	}
+	defer s.adm.release()
+	sess, err := s.reg.session(c)
+	if err != nil {
+		s.failed.Add(1)
+		s.error(w, statusFor(err), err)
+		return
+	}
+
+	var probs []float64
+	if len(req.InputProbs) > 0 {
+		probs = req.InputProbs
+	}
+	res, err := sess.Analyze(r.Context(), probs)
+	switch {
+	case errors.Is(err, protest.ErrCanceled):
+		s.canceled.Add(1)
+		return
+	case err != nil:
+		s.failed.Add(1)
+		s.error(w, statusFor(err), err)
+		return
+	}
+
+	faults := sess.Faults()
+	detect := res.DetectProbs(faults)
+	resp := AnalyzeResponse{
+		Circuit: c.Name,
+		Faults:  make([]FaultReport, len(faults)),
+	}
+	st := sess.Circuit().Stats()
+	resp.Gates, resp.Inputs, resp.Outputs = st.Gates, st.Inputs, st.Outputs
+	hardest := 0
+	for i, f := range faults {
+		resp.Faults[i] = FaultReport{Name: f.Name(sess.Circuit()), DetectProb: detect[i]}
+		if detect[i] < detect[hardest] {
+			hardest = i
+		}
+	}
+	resp.HardestFault = resp.Faults[hardest].Name
+	resp.HardestProb = detect[hardest]
+	s.completed.Add(1)
+	s.respond(w, http.StatusOK, resp)
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"protest"
+	"protest/internal/artifact"
+)
+
+// registry keeps one shared Session per circuit identity.  Identity is
+// the artifact store's interned canonical circuit, so two requests
+// carrying independently parsed but structurally equal netlists land
+// on the same Session — and therefore on the same compiled artifacts
+// (analysis programs, fault lists, simulation plans).  Sessions are
+// lock-free and safe for unlimited concurrent use, so one per circuit
+// is exactly the right granularity for a server.
+//
+// The table is LRU-bounded.  Evicting a Session is cheap and safe:
+// requests already running on it keep it alive, and the expensive
+// compiled state stays cached in the artifact store, so a returning
+// circuit re-opens in microseconds.
+type registry struct {
+	opts []protest.Option
+	cap  int
+
+	mu       sync.Mutex
+	sessions map[*protest.Circuit]*list.Element
+	order    *list.List // of *regEntry; front = most recently used
+}
+
+type regEntry struct {
+	c *protest.Circuit
+	s *protest.Session
+}
+
+func newRegistry(capacity int, opts []protest.Option) *registry {
+	return &registry{
+		opts:     opts,
+		cap:      capacity,
+		sessions: make(map[*protest.Circuit]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// session returns the shared Session for c, opening one on first use.
+func (r *registry) session(c *protest.Circuit) (*protest.Session, error) {
+	c = artifact.Default.Intern(c)
+	r.mu.Lock()
+	if el, ok := r.sessions[c]; ok {
+		r.order.MoveToFront(el)
+		s := el.Value.(*regEntry).s
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	// Open outside the lock: a cold Open compiles artifacts, and the
+	// artifact store already singleflights concurrent builds of one
+	// circuit, so racing opens are cheap — the losers just adopt the
+	// registered winner below.
+	s, err := protest.Open(c, r.opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.sessions[c]; ok {
+		r.order.MoveToFront(el)
+		return el.Value.(*regEntry).s, nil
+	}
+	el := r.order.PushFront(&regEntry{c: c, s: s})
+	r.sessions[c] = el
+	for r.order.Len() > r.cap {
+		back := r.order.Back()
+		r.order.Remove(back)
+		delete(r.sessions, back.Value.(*regEntry).c)
+	}
+	return s, nil
+}
+
+// len reports the number of live Sessions (distinct circuits).
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}

@@ -1,0 +1,200 @@
+// Package server exposes the PROTEST analysis pipeline as a
+// long-running HTTP/JSON service on top of the lock-free Session core.
+//
+// The server keeps one concurrent Session per circuit identity:
+// requests naming the same registered benchmark — or carrying
+// structurally equal netlists — share one Session and therefore one
+// set of compiled artifacts (the artifact store interns circuits by
+// structural fingerprint), so only the first request for a design pays
+// the compilation cost.  Admission control bounds the work the process
+// accepts: MaxInFlight analyses execute concurrently, MaxQueue more
+// wait for a slot, and everything beyond that is answered 429 so
+// overload degrades into fast rejections instead of latency collapse.
+//
+// Endpoints:
+//
+//	POST /v1/pipeline   run the full paper pipeline, returning a Report;
+//	                    with Accept: text/event-stream (or ?stream=sse)
+//	                    phase progress and the final report arrive as
+//	                    server-sent events
+//	POST /v1/analyze    one analysis pass: per-fault detection
+//	                    probabilities for an input tuple
+//	GET  /v1/circuits   registered benchmark circuit names
+//	GET  /healthz       liveness, admission gauges, artifact-store stats
+//
+// Every handler runs under the request context, which net/http cancels
+// when the client disconnects — an abandoned request aborts its
+// analysis mid-phase through the Session's cancellation paths and
+// frees its slot.  Graceful shutdown is the caller's http.Server
+// Shutdown: it stops accepting and drains in-flight work.
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protest"
+	"protest/internal/artifact"
+)
+
+// Config tunes a Server.  The zero value serves with the documented
+// defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing analyses
+	// (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot beyond
+	// MaxInFlight (default 4×MaxInFlight); requests beyond that are
+	// answered 429 immediately.
+	MaxQueue int
+	// MaxSessions bounds the distinct circuits holding a live Session
+	// (default 64); least-recently-used Sessions are dropped, their
+	// compiled artifacts staying in the artifact store.
+	MaxSessions int
+	// MaxBodyBytes bounds request bodies, netlists included
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// Workers configures every Session the server opens (WithWorkers):
+	// 0 analyzes serially per request, negative selects GOMAXPROCS.
+	Workers int
+	// Seed seeds every Session's deterministic pattern streams
+	// (WithSeed); 0 selects the Session default of 1, so equal
+	// requests return bit-identical reports across server restarts.
+	Seed uint64
+	// Engine selects the fault-simulation engine (WithSimEngine); the
+	// zero value is the FFR engine.
+	Engine protest.SimEngine
+}
+
+func (c *Config) fill() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Server is the HTTP analysis service.  Create one with New and mount
+// Handler on an http.Server; all methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	adm   *admission
+	reg   *registry
+	mux   *http.ServeMux
+	start time.Time
+
+	// benchCache maps registered benchmark names to their canonical
+	// interned circuits, so warm named requests skip the per-request
+	// rebuild + structural fingerprint walk of the registry
+	// constructor.
+	benchCache sync.Map // string -> *protest.Circuit
+
+	requests  atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	canceled  atomic.Int64
+	failed    atomic.Int64
+
+	// testHookAdmitted, when non-nil, runs after a pipeline request is
+	// admitted and has resolved its Session, immediately before the
+	// run; tests use it to hold execution slots busy deterministically.
+	testHookAdmitted func()
+}
+
+// New creates a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg: cfg,
+		adm: newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		reg: newRegistry(cfg.MaxSessions, []protest.Option{
+			protest.WithSeed(cfg.Seed),
+			protest.WithWorkers(cfg.Workers),
+			protest.WithSimEngine(cfg.Engine),
+		}),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
+	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats is a snapshot of the server's request counters and gauges.
+type Stats struct {
+	// Requests counts every request reaching an analysis endpoint.
+	Requests int64 `json:"requests"`
+	// Completed counts analyses that returned a result.
+	Completed int64 `json:"completed"`
+	// Rejected counts 429 admission rejections.
+	Rejected int64 `json:"rejected"`
+	// Canceled counts analyses aborted by client disconnect.
+	Canceled int64 `json:"canceled"`
+	// Failed counts analyses that returned an error.
+	Failed int64 `json:"failed"`
+	// InFlight and Queued are the admission gauges right now.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// Sessions is the number of distinct circuits with a live Session.
+	Sessions int `json:"sessions"`
+}
+
+// Stats returns a snapshot of the server's counters.  Counters are
+// read individually, so a snapshot under concurrent traffic is
+// approximate.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		Completed: s.completed.Load(),
+		Rejected:  s.rejected.Load(),
+		Canceled:  s.canceled.Load(),
+		Failed:    s.failed.Load(),
+		InFlight:  s.adm.inFlight(),
+		Queued:    s.adm.waiting(),
+		Sessions:  s.reg.len(),
+	}
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Stats         Stats          `json:"stats"`
+	Store         artifact.Stats `json:"store"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Stats:         s.Stats(),
+		Store:         artifact.Default.Stats(),
+	})
+}
+
+// circuitsResponse is the body of GET /v1/circuits.
+type circuitsResponse struct {
+	Circuits []string `json:"circuits"`
+}
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, http.StatusOK, circuitsResponse{Circuits: protest.BenchmarkNames()})
+}

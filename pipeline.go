@@ -31,12 +31,14 @@ type PipelineSpec struct {
 	// documented defaults with the Session's fast parameters.
 	OptimizeOptions OptimizeOptions `json:"-"`
 	// QuantizeGrid snaps the optimized tuple onto the k/grid lattice a
-	// hardware generator realizes (default 16; any value <= 1 other
-	// than 0 disables quantization).
+	// hardware generator realizes.  The zero value selects the paper's
+	// default of 16; any other value <= 1 (e.g. -1 or 1) disables
+	// quantization and keeps the climb's exact tuple, matching
+	// QuantizeProbs, which returns its input unchanged for such grids.
 	QuantizeGrid int `json:"quantize_grid"`
-	// SimPatterns fixes the fault-simulation budget per plan.  When 0
-	// the budget is the plan's computed test length, capped at
-	// MaxSimPatterns.
+	// SimPatterns fixes the fault-simulation budget per plan.  Any
+	// value <= 0 means "derive it": the budget is the plan's computed
+	// test length, capped at MaxSimPatterns.
 	SimPatterns int `json:"sim_patterns"`
 	// MaxSimPatterns caps the derived simulation budget (default 4096)
 	// so circuits with astronomical uniform test lengths — COMP needs
@@ -55,6 +57,13 @@ type PipelineSpec struct {
 	// this run; the zero value keeps the Session default.  Every
 	// engine produces bit-identical results (see WithSimEngine).
 	SimEngine SimEngine `json:"sim_engine,omitempty"`
+	// Progress, when non-nil, overrides the Session's WithProgress
+	// callback for this run only, receiving the same (phase, fraction)
+	// stream.  It lets several callers share one concurrent Session
+	// and still observe their own run — the HTTP server uses it to
+	// stream per-request progress — and must be safe for concurrent
+	// calls when the run uses multiple workers.
+	Progress func(Phase, float64) `json:"-"`
 }
 
 func (spec *PipelineSpec) fill() error {
@@ -77,6 +86,15 @@ func (spec *PipelineSpec) fill() error {
 		spec.MaxSimPatterns = 4096
 	}
 	return nil
+}
+
+// Validate reports whether the spec's explicitly set fields are inside
+// their documented ranges, without modifying the spec.  Run performs
+// the same checks itself (plus defaulting), so Validate is only needed
+// to reject a bad spec early — e.g. at a service boundary, before the
+// request is admitted and queued.
+func (spec PipelineSpec) Validate() error {
+	return spec.fill()
 }
 
 // Report is the serializable outcome of one Session.Run pipeline: the
@@ -192,6 +210,9 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	if spec.SimEngine != SimEngineFFR {
 		cfg.engine = spec.SimEngine
 	}
+	if spec.Progress != nil {
+		cfg.progress = spec.Progress
+	}
 
 	st := s.c.Stats()
 	rep := &Report{
@@ -221,7 +242,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 		}
 		weights = opt.Probs
 		if spec.QuantizeGrid > 1 {
-			s.emit(PhaseQuantize, 1)
+			cfg.emit(PhaseQuantize, 1)
 			weights = pattern.QuantizeGrid(weights, spec.QuantizeGrid)
 		}
 		optimized, err := s.planReport(ctx, spec, weights, cfg)
@@ -247,7 +268,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 		}
 	}
 
-	s.emit(PhaseSummarize, 1)
+	cfg.emit(PhaseSummarize, 1)
 	return rep, nil
 }
 
@@ -255,7 +276,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 // uniform): analysis, test length, fault-simulation validation, and
 // the estimated-vs-simulated summary.
 func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []float64, cfg runCfg) (*PlanReport, error) {
-	res, err := s.analyze(ctx, probs)
+	res, err := s.analyze(ctx, probs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +295,7 @@ func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []flo
 	plan.HardestFault = s.faults[hardest].Name(s.c)
 	plan.HardestProb = detect[hardest]
 
-	s.emit(PhaseTestLength, 1)
+	cfg.emit(PhaseTestLength, 1)
 	n, err := testlen.RequiredFraction(detect, spec.Fraction, spec.Confidence)
 	if err != nil {
 		plan.TestLength = -1

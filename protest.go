@@ -297,7 +297,11 @@ func NewWeightedGenerator(probs []float64, seed uint64) (*Generator, error) {
 }
 
 // QuantizeProbs snaps probabilities onto the k/grid lattice realizable
-// by hardware weighted-pattern generators (Table 4 uses grid = 16).
+// by hardware weighted-pattern generators (Table 4 uses grid = 16),
+// clamping to [1/grid, (grid-1)/grid].  A grid <= 1 has no such
+// lattice and means "no quantization": the input probabilities are
+// returned unchanged (as a fresh slice) — the same contract
+// PipelineSpec.QuantizeGrid documents.
 func QuantizeProbs(probs []float64, grid int) []float64 {
 	return pattern.QuantizeGrid(probs, grid)
 }

@@ -188,23 +188,24 @@ func (s *Session) Faults() []Fault {
 	return append([]Fault(nil), s.faults...)
 }
 
-func (s *Session) emit(ph Phase, frac float64) {
-	if s.progress != nil {
-		s.progress(ph, frac)
-	}
-}
-
 // runCfg is the effective per-call configuration: the Session defaults
-// with any per-call overrides (PipelineSpec.Workers / SimEngine)
-// applied.  Threading it through instead of mutating Session fields is
-// what keeps concurrent calls isolated.
+// with any per-call overrides (PipelineSpec.Workers / SimEngine /
+// Progress) applied.  Threading it through instead of mutating Session
+// fields is what keeps concurrent calls isolated.
 type runCfg struct {
-	workers int
-	engine  SimEngine
+	workers  int
+	engine   SimEngine
+	progress func(Phase, float64)
 }
 
 func (s *Session) cfg() runCfg {
-	return runCfg{workers: s.workers, engine: s.simEngine}
+	return runCfg{workers: s.workers, engine: s.simEngine, progress: s.progress}
+}
+
+func (cfg runCfg) emit(ph Phase, frac float64) {
+	if cfg.progress != nil {
+		cfg.progress(ph, frac)
+	}
 }
 
 // Analyze estimates signal probabilities, observabilities and (through
@@ -212,7 +213,7 @@ func (s *Session) cfg() runCfg {
 // tuple.  A nil inputProbs means the conventional uniform tuple
 // p_i = 0.5.
 func (s *Session) Analyze(ctx context.Context, inputProbs []float64) (*Analysis, error) {
-	res, err := s.analyze(ctx, inputProbs)
+	res, err := s.analyze(ctx, inputProbs, s.cfg())
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +229,7 @@ func (s *Session) Analyze(ctx context.Context, inputProbs []float64) (*Analysis,
 // analyze is Analyze without the defensive copy, for use inside the
 // pipeline.  It caches the uniform analysis, which TestLength reuses;
 // the cached Analysis is shared and must be treated as read-only.
-func (s *Session) analyze(ctx context.Context, inputProbs []float64) (*Analysis, error) {
+func (s *Session) analyze(ctx context.Context, inputProbs []float64, cfg runCfg) (*Analysis, error) {
 	uniform := inputProbs == nil
 	if uniform {
 		if res := s.baseline.Load(); res != nil {
@@ -236,12 +237,12 @@ func (s *Session) analyze(ctx context.Context, inputProbs []float64) (*Analysis,
 		}
 		inputProbs = core.UniformProbs(s.c)
 	}
-	s.emit(PhaseAnalyze, 0)
+	cfg.emit(PhaseAnalyze, 0)
 	res, err := s.prog.RunCtx(ctx, inputProbs)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
-	s.emit(PhaseAnalyze, 1)
+	cfg.emit(PhaseAnalyze, 1)
 	if uniform {
 		// Concurrent cold calls may race to publish; every candidate is
 		// bit-identical (same program, same tuple), so first-in wins and
@@ -260,7 +261,7 @@ func (s *Session) analyze(ctx context.Context, inputProbs []float64) (*Analysis,
 // (uncancellable) analysis pass.  To keep that pass under a context,
 // prime the cache with Analyze(ctx, nil) first.
 func (s *Session) TestLength(d, e float64) (int64, error) {
-	res, err := s.analyze(context.Background(), nil)
+	res, err := s.analyze(context.Background(), nil, s.cfg())
 	if err != nil {
 		return 0, err
 	}
@@ -296,9 +297,11 @@ func (s *Session) ensureBIST() *bist.Program {
 
 // Optimize hill-climbs the per-input signal probabilities to maximize
 // the estimated whole-set detection probability J_N (section 6 of the
-// paper).  The zero Options value selects the documented defaults;
-// opt.Params defaults to the Session's fast parameters and opt.Seed to
-// the Session seed.
+// paper).  The zero Options value selects the documented defaults:
+// opt.Params defaults to the Session's fast parameters, opt.Workers
+// (when 0) to the Session's worker count, and opt.Seed (when 0 and
+// opt.SeedSet is false) to the Session seed — set opt.SeedSet to run
+// with an explicit seed 0.
 func (s *Session) Optimize(ctx context.Context, opt OptimizeOptions) (*OptimizeResult, error) {
 	return s.optimize(ctx, s.faults, opt, s.cfg())
 }
@@ -319,13 +322,15 @@ func (s *Session) optimize(ctx context.Context, faults []Fault, opt OptimizeOpti
 // from this Session or any other on the same circuit — share one
 // compiled plan per parameter set.
 func (s *Session) optimizeProgram(opt *OptimizeOptions, cfg runCfg) (*core.Program, error) {
-	if opt.Seed == 0 {
+	// Seed 0 is a valid RNG seed; only an *unset* seed (zero value
+	// without SeedSet) falls back to the Session seed.
+	if opt.Seed == 0 && !opt.SeedSet {
 		opt.Seed = s.seed
 	}
 	if opt.Workers == 0 {
 		opt.Workers = cfg.workers
 	}
-	if s.progress != nil && opt.OnSweep == nil {
+	if cfg.progress != nil && opt.OnSweep == nil {
 		opt.OnSweep = func(done, max int) {
 			// Sweep counts accumulate across restart climbs, so the
 			// ratio can pass 1; clamp to keep the [0,1] contract.
@@ -333,7 +338,7 @@ func (s *Session) optimizeProgram(opt *OptimizeOptions, cfg runCfg) (*core.Progr
 			if frac > 1 {
 				frac = 1
 			}
-			s.emit(PhaseOptimize, frac)
+			cfg.emit(PhaseOptimize, frac)
 		}
 	}
 	if opt.Params == nil {
@@ -388,9 +393,9 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 	if err != nil {
 		return nil, err
 	}
-	s.emit(PhaseSimulate, 0)
+	cfg.emit(PhaseSimulate, 0)
 	progress := func(done, total int) {
-		s.emit(PhaseSimulate, float64(done)/float64(total))
+		cfg.emit(PhaseSimulate, float64(done)/float64(total))
 	}
 	var res *SimResult
 	if cfg.engine == SimEngineNaive {
@@ -412,7 +417,7 @@ func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoint
 		return nil, err
 	}
 	progress := func(done, total int) {
-		s.emit(PhaseSimulate, float64(done)/float64(total))
+		cfg.emit(PhaseSimulate, float64(done)/float64(total))
 	}
 	var points []CoveragePoint
 	if cfg.engine == SimEngineNaive {
@@ -448,9 +453,9 @@ func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan, c
 	if plan.Engine == SimEngineFFR {
 		plan.Engine = cfg.engine
 	}
-	s.emit(PhaseBIST, 0)
+	cfg.emit(PhaseBIST, 0)
 	res, err := s.ensureBIST().RunCtx(ctx, gen, plan, func(done, total int) {
-		s.emit(PhaseBIST, float64(done)/float64(total))
+		cfg.emit(PhaseBIST, float64(done)/float64(total))
 	})
 	return res, wrapCanceled(err)
 }
