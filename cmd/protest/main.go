@@ -102,7 +102,8 @@ subcommands:
   bist      simulate a self-test session with MISR signature compaction
   exact     exact signal probabilities via BDDs, vs the estimator
   serve     HTTP/JSON analysis service (POST /v1/pipeline, /v1/analyze;
-            admission control, SSE progress, graceful drain)
+            async /v1/jobs with resumable SSE; request coalescing and
+            micro-batching; admission control, graceful drain)
 
 run 'protest <subcommand> -h' for flags.
 `)

@@ -27,6 +27,12 @@ func runServe(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "session seed for every deterministic pattern stream")
 	engineName := fs.String("engine", "", "fault-simulation engine: ffr (default) or naive")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain `timeout`")
+	jobWorkers := fs.Int("job-workers", 0, "worker pool executing async /v1/jobs (0 = 2)")
+	jobStore := fs.Int("job-store", 0, "max jobs held by the job store before 429 (0 = 256)")
+	jobTTL := fs.Duration("job-ttl", 0, "retention of finished jobs and their reports (0 = 15m)")
+	batchSize := fs.Int("batch-size", 0, "flush an analyze micro-batch at this many requests (0 = 16)")
+	batchWait := fs.Duration("batch-wait", 0, "max wait before a partial analyze batch flushes (0 = 2ms)")
+	noCoalesce := fs.Bool("no-coalesce", false, "disable request coalescing and micro-batching (A/B testing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,7 +48,14 @@ func runServe(ctx context.Context, args []string) error {
 		Workers:     *workers,
 		Seed:        *seed,
 		Engine:      engine,
+		JobWorkers:  *jobWorkers,
+		JobStoreCap: *jobStore,
+		JobTTL:      *jobTTL,
+		BatchSize:   *batchSize,
+		BatchWait:   *batchWait,
+		NoCoalesce:  *noCoalesce,
 	})
+	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

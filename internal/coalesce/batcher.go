@@ -1,0 +1,202 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBatcherClosed is returned by Submit after Close.
+var ErrBatcherClosed = errors.New("coalesce: batcher closed")
+
+// Batcher accumulates concurrent requests per key and flushes each
+// batch through one callback — accumulate, flush on N requests or
+// after the max-wait window, fan the results back out to the callers.
+// One flush handles work that would otherwise cost one evaluation per
+// request: the callback sees the whole batch at once and can
+// deduplicate identical members or amortize shared setup.
+//
+// Create Batchers with NewBatcher; the zero value is not usable.
+type Batcher[K comparable, Req, Resp any] struct {
+	size  int
+	wait  time.Duration
+	flush func(key K, reqs []Req) ([]Resp, error)
+
+	// timer schedules the max-wait flush of a batch; swap it for a
+	// manual trigger in tests (see SetTimer).  The returned stop
+	// reports whether it prevented fire from running.
+	timer func(d time.Duration, fire func()) (stop func() bool)
+
+	mu      sync.Mutex
+	pending map[K]*batch[Req, Resp]
+	closed  bool
+
+	flushes  atomic.Int64
+	requests atomic.Int64
+}
+
+// batch is one accumulating batch for a key.
+type batch[Req, Resp any] struct {
+	reqs []Req
+	chs  []chan batchResult[Resp]
+	stop func() bool
+}
+
+type batchResult[Resp any] struct {
+	resp Resp
+	err  error
+}
+
+// NewBatcher creates a Batcher flushing each per-key batch through fn
+// when it holds size requests, or wait after its first request,
+// whichever comes first.  fn must return one response per request, in
+// request order; its error (or a response-count mismatch) is delivered
+// to every caller of the batch.  fn runs on the goroutine of the
+// request that completed the batch (size trigger) or on a timer
+// goroutine (wait trigger); it must be safe for concurrent invocation
+// across keys and across successive batches of one key.
+func NewBatcher[K comparable, Req, Resp any](size int, wait time.Duration, fn func(key K, reqs []Req) ([]Resp, error)) *Batcher[K, Req, Resp] {
+	if size < 1 {
+		size = 1
+	}
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return &Batcher[K, Req, Resp]{
+		size:  size,
+		wait:  wait,
+		flush: fn,
+		timer: func(d time.Duration, fire func()) func() bool {
+			return time.AfterFunc(d, fire).Stop
+		},
+		pending: make(map[K]*batch[Req, Resp]),
+	}
+}
+
+// SetTimer replaces the max-wait timer, the deterministic clock hook
+// for tests: the replacement receives the wait duration and the flush
+// trigger and returns a stop function reporting whether it prevented
+// the trigger.  Call it before the first Submit.
+func (b *Batcher[K, Req, Resp]) SetTimer(timer func(d time.Duration, fire func()) (stop func() bool)) {
+	b.timer = timer
+}
+
+// BatcherStats is a snapshot of a Batcher's counters.
+type BatcherStats struct {
+	// Flushes counts batches flushed.
+	Flushes int64 `json:"flushes"`
+	// Requests counts requests that went through a batch, so
+	// Requests/Flushes is the mean batch size.
+	Requests int64 `json:"requests"`
+	// MeanSize is Requests/Flushes, 0 before the first flush.
+	MeanSize float64 `json:"mean_size"`
+}
+
+// Stats returns a snapshot of the batcher's counters.
+func (b *Batcher[K, Req, Resp]) Stats() BatcherStats {
+	st := BatcherStats{Flushes: b.flushes.Load(), Requests: b.requests.Load()}
+	if st.Flushes > 0 {
+		st.MeanSize = float64(st.Requests) / float64(st.Flushes)
+	}
+	return st
+}
+
+// Submit adds req to the key's accumulating batch and blocks until the
+// batch is flushed and the per-request response arrives, or ctx ends.
+// A caller whose ctx ends while waiting detaches without disturbing
+// the batch: the flush still runs for the remaining members.
+func (b *Batcher[K, Req, Resp]) Submit(ctx context.Context, key K, req Req) (Resp, error) {
+	// Buffered so the flusher never blocks on a departed caller.
+	ch := make(chan batchResult[Resp], 1)
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		var zero Resp
+		return zero, ErrBatcherClosed
+	}
+	bt, ok := b.pending[key]
+	if !ok {
+		bt = &batch[Req, Resp]{}
+		b.pending[key] = bt
+		bt.stop = b.timer(b.wait, func() {
+			b.take(key, bt)
+		})
+	}
+	bt.reqs = append(bt.reqs, req)
+	bt.chs = append(bt.chs, ch)
+	full := len(bt.reqs) >= b.size
+	if full {
+		// Detach under the lock so no request can slip in behind the
+		// size trigger; the flush itself runs outside it.
+		delete(b.pending, key)
+	}
+	b.mu.Unlock()
+
+	if full {
+		bt.stop()
+		b.run(key, bt)
+	}
+
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		var zero Resp
+		return zero, ctx.Err()
+	}
+}
+
+// take detaches the batch on the max-wait trigger and flushes it,
+// unless the size trigger got there first.
+func (b *Batcher[K, Req, Resp]) take(key K, bt *batch[Req, Resp]) {
+	b.mu.Lock()
+	cur, ok := b.pending[key]
+	if !ok || cur != bt {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.pending, key)
+	b.mu.Unlock()
+	b.run(key, bt)
+}
+
+// run flushes one detached batch and distributes the results.
+func (b *Batcher[K, Req, Resp]) run(key K, bt *batch[Req, Resp]) {
+	b.flushes.Add(1)
+	b.requests.Add(int64(len(bt.reqs)))
+	resps, err := b.flush(key, bt.reqs)
+	if err == nil && len(resps) != len(bt.reqs) {
+		err = fmt.Errorf("coalesce: flush returned %d responses for %d requests", len(resps), len(bt.reqs))
+	}
+	for i, ch := range bt.chs {
+		if err != nil {
+			var zero Resp
+			ch <- batchResult[Resp]{resp: zero, err: err}
+		} else {
+			ch <- batchResult[Resp]{resp: resps[i]}
+		}
+	}
+}
+
+// Close flushes every pending batch immediately and rejects further
+// Submits with ErrBatcherClosed.  It does not wait for in-flight
+// flushes started by other goroutines.
+func (b *Batcher[K, Req, Resp]) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	pending := b.pending
+	b.pending = make(map[K]*batch[Req, Resp])
+	b.mu.Unlock()
+	for key, bt := range pending {
+		bt.stop()
+		b.run(key, bt)
+	}
+}

@@ -1,0 +1,276 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// neverFire installs a timer that never triggers, so only the size
+// bound can flush — the deterministic setup for size-trigger tests.
+func neverFire[K comparable, Req, Resp any](b *Batcher[K, Req, Resp]) {
+	b.SetTimer(func(d time.Duration, fire func()) func() bool {
+		return func() bool { return true }
+	})
+}
+
+// manualTimer captures the pending fire functions so the test drives
+// the max-wait trigger by hand.
+type manualTimer struct {
+	mu    sync.Mutex
+	fires []func()
+}
+
+func (m *manualTimer) install(d time.Duration, fire func()) func() bool {
+	m.mu.Lock()
+	m.fires = append(m.fires, fire)
+	m.mu.Unlock()
+	return func() bool { return false }
+}
+
+func (m *manualTimer) fire(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		if len(m.fires) > 0 {
+			f := m.fires[0]
+			m.fires = m.fires[1:]
+			m.mu.Unlock()
+			f()
+			return
+		}
+		m.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no pending batch timer to fire")
+}
+
+// Filling a batch to the size bound must flush exactly once, and every
+// caller must receive the response for its own request.
+func TestBatcherSizeTrigger(t *testing.T) {
+	b := NewBatcher(4, time.Hour, func(key string, reqs []int) ([]int, error) {
+		out := make([]int, len(reqs))
+		for i, r := range reqs {
+			out[i] = r * 10
+		}
+		return out, nil
+	})
+	neverFire(b)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := b.Submit(context.Background(), "k", i)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if v != i*10 {
+				t.Errorf("submit %d got %d, want %d (responses misrouted)", i, v, i*10)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := b.Stats()
+	if st.Flushes != 1 || st.Requests != 4 || st.MeanSize != 4 {
+		t.Errorf("stats = %+v, want 1 flush of 4", st)
+	}
+}
+
+// A partial batch must flush on the max-wait trigger.
+func TestBatcherWaitTrigger(t *testing.T) {
+	var flushed [][]int
+	var mu sync.Mutex
+	b := NewBatcher(100, time.Hour, func(key string, reqs []int) ([]int, error) {
+		mu.Lock()
+		flushed = append(flushed, append([]int(nil), reqs...))
+		mu.Unlock()
+		return make([]int, len(reqs)), nil
+	})
+	mt := &manualTimer{}
+	b.SetTimer(mt.install)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), "k", 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Wait until both requests sit in the pending batch, then fire the
+	// max-wait trigger by hand.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		n := 0
+		if bt, ok := b.pending["k"]; ok {
+			n = len(bt.reqs)
+		}
+		b.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("requests never accumulated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mt.fire(t)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushed) != 1 || len(flushed[0]) != 2 {
+		t.Fatalf("flushed = %v, want one batch of 2", flushed)
+	}
+}
+
+// A flush error must fan out to every member of the batch.
+func TestBatcherErrorFanout(t *testing.T) {
+	boom := errors.New("boom")
+	b := NewBatcher(3, time.Hour, func(key string, reqs []int) ([]int, error) {
+		return nil, boom
+	})
+	neverFire(b)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), "k", 1); !errors.Is(err, boom) {
+				t.Errorf("got %v, want boom", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// A response-count mismatch is a flush bug; it must surface as an
+// error to the callers rather than a misrouted or dropped response.
+func TestBatcherCountMismatch(t *testing.T) {
+	b := NewBatcher(2, time.Hour, func(key string, reqs []int) ([]int, error) {
+		return []int{1}, nil // one response for two requests
+	})
+	neverFire(b)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), "k", 1); err == nil {
+				t.Error("count mismatch went unnoticed")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// A caller whose context ends while the batch accumulates detaches
+// without disturbing the batch: the flush still carries its request.
+func TestBatcherCallerCancel(t *testing.T) {
+	var got []int
+	var mu sync.Mutex
+	b := NewBatcher(2, time.Hour, func(key string, reqs []int) ([]int, error) {
+		mu.Lock()
+		got = append([]int(nil), reqs...)
+		mu.Unlock()
+		return make([]int, len(reqs)), nil
+	})
+	neverFire(b)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, "k", 1)
+		first <- err
+	}()
+	// Wait for the first request to be pending, then abandon it.
+	waitFor(t, "first request to accumulate", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		bt, ok := b.pending["k"]
+		return ok && len(bt.reqs) == 1
+	})
+	cancel()
+	if err := <-first; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled caller got %v, want context.Canceled", err)
+	}
+
+	// The second request completes the batch; the flush must still see
+	// both requests.
+	if _, err := b.Submit(context.Background(), "k", 2); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("flush saw %v, want both requests", got)
+	}
+}
+
+// Distinct keys accumulate and flush independently.
+func TestBatcherDistinctKeys(t *testing.T) {
+	b := NewBatcher(1, time.Hour, func(key string, reqs []int) ([]int, error) {
+		out := make([]int, len(reqs))
+		for i, r := range reqs {
+			out[i] = r + len(key)
+		}
+		return out, nil
+	})
+	neverFire(b)
+	defer b.Close()
+
+	if v, err := b.Submit(context.Background(), "a", 1); err != nil || v != 2 {
+		t.Fatalf("key a: v=%d err=%v", v, err)
+	}
+	if v, err := b.Submit(context.Background(), "bb", 1); err != nil || v != 3 {
+		t.Fatalf("key bb: v=%d err=%v", v, err)
+	}
+	if st := b.Stats(); st.Flushes != 2 {
+		t.Errorf("flushes = %d, want 2", st.Flushes)
+	}
+}
+
+// Close flushes what is pending and rejects later submits.
+func TestBatcherClose(t *testing.T) {
+	b := NewBatcher(100, time.Hour, func(key string, reqs []int) ([]int, error) {
+		return make([]int, len(reqs)), nil
+	})
+	mt := &manualTimer{}
+	b.SetTimer(mt.install)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), "k", 1)
+		done <- err
+	}()
+	waitFor(t, "request to accumulate", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		_, ok := b.pending["k"]
+		return ok
+	})
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("pending request at Close got %v, want its flushed response", err)
+	}
+	if _, err := b.Submit(context.Background(), "k", 1); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("post-Close submit = %v, want ErrBatcherClosed", err)
+	}
+}

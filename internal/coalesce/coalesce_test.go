@@ -1,0 +1,302 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// A burst of identical keys must run the computation exactly once and
+// hand every caller the same value.
+func TestGroupDedup(t *testing.T) {
+	g := NewGroup[string, int, string]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs int
+
+	const callers = 10
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	sharedFlags := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do(context.Background(), "k", nil, func(ctx context.Context, emit func(string)) (int, error) {
+				runs++ // safe: proven single execution by the assertion below
+				close(started)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+			sharedFlags[i] = shared
+		}(i)
+	}
+
+	<-started
+	waitFor(t, "joiners to attach", func() bool { return g.Stats().Joins == callers-1 })
+	close(release)
+	wg.Wait()
+
+	if runs != 1 {
+		t.Fatalf("run executed %d times, want 1", runs)
+	}
+	leaders := 0
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, v)
+		}
+		if !sharedFlags[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers report shared=false, want exactly 1 leader", leaders)
+	}
+	st := g.Stats()
+	if st.Leads != 1 || st.Joins != callers-1 || st.Abandoned != 0 {
+		t.Errorf("stats = %+v, want leads 1, joins %d, abandoned 0", st, callers-1)
+	}
+}
+
+// Sequential calls must not share: a Do arriving after the previous
+// computation finished starts a fresh one.
+func TestGroupSequentialRunsFresh(t *testing.T) {
+	g := NewGroup[string, int, string]()
+	n := 0
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do(context.Background(), "k", nil, func(ctx context.Context, emit func(string)) (int, error) {
+			n++
+			return n, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: v=%d err=%v shared=%v", i, v, err, shared)
+		}
+		if v != i+1 {
+			t.Fatalf("call %d returned %d, want %d (stale shared result?)", i, v, i+1)
+		}
+	}
+	if st := g.Stats(); st.Leads != 3 || st.Joins != 0 {
+		t.Errorf("stats = %+v, want 3 independent leads", st)
+	}
+}
+
+// One joiner walking away must not abort the computation while another
+// still waits; only the last departure cancels the merged context.
+func TestGroupRefcountedCancel(t *testing.T) {
+	g := NewGroup[string, int, string]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runCtxDone := make(chan error, 1)
+
+	run := func(ctx context.Context, emit func(string)) (int, error) {
+		close(started)
+		select {
+		case <-release:
+			return 7, nil
+		case <-ctx.Done():
+			runCtxDone <- ctx.Err()
+			return 0, ctx.Err()
+		}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(leaderCtx, "k", nil, run)
+		leaderDone <- err
+	}()
+	<-started
+
+	joinerDone := make(chan int, 1)
+	go func() {
+		v, err, shared := g.Do(context.Background(), "k", nil, run)
+		if err != nil || !shared {
+			t.Errorf("joiner: v=%d err=%v shared=%v", v, err, shared)
+		}
+		joinerDone <- v
+	}()
+	waitFor(t, "joiner to attach", func() bool { return g.Stats().Joins == 1 })
+
+	// Leader leaves; the computation must keep running for the joiner.
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("departed leader got %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-runCtxDone:
+		t.Fatalf("merged context canceled (%v) while a joiner still waits", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if v := <-joinerDone; v != 7 {
+		t.Fatalf("joiner got %d, want 7", v)
+	}
+	if st := g.Stats(); st.Abandoned != 0 {
+		t.Errorf("abandoned = %d, want 0 (a joiner saw the run through)", st.Abandoned)
+	}
+}
+
+// When every joiner detaches, the merged context must be canceled and
+// the abandonment counted.
+func TestGroupAbandonCancelsRun(t *testing.T) {
+	g := NewGroup[string, int, string]()
+	started := make(chan struct{})
+	runCtxDone := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", nil, func(runCtx context.Context, emit func(string)) (int, error) {
+			close(started)
+			<-runCtx.Done()
+			close(runCtxDone)
+			return 0, runCtx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller got %v, want context.Canceled", err)
+	}
+	select {
+	case <-runCtxDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("merged context never canceled after the last joiner left")
+	}
+	waitFor(t, "abandonment to be counted", func() bool { return g.Stats().Abandoned == 1 })
+}
+
+// Progress must fan out to every attached joiner, and a late joiner
+// must immediately receive the most recent payload.
+func TestGroupProgressFanoutAndReplay(t *testing.T) {
+	g := NewGroup[string, int, string]()
+	emitted := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderProgress := make(chan string, 8)
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		g.Do(context.Background(), "k", func(p string) { leaderProgress <- p }, func(ctx context.Context, emit func(string)) (int, error) {
+			emit("phase-1")
+			close(emitted)
+			<-release
+			emit("phase-2")
+			return 1, nil
+		})
+	}()
+	<-emitted
+	if p := <-leaderProgress; p != "phase-1" {
+		t.Fatalf("leader saw %q, want phase-1", p)
+	}
+
+	// Late joiner: must get "phase-1" replayed at attach time.
+	joinerProgress := make(chan string, 8)
+	joinerDone := make(chan struct{})
+	go func() {
+		defer close(joinerDone)
+		g.Do(context.Background(), "k", func(p string) { joinerProgress <- p }, nil)
+	}()
+	if p := <-joinerProgress; p != "phase-1" {
+		t.Fatalf("late joiner replay = %q, want phase-1", p)
+	}
+
+	close(release)
+	<-leaderDone
+	<-joinerDone
+	if p := <-leaderProgress; p != "phase-2" {
+		t.Errorf("leader second event = %q, want phase-2", p)
+	}
+	if p := <-joinerProgress; p != "phase-2" {
+		t.Errorf("joiner second event = %q, want phase-2", p)
+	}
+}
+
+// Errors propagate to every joiner of the burst.
+func TestGroupErrorPropagation(t *testing.T) {
+	g := NewGroup[string, int, string]()
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errsCh := make(chan error, 4)
+	run := func(ctx context.Context, emit func(string)) (int, error) {
+		close(started)
+		<-release
+		return 0, boom
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := g.Do(context.Background(), "k", nil, run)
+		errsCh <- err
+	}()
+	<-started
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err, _ := g.Do(context.Background(), "k", nil, run)
+			errsCh <- err
+		}()
+	}
+	waitFor(t, "joiners to attach", func() bool { return g.Stats().Joins == 3 })
+	close(release)
+	wg.Wait()
+	close(errsCh)
+	n := 0
+	for err := range errsCh {
+		n++
+		if !errors.Is(err, boom) {
+			t.Errorf("joiner got %v, want boom", err)
+		}
+	}
+	if n != 4 {
+		t.Fatalf("%d callers returned, want 4", n)
+	}
+}
+
+// Distinct keys never coalesce.
+func TestGroupDistinctKeys(t *testing.T) {
+	g := NewGroup[int, int, string]()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do(context.Background(), i, nil, func(ctx context.Context, emit func(string)) (int, error) {
+				return i * i, nil
+			})
+			if err != nil || v != i*i {
+				t.Errorf("key %d: v=%d err=%v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := g.Stats(); st.Leads != 4 || st.Joins != 0 {
+		t.Errorf("stats = %+v, want 4 leads, 0 joins", st)
+	}
+}

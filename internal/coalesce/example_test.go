@@ -1,0 +1,53 @@
+package coalesce_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"protest/internal/coalesce"
+)
+
+// ExampleBatcher micro-batches concurrent requests: three callers
+// submit against one key, the batch flushes once when it reaches the
+// size bound, and every caller receives its response from that single
+// flush — here, the total of the whole batch.
+func ExampleBatcher() {
+	// Flush when 3 requests accumulated (or after a second, whichever
+	// comes first); the callback sees the whole batch at once.
+	b := coalesce.NewBatcher(3, time.Second, func(key string, reqs []int) ([]int, error) {
+		total := 0
+		for _, r := range reqs {
+			total += r
+		}
+		out := make([]int, len(reqs))
+		for i := range out {
+			out[i] = total
+		}
+		return out, nil
+	})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	results := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := b.Submit(context.Background(), "sum", i+1)
+			if err != nil {
+				panic(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Println("each caller sees the batch total:", results[0], results[1], results[2])
+	st := b.Stats()
+	fmt.Printf("flushes: %d, requests: %d\n", st.Flushes, st.Requests)
+	// Output:
+	// each caller sees the batch total: 6 6 6
+	// flushes: 1, requests: 3
+}

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"protest"
 	"protest/internal/artifact"
@@ -27,11 +30,12 @@ type CircuitRef struct {
 	Name string `json:"name,omitempty"`
 }
 
-// resolveCircuit builds the referenced circuit, with a fast path for
-// registered benchmarks: the first request for a name interns the
-// freshly built circuit and caches the canonical instance, so warm
-// named requests skip the registry rebuild and the structural
-// fingerprint walk entirely.
+// resolveCircuit builds the referenced circuit and interns it, so the
+// returned pointer is the canonical identity every cache in the
+// service keys on (registry Sessions, coalescing keys, batch keys).
+// Registered benchmark names additionally cache their canonical
+// instance, so warm named requests skip the registry rebuild and the
+// structural fingerprint walk entirely.
 func (s *Server) resolveCircuit(ref *CircuitRef) (*protest.Circuit, error) {
 	if ref.Circuit != "" && ref.Netlist == "" {
 		if c, ok := s.benchCache.Load(ref.Circuit); ok {
@@ -45,7 +49,11 @@ func (s *Server) resolveCircuit(ref *CircuitRef) (*protest.Circuit, error) {
 		s.benchCache.Store(ref.Circuit, ci)
 		return ci, nil
 	}
-	return ref.resolve()
+	c, err := ref.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return artifact.Default.Intern(c), nil
 }
 
 // resolve builds the referenced circuit.
@@ -70,7 +78,7 @@ func (ref *CircuitRef) resolve() (*protest.Circuit, error) {
 	}
 }
 
-// PipelineRequest is the body of POST /v1/pipeline.
+// PipelineRequest is the body of POST /v1/pipeline and POST /v1/jobs.
 type PipelineRequest struct {
 	CircuitRef
 	// Spec configures the run; the zero value is the paper's default
@@ -120,6 +128,14 @@ func (s *Server) error(w http.ResponseWriter, status int, err error) {
 	s.respond(w, status, errorResponse{Error: err.Error()})
 }
 
+// reject429 answers one over-capacity request, with the Retry-After
+// estimate derived from current queue depth and recent service times.
+func (s *Server) reject429(w http.ResponseWriter, err error) {
+	s.rejected.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
+	s.error(w, http.StatusTooManyRequests, err)
+}
+
 // decode reads a bounded JSON body into v.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -128,24 +144,6 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
-}
-
-// admit applies admission control, writing the rejection response
-// itself when the request cannot run.
-func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) bool {
-	err := s.adm.admit(r.Context())
-	switch {
-	case err == nil:
-		return true
-	case errors.Is(err, errBusy):
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		s.error(w, http.StatusTooManyRequests, errBusy)
-	default:
-		// The client disconnected while queued; nobody is listening.
-		s.canceled.Add(1)
-	}
-	return false
 }
 
 // wantSSE reports whether the request asked for a server-sent event
@@ -171,6 +169,91 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// progressUpdate is the (phase, fraction) payload fanned out to every
+// joiner of a coalesced pipeline computation.
+type progressUpdate struct {
+	Phase protest.Phase
+	Frac  float64
+}
+
+// pipelineKey identifies one coalescable pipeline computation: the
+// canonical interned circuit plus the canonicalized spec rendering.
+type pipelineKey struct {
+	c    *protest.Circuit
+	spec string
+}
+
+// pipelineSpecKey canonicalizes a spec for coalescing: Normalize
+// applies the documented zero-value defaults (so a spec relying on a
+// default and one spelling it out produce the same key), and the
+// fields documented not to change results — Workers and SimEngine
+// produce bit-identical reports for every value — are cleared so
+// requests differing only in execution strategy still share one
+// computation.
+func pipelineSpecKey(spec protest.PipelineSpec) (string, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return "", err
+	}
+	norm.Workers = 0
+	norm.SimEngine = protest.SimEngineFFR
+	norm.Progress = nil
+	data, err := json.Marshal(norm)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// runPipeline executes one pipeline computation for (c, spec), joining
+// an identical in-flight computation when one exists.  The leader of a
+// computation passes admission control when admit is set (async job
+// workers pass false — their pool is their admission); joiners never
+// consume admission slots, which is what lets N identical requests
+// cost one slot and one computation.  onProgress receives the shared
+// progress stream of whichever computation this request attached to.
+//
+// The computation runs under a merged context and is canceled only
+// when every attached request and job has gone away; err is ctx.Err()
+// when this caller's own context ended first.
+func (s *Server) runPipeline(ctx context.Context, c *protest.Circuit, spec protest.PipelineSpec, specKey string, admit bool, onProgress func(progressUpdate)) (*protest.Report, error, bool) {
+	run := func(runCtx context.Context, emit func(progressUpdate)) (*protest.Report, error) {
+		if admit {
+			if err := s.adm.admit(runCtx); err != nil {
+				return nil, err
+			}
+			defer s.adm.release()
+		}
+		sess, err := s.reg.session(c)
+		if err != nil {
+			return nil, err
+		}
+		if s.testHookAdmitted != nil {
+			s.testHookAdmitted()
+		}
+		runSpec := spec
+		runSpec.Progress = func(ph protest.Phase, frac float64) {
+			emit(progressUpdate{Phase: ph, Frac: frac})
+		}
+		start := time.Now()
+		rep, err := sess.Run(runCtx, runSpec)
+		if err == nil {
+			s.observeService(time.Since(start))
+		}
+		return rep, err
+	}
+	if s.cfg.NoCoalesce {
+		emit := func(p progressUpdate) {
+			if onProgress != nil {
+				onProgress(p)
+			}
+		}
+		rep, err := run(ctx, emit)
+		return rep, err, false
+	}
+	return s.pipelines.Do(ctx, pipelineKey{c: c, spec: specKey}, onProgress, run)
+}
+
 func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req PipelineRequest
@@ -182,26 +265,13 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.Spec.Validate(); err != nil {
+	specKey, err := pipelineSpecKey(req.Spec)
+	if err != nil {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
-	if !s.admitRequest(w, r) {
-		return
-	}
-	defer s.adm.release()
-	sess, err := s.reg.session(c)
-	if err != nil {
-		s.failed.Add(1)
-		s.error(w, statusFor(err), err)
-		return
-	}
-	if s.testHookAdmitted != nil {
-		s.testHookAdmitted()
-	}
 
 	ctx := r.Context()
-	spec := req.Spec
 	if wantSSE(r) {
 		stream, ok := newSSEStream(w)
 		if !ok {
@@ -209,13 +279,17 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 			s.error(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
 			return
 		}
-		spec.Progress = stream.progress
-		rep, err := sess.Run(ctx, spec)
+		rep, err, _ := s.runPipeline(ctx, c, req.Spec, specKey, true, func(p progressUpdate) {
+			stream.progress(p.Phase, p.Frac)
+		})
 		switch {
-		case errors.Is(err, protest.ErrCanceled):
-			// Client disconnect mid-run: the work was aborted through
-			// the Session's cancellation paths; nobody is listening.
+		case err != nil && (ctx.Err() != nil || errors.Is(err, protest.ErrCanceled)):
+			// Client disconnect mid-run: this request detached; the
+			// computation goes on while anyone else still wants it.
 			s.canceled.Add(1)
+		case errors.Is(err, errBusy):
+			s.rejected.Add(1)
+			stream.event("error", errorResponse{Error: err.Error()})
 		case err != nil:
 			s.failed.Add(1)
 			stream.event("error", errorResponse{Error: err.Error()})
@@ -226,10 +300,12 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rep, err := sess.Run(ctx, spec)
+	rep, err, _ := s.runPipeline(ctx, c, req.Spec, specKey, true, nil)
 	switch {
-	case errors.Is(err, protest.ErrCanceled):
+	case err != nil && (ctx.Err() != nil || errors.Is(err, protest.ErrCanceled)):
 		s.canceled.Add(1)
+	case errors.Is(err, errBusy):
+		s.reject429(w, err)
 	case err != nil:
 		s.failed.Add(1)
 		s.error(w, statusFor(err), err)
@@ -237,6 +313,66 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		s.completed.Add(1)
 		s.respond(w, http.StatusOK, rep)
 	}
+}
+
+// analyzeResult is one batched analyze outcome: the shared Session,
+// the (possibly shared) analysis, and the per-tuple error.  res is
+// strictly read-only — identical tuples in one batch share it.
+type analyzeResult struct {
+	sess *protest.Session
+	res  *protest.Analysis
+	err  error
+}
+
+// tupleKey renders a probability tuple for intra-batch deduplication.
+// strconv's shortest form round-trips float64 exactly, so two tuples
+// share a key iff they are bit-equal element-wise.
+func tupleKey(probs []float64) string {
+	if probs == nil {
+		return "uniform"
+	}
+	var b strings.Builder
+	for _, p := range probs {
+		b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// flushAnalyze runs one analyze batch: a single admission slot, a
+// single Session resolution, and one evaluator pass per *distinct*
+// input tuple in the batch — identical concurrent requests collapse
+// into one pass whose Analysis they share read-only.  It runs on the
+// goroutine of the request that filled the batch or on the max-wait
+// timer goroutine.
+func (s *Server) flushAnalyze(c *protest.Circuit, reqs [][]float64) ([]analyzeResult, error) {
+	// The batch is one unit of work: it occupies one admission slot no
+	// matter how many requests it carries.  Admission overflow fails
+	// the whole batch with errBusy, which every member reports as 429.
+	if err := s.adm.admit(context.Background()); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	sess, err := s.reg.session(c)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	shared := make(map[string]analyzeResult, len(reqs))
+	out := make([]analyzeResult, len(reqs))
+	for i, probs := range reqs {
+		k := tupleKey(probs)
+		r, ok := shared[k]
+		if !ok {
+			res, err := sess.Analyze(context.Background(), probs)
+			s.analyzePasses.Add(1)
+			r = analyzeResult{sess: sess, res: res, err: err}
+			shared[k] = r
+		}
+		out[i] = r
+	}
+	s.observeService(time.Since(start))
+	return out, nil
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -250,32 +386,40 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
-	if !s.admitRequest(w, r) {
-		return
-	}
-	defer s.adm.release()
-	sess, err := s.reg.session(c)
-	if err != nil {
-		s.failed.Add(1)
-		s.error(w, statusFor(err), err)
-		return
-	}
-
 	var probs []float64
 	if len(req.InputProbs) > 0 {
 		probs = req.InputProbs
 	}
-	res, err := sess.Analyze(r.Context(), probs)
+
+	var out analyzeResult
+	if s.cfg.NoCoalesce {
+		out, err = s.analyzeDirect(r.Context(), c, probs)
+	} else {
+		out, err = s.analyzeBatch.Submit(r.Context(), c, probs)
+	}
 	switch {
-	case errors.Is(err, protest.ErrCanceled):
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.canceled.Add(1)
+		return
+	case errors.Is(err, errBusy):
+		s.reject429(w, err)
 		return
 	case err != nil:
 		s.failed.Add(1)
 		s.error(w, statusFor(err), err)
 		return
 	}
+	if out.err != nil {
+		if errors.Is(out.err, protest.ErrCanceled) {
+			s.canceled.Add(1)
+			return
+		}
+		s.failed.Add(1)
+		s.error(w, statusFor(out.err), out.err)
+		return
+	}
 
+	sess, res := out.sess, out.res
 	faults := sess.Faults()
 	detect := res.DetectProbs(faults)
 	resp := AnalyzeResponse{
@@ -295,4 +439,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	resp.HardestProb = detect[hardest]
 	s.completed.Add(1)
 	s.respond(w, http.StatusOK, resp)
+}
+
+// analyzeDirect is the uncoalesced analyze path: per-request admission
+// and a dedicated evaluator pass, the pre-batching behavior.
+func (s *Server) analyzeDirect(ctx context.Context, c *protest.Circuit, probs []float64) (analyzeResult, error) {
+	if err := s.adm.admit(ctx); err != nil {
+		return analyzeResult{}, err
+	}
+	defer s.adm.release()
+	sess, err := s.reg.session(c)
+	if err != nil {
+		return analyzeResult{}, err
+	}
+	res, err := sess.Analyze(ctx, probs)
+	s.analyzePasses.Add(1)
+	return analyzeResult{sess: sess, res: res, err: err}, nil
 }

@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"protest"
+)
+
+// sseEvent is one parsed server-sent event of a job stream.
+type sseEvent struct {
+	id    int64
+	event string
+	data  string
+}
+
+// readSSE parses up to max events from r (max < 0 reads to EOF).
+func readSSE(t *testing.T, r io.Reader, max int) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+				if max >= 0 && len(events) >= max {
+					return events
+				}
+			}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return events
+}
+
+// jobSnapshot mirrors the snapshot JSON with the result kept raw for
+// bit-exact comparison.
+type jobSnapshot struct {
+	ID          string          `json:"id"`
+	State       string          `json:"state"`
+	Result      json.RawMessage `json:"result"`
+	Error       string          `json:"error"`
+	LastEventID int64           `json:"last_event_id"`
+}
+
+func getJob(t *testing.T, url string) (int, jobSnapshot) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap jobSnapshot
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("bad snapshot %s: %v", body, err)
+		}
+	}
+	return resp.StatusCode, snap
+}
+
+func waitJobState(t *testing.T, url, state string) jobSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		status, snap := getJob(t, url)
+		if status != http.StatusOK {
+			t.Fatalf("poll %s: status %d", url, status)
+		}
+		if snap.State == state {
+			return snap
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job at %s never reached %s", url, state)
+	return jobSnapshot{}
+}
+
+// The full async lifecycle of the issue's acceptance bar: submit, poll,
+// attach the SSE stream, kill the connection, re-attach with
+// Last-Event-ID — receiving exactly the missed events — and end with a
+// Report bit-identical to a direct Session.Run.
+func TestJobLifecycleHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{JobWorkers: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.testHookJobRun = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	spec := protest.PipelineSpec{Optimize: true, SimPatterns: 128}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", PipelineRequest{CircuitRef: CircuitRef{Circuit: "c17"}, Spec: spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var sub jobSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("bad submit response: %s", body)
+	}
+	statusURL := ts.URL + sub.Status
+	eventsURL := ts.URL + sub.Events
+
+	// The job is parked at the start of its work function: running, no
+	// result yet.
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+	snap := waitJobState(t, statusURL, "running")
+	if len(snap.Result) != 0 {
+		t.Fatalf("running job already carries a result: %s", snap.Result)
+	}
+
+	// First SSE attach: exactly two events exist (state queued, state
+	// running).  Read them, then kill the connection mid-stream.
+	sctx, killConn := context.WithCancel(context.Background())
+	hreq, _ := http.NewRequestWithContext(sctx, http.MethodGet, eventsURL, nil)
+	sresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := readSSE(t, sresp.Body, 2)
+	killConn()
+	sresp.Body.Close()
+	if len(first) != 2 || first[0].id != 1 || first[1].id != 2 {
+		t.Fatalf("first attach read %+v, want events 1 and 2", first)
+	}
+	if first[0].event != "state" || first[0].data != `"queued"` ||
+		first[1].event != "state" || first[1].data != `"running"` {
+		t.Fatalf("first attach read %+v, want the queued and running state events", first)
+	}
+
+	// Let the job run to completion while no stream is attached.
+	close(release)
+	done := waitJobState(t, statusURL, "done")
+
+	// Re-attach with Last-Event-ID: the stream must carry exactly the
+	// missed events — ids from 3 up, progress, the result, the terminal
+	// state — and nothing already seen.
+	hreq, _ = http.NewRequest(http.MethodGet, eventsURL, nil)
+	hreq.Header.Set("Last-Event-ID", "2")
+	sresp, err = http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := readSSE(t, sresp.Body, -1)
+	sresp.Body.Close()
+	if len(rest) == 0 {
+		t.Fatal("resumed stream carried no events")
+	}
+	if rest[0].id != 3 {
+		t.Fatalf("resumed stream starts at id %d, want 3", rest[0].id)
+	}
+	var progressCount int
+	var resultData string
+	for i, ev := range rest {
+		if ev.id != 3+int64(i) {
+			t.Fatalf("resumed stream ids not contiguous: %+v", rest)
+		}
+		switch ev.event {
+		case "progress":
+			progressCount++
+		case "result":
+			resultData = ev.data
+		}
+	}
+	if progressCount == 0 {
+		t.Error("resumed stream carried no progress events")
+	}
+	if resultData == "" {
+		t.Fatal("resumed stream carried no result event")
+	}
+	last := rest[len(rest)-1]
+	if last.event != "state" || last.data != `"done"` {
+		t.Fatalf("resumed stream ended with %+v, want the done state event", last)
+	}
+	if last.id != done.LastEventID {
+		t.Errorf("stream ended at id %d, snapshot says %d", last.id, done.LastEventID)
+	}
+
+	// Both the streamed result and the polled snapshot must be
+	// bit-identical to a direct Session.Run of the same spec.
+	want := reportJSON(t, directReport(t, "c17", spec))
+	var streamed protest.Report
+	if err := json.Unmarshal([]byte(resultData), &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, &streamed); got != want {
+		t.Fatalf("streamed result differs from direct run:\n got %s\nwant %s", got, want)
+	}
+	var polled protest.Report
+	if err := json.Unmarshal(done.Result, &polled); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, &polled); got != want {
+		t.Fatalf("polled result differs from direct run:\n got %s\nwant %s", got, want)
+	}
+}
+
+// DELETE cancels a job; the worker records the terminal state once it
+// observes the aborted context.
+func TestJobCancelHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{JobWorkers: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.testHookJobRun = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", PipelineRequest{CircuitRef: CircuitRef{Circuit: "c17"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var sub jobSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+sub.Status, nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", dresp.StatusCode)
+	}
+	close(release)
+	waitJobState(t, ts.URL+sub.Status, "canceled")
+
+	// Unknown ids are 404s on every job route.
+	for _, req := range []*http.Request{
+		mustRequest(t, http.MethodGet, ts.URL+"/v1/jobs/nope"),
+		mustRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/nope"),
+		mustRequest(t, http.MethodGet, ts.URL+"/v1/jobs/nope/events"),
+	} {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", req.Method, req.URL.Path, resp.StatusCode)
+		}
+	}
+
+	// A malformed resume position is the caller's mistake.
+	hreq := mustRequest(t, http.MethodGet, ts.URL+sub.Events)
+	hreq.Header.Set("Last-Event-ID", "not-a-number")
+	bresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad Last-Event-ID answered %d, want 400", bresp.StatusCode)
+	}
+}
+
+func mustRequest(t *testing.T, method, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// Store bounds under the deterministic clock: a store full of
+// unfinished jobs answers 429, and finished jobs expire TTL after
+// completion once Sweep observes the advanced clock.
+func TestJobStoreBoundsHTTP(t *testing.T) {
+	var clockMu sync.Mutex
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+
+	srv, ts := newTestServer(t, Config{JobWorkers: 1, JobStoreCap: 2, JobTTL: time.Minute, jobClock: clock})
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	srv.testHookJobRun = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	submit := func(patterns int) (int, jobSubmitResponse, string) {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", PipelineRequest{
+			CircuitRef: CircuitRef{Circuit: "c17"},
+			Spec:       protest.PipelineSpec{SimPatterns: patterns},
+		})
+		var sub jobSubmitResponse
+		json.Unmarshal(body, &sub)
+		return resp.StatusCode, sub, resp.Header.Get("Retry-After")
+	}
+
+	st1, job1, _ := submit(16)
+	if st1 != http.StatusAccepted {
+		t.Fatalf("job 1 status %d", st1)
+	}
+	<-entered // job 1 running (parked); the single worker is busy
+	st2, job2, _ := submit(17)
+	if st2 != http.StatusAccepted {
+		t.Fatalf("job 2 status %d", st2)
+	}
+
+	// Store holds 2 unfinished jobs (cap 2): the third submission is
+	// rejected with the estimated Retry-After.
+	st3, _, retryAfter := submit(18)
+	if st3 != http.StatusTooManyRequests {
+		t.Fatalf("job 3 status %d, want 429", st3)
+	}
+	if secs, err := strconv.Atoi(retryAfter); err != nil || secs < 1 {
+		t.Errorf("429 Retry-After %q is not a positive integer", retryAfter)
+	}
+
+	close(release)
+	waitJobState(t, ts.URL+job1.Status, "done")
+	waitJobState(t, ts.URL+job2.Status, "done")
+
+	// TTL expiry, driven deterministically: before the deadline both
+	// jobs poll fine; after it, Sweep drops them and polls 404.
+	advance(59 * time.Second)
+	if n := srv.jobStore.Sweep(); n != 0 {
+		t.Fatalf("sweep before TTL dropped %d jobs", n)
+	}
+	advance(2 * time.Second)
+	if n := srv.jobStore.Sweep(); n != 2 {
+		t.Fatalf("sweep after TTL dropped %d jobs, want 2", n)
+	}
+	for _, job := range []jobSubmitResponse{job1, job2} {
+		if status, _ := getJob(t, ts.URL+job.Status); status != http.StatusNotFound {
+			t.Errorf("expired job %s still answers %d, want 404", job.ID, status)
+		}
+	}
+	if st := srv.Stats().Jobs; st.Expired != 2 || st.Depth != 0 {
+		t.Errorf("job stats = %+v, want 2 expired, depth 0", st)
+	}
+}
+
+// A synchronous pipeline request identical to a running job must join
+// the job's computation instead of starting its own.
+func TestJobAndSyncRequestCoalesce(t *testing.T) {
+	srv, ts := newTestServer(t, Config{JobWorkers: 1})
+	admitted := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-release
+	}
+
+	spec := protest.PipelineSpec{SimPatterns: 64}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", PipelineRequest{CircuitRef: CircuitRef{Circuit: "c17"}, Spec: spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var sub jobSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	<-admitted // the job's computation is in flight, parked
+
+	syncBody := make(chan []byte, 1)
+	go func() {
+		_, b := postJSON(t, ts.URL+"/v1/pipeline", PipelineRequest{CircuitRef: CircuitRef{Circuit: "c17"}, Spec: spec})
+		syncBody <- b
+	}()
+	waitFor(t, "sync request to join the job's computation", func() bool {
+		return srv.pipelines.Stats().Joins == 1
+	})
+	close(release)
+
+	b := <-syncBody
+	var syncRep protest.Report
+	if err := json.Unmarshal(b, &syncRep); err != nil {
+		t.Fatalf("sync response: %v (%s)", err, b)
+	}
+	done := waitJobState(t, ts.URL+sub.Status, "done")
+	var jobRep protest.Report
+	if err := json.Unmarshal(done.Result, &jobRep); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := reportJSON(t, &syncRep), reportJSON(t, &jobRep); g != w {
+		t.Fatalf("job and joined sync request diverged:\n job %s\nsync %s", w, g)
+	}
+	if st := srv.pipelines.Stats(); st.Leads != 1 {
+		t.Errorf("leads = %d, want 1 (sync request must not recompute)", st.Leads)
+	}
+}

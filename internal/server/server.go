@@ -11,22 +11,43 @@
 // wait for a slot, and everything beyond that is answered 429 so
 // overload degrades into fast rejections instead of latency collapse.
 //
+// On top of admission the service deduplicates and batches the work
+// itself (internal/coalesce): identical concurrent pipeline requests —
+// same circuit identity, same canonicalized spec — join one in-flight
+// computation and share its Report (each joiner keeps its own progress
+// stream; the computation is canceled only when every joiner has
+// disconnected), and concurrent /v1/analyze requests against one
+// circuit are micro-batched into a single evaluator pass.  Long
+// computations can be detached from the HTTP connection entirely
+// through the asynchronous job API (internal/jobs): POST /v1/jobs
+// returns an id immediately, a bounded worker pool executes the
+// pipeline, and clients poll or stream resumable SSE events.
+//
 // Endpoints:
 //
-//	POST /v1/pipeline   run the full paper pipeline, returning a Report;
-//	                    with Accept: text/event-stream (or ?stream=sse)
-//	                    phase progress and the final report arrive as
-//	                    server-sent events
-//	POST /v1/analyze    one analysis pass: per-fault detection
-//	                    probabilities for an input tuple
-//	GET  /v1/circuits   registered benchmark circuit names
-//	GET  /healthz       liveness, admission gauges, artifact-store stats
+//	POST   /v1/pipeline         run the full paper pipeline, returning a
+//	                            Report; with Accept: text/event-stream
+//	                            (or ?stream=sse) phase progress and the
+//	                            final report arrive as server-sent events
+//	POST   /v1/analyze          one analysis pass: per-fault detection
+//	                            probabilities for an input tuple
+//	POST   /v1/jobs             submit a pipeline request as an async
+//	                            job; returns the job id immediately
+//	GET    /v1/jobs/{id}        poll job state, progress and result
+//	GET    /v1/jobs/{id}/events stream the job's event log as SSE;
+//	                            Last-Event-ID resumes after a dropped
+//	                            connection
+//	DELETE /v1/jobs/{id}        cancel the job
+//	GET    /v1/circuits         registered benchmark circuit names
+//	GET    /healthz             liveness, admission gauges, coalescing/
+//	                            batching/job metrics, artifact-store stats
 //
-// Every handler runs under the request context, which net/http cancels
-// when the client disconnects — an abandoned request aborts its
-// analysis mid-phase through the Session's cancellation paths and
-// frees its slot.  Graceful shutdown is the caller's http.Server
-// Shutdown: it stops accepting and drains in-flight work.
+// Every synchronous handler runs under the request context, which
+// net/http cancels when the client disconnects — an abandoned request
+// detaches from its computation, which is aborted once no other
+// request (and no job) still waits for it.  Graceful shutdown is the
+// caller's http.Server Shutdown plus Server.Close, which drains the
+// job subsystem.
 package server
 
 import (
@@ -38,6 +59,8 @@ import (
 
 	"protest"
 	"protest/internal/artifact"
+	"protest/internal/coalesce"
+	"protest/internal/jobs"
 )
 
 // Config tunes a Server.  The zero value serves with the documented
@@ -67,6 +90,30 @@ type Config struct {
 	// Engine selects the fault-simulation engine (WithSimEngine); the
 	// zero value is the FFR engine.
 	Engine protest.SimEngine
+	// JobWorkers is the size of the worker pool executing async jobs
+	// (default 2).
+	JobWorkers int
+	// JobStoreCap bounds the jobs the store holds, queued and finished
+	// alike (default 256); when it is full of unfinished jobs,
+	// POST /v1/jobs answers 429.
+	JobStoreCap int
+	// JobTTL is how long a finished job (and its Report) stays
+	// pollable before expiring (default 15 minutes).
+	JobTTL time.Duration
+	// BatchSize and BatchWait tune the /v1/analyze micro-batcher: a
+	// per-circuit batch flushes into one evaluator pass when it holds
+	// BatchSize requests (default 16) or BatchWait after its first
+	// request (default 2ms), whichever comes first.
+	BatchSize int
+	BatchWait time.Duration
+	// NoCoalesce disables request coalescing and micro-batching —
+	// every request computes independently, the pre-coalescing
+	// behavior.  Benchmarks use it to measure the dedup win.
+	NoCoalesce bool
+
+	// jobClock, when non-nil, is the job store's deterministic clock
+	// (tests drive TTL expiry through it + Store.Sweep).
+	jobClock func() time.Time
 }
 
 func (c *Config) fill() {
@@ -85,16 +132,41 @@ func (c *Config) fill() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobStoreCap <= 0 {
+		c.JobStoreCap = 256
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
 }
 
-// Server is the HTTP analysis service.  Create one with New and mount
-// Handler on an http.Server; all methods are safe for concurrent use.
+// Server is the HTTP analysis service.  Create one with New, mount
+// Handler on an http.Server, and release background resources (job
+// workers, pending batches) with Close; all methods are safe for
+// concurrent use.
 type Server struct {
 	cfg   Config
 	adm   *admission
 	reg   *registry
 	mux   *http.ServeMux
 	start time.Time
+
+	// pipelines coalesces identical concurrent pipeline computations
+	// (sync requests and async jobs share one keyspace), analyzeBatch
+	// micro-batches /v1/analyze requests per circuit, and jobStore owns
+	// the async jobs.
+	pipelines    *coalesce.Group[pipelineKey, *protest.Report, progressUpdate]
+	analyzeBatch *coalesce.Batcher[*protest.Circuit, []float64, analyzeResult]
+	jobStore     *jobs.Store
 
 	// benchCache maps registered benchmark names to their canonical
 	// interned circuits, so warm named requests skip the per-request
@@ -108,10 +180,24 @@ type Server struct {
 	canceled  atomic.Int64
 	failed    atomic.Int64
 
-	// testHookAdmitted, when non-nil, runs after a pipeline request is
-	// admitted and has resolved its Session, immediately before the
+	// analyzePasses counts evaluator passes actually executed for
+	// /v1/analyze traffic; with batching, identical concurrent
+	// requests advance it once.
+	analyzePasses atomic.Int64
+
+	// svcNanos is an exponentially weighted moving average of recent
+	// computation service times, feeding the Retry-After estimate.
+	svcNanos atomic.Int64
+
+	closeOnce sync.Once
+
+	// testHookAdmitted, when non-nil, runs after a pipeline computation
+	// is admitted and has resolved its Session, immediately before the
 	// run; tests use it to hold execution slots busy deterministically.
 	testHookAdmitted func()
+	// testHookJobRun, when non-nil, runs at the start of every async
+	// job's work function; tests use it to park job workers.
+	testHookJobRun func()
 }
 
 // New creates a Server from cfg (zero value = defaults).
@@ -125,18 +211,41 @@ func New(cfg Config) *Server {
 			protest.WithWorkers(cfg.Workers),
 			protest.WithSimEngine(cfg.Engine),
 		}),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		pipelines: coalesce.NewGroup[pipelineKey, *protest.Report, progressUpdate](),
 	}
+	s.analyzeBatch = coalesce.NewBatcher(cfg.BatchSize, cfg.BatchWait, s.flushAnalyze)
+	s.jobStore = jobs.NewStore(jobs.Config{
+		Workers: cfg.JobWorkers,
+		Cap:     cfg.JobStoreCap,
+		TTL:     cfg.JobTTL,
+		Now:     cfg.jobClock,
+	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
 }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close releases the server's background resources: it cancels every
+// unfinished job, stops the job workers, and flushes pending analyze
+// batches.  Call it after http.Server.Shutdown has drained the
+// synchronous traffic.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.jobStore.Close()
+		s.analyzeBatch.Close()
+	})
+}
 
 // Stats is a snapshot of the server's request counters and gauges.
 type Stats struct {
@@ -155,6 +264,22 @@ type Stats struct {
 	Queued   int `json:"queued"`
 	// Sessions is the number of distinct circuits with a live Session.
 	Sessions int `json:"sessions"`
+	// Coalesce reports pipeline singleflight effectiveness: Leads are
+	// computations actually run, Joins are requests that shared one.
+	Coalesce coalesce.GroupStats `json:"coalesce"`
+	// Batch reports the /v1/analyze micro-batcher: batches flushed,
+	// requests batched, and the resulting mean batch size.
+	Batch coalesce.BatcherStats `json:"batch"`
+	// AnalyzePasses counts evaluator passes actually executed for
+	// /v1/analyze; under batching it grows once per distinct tuple per
+	// flush, not once per request.
+	AnalyzePasses int64 `json:"analyze_passes"`
+	// Jobs is the async job store snapshot: occupancy, per-state
+	// gauges, eviction/expiry counters.
+	Jobs jobs.Stats `json:"jobs"`
+	// RetryAfterSeconds is the current 429 Retry-After estimate,
+	// derived from queue depth and recent service times.
+	RetryAfterSeconds int `json:"retry_after_seconds"`
 }
 
 // Stats returns a snapshot of the server's counters.  Counters are
@@ -162,15 +287,56 @@ type Stats struct {
 // approximate.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:  s.requests.Load(),
-		Completed: s.completed.Load(),
-		Rejected:  s.rejected.Load(),
-		Canceled:  s.canceled.Load(),
-		Failed:    s.failed.Load(),
-		InFlight:  s.adm.inFlight(),
-		Queued:    s.adm.waiting(),
-		Sessions:  s.reg.len(),
+		Requests:          s.requests.Load(),
+		Completed:         s.completed.Load(),
+		Rejected:          s.rejected.Load(),
+		Canceled:          s.canceled.Load(),
+		Failed:            s.failed.Load(),
+		InFlight:          s.adm.inFlight(),
+		Queued:            s.adm.waiting(),
+		Sessions:          s.reg.len(),
+		Coalesce:          s.pipelines.Stats(),
+		Batch:             s.analyzeBatch.Stats(),
+		AnalyzePasses:     s.analyzePasses.Load(),
+		Jobs:              s.jobStore.Stats(),
+		RetryAfterSeconds: s.retryAfterHint(),
 	}
+}
+
+// observeService folds one computation duration into the service-time
+// EWMA (α = 1/4) behind the Retry-After estimate.
+func (s *Server) observeService(d time.Duration) {
+	for {
+		old := s.svcNanos.Load()
+		next := d.Nanoseconds()
+		if old != 0 {
+			next = old + (next-old)/4
+		}
+		if s.svcNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterHint estimates how many seconds a rejected client should
+// wait before a slot plausibly frees up: the work ahead of it (queued
+// plus executing) times the mean service time, spread over the
+// execution parallelism.  Before any completion it falls back to 1.
+func (s *Server) retryAfterHint() int {
+	mean := time.Duration(s.svcNanos.Load())
+	if mean <= 0 {
+		return 1
+	}
+	ahead := s.adm.waiting() + s.adm.inFlight()
+	est := time.Duration(ahead) * mean / time.Duration(s.cfg.MaxInFlight)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
 }
 
 // healthResponse is the body of GET /healthz.

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -28,6 +29,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	}
 	srv := New(cfg)
 	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(srv.Close)
 	t.Cleanup(ts.Close)
 	return srv, ts
 }
@@ -160,7 +162,9 @@ func TestPipelineConcurrent(t *testing.T) {
 }
 
 // Saturation must produce fast 429s: with one execution slot and a
-// one-deep queue, the third simultaneous request is rejected.
+// one-deep queue, the third simultaneous request is rejected.  The
+// specs differ (distinct SimPatterns), so the requests are three
+// distinct computations that cannot coalesce onto one another.
 func TestAdmission429(t *testing.T) {
 	srv, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1})
 	entered := make(chan struct{}, 8)
@@ -170,10 +174,12 @@ func TestAdmission429(t *testing.T) {
 		<-release
 	}
 
-	req := PipelineRequest{CircuitRef: CircuitRef{Circuit: "c17"}, Spec: protest.PipelineSpec{SimPatterns: 16}}
-	data, _ := json.Marshal(req)
+	reqFor := func(patterns int) PipelineRequest {
+		return PipelineRequest{CircuitRef: CircuitRef{Circuit: "c17"}, Spec: protest.PipelineSpec{SimPatterns: patterns}}
+	}
 	statuses := make(chan int, 2)
-	post := func() {
+	post := func(patterns int) {
+		data, _ := json.Marshal(reqFor(patterns))
 		resp, err := http.Post(ts.URL+"/v1/pipeline", "application/json", bytes.NewReader(data))
 		if err != nil {
 			t.Error(err)
@@ -185,22 +191,24 @@ func TestAdmission429(t *testing.T) {
 		statuses <- resp.StatusCode
 	}
 
-	go post() // A: takes the slot, parks in the hook
+	go post(16) // A: takes the slot, parks in the hook
 	select {
 	case <-entered:
 	case <-time.After(5 * time.Second):
 		t.Fatal("first request never reached the run hook")
 	}
-	go post() // B: fills the queue
+	go post(17) // B: fills the queue
 	waitFor(t, "request to queue", func() bool { return srv.Stats().Queued == 1 })
 
 	// C: no slot, no queue room — immediate 429 with Retry-After.
-	resp, body := postJSON(t, ts.URL+"/v1/pipeline", req)
+	resp, body := postJSON(t, ts.URL+"/v1/pipeline", reqFor(18))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated server answered %d (%s), want 429", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 response is missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q is not a positive integer estimate", ra)
 	}
 	if srv.Stats().Rejected != 1 {
 		t.Errorf("rejected = %d, want 1", srv.Stats().Rejected)
@@ -446,6 +454,21 @@ func TestHealthzAndCircuits(t *testing.T) {
 	var hr healthResponse
 	if err := json.Unmarshal(body, &hr); err != nil || hr.Status != "ok" {
 		t.Fatalf("bad healthz body: %s", body)
+	}
+	// The coalescing / batching / job gauges must be wired through.
+	var raw struct {
+		Stats map[string]json.RawMessage `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"coalesce", "batch", "jobs", "analyze_passes", "retry_after_seconds"} {
+		if _, ok := raw.Stats[key]; !ok {
+			t.Errorf("healthz stats is missing %q: %s", key, body)
+		}
+	}
+	if hr.Stats.RetryAfterSeconds < 1 {
+		t.Errorf("retry_after_seconds = %d, want >= 1", hr.Stats.RetryAfterSeconds)
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/circuits")

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"protest"
+	"protest/internal/jobs"
 )
 
 // sseStream writes server-sent events for one response.  Methods are
@@ -47,6 +48,20 @@ func (s *sseStream) event(name string, payload any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data)
+	s.fl.Flush()
+}
+
+// jobEvent emits one job-log event with its log id on the SSE id
+// field, so EventSource reconnects (and manual re-attaches) resume via
+// Last-Event-ID from exactly the right position.
+func (s *sseStream) jobEvent(ev jobs.Event) {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data)
 	s.fl.Flush()
 }
 

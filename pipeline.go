@@ -88,13 +88,27 @@ func (spec *PipelineSpec) fill() error {
 	return nil
 }
 
+// Normalize returns a copy of the spec with every documented
+// zero-value default applied — Fraction 1, Confidence 0.95,
+// QuantizeGrid 16, MaxSimPatterns 4096 — and an error when an
+// explicitly set field is outside its range.  Run applies exactly
+// these defaults, so two specs with equal normal forms produce
+// bit-identical reports; the canonical form is what request
+// deduplication keys on (a spec relying on a default and one spelling
+// the default out coalesce onto one computation).
+func (spec PipelineSpec) Normalize() (PipelineSpec, error) {
+	err := spec.fill()
+	return spec, err
+}
+
 // Validate reports whether the spec's explicitly set fields are inside
 // their documented ranges, without modifying the spec.  Run performs
 // the same checks itself (plus defaulting), so Validate is only needed
 // to reject a bad spec early — e.g. at a service boundary, before the
 // request is admitted and queued.
 func (spec PipelineSpec) Validate() error {
-	return spec.fill()
+	_, err := spec.Normalize()
+	return err
 }
 
 // Report is the serializable outcome of one Session.Run pipeline: the

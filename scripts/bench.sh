@@ -4,6 +4,13 @@
 # BENCH_<date>.json at the repository root.  Check the file in to keep
 # a performance trail next to the code it measures.
 #
+# The suite spans every layer, including the server-level
+# BenchmarkServerAnalyzeCoalesce (internal/server): N identical
+# concurrent /v1/analyze requests with request coalescing on vs off,
+# whose passes/req metric records the micro-batcher's dedup win in the
+# trail.  Run that one alone with:
+#   scripts/bench.sh 'BenchmarkServerAnalyzeCoalesce' 1
+#
 # Usage: scripts/bench.sh [bench-regex] [count] [benchtime]
 #   scripts/bench.sh                       # full suite, -count 3
 #   scripts/bench.sh 'Analyze' 1           # quick subset, single run
