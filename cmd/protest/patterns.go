@@ -76,6 +76,7 @@ func runFsim(ctx context.Context, args []string) error {
 	engine := fs.String("engine", "ffr", "fault-simulation engine: ffr (FFR partition + dominator cut) or naive (per-fault cones; identical results)")
 	curve := fs.String("curve", "", "comma list of checkpoints for a coverage curve (e.g. 10,100,1000)")
 	psim := fs.Bool("psim", false, "report per-fault measured detection probabilities")
+	workerAddrs := fs.String("workers-addrs", "", "comma-separated `protest serve -worker` addresses to shard the simulation across (identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,7 +84,13 @@ func runFsim(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := cf.openSession(protest.WithSeed(*seed), protest.WithWorkers(*workers), protest.WithSimEngine(eng))
+	opts := []protest.Option{protest.WithSeed(*seed), protest.WithWorkers(*workers), protest.WithSimEngine(eng)}
+	if *workerAddrs != "" {
+		pool := protest.NewShardPool(protest.ShardPoolConfig{Workers: splitComma(*workerAddrs), Seed: *seed})
+		defer pool.Close()
+		opts = append(opts, protest.WithShardPool(pool))
+	}
+	s, err := cf.openSession(opts...)
 	if err != nil {
 		return err
 	}

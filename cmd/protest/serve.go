@@ -33,6 +33,11 @@ func runServe(ctx context.Context, args []string) error {
 	batchSize := fs.Int("batch-size", 0, "flush an analyze micro-batch at this many requests (0 = 16)")
 	batchWait := fs.Duration("batch-wait", 0, "max wait before a partial analyze batch flushes (0 = 2ms)")
 	noCoalesce := fs.Bool("no-coalesce", false, "disable request coalescing and micro-batching (A/B testing)")
+	worker := fs.Bool("worker", false, "serve POST /v1/shard so a coordinator can dispatch fault-simulation shards here")
+	workerAddrs := fs.String("workers-addrs", "", "comma-separated worker addresses to shard fault simulation across")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a full request, body included")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
+	sseKeepAlive := fs.Duration("sse-keepalive", 0, "idle interval between SSE ping comments (0 = 15s, <0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,26 +45,40 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	var shardAddrs []string
+	if *workerAddrs != "" {
+		shardAddrs = splitComma(*workerAddrs)
+	}
 
 	srv := server.New(server.Config{
-		MaxInFlight: *inflight,
-		MaxQueue:    *queue,
-		MaxSessions: *sessions,
-		Workers:     *workers,
-		Seed:        *seed,
-		Engine:      engine,
-		JobWorkers:  *jobWorkers,
-		JobStoreCap: *jobStore,
-		JobTTL:      *jobTTL,
-		BatchSize:   *batchSize,
-		BatchWait:   *batchWait,
-		NoCoalesce:  *noCoalesce,
+		MaxInFlight:  *inflight,
+		MaxQueue:     *queue,
+		MaxSessions:  *sessions,
+		Workers:      *workers,
+		Seed:         *seed,
+		Engine:       engine,
+		JobWorkers:   *jobWorkers,
+		JobStoreCap:  *jobStore,
+		JobTTL:       *jobTTL,
+		BatchSize:    *batchSize,
+		BatchWait:    *batchWait,
+		NoCoalesce:   *noCoalesce,
+		Worker:       *worker,
+		WorkerAddrs:  shardAddrs,
+		SSEKeepAlive: *sseKeepAlive,
 	})
 	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+		// WriteTimeout must stay 0: it is an absolute deadline on the
+		// whole response, and the SSE endpoints (/v1/pipeline streaming,
+		// /v1/jobs/{id}/events) legitimately write for as long as a
+		// computation runs.  Slow-writer protection comes from the SSE
+		// keep-alive pings plus IdleTimeout instead.
 	}
 
 	errc := make(chan error, 1)

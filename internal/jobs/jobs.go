@@ -347,9 +347,21 @@ func (s *Store) execute(j *job) {
 	j.appendEvent("state", StateRunning)
 	j.mu.Unlock()
 
-	result, err := fn(j.ctx, func(phase string, frac float64) {
-		s.progress(j, phase, frac)
-	})
+	// A panicking job function fails the job instead of killing the
+	// worker goroutine (and with it the process): the panic becomes the
+	// job's error, surfaced like any other failure through the snapshot
+	// and the event log.
+	run := func() (result any, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("jobs: job panicked: %v", v)
+			}
+		}()
+		return fn(j.ctx, func(phase string, frac float64) {
+			s.progress(j, phase, frac)
+		})
+	}
+	result, err := run()
 	switch {
 	case err == nil:
 		s.finish(j, StateDone, result, nil)

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -367,4 +368,42 @@ func TestJobStoreClose(t *testing.T) {
 			t.Errorf("job %s is %s after Close, want a terminal state", id, snap.State)
 		}
 	}
+}
+
+// A panicking job function must fail that one job — error event, failed
+// state — and leave the worker executing later jobs.
+func TestJobPanicRecovered(t *testing.T) {
+	s := NewStore(Config{Workers: 1, Now: newFakeClock().now})
+	defer s.Close()
+
+	id, err := s.Submit(func(ctx context.Context, progress func(string, float64)) (any, error) {
+		panic("job exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, s, id, StateFailed)
+	if !strings.Contains(snap.Error, "panicked") || !strings.Contains(snap.Error, "job exploded") {
+		t.Errorf("error = %q, want a panic message", snap.Error)
+	}
+	replay, _, stop, _ := s.Subscribe(id, 0)
+	defer stop()
+	sawError := false
+	for _, ev := range replay {
+		if d, ok := ev.Data.(string); ok && ev.Type == "error" && strings.Contains(d, "job exploded") {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Errorf("event log %v carries no panic error event", replay)
+	}
+
+	// The single worker survived the panic.
+	ok, err := s.Submit(func(ctx context.Context, progress func(string, float64)) (any, error) {
+		return "fine", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, ok, StateDone)
 }

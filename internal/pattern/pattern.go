@@ -115,6 +115,22 @@ func (g *Generator) NumInputs() int { return len(g.probs) }
 // Probs returns the generator's per-input probabilities (not a copy).
 func (g *Generator) Probs() []float64 { return g.probs }
 
+// SkipBlocks advances the generator past n blocks without returning
+// them, consuming exactly the random draws NextBlock would.  A worker
+// simulating pattern blocks [k, m) of a shared stream seeds its own
+// generator and skips k blocks; the blocks it then produces are
+// bit-identical to the ones a single generator would have produced at
+// those positions.
+func (g *Generator) SkipBlocks(n int) {
+	if n <= 0 {
+		return
+	}
+	scratch := make([]uint64, len(g.probs))
+	for i := 0; i < n; i++ {
+		g.NextBlock(scratch)
+	}
+}
+
 // NextBlock fills words[i] with the next 64 values of input i.
 func (g *Generator) NextBlock(words []uint64) {
 	if len(words) != len(g.probs) {

@@ -136,10 +136,18 @@ func (s *Server) reject429(w http.ResponseWriter, err error) {
 	s.error(w, http.StatusTooManyRequests, err)
 }
 
-// decode reads a bounded JSON body into v.
+// decode reads a bounded JSON body into v.  A body over the limit is a
+// distinct client mistake and gets the distinct answer: 413 with the
+// limit spelled out, not a generic 400.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.error(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		s.error(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -197,6 +205,7 @@ func pipelineSpecKey(spec protest.PipelineSpec) (string, error) {
 	}
 	norm.Workers = 0
 	norm.SimEngine = protest.SimEngineFFR
+	norm.NoShard = false
 	norm.Progress = nil
 	data, err := json.Marshal(norm)
 	if err != nil {
@@ -217,7 +226,11 @@ func pipelineSpecKey(spec protest.PipelineSpec) (string, error) {
 // when every attached request and job has gone away; err is ctx.Err()
 // when this caller's own context ended first.
 func (s *Server) runPipeline(ctx context.Context, c *protest.Circuit, spec protest.PipelineSpec, specKey string, admit bool, onProgress func(progressUpdate)) (*protest.Report, error, bool) {
-	run := func(runCtx context.Context, emit func(progressUpdate)) (*protest.Report, error) {
+	run := func(runCtx context.Context, emit func(progressUpdate)) (rep *protest.Report, err error) {
+		// Coalesced computations run on the group's own goroutine, out
+		// of reach of the HTTP middleware's recover; convert a panicking
+		// pipeline into an error every joiner sees.
+		defer s.recoverToError(&err)
 		if admit {
 			if err := s.adm.admit(runCtx); err != nil {
 				return nil, err
@@ -236,7 +249,7 @@ func (s *Server) runPipeline(ctx context.Context, c *protest.Circuit, spec prote
 			emit(progressUpdate{Phase: ph, Frac: frac})
 		}
 		start := time.Now()
-		rep, err := sess.Run(runCtx, runSpec)
+		rep, err = sess.Run(runCtx, runSpec)
 		if err == nil {
 			s.observeService(time.Since(start))
 		}
@@ -279,6 +292,8 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 			s.error(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
 			return
 		}
+		stopPing := stream.keepAlive(s.cfg.SSEKeepAlive)
+		defer stopPing()
 		rep, err, _ := s.runPipeline(ctx, c, req.Spec, specKey, true, func(p progressUpdate) {
 			stream.progress(p.Phase, p.Frac)
 		})

@@ -144,6 +144,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
 		return
 	}
+	// Slow jobs can go long stretches without an event; periodic pings
+	// keep proxies from cutting the idle stream.
+	stopPing := stream.keepAlive(s.cfg.SSEKeepAlive)
+	defer stopPing()
 	for _, ev := range replay {
 		stream.jobEvent(ev)
 	}

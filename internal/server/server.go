@@ -61,6 +61,7 @@ import (
 	"protest/internal/artifact"
 	"protest/internal/coalesce"
 	"protest/internal/jobs"
+	"protest/internal/shard"
 )
 
 // Config tunes a Server.  The zero value serves with the documented
@@ -110,6 +111,25 @@ type Config struct {
 	// every request computes independently, the pre-coalescing
 	// behavior.  Benchmarks use it to measure the dedup win.
 	NoCoalesce bool
+	// Worker additionally serves POST /v1/shard, the endpoint a
+	// coordinator's shard pool dispatches fault-simulation shards to
+	// (`protest serve -worker`).  Shard requests pass the same
+	// admission control as every other analysis endpoint.
+	Worker bool
+	// WorkerAddrs, when non-empty, shards every Session's fault
+	// simulation across those worker processes through a failure-aware
+	// pool (retries, hedging, ejection, local fallback); results stay
+	// bit-identical to local execution, and /healthz reports the pool
+	// under "shard" plus a top-level "degraded" flag.
+	WorkerAddrs []string
+	// ShardPool tunes the pool built for WorkerAddrs; the Workers and
+	// Seed fields are filled in from this Config.  Zero value = the
+	// documented shard.Config defaults.
+	ShardPool shard.Config
+	// SSEKeepAlive is the idle interval after which SSE streams emit a
+	// `: ping` comment so proxies and clients keep half-idle
+	// connections alive (default 15s; negative disables).
+	SSEKeepAlive time.Duration
 
 	// jobClock, when non-nil, is the job store's deterministic clock
 	// (tests drive TTL expiry through it + Store.Sweep).
@@ -147,6 +167,9 @@ func (c *Config) fill() {
 	if c.BatchWait <= 0 {
 		c.BatchWait = 2 * time.Millisecond
 	}
+	if c.SSEKeepAlive == 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
 }
 
 // Server is the HTTP analysis service.  Create one with New, mount
@@ -168,6 +191,13 @@ type Server struct {
 	analyzeBatch *coalesce.Batcher[*protest.Circuit, []float64, analyzeResult]
 	jobStore     *jobs.Store
 
+	// pool, when non-nil, is the shard pool every Session distributes
+	// fault simulation through (Config.WorkerAddrs); shardExec, when
+	// non-nil, serves this process's side of POST /v1/shard
+	// (Config.Worker).
+	pool      *shard.Pool
+	shardExec *shard.Executor
+
 	// benchCache maps registered benchmark names to their canonical
 	// interned circuits, so warm named requests skip the per-request
 	// rebuild + structural fingerprint walk of the registry
@@ -179,6 +209,10 @@ type Server struct {
 	rejected  atomic.Int64
 	canceled  atomic.Int64
 	failed    atomic.Int64
+
+	// panics counts handler and job panics converted to errors instead
+	// of crashing the process.
+	panics atomic.Int64
 
 	// analyzePasses counts evaluator passes actually executed for
 	// /v1/analyze traffic; with batching, identical concurrent
@@ -203,17 +237,29 @@ type Server struct {
 // New creates a Server from cfg (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg.fill()
+	opts := []protest.Option{
+		protest.WithSeed(cfg.Seed),
+		protest.WithWorkers(cfg.Workers),
+		protest.WithSimEngine(cfg.Engine),
+	}
+	var pool *shard.Pool
+	if len(cfg.WorkerAddrs) > 0 {
+		pcfg := cfg.ShardPool
+		pcfg.Workers = cfg.WorkerAddrs
+		if pcfg.Seed == 0 {
+			pcfg.Seed = cfg.Seed
+		}
+		pool = shard.NewPool(pcfg)
+		opts = append(opts, protest.WithShardPool(pool))
+	}
 	s := &Server{
-		cfg: cfg,
-		adm: newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		reg: newRegistry(cfg.MaxSessions, []protest.Option{
-			protest.WithSeed(cfg.Seed),
-			protest.WithWorkers(cfg.Workers),
-			protest.WithSimEngine(cfg.Engine),
-		}),
+		cfg:       cfg,
+		adm:       newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		reg:       newRegistry(cfg.MaxSessions, opts),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		pipelines: coalesce.NewGroup[pipelineKey, *protest.Report, progressUpdate](),
+		pool:      pool,
 	}
 	s.analyzeBatch = coalesce.NewBatcher(cfg.BatchSize, cfg.BatchWait, s.flushAnalyze)
 	s.jobStore = jobs.NewStore(jobs.Config{
@@ -230,11 +276,20 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if cfg.Worker {
+		s.shardExec = shard.NewExecutor()
+		s.mux.HandleFunc("POST /v1/shard", s.handleShard)
+	}
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler.  Every route runs under
+// the panic-recovery middleware: a panicking handler answers 500 (and
+// increments the healthz panic counter) instead of killing the
+// connection — and, since ServeHTTP's recovery only covers its own
+// goroutine, the pipeline and job paths additionally recover inside
+// their computation goroutines.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
 
 // Close releases the server's background resources: it cancels every
 // unfinished job, stops the job workers, and flushes pending analyze
@@ -244,6 +299,9 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.jobStore.Close()
 		s.analyzeBatch.Close()
+		if s.pool != nil {
+			s.pool.Close()
+		}
 	})
 }
 
@@ -280,6 +338,9 @@ type Stats struct {
 	// RetryAfterSeconds is the current 429 Retry-After estimate,
 	// derived from queue depth and recent service times.
 	RetryAfterSeconds int `json:"retry_after_seconds"`
+	// Panics counts handler and job panics recovered into error
+	// responses instead of crashing the process.
+	Panics int64 `json:"panics"`
 }
 
 // Stats returns a snapshot of the server's counters.  Counters are
@@ -300,6 +361,7 @@ func (s *Server) Stats() Stats {
 		AnalyzePasses:     s.analyzePasses.Load(),
 		Jobs:              s.jobStore.Stats(),
 		RetryAfterSeconds: s.retryAfterHint(),
+		Panics:            s.panics.Load(),
 	}
 }
 
@@ -345,15 +407,27 @@ type healthResponse struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Stats         Stats          `json:"stats"`
 	Store         artifact.Stats `json:"store"`
+	// Degraded is true while a configured shard pool has no healthy
+	// worker — runs still succeed, executed locally in-process.
+	Degraded bool `json:"degraded,omitempty"`
+	// Shard is the shard pool's counter snapshot, present only when the
+	// server was configured with worker addresses.
+	Shard *shard.Stats `json:"shard,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Stats:         s.Stats(),
 		Store:         artifact.Default.Stats(),
-	})
+	}
+	if s.pool != nil {
+		st := s.pool.Stats()
+		resp.Shard = &st
+		resp.Degraded = st.Degraded
+	}
+	s.respond(w, http.StatusOK, resp)
 }
 
 // circuitsResponse is the body of GET /v1/circuits.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"protest"
 	"protest/internal/jobs"
@@ -63,6 +64,41 @@ func (s *sseStream) jobEvent(ev jobs.Event) {
 	defer s.mu.Unlock()
 	fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data)
 	s.fl.Flush()
+}
+
+// ping emits an SSE comment line.  Comments are invisible to
+// EventSource clients but keep bytes moving on an otherwise idle
+// stream, so LB/proxy idle timeouts don't sever a connection whose
+// computation is just slow.
+func (s *sseStream) ping() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprint(s.w, ": ping\n\n")
+	s.fl.Flush()
+}
+
+// keepAlive pings the stream every interval until the returned stop
+// function is called (or ctx ends).  interval <= 0 disables pings and
+// returns a no-op stop.
+func (s *sseStream) keepAlive(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.ping()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // progressEvent is the payload of "progress" events.

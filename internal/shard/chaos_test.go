@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"protest/internal/faultsim"
+)
+
+// chaosPool builds a Pool whose transport injects the given policies.
+func chaosPool(t *testing.T, addrs []string, policies map[string]Policy, mod func(*Config)) (*Pool, *ChaosTransport) {
+	t.Helper()
+	tr := NewChaosTransport(&LocalTransport{Exec: NewExecutor()})
+	for addr, p := range policies {
+		tr.SetPolicy(addr, p)
+	}
+	cfg := Config{
+		Workers:       addrs,
+		Transport:     tr,
+		ShardTimeout:  5 * time.Second,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    4 * time.Millisecond,
+		HedgeAfter:    -1,
+		ProbeInterval: time.Minute,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	p := NewPool(cfg)
+	t.Cleanup(p.Close)
+	return p, tr
+}
+
+// TestChaosInjectedErrorsRetry: workers failing every other call must
+// cost retries, never correctness.
+func TestChaosInjectedErrorsRetry(t *testing.T) {
+	task := newTestTask(t, "alu")
+	p, _ := chaosPool(t, []string{"w1", "w2"}, map[string]Policy{
+		"w1": {ErrEvery: 2},
+		"w2": {ErrEvery: 3},
+	}, nil)
+	got, err := p.MeasureDetection(context.Background(), task, nil, 257, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetect(t, "alu/errors", got, serialDetect(t, task, nil, 257))
+	if st := p.Stats(); st.Retries == 0 {
+		t.Fatalf("no retries recorded under injected errors: %+v", st)
+	}
+}
+
+// TestChaosDroppedCallsTimeOut: a black-holed request must be cut by
+// the per-attempt deadline and retried elsewhere, not hang the run.
+func TestChaosDroppedCallsTimeOut(t *testing.T) {
+	task := newTestTask(t, "c17")
+	p, _ := chaosPool(t, []string{"w1", "w2"}, map[string]Policy{
+		"w1": {DropEvery: 2},
+	}, func(cfg *Config) {
+		cfg.ShardTimeout = 30 * time.Millisecond
+	})
+	done := make(chan struct{})
+	var res *faultsim.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = p.MeasureDetection(context.Background(), task, nil, 257, nil)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung on dropped calls")
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	sameDetect(t, "c17/drops", res, serialDetect(t, task, nil, 257))
+}
+
+// TestChaosCurveUnderErrors: the curve path has its own merge; run it
+// through the same injected-failure gauntlet.
+func TestChaosCurveUnderErrors(t *testing.T) {
+	task := newTestTask(t, "add8")
+	p, _ := chaosPool(t, []string{"w1", "w2", "w3"}, map[string]Policy{
+		"w1": {ErrEvery: 2},
+		"w3": {ErrEvery: 2},
+	}, nil)
+	cps := []int{10, 100, 300}
+	got, err := p.CoverageCurve(context.Background(), task, nil, cps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCurve(t, "add8/chaos-curve", got, serialCurve(t, task, nil, cps))
+}
+
+// TestChaosCrashEjectionAndReadmission: a worker that dies mid-run is
+// ejected after consecutive failures; once its probes answer again it
+// is re-admitted.  Results stay exact throughout.
+func TestChaosCrashEjectionAndReadmission(t *testing.T) {
+	task := newTestTask(t, "alu")
+	p, _ := chaosPool(t, []string{"w1", "w2"}, map[string]Policy{
+		"w1": {CrashAfter: 1, RecoverAfter: 2},
+	}, func(cfg *Config) {
+		cfg.EjectAfter = 1
+		cfg.ProbeInterval = 5 * time.Millisecond
+	})
+	got, err := p.MeasureDetection(context.Background(), task, nil, 257, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetect(t, "alu/crash", got, serialDetect(t, task, nil, 257))
+
+	st := p.Stats()
+	if st.Workers[0].Ejections == 0 {
+		t.Fatalf("crashed worker never ejected: %+v", st)
+	}
+	// RecoverAfter failed probes revive the worker; the probe loop then
+	// re-admits it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = p.Stats()
+		if st.Workers[0].Readmissions > 0 && st.Workers[0].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered worker never re-admitted: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosAllWorkersDownDegrades: with every worker failing, shards
+// fall back to local execution; once all workers are ejected the next
+// run degrades wholesale — and both paths stay bit-identical.
+func TestChaosAllWorkersDownDegrades(t *testing.T) {
+	task := newTestTask(t, "c17")
+	p, _ := chaosPool(t, []string{"w1", "w2"}, map[string]Policy{
+		"w1": {ErrEvery: 1},
+		"w2": {ErrEvery: 1},
+	}, func(cfg *Config) {
+		cfg.EjectAfter = 1
+		cfg.MaxAttempts = 2
+	})
+	got, err := p.MeasureDetection(context.Background(), task, nil, 257, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetect(t, "c17/all-down", got, serialDetect(t, task, nil, 257))
+	st := p.Stats()
+	if st.LocalFallbacks == 0 {
+		t.Fatalf("no local fallbacks despite total failure: %+v", st)
+	}
+	if !st.Degraded {
+		t.Fatalf("pool not degraded after ejecting every worker: %+v", st)
+	}
+
+	// The next run skips dispatch entirely: fully local, still exact.
+	got, err = p.MeasureDetection(context.Background(), task, nil, 257, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetect(t, "c17/degraded-run", got, serialDetect(t, task, nil, 257))
+	if st = p.Stats(); st.DegradedRuns != 1 {
+		t.Fatalf("degraded_runs = %d, want 1: %+v", st.DegradedRuns, st)
+	}
+}
+
+// TestChaosHedgingStragglers: a straggling worker's shards are hedged
+// onto the healthy one; the first response wins and the result is the
+// exact one.
+func TestChaosHedgingStragglers(t *testing.T) {
+	task := newTestTask(t, "alu")
+	p, _ := chaosPool(t, []string{"slow", "fast"}, map[string]Policy{
+		"slow": {Delay: 300 * time.Millisecond},
+	}, func(cfg *Config) {
+		cfg.HedgeAfter = 10 * time.Millisecond
+		cfg.ShardsPerWorker = 1
+	})
+	start := time.Now()
+	got, err := p.MeasureDetection(context.Background(), task, nil, 257, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetect(t, "alu/hedge", got, serialDetect(t, task, nil, 257))
+	if st := p.Stats(); st.Hedges == 0 {
+		t.Fatalf("no hedges dispatched against a straggler: %+v (took %v)", st, time.Since(start))
+	}
+}
+
+// httpWorker is a minimal in-test worker process: the real shard
+// endpoint wire format over a real HTTP server, with a kill switch.
+type httpWorker struct {
+	exec  *Executor
+	calls atomic.Int64
+	dead  atomic.Bool
+	ts    *httptest.Server
+}
+
+func newHTTPWorker(t *testing.T) *httpWorker {
+	t.Helper()
+	w := &httpWorker{exec: NewExecutor()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shard", func(rw http.ResponseWriter, r *http.Request) {
+		w.calls.Add(1)
+		if w.dead.Load() {
+			http.Error(rw, `{"error":"worker killed"}`, http.StatusInternalServerError)
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, `{"error":"bad body"}`, http.StatusBadRequest)
+			return
+		}
+		resp, err := w.exec.Run(r.Context(), &req)
+		if err != nil {
+			http.Error(rw, `{"error":"`+err.Error()+`"}`, http.StatusBadRequest)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(resp)
+	})
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if w.dead.Load() {
+			http.Error(rw, "dead", http.StatusServiceUnavailable)
+			return
+		}
+		rw.WriteHeader(http.StatusOK)
+	})
+	w.ts = httptest.NewServer(mux)
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+// TestHTTPWorkerKilledMidRun drives the real HTTPTransport against two
+// live HTTP workers and kills one after its second shard: the merged
+// report must still be bit-identical to the serial oracle.
+func TestHTTPWorkerKilledMidRun(t *testing.T) {
+	task := newTestTask(t, "alu")
+	w1, w2 := newHTTPWorker(t), newHTTPWorker(t)
+
+	// Kill w1 after it has served two shards: remaining shards routed
+	// to it fail and retry on w2.
+	var once atomic.Bool
+	go func() {
+		for {
+			if w1.calls.Load() >= 2 && once.CompareAndSwap(false, true) {
+				w1.dead.Store(true)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	p := NewPool(Config{
+		Workers:       []string{w1.ts.URL, w2.ts.URL},
+		Transport:     NewHTTPTransport(nil),
+		ShardTimeout:  5 * time.Second,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    4 * time.Millisecond,
+		EjectAfter:    2,
+		HedgeAfter:    -1,
+		ProbeInterval: time.Minute,
+	})
+	defer p.Close()
+
+	got, err := p.MeasureDetection(context.Background(), task, nil, 513, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetect(t, "alu/killed-http", got, serialDetect(t, task, nil, 513))
+	st := p.Stats()
+	if st.Shards == 0 {
+		t.Fatalf("nothing ran remotely: %+v", st)
+	}
+}

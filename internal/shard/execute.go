@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"protest/internal/artifact"
+	"protest/internal/faultsim"
+	"protest/internal/netlist"
+)
+
+// Executor runs shard requests on the worker side: it reconstructs the
+// circuit from the request's netlist, resolves the shared simulation
+// plan through the artifact store (so repeated shards of one run parse
+// and partition the circuit once), and executes the shard's rectangle
+// of the measurement grid.
+type Executor struct {
+	store *artifact.Store
+}
+
+// NewExecutor creates an Executor over the process-wide artifact
+// store.
+func NewExecutor() *Executor {
+	return &Executor{store: artifact.Default}
+}
+
+// Run executes one shard request.
+func (e *Executor) Run(ctx context.Context, req *Request) (*Response, error) {
+	if req.Netlist == "" {
+		return nil, fmt.Errorf("shard: empty netlist")
+	}
+	name := req.Name
+	if name == "" {
+		name = "netlist"
+	}
+	c, err := netlist.ParseString(req.Netlist, name)
+	if err != nil {
+		return nil, fmt.Errorf("shard: bad netlist: %w", err)
+	}
+	c = e.store.Intern(c)
+	return runShard(ctx, e.store.SimPlan(c), req)
+}
+
+// Task is the coordinator-side handle of one distributable circuit.
+// Tasks are immutable and safe for concurrent use; a Session builds
+// one per circuit and reuses it for every sharded measurement.
+//
+// A worker reconstructs the circuit by parsing Netlist — and parsing
+// renumbers nodes, so the worker's fault list and FFR partition are
+// ordered differently from the coordinator's native plan.  Rather than
+// negotiate, the Task adopts the worker's frame: it parses its own
+// rendered netlist (parsing a given string is deterministic, and the
+// artifact store interns by exact node order, so every process derives
+// the identical plan from the identical string), cuts shards along
+// that remote plan's geometry, and carries a fault-name permutation to
+// translate merged results back into the local plan's order.
+type Task struct {
+	Name    string
+	Netlist string
+	// Plan is the Session's native plan: results are returned in its
+	// fault order.
+	Plan *faultsim.Plan
+	// Remote is the plan every worker derives from Netlist: shard
+	// geometry (group numbering, fault order on the wire) is its.
+	Remote *faultsim.Plan
+	Seed   uint64
+
+	// perm maps a Remote fault index to its Plan fault index (matched
+	// by fault name, which survives the netlist round-trip).
+	perm []int
+	// groupPrefix[g] is the number of faults in Remote groups [0, g);
+	// the response cross-check and the merge size group ranges with it.
+	groupPrefix []int
+}
+
+// NewTask renders the plan's circuit as a netlist, derives the remote
+// plan workers will reconstruct from it, and precomputes the geometry
+// shards are cut along plus the remote→local fault permutation.
+func NewTask(plan *faultsim.Plan, seed uint64) (*Task, error) {
+	c := plan.Circuit()
+	src, err := netlist.String(c)
+	if err != nil {
+		return nil, fmt.Errorf("shard: render netlist: %w", err)
+	}
+	rc, err := netlist.ParseString(src, c.Name)
+	if err != nil {
+		return nil, fmt.Errorf("shard: netlist does not round-trip: %w", err)
+	}
+	rc = artifact.Default.Intern(rc)
+	remote := artifact.Default.SimPlan(rc)
+
+	local := plan.Faults()
+	byName := make(map[string]int, len(local))
+	for i := range local {
+		name := local[i].Name(c)
+		if _, dup := byName[name]; dup {
+			return nil, fmt.Errorf("shard: duplicate fault name %q", name)
+		}
+		byName[name] = i
+	}
+	rem := remote.Faults()
+	if len(rem) != len(local) {
+		return nil, fmt.Errorf("shard: round-trip changed fault count: %d != %d", len(rem), len(local))
+	}
+	perm := make([]int, len(rem))
+	for j := range rem {
+		i, ok := byName[rem[j].Name(rc)]
+		if !ok {
+			return nil, fmt.Errorf("shard: fault %q missing after round-trip", rem[j].Name(rc))
+		}
+		perm[j] = i
+	}
+
+	prefix := make([]int, remote.NumGroups()+1)
+	for j := range rem {
+		prefix[remote.GroupOf(j)+1]++
+	}
+	for g := 1; g < len(prefix); g++ {
+		prefix[g] += prefix[g-1]
+	}
+	return &Task{
+		Name:        c.Name,
+		Netlist:     src,
+		Plan:        plan,
+		Remote:      remote,
+		Seed:        seed,
+		perm:        perm,
+		groupPrefix: prefix,
+	}, nil
+}
+
+// faultsIn returns the number of faults in Remote groups [lo, hi).
+func (t *Task) faultsIn(lo, hi int) int {
+	return t.groupPrefix[hi] - t.groupPrefix[lo]
+}

@@ -57,6 +57,11 @@ type PipelineSpec struct {
 	// this run; the zero value keeps the Session default.  Every
 	// engine produces bit-identical results (see WithSimEngine).
 	SimEngine SimEngine `json:"sim_engine,omitempty"`
+	// NoShard forces this run's fault simulation to execute locally
+	// even when the Session was opened WithShardPool — the escape hatch
+	// for latency-sensitive runs and for A/B-checking the distributed
+	// path (results are bit-identical either way).
+	NoShard bool `json:"no_shard,omitempty"`
 	// Progress, when non-nil, overrides the Session's WithProgress
 	// callback for this run only, receiving the same (phase, fraction)
 	// stream.  It lets several callers share one concurrent Session
@@ -226,6 +231,9 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	}
 	if spec.Progress != nil {
 		cfg.progress = spec.Progress
+	}
+	if spec.NoShard {
+		cfg.pool = nil
 	}
 
 	st := s.c.Stats()

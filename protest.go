@@ -69,6 +69,7 @@ import (
 	"protest/internal/netlist"
 	"protest/internal/optimize"
 	"protest/internal/pattern"
+	"protest/internal/shard"
 	"protest/internal/stafan"
 	"protest/internal/stats"
 	"protest/internal/testlen"
@@ -422,6 +423,27 @@ func NewATPG(c *Circuit) *ATPG { return atpg.New(c) }
 // ATPGTestBools converts a PODEM test cube to a boolean pattern,
 // filling unassigned positions with fill.
 func ATPGTestBools(test []atpg.V, fill bool) []bool { return atpg.TestBools(test, fill) }
+
+// Sharded fault-simulation types: a ShardPool distributes simulation
+// and coverage measurements over `protest serve -worker` processes with
+// retries, hedging, health-based ejection and local fallback, merging
+// results bit-identically to in-process execution (see WithShardPool).
+type (
+	// ShardPool is the failure-aware coordinator.
+	ShardPool = shard.Pool
+	// ShardPoolConfig tunes a pool; the zero value of every field
+	// selects a documented default, so Config{Workers: addrs} works.
+	ShardPoolConfig = shard.Config
+	// ShardStats is a pool's counter snapshot (exposed in /healthz).
+	ShardStats = shard.Stats
+)
+
+// NewShardPool creates a ShardPool and starts its worker re-admission
+// prober; Close it when done.  An empty Workers list is valid and
+// yields a permanently degraded pool that runs everything locally.
+func NewShardPool(cfg ShardPoolConfig) *ShardPool {
+	return shard.NewPool(cfg)
+}
 
 // Benchmark builds a registered benchmark circuit by name.  The
 // built-in suite registers "c17", "alu" (SN74181), "mult" (8-bit

@@ -11,6 +11,7 @@ import (
 	"protest/internal/faultsim"
 	"protest/internal/optimize"
 	"protest/internal/pattern"
+	"protest/internal/shard"
 	"protest/internal/testlen"
 )
 
@@ -61,6 +62,7 @@ type Session struct {
 	simEngine SimEngine
 	progress  func(Phase, float64)
 	store     *artifact.Store
+	pool      *shard.Pool
 
 	faults []Fault       // shared store slice; hand out copies only
 	prog   *core.Program // compiled analysis program under params
@@ -77,6 +79,10 @@ type Session struct {
 	// rebuild for this Session.
 	simPlan  atomic.Pointer[faultsim.Plan]
 	bistProg atomic.Pointer[bist.Program]
+
+	// shardTask pins the distributable form of the circuit (rendered
+	// netlist + shard geometry) once a sharded measurement has run.
+	shardTask atomic.Pointer[shard.Task]
 }
 
 // Option configures a Session at Open time.  Options are applied in
@@ -129,6 +135,19 @@ func WithWorkers(n int) Option {
 // kept as the independent oracle.  Results are bit-identical.
 func WithSimEngine(e SimEngine) Option {
 	return func(s *Session) { s.simEngine = e }
+}
+
+// WithShardPool distributes the Session's fault simulation and
+// coverage curves across the pool's workers.  Results stay
+// bit-identical to local execution — the shard layer merges exactly —
+// and the pool degrades to local in-process execution when no worker
+// is healthy, so correctness never depends on worker availability.
+// The pool is shared, not owned: many Sessions may use one Pool, and
+// closing it is the caller's job.  The naive oracle engine
+// (SimEngineNaive) always runs locally so it stays an independent
+// cross-check.
+func WithShardPool(p *ShardPool) Option {
+	return func(s *Session) { s.pool = p }
 }
 
 // WithProgress installs a callback receiving (phase, fraction in
@@ -196,10 +215,11 @@ type runCfg struct {
 	workers  int
 	engine   SimEngine
 	progress func(Phase, float64)
+	pool     *shard.Pool
 }
 
 func (s *Session) cfg() runCfg {
-	return runCfg{workers: s.workers, engine: s.simEngine, progress: s.progress}
+	return runCfg{workers: s.workers, engine: s.simEngine, progress: s.progress, pool: s.pool}
 }
 
 func (cfg runCfg) emit(ph Phase, frac float64) {
@@ -283,6 +303,21 @@ func (s *Session) ensureSimPlan() *faultsim.Plan {
 	}
 	s.simPlan.CompareAndSwap(nil, s.store.SimPlan(s.c))
 	return s.simPlan.Load()
+}
+
+// ensureShardTask returns the Session's pinned shard task — the
+// distributable form of the circuit — building it on first use.
+// Concurrent cold calls race benignly: every candidate is identical.
+func (s *Session) ensureShardTask() (*shard.Task, error) {
+	if t := s.shardTask.Load(); t != nil {
+		return t, nil
+	}
+	t, err := shard.NewTask(s.ensureSimPlan(), s.seed)
+	if err != nil {
+		return nil, err
+	}
+	s.shardTask.CompareAndSwap(nil, t)
+	return s.shardTask.Load(), nil
 }
 
 // ensureBIST returns the Session's pinned self-test program, resolving
@@ -401,6 +436,13 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 	if cfg.engine == SimEngineNaive {
 		// The oracle path never reads the FFR plan; skip building it.
 		res, err = faultsim.MeasureDetectionOpt(ctx, s.c, s.faults, gen, numPatterns, cfg.simOptions(), progress)
+	} else if cfg.pool != nil {
+		// Sharded across the pool's workers; probs were validated by the
+		// generator above, and the merge is bit-identical to local.
+		var t *shard.Task
+		if t, err = s.ensureShardTask(); err == nil {
+			res, err = cfg.pool.MeasureDetection(ctx, t, probs, numPatterns, progress)
+		}
 	} else {
 		res, err = s.ensureSimPlan().MeasureDetectionCtx(ctx, gen, numPatterns, cfg.simOptions(), progress)
 	}
@@ -422,6 +464,11 @@ func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoint
 	var points []CoveragePoint
 	if cfg.engine == SimEngineNaive {
 		points, err = faultsim.CoverageCurveOpt(ctx, s.c, s.faults, gen, checkpoints, cfg.simOptions(), progress)
+	} else if cfg.pool != nil {
+		var t *shard.Task
+		if t, err = s.ensureShardTask(); err == nil {
+			points, err = cfg.pool.CoverageCurve(ctx, t, probs, checkpoints, progress)
+		}
 	} else {
 		points, err = s.ensureSimPlan().CoverageCurveCtx(ctx, gen, checkpoints, cfg.simOptions(), progress)
 	}
