@@ -14,6 +14,7 @@
 //	pipeline  run the full analyze/size/optimize/validate pipeline
 //	gen       generate random pattern sets
 //	fsim      fault-simulate a pattern set and report coverage
+//	validate  cross-check the analytic, BDD-exact and Monte-Carlo oracles
 //	serve     long-running HTTP/JSON analysis service
 //
 // Circuits are read from .bench netlists (-f) or taken from the
@@ -65,6 +66,8 @@ func main() {
 		err = runBist(ctx, args)
 	case "exact":
 		err = runExact(ctx, args)
+	case "validate":
+		err = runValidate(ctx, args)
 	case "serve":
 		err = runServe(ctx, args)
 	case "help", "-h", "--help":
@@ -101,6 +104,9 @@ subcommands:
   atpg      deterministic test generation (PODEM)
   bist      simulate a self-test session with MISR signature compaction
   exact     exact signal probabilities via BDDs, vs the estimator
+  validate  statistical self-validation: analytic vs BDD-exact vs
+            ProbTest-sized Monte-Carlo on one circuit or -circuits all;
+            exits 1 if any cross-check flags
   serve     HTTP/JSON analysis service (POST /v1/pipeline, /v1/analyze;
             async /v1/jobs with resumable SSE; request coalescing and
             micro-batching; admission control, graceful drain)

@@ -6,6 +6,7 @@ import (
 
 	"protest/internal/bdd"
 	"protest/internal/core"
+	"protest/internal/validate"
 )
 
 // Sentinel errors of the public API.  Match them with errors.Is; the
@@ -30,6 +31,10 @@ var (
 	// circuit's decision diagrams exceed the node budget (re-exported
 	// from the internal bdd package so callers need only this one).
 	ErrNodeBudget = bdd.ErrNodeBudget
+
+	// ErrBadSpec flags a ValidateSpec whose explicitly-set values are
+	// out of range (re-exported from the internal validate package).
+	ErrBadSpec = validate.ErrBadSpec
 )
 
 // canceledError couples ErrCanceled with the context error that caused

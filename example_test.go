@@ -57,6 +57,26 @@ func ExampleSession_TestLength() {
 	// N(F_1.0, 0.98) = 74 patterns
 }
 
+// Validate cross-checks the three detection-probability oracles —
+// analytic estimator, BDD-exact, ProbTest-sized Monte-Carlo — and
+// reports every disagreement as a flag.  The fixed Session seed makes
+// the whole report deterministic.
+func ExampleSession_Validate() {
+	c, _ := protest.Benchmark("c17")
+	s, err := protest.Open(c, protest.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := s.Validate(context.Background(), protest.ValidateSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d faults, %d patterns, exact oracle %v, %d checks, pass %v\n",
+		rep.Circuit, rep.Faults, rep.Patterns, rep.HasExact, rep.Checks, rep.Pass)
+	// Output:
+	// c17: 28 faults, 16384 patterns, exact oracle true, 144 checks, pass true
+}
+
 // Run executes the whole paper pipeline — analyze, size, validate by
 // fault simulation — in one call and returns a serializable Report.
 func ExampleSession_Run() {

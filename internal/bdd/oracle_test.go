@@ -1,0 +1,134 @@
+package bdd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"protest/internal/circuits"
+	"protest/internal/core"
+	"protest/internal/fault"
+)
+
+// These are the trust-the-oracle tests: the validation harness treats
+// BDD probabilities as exact truth, so here the BDD engine itself is
+// pinned bit-close to brute-force truth-table enumeration on every
+// registry circuit small enough to enumerate, for signal and detection
+// probabilities, under uniform and skewed input tuples alike.
+
+// enumerable returns the registry circuits within the exhaustive
+// enumeration bound, skipping the test if the registry changed so much
+// that none qualify.
+func enumerable(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	for _, name := range circuits.Names() {
+		c, _ := circuits.Lookup(name)
+		if len(c.Inputs) <= core.ExactMaxInputs {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no enumerable registry circuits — the oracle is untested")
+	}
+	return names
+}
+
+// skewedProbs builds a deliberately non-uniform tuple so the weighted
+// probability path through the BDD is exercised, not just the 0.5 case
+// whose arithmetic is forgiving.
+func skewedProbs(n int) []float64 {
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = 0.15 + 0.7*float64(i%5)/4
+	}
+	return probs
+}
+
+func TestRegistrySignalProbsMatchEnumeration(t *testing.T) {
+	for _, name := range enumerable(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, _ := circuits.Lookup(name)
+			bc, err := FromCircuit(c, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, probs := range [][]float64{core.UniformProbs(c), skewedProbs(len(c.Inputs))} {
+				got, err := bc.Probs(probs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.ExactProbs(c, probs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for id := range want {
+					if math.Abs(got[id]-want[id]) > 1e-12 {
+						t.Fatalf("node %d: bdd %v enum %v (probs %v...)", id, got[id], want[id], probs[0])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryDetectProbsMatchEnumeration(t *testing.T) {
+	for _, name := range enumerable(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, _ := circuits.Lookup(name)
+			faults := fault.Collapse(c)
+			bc, err := FromCircuit(c, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, probs := range [][]float64{core.UniformProbs(c), skewedProbs(len(c.Inputs))} {
+				got, err := bc.DetectProbs(faults, probs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.ExactDetectProbs(c, faults, probs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range faults {
+					// Detection probabilities span many orders of
+					// magnitude (cla16 reaches 2^-18), so bound the
+					// relative error too, not just the absolute one.
+					diff := math.Abs(got[i] - want[i])
+					if diff > 1e-12 && diff > 1e-9*math.Max(got[i], want[i]) {
+						t.Fatalf("fault %s: bdd %v enum %v", faults[i].Name(c), got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryBudgetErrorIsTyped: the circuits the validation harness
+// skips must fail with the typed ErrNodeBudget — wrapped or not — so
+// the skip path can distinguish "too big" from "broken".
+func TestRegistryBudgetErrorIsTyped(t *testing.T) {
+	// div blows any practical budget at build time; every circuit blows
+	// a budget of 3 nodes.
+	for _, tc := range []struct {
+		name   string
+		budget int
+	}{
+		{"div", 1 << 20},
+		{"c17", 3},
+	} {
+		c, ok := circuits.Lookup(tc.name)
+		if !ok {
+			t.Fatalf("registry circuit %q missing", tc.name)
+		}
+		_, err := FromCircuit(c, tc.budget)
+		if err == nil {
+			t.Fatalf("%s should exceed a budget of %d nodes", tc.name, tc.budget)
+		}
+		if !errors.Is(err, ErrNodeBudget) {
+			t.Errorf("%s budget error is not typed: %v", tc.name, err)
+		}
+	}
+}

@@ -171,7 +171,8 @@ func wantSSE(r *http.Request) bool {
 // (bad probabilities, empty fault lists, spec validation) are 400s,
 // anything else is a 500.
 func statusFor(err error) int {
-	if errors.Is(err, protest.ErrBadProbs) || errors.Is(err, protest.ErrNoFaults) {
+	if errors.Is(err, protest.ErrBadProbs) || errors.Is(err, protest.ErrNoFaults) ||
+		errors.Is(err, protest.ErrBadSpec) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

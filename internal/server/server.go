@@ -31,6 +31,10 @@
 //	                            final report arrive as server-sent events
 //	POST   /v1/analyze          one analysis pass: per-fault detection
 //	                            probabilities for an input tuple
+//	POST   /v1/validate         three-oracle self-validation: analytic
+//	                            estimator vs BDD-exact vs ProbTest-sized
+//	                            Monte-Carlo; returns the full report,
+//	                            cumulative outcomes appear in /healthz
 //	POST   /v1/jobs             submit a pipeline request as an async
 //	                            job; returns the job id immediately
 //	GET    /v1/jobs/{id}        poll job state, progress and result
@@ -219,6 +223,17 @@ type Server struct {
 	// requests advance it once.
 	analyzePasses atomic.Int64
 
+	// Cumulative /v1/validate outcomes: runs executed, runs that
+	// passed, runs with at least one flagged check, total flagged
+	// checks, and total recorded skips.  A flagged run is a 200 — the
+	// report is the product — so these counters are how a monitor sees
+	// the oracles disagreeing.
+	validateRuns        atomic.Int64
+	validatePassed      atomic.Int64
+	validateFlaggedRuns atomic.Int64
+	validateFlags       atomic.Int64
+	validateSkips       atomic.Int64
+
 	// svcNanos is an exponentially weighted moving average of recent
 	// computation service times, feeding the Retry-After estimate.
 	svcNanos atomic.Int64
@@ -272,6 +287,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -335,6 +351,9 @@ type Stats struct {
 	// Jobs is the async job store snapshot: occupancy, per-state
 	// gauges, eviction/expiry counters.
 	Jobs jobs.Stats `json:"jobs"`
+	// Validate aggregates /v1/validate outcomes since the server
+	// started.
+	Validate ValidateStats `json:"validate"`
 	// RetryAfterSeconds is the current 429 Retry-After estimate,
 	// derived from queue depth and recent service times.
 	RetryAfterSeconds int `json:"retry_after_seconds"`
@@ -343,22 +362,45 @@ type Stats struct {
 	Panics int64 `json:"panics"`
 }
 
+// ValidateStats aggregates the outcomes of every /v1/validate run the
+// server has executed: a monitor watching FlaggedRuns (or Flags) grow
+// is watching the three oracles disagree somewhere.
+type ValidateStats struct {
+	// Runs counts completed validation runs; Passed those with zero
+	// flagged checks, FlaggedRuns those with at least one.
+	Runs        int64 `json:"runs"`
+	Passed      int64 `json:"passed"`
+	FlaggedRuns int64 `json:"flagged_runs"`
+	// Flags is the total number of flagged checks across all runs and
+	// Skips the total number of recorded skips (BDD budget, truncated
+	// coverage guarantee).
+	Flags int64 `json:"flags"`
+	Skips int64 `json:"skips"`
+}
+
 // Stats returns a snapshot of the server's counters.  Counters are
 // read individually, so a snapshot under concurrent traffic is
 // approximate.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:          s.requests.Load(),
-		Completed:         s.completed.Load(),
-		Rejected:          s.rejected.Load(),
-		Canceled:          s.canceled.Load(),
-		Failed:            s.failed.Load(),
-		InFlight:          s.adm.inFlight(),
-		Queued:            s.adm.waiting(),
-		Sessions:          s.reg.len(),
-		Coalesce:          s.pipelines.Stats(),
-		Batch:             s.analyzeBatch.Stats(),
-		AnalyzePasses:     s.analyzePasses.Load(),
+		Requests:      s.requests.Load(),
+		Completed:     s.completed.Load(),
+		Rejected:      s.rejected.Load(),
+		Canceled:      s.canceled.Load(),
+		Failed:        s.failed.Load(),
+		InFlight:      s.adm.inFlight(),
+		Queued:        s.adm.waiting(),
+		Sessions:      s.reg.len(),
+		Coalesce:      s.pipelines.Stats(),
+		Batch:         s.analyzeBatch.Stats(),
+		AnalyzePasses: s.analyzePasses.Load(),
+		Validate: ValidateStats{
+			Runs:        s.validateRuns.Load(),
+			Passed:      s.validatePassed.Load(),
+			FlaggedRuns: s.validateFlaggedRuns.Load(),
+			Flags:       s.validateFlags.Load(),
+			Skips:       s.validateSkips.Load(),
+		},
 		Jobs:              s.jobStore.Stats(),
 		RetryAfterSeconds: s.retryAfterHint(),
 		Panics:            s.panics.Load(),

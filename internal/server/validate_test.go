@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"protest"
+)
+
+// The served validation run must match the equivalent direct Session
+// run byte for byte — same seed, same pattern counts, same flags.
+func TestValidateRoundTrip(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	spec := protest.ValidateSpec{MinPatterns: 2048, MaxPatterns: 2048}
+
+	resp, body := postJSON(t, ts.URL+"/v1/validate", ValidateRequest{
+		CircuitRef: CircuitRef{Circuit: "c17"},
+		Spec:       spec,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got protest.ValidateReport
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, body)
+	}
+
+	c, _ := protest.Benchmark("c17")
+	s, err := protest.Open(c, protest.WithSeed(testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Validate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := json.Marshal(&got)
+	w, _ := json.Marshal(want)
+	if string(g) != string(w) {
+		t.Fatalf("served report differs from direct run:\n got %s\nwant %s", g, w)
+	}
+	if !got.Pass {
+		t.Fatalf("c17 default validation must pass, flags: %+v", got.Flags)
+	}
+
+	st := srv.Stats()
+	if st.Validate.Runs != 1 || st.Validate.Passed != 1 || st.Validate.FlaggedRuns != 0 {
+		t.Errorf("validate counters after one passing run: %+v", st.Validate)
+	}
+	if st.Validate.Flags != 0 {
+		t.Errorf("flags counter = %d after a clean run", st.Validate.Flags)
+	}
+}
+
+// A run whose BDD blows the budget must still answer 200 with the skip
+// recorded, and the healthz skip counter must advance.
+func TestValidateBudgetSkipCounted(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/validate", ValidateRequest{
+		CircuitRef: CircuitRef{Circuit: "c17"},
+		Spec: protest.ValidateSpec{
+			BDDBudget:   3,
+			MinPatterns: 1024,
+			MaxPatterns: 1024,
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rep protest.ValidateReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasExact {
+		t.Error("a 3-node budget cannot build c17's BDDs")
+	}
+	if len(rep.Skips) == 0 {
+		t.Fatal("budget skip missing from the served report")
+	}
+	if st := srv.Stats(); st.Validate.Skips == 0 {
+		t.Errorf("skip counter did not advance: %+v", st.Validate)
+	}
+}
+
+// Spec mistakes are the client's fault: 400, not 500, and the failure
+// counters — not the validate outcome counters — advance.
+func TestValidateBadSpecIs400(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/validate", ValidateRequest{
+		CircuitRef: CircuitRef{Circuit: "c17"},
+		Spec:       protest.ValidateSpec{Epsilon: 2},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d (want 400): %s", resp.StatusCode, body)
+	}
+	if st := srv.Stats(); st.Validate.Runs != 0 {
+		t.Errorf("a rejected spec must not count as a run: %+v", st.Validate)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/validate", ValidateRequest{
+		CircuitRef: CircuitRef{Circuit: "no-such-circuit"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown circuit: status %d (want 400): %s", resp.StatusCode, body)
+	}
+}
+
+// The healthz document must expose the cumulative validate counters.
+func TestHealthzValidateCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/validate", ValidateRequest{
+		CircuitRef: CircuitRef{Circuit: "c17"},
+		Spec:       protest.ValidateSpec{MinPatterns: 1024, MaxPatterns: 1024},
+	})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Stats struct {
+			Validate ValidateStats `json:"validate"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Stats.Validate.Runs != 1 {
+		t.Errorf("healthz validate.runs = %d, want 1", health.Stats.Validate.Runs)
+	}
+	if health.Stats.Validate.Passed+health.Stats.Validate.FlaggedRuns != 1 {
+		t.Errorf("healthz validate outcomes don't sum to runs: %+v", health.Stats.Validate)
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Table-driven tests for the documented degenerate-input contracts:
+// zero-variance and NaN-bearing inputs, empty slices, and the
+// mustSameLen panic at the API boundary.
+
+func TestCorrelationContracts(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"both empty", nil, nil, 0},
+		{"single element", []float64{0.3}, []float64{0.9}, 0},
+		{"a constant", []float64{0.5, 0.5, 0.5}, []float64{0.1, 0.2, 0.3}, 0},
+		{"b constant", []float64{0.1, 0.2, 0.3}, []float64{0.5, 0.5, 0.5}, 0},
+		{"both constant", []float64{1, 1}, []float64{0, 0}, 0},
+		{"NaN in a", []float64{nan, 0.2, 0.3}, []float64{0.1, 0.2, 0.3}, nan},
+		{"NaN in b", []float64{0.1, 0.2, 0.3}, []float64{0.1, nan, 0.3}, nan},
+		{"NaN with constant other side", []float64{nan, 0.2}, []float64{0.5, 0.5}, nan},
+		{"perfect", []float64{0.1, 0.2, 0.4}, []float64{0.2, 0.4, 0.8}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Correlation(c.a, c.b)
+			if math.IsNaN(c.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("Correlation = %v, want NaN", got)
+				}
+			} else if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Correlation = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestSpearmanContracts(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"all ties in a", []float64{2, 2, 2}, []float64{1, 2, 3}, 0},
+		{"all ties in b", []float64{1, 2, 3}, []float64{7, 7, 7}, 0},
+		{"NaN in a", []float64{nan, 2, 3}, []float64{1, 2, 3}, nan},
+		{"NaN in b", []float64{1, 2, 3}, []float64{3, nan, 1}, nan},
+		{"monotone transform", []float64{0.1, 0.2, 0.3}, []float64{1, 100, 10000}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := SpearmanCorrelation(c.a, c.b)
+			if math.IsNaN(c.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("SpearmanCorrelation = %v, want NaN", got)
+				}
+			} else if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("SpearmanCorrelation = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	// Must not panic, and must return the zero row.
+	s := Summarize(nil, nil)
+	if s != (Summary{}) {
+		t.Errorf("Summarize(nil,nil) = %+v, want zero Summary", s)
+	}
+	s = Summarize([]float64{}, []float64{})
+	if s.N != 0 {
+		t.Errorf("Summarize of empty slices: N = %d", s.N)
+	}
+}
+
+func TestSummarizeNaNPropagates(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 0.5}, []float64{0.5, 0.5})
+	if !math.IsNaN(s.MaxErr) || !math.IsNaN(s.AvgErr) || !math.IsNaN(s.Bias) || !math.IsNaN(s.Corr) {
+		t.Errorf("NaN input must surface in every aggregate, got %+v", s)
+	}
+}
+
+func TestMustSameLenPanics(t *testing.T) {
+	funcs := map[string]func(){
+		"MaxAbsError": func() { MaxAbsError([]float64{1}, nil) },
+		"MeanAbsError": func() {
+			MeanAbsError([]float64{1}, []float64{1, 2})
+		},
+		"MeanBias":            func() { MeanBias(nil, []float64{1}) },
+		"Correlation":         func() { Correlation([]float64{1, 2}, []float64{1}) },
+		"SpearmanCorrelation": func() { SpearmanCorrelation([]float64{1}, []float64{1, 2}) },
+		"Summarize":           func() { Summarize([]float64{1, 2, 3}, []float64{1}) },
+	}
+	for name, f := range funcs {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected a length-mismatch panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "length mismatch") {
+					t.Fatalf("unexpected panic payload %v", r)
+				}
+			}()
+			f()
+		})
+	}
+}

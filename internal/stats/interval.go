@@ -1,0 +1,140 @@
+package stats
+
+import "math"
+
+// Interval machinery for the statistical self-validation harness:
+// Wilson score intervals around Monte-Carlo detection frequencies,
+// standard-normal quantiles derived from a target ε, and an exact
+// binomial tail test for the small-count regime where any normal
+// approximation (Wilson included) loses calibration.
+
+// NormalQuantile returns the standard-normal quantile z with
+// Φ(z) = p, for p in (0,1): NormalQuantile(0.975) ≈ 1.96.  Out-of-range
+// p yields ∓Inf (p <= 0 → -Inf, p >= 1 → +Inf), and NaN stays NaN.
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p):
+		return math.NaN()
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion after observing k successes in n trials, at critical
+// value z (z = NormalQuantile(1-α/2) for a two-sided 1-α interval).
+//
+// Unlike the naive Wald interval p̂ ± z·√(p̂(1-p̂)/n), the Wilson
+// interval stays inside [0,1] and keeps usable coverage for the
+// near-boundary proportions the validation harness lives on (faults
+// with detection probabilities of 10⁻⁴ and below, where Wald collapses
+// to a zero-width interval at k=0).  n <= 0 returns the vacuous
+// interval [0,1].
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// BinomialTwoSidedP returns the two-sided tail probability of
+// observing a count as extreme as k under K ~ Binomial(n, p):
+// 2·min(P(K <= k), P(K >= k)), capped at 1.  It is exact (log-gamma
+// summation over the nearer tail), so it stays calibrated where normal
+// approximations do not: n·p near 0 or n·(1-p) near 0.
+//
+// The summation covers the shorter of the two tails and truncates
+// after maxTailTerms terms.  The harness only reaches this function in
+// the small-expectation regimes (n·p or n·(1-p) below ~100), where the
+// shorter tail is far below the truncation bound and the result is
+// exact to floating-point accuracy; outside them the dropped terms lie
+// thousands of standard deviations past the mode and are negligible.
+func BinomialTwoSidedP(k, n int, p float64) float64 {
+	if n <= 0 || k < 0 || k > n {
+		return 1
+	}
+	switch {
+	case p <= 0:
+		if k == 0 {
+			return 1
+		}
+		return 0
+	case p >= 1:
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	// Sum the tail on the side of k away from the mean — for a unimodal
+	// pmf that is the smaller of P(K <= k) and P(K >= k), and summing it
+	// directly avoids the catastrophic cancellation of computing a
+	// 10⁻¹⁹-sized tail as 1 minus its complement.
+	var tail float64
+	if float64(k) >= float64(n)*p {
+		tail = binomialTail(k, n, p, true)
+	} else {
+		tail = binomialTail(k, n, p, false)
+	}
+	pv := 2 * tail
+	if pv > 1 {
+		pv = 1
+	}
+	return pv
+}
+
+// maxTailTerms bounds the exact summation; beyond it the p-value is
+// astronomically small for every ε in practical use.
+const maxTailTerms = 4096
+
+// binomialTail sums P(K <= k) (upper=false) or P(K >= k) (upper=true)
+// exactly via log-gamma, truncating after maxTailTerms terms.
+func binomialTail(k, n int, p float64, upper bool) float64 {
+	sum := 0.0
+	if upper {
+		last := k + maxTailTerms
+		if last > n {
+			last = n
+		}
+		for i := k; i <= last; i++ {
+			sum += math.Exp(logBinomPMF(i, n, p))
+		}
+	} else {
+		first := k - maxTailTerms
+		if first < 0 {
+			first = 0
+		}
+		for i := first; i <= k; i++ {
+			sum += math.Exp(logBinomPMF(i, n, p))
+		}
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// logBinomPMF returns log P(K = k) for K ~ Binomial(n, p), 0 < p < 1.
+func logBinomPMF(k, n int, p float64) float64 {
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	lgK, _ := math.Lgamma(float64(k) + 1)
+	lgNK, _ := math.Lgamma(float64(n-k) + 1)
+	return lgN - lgK - lgNK +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}

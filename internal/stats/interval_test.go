@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.841344746068543, 1}, // Φ(1)
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.z) > 1e-9 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles should be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("NaN should stay NaN")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Reference values computed from the closed form.
+	lo, hi := WilsonInterval(50, 100, 1.96)
+	if math.Abs(lo-0.40383) > 1e-4 || math.Abs(hi-0.59617) > 1e-4 {
+		t.Errorf("Wilson(50,100) = [%v,%v]", lo, hi)
+	}
+	// k=0 must yield a nonzero-width interval touching 0 — that is the
+	// property Wald lacks and the reason the harness uses Wilson.
+	lo, hi = WilsonInterval(0, 10000, 1.96)
+	if lo != 0 {
+		t.Errorf("Wilson(0,n) lo = %v, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.01 {
+		t.Errorf("Wilson(0,10000) hi = %v", hi)
+	}
+	// Symmetry: the interval for k is the mirror of the one for n-k.
+	lo1, hi1 := WilsonInterval(3, 1000, 2.5)
+	lo2, hi2 := WilsonInterval(997, 1000, 2.5)
+	if math.Abs(lo1-(1-hi2)) > 1e-12 || math.Abs(hi1-(1-lo2)) > 1e-12 {
+		t.Errorf("Wilson not symmetric: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+	// Bounds are clamped to [0,1] and ordered for all inputs.
+	for _, k := range []int{0, 1, 7, 500, 999, 1000} {
+		lo, hi := WilsonInterval(k, 1000, 5)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson(%d,1000) = [%v,%v] out of order", k, lo, hi)
+		}
+		p := float64(k) / 1000
+		if p < lo || p > hi {
+			t.Errorf("Wilson(%d,1000) = [%v,%v] excludes the point estimate", k, lo, hi)
+		}
+	}
+	if lo, hi := WilsonInterval(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%v,%v], want vacuous [0,1]", lo, hi)
+	}
+}
+
+func TestBinomialTwoSidedP(t *testing.T) {
+	// Exact small cases, checked by hand: K ~ B(10, 0.5).
+	// P(K<=1) = 11/1024, two-sided = 22/1024.
+	if got, want := BinomialTwoSidedP(1, 10, 0.5), 22.0/1024; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BinomialTwoSidedP(1,10,0.5) = %v, want %v", got, want)
+	}
+	// The median is not extreme at all.
+	if got := BinomialTwoSidedP(5, 10, 0.5); got < 0.99 {
+		t.Errorf("BinomialTwoSidedP(5,10,0.5) = %v, want ~1", got)
+	}
+	// k far above n·p: extreme.  K ~ B(10000, 1e-4), mean 1, k=20.
+	if got := BinomialTwoSidedP(20, 10000, 1e-4); got > 1e-12 {
+		t.Errorf("BinomialTwoSidedP(20,10000,1e-4) = %v, want ~0", got)
+	}
+	// k=0 under a tiny p is unremarkable.
+	if got := BinomialTwoSidedP(0, 10000, 1e-5); got < 0.5 {
+		t.Errorf("BinomialTwoSidedP(0,10000,1e-5) = %v", got)
+	}
+	// Degenerate p.
+	if BinomialTwoSidedP(0, 100, 0) != 1 || BinomialTwoSidedP(1, 100, 0) != 0 {
+		t.Error("p=0 contract violated")
+	}
+	if BinomialTwoSidedP(100, 100, 1) != 1 || BinomialTwoSidedP(99, 100, 1) != 0 {
+		t.Error("p=1 contract violated")
+	}
+	// Monotonicity away from the mode: more extreme counts are rarer.
+	prev := 1.1
+	for k := 5; k <= 30; k += 5 {
+		pv := BinomialTwoSidedP(k, 1000, 5e-3)
+		if pv > prev {
+			t.Errorf("p-value not decreasing at k=%d: %v > %v", k, pv, prev)
+		}
+		prev = pv
+	}
+}

@@ -1,7 +1,21 @@
 // Package stats provides the statistical evaluation the paper uses to
 // validate PROTEST: correlation coefficients and error measures between
-// estimated and simulated detection probabilities (Table 1), and ASCII
-// correlation diagrams standing in for Figures 5 and 6.
+// estimated and simulated detection probabilities (Table 1), ASCII
+// correlation diagrams standing in for Figures 5 and 6, and the
+// interval machinery of the self-validation harness (Wilson score
+// intervals, normal quantiles, exact binomial tail tests).
+//
+// # Contracts
+//
+// Every pairwise function (MaxAbsError, MeanAbsError, MeanBias,
+// Correlation, SpearmanCorrelation, Summarize, Scatter) panics when the
+// two slices differ in length — a length mismatch is a programming
+// error at the call site, never a data condition, so it fails loudly
+// instead of truncating.  Empty inputs are valid everywhere and yield
+// zero values, never a panic.  NaN or ±Inf elements propagate IEEE-754
+// style: the affected aggregate becomes NaN rather than being silently
+// dropped, so a caller that must reject such inputs has to validate
+// them first (the validation harness does).
 package stats
 
 import (
@@ -11,12 +25,13 @@ import (
 	"strings"
 )
 
-// MaxAbsError returns max_i |a_i - b_i|.
+// MaxAbsError returns max_i |a_i - b_i|; 0 on empty input, NaN when
+// any pair differs by NaN.
 func MaxAbsError(a, b []float64) float64 {
 	mustSameLen(a, b)
 	m := 0.0
 	for i := range a {
-		if d := math.Abs(a[i] - b[i]); d > m {
+		if d := math.Abs(a[i] - b[i]); d > m || math.IsNaN(d) {
 			m = d
 		}
 	}
@@ -52,7 +67,15 @@ func MeanBias(a, b []float64) float64 {
 }
 
 // Correlation returns the Pearson correlation coefficient of a and b —
-// the paper's C₀.  It returns 0 when either vector is constant.
+// the paper's C₀.
+//
+// Contract: it returns 0 when either vector has zero variance
+// (constant, including empty or single-element input) — the
+// coefficient is undefined there and 0 is the conservative "no linear
+// relationship demonstrated" answer, chosen so that a dead oracle
+// producing a constant vector fails a corr >= threshold gate instead
+// of passing it.  A NaN or ±Inf element makes the result NaN (the
+// variance accumulators absorb it), never a misleading finite value.
 func Correlation(a, b []float64) float64 {
 	mustSameLen(a, b)
 	n := float64(len(a))
@@ -73,12 +96,20 @@ func Correlation(a, b []float64) float64 {
 		va += da * da
 		vb += db * db
 	}
+	if math.IsNaN(cov) || math.IsNaN(va) || math.IsNaN(vb) {
+		return math.NaN()
+	}
 	if va == 0 || vb == 0 {
 		return 0
 	}
 	return cov / math.Sqrt(va*vb)
 }
 
+// mustSameLen is the shared length guard of every pairwise function in
+// this package: mismatched slice lengths panic with a "stats: length
+// mismatch" message.  The panic is part of the documented API contract
+// (see the package comment) — callers pairing slices of different
+// origins must check lengths themselves.
 func mustSameLen(a, b []float64) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
@@ -91,8 +122,18 @@ func mustSameLen(a, b []float64) {
 // more than value agreement (a monotone transform of a perfect measure
 // still orders the faults correctly), so Table-1-style comparisons
 // report both.
+//
+// Contract: like Correlation it returns 0 when either rank vector has
+// zero variance (all elements tied, including empty input).  A NaN
+// element has no rank, so any NaN in either input makes the result NaN
+// rather than ranking garbage.
 func SpearmanCorrelation(a, b []float64) float64 {
 	mustSameLen(a, b)
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			return math.NaN()
+		}
+	}
 	return Correlation(ranks(a), ranks(b))
 }
 
@@ -203,6 +244,8 @@ type Summary struct {
 }
 
 // Summarize computes the Table 1 row for estimated vs simulated values.
+// Empty inputs yield the zero Summary (N=0), not a panic; mismatched
+// lengths panic per the package contract.
 func Summarize(estimated, simulated []float64) Summary {
 	return Summary{
 		MaxErr: MaxAbsError(estimated, simulated),

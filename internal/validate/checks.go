@@ -1,0 +1,186 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/faultsim"
+	"protest/internal/stats"
+)
+
+// runChecks performs every cross-check and records flags on the
+// report.  analytic and (optionally) exact are index-aligned with
+// faults; res is the Monte-Carlo measurement.
+func (rep *Report) runChecks(c *circuit.Circuit, faults []fault.Fault, analytic, exact []float64, res *faultsim.Result, uniform bool, cfg Config) {
+	n := res.Applied
+	// Bonferroni adjustment: m is the number of per-fault statistical
+	// interval checks in the family, so the whole run false-flags a
+	// healthy tool with probability at most ε.
+	m := len(faults)
+	if exact != nil {
+		m *= 2
+	}
+	if m == 0 {
+		m = 1
+	}
+	z := stats.NormalQuantile(1 - cfg.Epsilon/(2*float64(m)))
+	alpha := cfg.Epsilon / float64(m)
+
+	flag := func(f Flag) {
+		f.Circuit = c.Name
+		rep.Flags = append(rep.Flags, f)
+	}
+
+	psim := make([]float64, len(faults))
+	for i, f := range faults {
+		k := res.Detected[i]
+		psim[i] = res.PSim(i)
+		name := f.Name(c)
+		lo, hi := stats.WilsonInterval(k, n, z)
+
+		// Range sanity: every oracle value must be a probability.  A
+		// NaN or out-of-range analytic value is flagged here so the
+		// statistical checks below never compare against garbage.
+		rep.Checks++
+		if bad(analytic[i]) || (exact != nil && bad(exact[i])) {
+			flag(Flag{
+				Fault: name, Kind: "range",
+				Analytic: analytic[i], Exact: opt(exact, i),
+				Empirical: psim[i], Detected: k, Patterns: n,
+				Detail: "oracle value outside [0,1] or not finite",
+			})
+			continue
+		}
+
+		// Exact vs empirical: the hard consistency test between the two
+		// truth chains.  The Wilson interval carries the bulk; in the
+		// small-count regimes (expected successes or failures under ~100)
+		// the exact binomial tail decides, because there the normal
+		// approximation under-covers and would flag healthy faults.
+		if exact != nil {
+			rep.Checks++
+			p := exact[i]
+			if p < lo || p > hi {
+				small := float64(n)*p < 100 || float64(n)*(1-p) < 100
+				if !small || stats.BinomialTwoSidedP(k, n, p) < alpha {
+					flag(Flag{
+						Fault: name, Kind: "exact-vs-empirical",
+						Analytic: analytic[i], Exact: &p,
+						Empirical: psim[i], Detected: k, Patterns: n,
+						Lo: lo, Hi: hi,
+						Detail: fmt.Sprintf("BDD-exact %.6g outside Wilson interval [%.6g,%.6g] of %d/%d detections (z=%.2f)",
+							p, lo, hi, k, n, z),
+					})
+				}
+			}
+
+			// Analytic vs exact, gross tolerance: the estimator is
+			// heuristic, so only catastrophic disagreement flags here;
+			// the envelope below is the tight gate.
+			rep.Checks++
+			if d := math.Abs(analytic[i] - p); d > cfg.GrossTol {
+				flag(Flag{
+					Fault: name, Kind: "analytic-vs-exact",
+					Analytic: analytic[i], Exact: &p,
+					Empirical: psim[i], Detected: k, Patterns: n,
+					Lo: p - cfg.GrossTol, Hi: p + cfg.GrossTol,
+					Detail: fmt.Sprintf("analytic %.6g deviates %.3f from BDD-exact %.6g, beyond gross tolerance %.3f",
+						analytic[i], d, p, cfg.GrossTol),
+				})
+			}
+
+			// Coverage: under the ProbTest-sized pattern count, every
+			// fault whose exact probability clears the floor must have
+			// been seen at least once — missing all of them happens with
+			// probability below ε across the whole family.  Skipped (and
+			// recorded as such) when the clamp truncated the count.
+			if p >= cfg.PMinFloor && !rep.GuaranteeTruncated {
+				rep.Checks++
+				if k == 0 {
+					flag(Flag{
+						Fault: name, Kind: "coverage",
+						Analytic: analytic[i], Exact: &p,
+						Empirical: 0, Detected: 0, Patterns: n,
+						Detail: fmt.Sprintf("fault with exact detection probability %.6g never detected in %d ProbTest-sized patterns (miss probability %.3g)",
+							p, n, math.Exp(float64(n)*math.Log1p(-p))),
+					})
+				}
+			}
+		}
+
+		// Analytic vs empirical: the ISSUE's Wilson-interval check on
+		// the heuristic chain, widened by the gross tolerance — the
+		// estimator's model error is real and calibrated for in the
+		// envelope, so only a gross excursion flags per fault.
+		rep.Checks++
+		if analytic[i] < lo-cfg.GrossTol || analytic[i] > hi+cfg.GrossTol {
+			flag(Flag{
+				Fault: name, Kind: "analytic-vs-empirical",
+				Analytic: analytic[i], Exact: opt(exact, i),
+				Empirical: psim[i], Detected: k, Patterns: n,
+				Lo: lo - cfg.GrossTol, Hi: hi + cfg.GrossTol,
+				Detail: fmt.Sprintf("analytic %.6g outside Wilson interval [%.6g,%.6g] widened by gross tolerance %.3f",
+					analytic[i], lo, hi, cfg.GrossTol),
+			})
+		}
+	}
+
+	// Aggregate envelope on the analytic chain, against the best truth
+	// oracle available.  The envelope is what gives the harness its
+	// sensitivity: a bias injection far smaller than any per-fault
+	// tolerance still shifts the aggregate outside the calibrated band.
+	truth := psim
+	if exact != nil {
+		truth = exact
+	}
+	rep.VsEmpirical = stats.Summarize(analytic, psim)
+	if exact != nil {
+		s := stats.Summarize(analytic, exact)
+		rep.VsExact = &s
+	}
+	rep.Spearman = stats.SpearmanCorrelation(analytic, truth)
+
+	env, source := resolveEnvelope(c.Name, uniform, cfg)
+	rep.Envelope = env
+	rep.EnvelopeSource = source
+	agg := stats.Summarize(analytic, truth)
+	check := func(name string, got float64, ok bool, lo, hi float64) {
+		rep.Checks++
+		if ok && !math.IsNaN(got) {
+			return
+		}
+		flag(Flag{
+			Kind: "envelope", Lo: lo, Hi: hi,
+			Detail: fmt.Sprintf("aggregate %s = %.4f outside envelope [%.4f,%.4f] (source %s, truth oracle %s, %d faults)",
+				name, got, lo, hi, source, truthName(exact), len(faults)),
+		})
+	}
+	check("corr", agg.Corr, agg.Corr >= env.CorrMin, env.CorrMin, 1)
+	check("spearman", rep.Spearman, rep.Spearman >= env.SpearMin, env.SpearMin, 1)
+	check("avg_err", agg.AvgErr, agg.AvgErr <= env.AvgErrMax, 0, env.AvgErrMax)
+	check("bias", agg.Bias, agg.Bias >= env.BiasLo && agg.Bias <= env.BiasHi, env.BiasLo, env.BiasHi)
+}
+
+func truthName(exact []float64) string {
+	if exact != nil {
+		return "bdd-exact"
+	}
+	return "monte-carlo"
+}
+
+func bad(p float64) bool {
+	const slack = 1e-9 // float roundoff at the [0,1] boundaries is not a defect
+	return math.IsNaN(p) || p < -slack || p > 1+slack
+}
+
+// opt returns &v[i] when v is present, nil otherwise, for the
+// omitempty Exact field.
+func opt(v []float64, i int) *float64 {
+	if v == nil {
+		return nil
+	}
+	p := v[i]
+	return &p
+}

@@ -11,20 +11,30 @@
 # trail.  Run that one alone with:
 #   scripts/bench.sh 'BenchmarkServerAnalyzeCoalesce' 1
 #
-# Usage: scripts/bench.sh [bench-regex] [count] [benchtime]
+# Usage: scripts/bench.sh [bench-regex] [count] [benchtime] [cpus]
 #   scripts/bench.sh                       # full suite, -count 3
 #   scripts/bench.sh 'Analyze' 1           # quick subset, single run
 #   scripts/bench.sh 'Optimize' 3 10x      # fixed iteration count
+#   scripts/bench.sh 'Throughput' 1 '' 1,2,4   # GOMAXPROCS sweep
+#
+# With a cpu list the trail keeps go's -N GOMAXPROCS suffix in the
+# benchmark names (BenchmarkFoo-2, BenchmarkFoo-4, ...), so one file
+# records the whole scaling curve; without one the suffix is stripped
+# as before, keeping names comparable across machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pattern=${1:-.}
 count=${2:-3}
 benchtime=${3:-}
+cpus=${4:-}
 
 args=(test -run '^$' -bench "$pattern" -benchmem -count "$count")
 if [ -n "$benchtime" ]; then
   args+=(-benchtime "$benchtime")
+fi
+if [ -n "$cpus" ]; then
+  args+=(-cpu "$cpus")
 fi
 args+=(./...)
 
@@ -40,10 +50,10 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 go "${args[@]}" | tee "$tmp"
 
-awk '
+awk -v keepcpu="${cpus:+1}" '
 /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)
+    if (keepcpu == "") sub(/-[0-9]+$/, "", name)
     ns = ""; allocs = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i-1)

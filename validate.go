@@ -1,0 +1,149 @@
+package protest
+
+import (
+	"context"
+
+	"protest/internal/core"
+	"protest/internal/faultsim"
+	"protest/internal/validate"
+)
+
+// PhaseValidate is the phase reported around a Session.Validate run;
+// the embedded Monte-Carlo measurement additionally reports
+// PhaseSimulate progress.
+const PhaseValidate Phase = "validate"
+
+// ValidateReport is the serializable outcome of one Session.Validate
+// run: the three oracle summaries, the ProbTest-sized pattern count,
+// every flagged fault and every skipped check with its reason.
+type ValidateReport = validate.Report
+
+// ValidateFlag is one cross-check failure inside a ValidateReport.
+type ValidateFlag = validate.Flag
+
+// ValidateSkip records a validation check that could not run and why.
+type ValidateSkip = validate.Skip
+
+// ValidateEnvelope is the aggregate acceptance band the analytic
+// estimator is held to (see Session.Validate).
+type ValidateEnvelope = validate.Envelope
+
+// ValidateSpec configures one Session.Validate run.  The zero value
+// selects the documented defaults: ε = 0.05, outcome-probability
+// floor 10⁻⁴, at least 16384 and at most 2²⁰ Monte-Carlo patterns,
+// the default BDD node budget of 2²⁰, gross per-fault tolerance 0.5,
+// uniform inputs, and the calibrated (or default) aggregate envelope.
+type ValidateSpec struct {
+	// Epsilon is the family-wise error rate of the run, in (0,1)
+	// (default 0.05): per-fault statistical checks are Bonferroni-
+	// adjusted to it, and the Monte-Carlo pattern count is sized
+	// ProbTest-style so every fault above PMinFloor is observed at
+	// least once with probability at least 1-ε.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// PMinFloor is the smallest outcome probability the coverage
+	// guarantee extends to (default 1e-4).
+	PMinFloor float64 `json:"pmin_floor,omitempty"`
+	// MinPatterns/MaxPatterns clamp the derived Monte-Carlo pattern
+	// count (defaults 16384 / 1<<20); a truncated guarantee is
+	// reported, never silently weakened.
+	MinPatterns int `json:"min_patterns,omitempty"`
+	MaxPatterns int `json:"max_patterns,omitempty"`
+	// BDDBudget bounds the exact oracle's diagram size (default
+	// 1<<20); circuits over budget are skipped with a recorded reason.
+	BDDBudget int `json:"bdd_budget,omitempty"`
+	// GrossTol is the loose per-fault tolerance on the heuristic
+	// analytic chain (default 0.5).
+	GrossTol float64 `json:"gross_tol,omitempty"`
+	// Envelope overrides the aggregate acceptance band; nil selects
+	// the calibrated registry band (uniform inputs) or the
+	// conservative default.
+	Envelope *ValidateEnvelope `json:"envelope,omitempty"`
+	// InputProbs are the per-input signal probabilities all three
+	// oracles run under; nil means the conventional uniform tuple.
+	InputProbs []float64 `json:"input_probs,omitempty"`
+	// Workers, SimEngine and NoShard override the Session's execution
+	// strategy for this run's Monte-Carlo measurement, with the same
+	// semantics as the PipelineSpec fields of the same names; results
+	// are bit-identical for every setting.
+	Workers   int       `json:"workers,omitempty"`
+	SimEngine SimEngine `json:"sim_engine,omitempty"`
+	NoShard   bool      `json:"no_shard,omitempty"`
+	// Progress overrides the Session's WithProgress callback for this
+	// run only.
+	Progress func(Phase, float64) `json:"-"`
+
+	// perturb, when non-nil, biases a copy of the analytic detection
+	// probabilities before the checks run.  It is unexported on
+	// purpose: the hook exists only so tests can prove the harness
+	// catches an injected analytic regression, and keeping it out of
+	// the public (and wire) surface means no caller can accidentally
+	// validate perturbed values.
+	perturb func([]float64)
+}
+
+// Validate cross-checks the Session's three detection-probability
+// oracles against each other — the analytic estimator, exact BDD
+// probabilities, and a ProbTest-sized Monte-Carlo measurement — and
+// reports every disagreement as a flag (see ValidateReport).  It is
+// the "who watches the watchers" harness: a passing report means the
+// estimator, the BDD engine and the fault simulator independently
+// agree within the statistical resolution ε buys.
+//
+// Like every Session method it runs lock-free on the shared compiled
+// artifacts and is safe for concurrent use; the Monte-Carlo
+// measurement routes through the Session's configured engine, worker
+// count and shard pool (sharded across worker processes when the
+// Session was opened WithShardPool), and the fixed Session seed makes
+// the whole report deterministic.  Oracle disagreement is reported in
+// the Flags of the report, not as an error; the error return is for
+// infrastructure failure (bad spec, cancellation, simulator error)
+// only.
+func (s *Session) Validate(ctx context.Context, spec ValidateSpec) (*ValidateReport, error) {
+	cfg := s.cfg()
+	if spec.Workers != 0 {
+		cfg.workers = spec.Workers
+	}
+	if spec.SimEngine != SimEngineFFR {
+		cfg.engine = spec.SimEngine
+	}
+	if spec.Progress != nil {
+		cfg.progress = spec.Progress
+	}
+	if spec.NoShard {
+		cfg.pool = nil
+	}
+
+	cfg.emit(PhaseValidate, 0)
+	// Oracle 1: the analytic estimator (cached when uniform).
+	res, err := s.analyze(ctx, spec.InputProbs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	analytic := res.DetectProbs(s.faults)
+	inputProbs := spec.InputProbs
+	if inputProbs == nil {
+		inputProbs = core.UniformProbs(s.c)
+	}
+
+	vcfg := validate.Config{
+		Spec: validate.Spec{
+			Epsilon:     spec.Epsilon,
+			PMinFloor:   spec.PMinFloor,
+			MinPatterns: spec.MinPatterns,
+			MaxPatterns: spec.MaxPatterns,
+			BDDBudget:   spec.BDDBudget,
+			GrossTol:    spec.GrossTol,
+			Envelope:    spec.Envelope,
+		},
+		Perturb: spec.perturb,
+	}
+	sim := func(ctx context.Context, numPatterns int) (*faultsim.Result, error) {
+		return s.simulate(ctx, spec.InputProbs, numPatterns, cfg)
+	}
+	rep, err := validate.Run(ctx, s.c, s.faults, analytic, inputProbs, sim, vcfg)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	cfg.emit(PhaseValidate, 1)
+	return rep, nil
+}
