@@ -241,6 +241,32 @@ func BenchmarkFaultSimFFRMULT64Patterns(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultSimFFRMULT512PatternsWide sweeps the wide-kernel width
+// on the mult8 FFR engine at equal work — 512 patterns (eight
+// 64-pattern blocks) per op at every width — so the per-op ratio
+// between w1 and w8 is the wide kernel's speedup directly.
+func BenchmarkFaultSimFFRMULT512PatternsWide(b *testing.B) {
+	c := circuits.Mult8()
+	faults := fault.Collapse(c)
+	plan := faultsim.NewPlan(c, faults)
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			e := plan.AcquireWideEngine(w)
+			defer e.Release()
+			gen := pattern.NewUniform(len(c.Inputs), 1)
+			words := make([]uint64, len(c.Inputs)*w)
+			det := make([]uint64, len(faults)*w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for blk := 0; blk < 8; blk += w {
+					gen.NextBlocks(words, w, w)
+					e.SimulateChunk(words, det, nil)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTestLengthCOMP(b *testing.B) {
 	c := circuits.Comp24()
 	faults := fault.Collapse(c)

@@ -77,6 +77,7 @@ func runFsim(ctx context.Context, args []string) error {
 	curve := fs.String("curve", "", "comma list of checkpoints for a coverage curve (e.g. 10,100,1000)")
 	psim := fs.Bool("psim", false, "report per-fault measured detection probabilities")
 	workerAddrs := fs.String("workers-addrs", "", "comma-separated `protest serve -worker` addresses to shard the simulation across (identical results)")
+	width := fs.Int("width", 0, "wide-kernel width: simulate 1, 4 or 8 pattern blocks per sweep (0 = 1; identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +85,7 @@ func runFsim(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := []protest.Option{protest.WithSeed(*seed), protest.WithWorkers(*workers), protest.WithSimEngine(eng)}
+	opts := []protest.Option{protest.WithSeed(*seed), protest.WithWorkers(*workers), protest.WithSimEngine(eng), protest.WithSimWidth(*width)}
 	if *workerAddrs != "" {
 		pool := protest.NewShardPool(protest.ShardPoolConfig{Workers: splitComma(*workerAddrs), Seed: *seed})
 		defer pool.Close()

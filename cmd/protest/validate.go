@@ -28,6 +28,7 @@ func runValidate(ctx context.Context, args []string) error {
 	pSpec := fs.String("p", "", "input signal probabilities: one value or a comma list (default uniform)")
 	seed := fs.Uint64("seed", 1, "Monte-Carlo generator seed (reports are deterministic per seed)")
 	workers := fs.Int("workers", 1, "simulate fault cones on this many goroutines (-1 = all cores; identical results)")
+	width := fs.Int("width", 0, "wide-kernel width for the Monte-Carlo run: 1, 4 or 8 blocks per sweep (0 = 1; identical results)")
 	workerAddrs := fs.String("workers-addrs", "", "comma-separated `protest serve -worker` addresses to shard the Monte-Carlo run across (identical results)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON (an array with -circuits)")
 	quiet := fs.Bool("q", false, "suppress per-circuit progress on stderr")
@@ -43,6 +44,7 @@ func runValidate(ctx context.Context, args []string) error {
 		BDDBudget:   *budget,
 		GrossTol:    *grossTol,
 		Workers:     *workers,
+		SimWidth:    *width,
 	}
 
 	var names []string

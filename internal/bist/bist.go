@@ -17,6 +17,7 @@ import (
 	"protest/internal/fault"
 	"protest/internal/faultsim"
 	"protest/internal/pattern"
+	"protest/internal/widesim"
 )
 
 // MISR is a multiple-input signature register over GF(2) with a
@@ -90,6 +91,13 @@ type Plan struct {
 	// means "the Session's engine".  Signatures are bit-identical
 	// either way.
 	Engine faultsim.EngineKind
+	// SimWidth is the FFR capture width in 64-cycle lanes (1, 4 or 8;
+	// 0 means 1, or "the Session's width" through a Session).  Wide
+	// capture simulates SimWidth consecutive blocks per sweep and
+	// clocks the signature registers lane by lane in cycle order, so
+	// signatures are bit-identical at every width.  The naive engine
+	// ignores it.
+	SimWidth int
 }
 
 // Result reports the outcome of a simulated self-test session.
@@ -257,6 +265,12 @@ func (p *Program) RunCtx(ctx context.Context, gen *pattern.Generator, plan Plan,
 		}
 		sim = st.sim
 	} else {
+		if err := widesim.CheckWidth(plan.SimWidth); err != nil {
+			return nil, err
+		}
+		if plan.SimWidth > 1 {
+			return p.runWide(ctx, gen, plan, goodMISR, st, scratch, progress)
+		}
 		engine = p.plan().AcquireEngine()
 		defer engine.Release()
 		det = st.det
@@ -323,6 +337,92 @@ func (p *Program) RunCtx(ctx context.Context, gen *pattern.Generator, plan Plan,
 	return res, nil
 }
 
+// runWide is the wide-capture self-test loop: chunks of SimWidth
+// consecutive 64-cycle blocks run through one wide FFR capture sweep,
+// and every signature register is clocked lane by lane in cycle order
+// — serial compaction over wide simulation, so signatures are
+// bit-identical to the narrow loop.  Entered from RunCtx with the
+// per-fault registers already initialized on st.
+func (p *Program) runWide(ctx context.Context, gen *pattern.Generator, plan Plan, goodMISR *MISR, st *runState, scratch *MISR, progress faultsim.Progress) (*Result, error) {
+	c, faults := p.c, p.faults
+	w := plan.SimWidth
+	engine := p.plan().AcquireWideEngine(w)
+	defer engine.Release()
+
+	inWords := make([]uint64, len(c.Inputs)*w)
+	det := make([]uint64, len(faults)*w)
+	goodOut := make([]uint64, len(c.Outputs)*w)
+	faultyOut := make([]uint64, len(c.Outputs)*w)
+	faultSigs, outputDetected := st.faultSigs, st.outputDetected
+
+	nBlocks := (plan.Cycles + 63) / 64
+	cycles := 0
+	for b := 0; b < nBlocks; b += w {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k := w
+		if rem := nBlocks - b; rem < k {
+			k = rem
+		}
+		gen.NextBlocks(inWords, w, k)
+		engine.SimulateChunkOutputs(inWords, det)
+		engine.GoodOutputWords(goodOut)
+		for l := 0; l < k; l++ {
+			valid := plan.Cycles - (cycles + l*64)
+			if valid > 64 {
+				valid = 64
+			}
+			clockStreamLane(goodMISR, goodOut, w, l, valid)
+		}
+		for fi := range faults {
+			engine.FaultOutputs(fi, faultyOut)
+			scratch.state = faultSigs[fi]
+			for l := 0; l < k; l++ {
+				valid := plan.Cycles - (cycles + l*64)
+				if valid > 64 {
+					valid = 64
+				}
+				var mask uint64 = ^uint64(0)
+				if valid < 64 {
+					mask = 1<<valid - 1
+				}
+				if det[fi*w+l]&mask != 0 {
+					outputDetected[fi] = true
+				}
+				clockStreamLane(scratch, faultyOut, w, l, valid)
+			}
+			faultSigs[fi] = scratch.state
+		}
+		for l := 0; l < k; l++ {
+			valid := plan.Cycles - cycles
+			if valid > 64 {
+				valid = 64
+			}
+			cycles += valid
+		}
+		if progress != nil {
+			progress(cycles, plan.Cycles)
+		}
+	}
+
+	res := &Result{
+		GoodSignature: goodMISR.Signature(),
+		MISRWidth:     plan.MISRWidth,
+		Faults:        len(faults),
+		Cycles:        plan.Cycles,
+	}
+	for fi := range faults {
+		if faultSigs[fi] != res.GoodSignature {
+			res.Detected++
+		} else if outputDetected[fi] {
+			res.Aliased++
+		}
+	}
+	res.OutputDetected = res.Detected + res.Aliased
+	return res, nil
+}
+
 // clockStream feeds `valid` cycles of output words into the MISR:
 // cycle b contributes output bit words' bit b, assembled into one
 // parallel input word (output i on MISR input i).
@@ -331,6 +431,18 @@ func clockStream(m *MISR, outWords []uint64, valid int) {
 		var in uint64
 		for i, w := range outWords {
 			in |= (w >> b & 1) << (uint(i) % 64)
+		}
+		m.Clock(in)
+	}
+}
+
+// clockStreamLane is clockStream over lane `lane` of a lane-major wide
+// output buffer (outWords[i*stride+lane] is output i's word).
+func clockStreamLane(m *MISR, outWords []uint64, stride, lane, valid int) {
+	for b := 0; b < valid; b++ {
+		var in uint64
+		for i := 0; i*stride < len(outWords); i++ {
+			in |= (outWords[i*stride+lane] >> b & 1) << (uint(i) % 64)
 		}
 		m.Clock(in)
 	}

@@ -203,3 +203,41 @@ func TestEngineSignatureIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestWideSignatureIdentity pins wide capture: the complete self-test
+// result (good signature, detected, aliased, output-detected counts)
+// must be identical at widths 4 and 8 to the narrow run, including
+// cycle counts that end mid-lane and mid-word.
+func TestWideSignatureIdentity(t *testing.T) {
+	for _, name := range circuits.Names() {
+		c, _ := circuits.Lookup(name)
+		faults := fault.Collapse(c)
+		for _, cycles := range []int{64, 100, 257, 1000} {
+			base := Plan{Cycles: cycles, MISRWidth: 16, MISRSeed: 5}
+			ref, err := Run(c, faults, pattern.NewUniform(len(c.Inputs), 9), base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 4, 8} {
+				plan := base
+				plan.SimWidth = w
+				wide, err := Run(c, faults, pattern.NewUniform(len(c.Inputs), 9), plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if *wide != *ref {
+					t.Fatalf("%s cycles=%d width=%d: %+v != narrow %+v", c.Name, cycles, w, wide, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestWideWidthValidation(t *testing.T) {
+	c := circuits.C17()
+	faults := fault.Collapse(c)
+	plan := Plan{Cycles: 64, SimWidth: 3}
+	if _, err := Run(c, faults, pattern.NewUniform(len(c.Inputs), 1), plan); err == nil {
+		t.Fatal("SimWidth 3 should be rejected")
+	}
+}

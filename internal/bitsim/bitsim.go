@@ -34,14 +34,28 @@ func (s *Simulator) SetInput(i int, w uint64) {
 	s.values[s.c.Inputs[i]] = w
 }
 
-// SetInputs assigns all input words at once.
-func (s *Simulator) SetInputs(words []uint64) {
+// InputLengthError reports a SetInputs call whose word count does not
+// match the circuit's input count.
+type InputLengthError struct {
+	Got, Want int
+}
+
+func (e *InputLengthError) Error() string {
+	return fmt.Sprintf("bitsim: %d input words for %d inputs", e.Got, e.Want)
+}
+
+// SetInputs assigns all input words at once.  A length mismatch returns
+// an *InputLengthError and assigns nothing — a typed error rather than
+// a panic, so service boundaries that accept caller-supplied vectors
+// can reject bad lengths without a recover layer.
+func (s *Simulator) SetInputs(words []uint64) error {
 	if len(words) != len(s.c.Inputs) {
-		panic(fmt.Sprintf("bitsim: %d input words for %d inputs", len(words), len(s.c.Inputs)))
+		return &InputLengthError{Got: len(words), Want: len(s.c.Inputs)}
 	}
 	for i, w := range words {
 		s.values[s.c.Inputs[i]] = w
 	}
+	return nil
 }
 
 // Run evaluates every gate in topological order.

@@ -1,6 +1,7 @@
 package bitsim
 
 import (
+	"errors"
 	"testing"
 
 	"protest/internal/circuit"
@@ -207,13 +208,18 @@ func TestTableGateSim(t *testing.T) {
 	}
 }
 
-func TestSetInputsPanicsOnMismatch(t *testing.T) {
+func TestSetInputsLengthError(t *testing.T) {
 	c := c17(t)
 	s := New(c)
-	defer func() {
-		if recover() == nil {
-			t.Error("SetInputs with wrong length should panic")
-		}
-	}()
-	s.SetInputs([]uint64{1, 2})
+	err := s.SetInputs([]uint64{1, 2})
+	var le *InputLengthError
+	if !errors.As(err, &le) {
+		t.Fatalf("SetInputs with wrong length returned %v, want *InputLengthError", err)
+	}
+	if le.Got != 2 || le.Want != len(c.Inputs) {
+		t.Fatalf("InputLengthError = %+v", le)
+	}
+	if err := s.SetInputs(make([]uint64, len(c.Inputs))); err != nil {
+		t.Fatalf("correct length rejected: %v", err)
+	}
 }

@@ -140,7 +140,9 @@ func MonteCarloProbs(c *circuit.Circuit, inputProbs []float64, numPatterns int, 
 	}
 	for bl := 0; bl < blocks; bl++ {
 		gen.NextBlock(words)
-		sim.SetInputs(words)
+		if err := sim.SetInputs(words); err != nil {
+			panic(err) // words sized from c.Inputs above
+		}
 		sim.Run()
 		vals := sim.Values()
 		for id, w := range vals {

@@ -30,6 +30,28 @@ func benchBlockFFR(b *testing.B, c *circuit.Circuit) {
 	}
 }
 
+// benchBlockWide times 512 patterns per op through the wide kernel at
+// width w — equal work at every width, so per-op times compare
+// directly across widths (w=1 is the wide family's own narrow
+// baseline; the plain "ffr" runs time the original engine per block).
+func benchBlockWide(b *testing.B, c *circuit.Circuit, w int) {
+	faults := fault.Collapse(c)
+	plan := NewPlan(c, faults)
+	e := plan.AcquireWideEngine(w)
+	defer e.Release()
+	gen := pattern.NewUniform(len(c.Inputs), 1)
+	words := make([]uint64, len(c.Inputs)*w)
+	det := make([]uint64, len(faults)*w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for blk := 0; blk < 8; blk += w {
+			gen.NextBlocks(words, w, w)
+			e.SimulateChunk(words, det, nil)
+		}
+	}
+}
+
 func benchBlockNaive(b *testing.B, c *circuit.Circuit) {
 	faults := fault.Collapse(c)
 	s := New(c)
@@ -51,6 +73,9 @@ func BenchmarkBlockEngines(b *testing.B) {
 		c := mk()
 		b.Run(c.Name+"/ffr", func(b *testing.B) { benchBlockFFR(b, c) })
 		b.Run(c.Name+"/naive", func(b *testing.B) { benchBlockNaive(b, c) })
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/wide-w%d", c.Name, w), func(b *testing.B) { benchBlockWide(b, c, w) })
+		}
 	}
 }
 

@@ -83,7 +83,9 @@ func (e *Engine) Plan() *Plan { return e.plan }
 // left untouched) — the fault-dropping fast path: a dropped group
 // costs nothing, not even its backward trace.
 func (e *Engine) SimulateBlock(inputWords []uint64, det []uint64, liveGroups []bool) {
-	e.good.SetInputs(inputWords)
+	if err := e.good.SetInputs(inputWords); err != nil {
+		panic(err) // callers size the block from the plan's circuit
+	}
 	e.good.Run()
 	g := e.good.Values()
 	e.markNeeds(liveGroups)
@@ -403,7 +405,9 @@ func (e *Engine) flipEval(g []uint64, id circuit.NodeID, n *circuit.Node, pin in
 // detecting-pattern word of fault i (identical to SimulateBlock).
 func (e *Engine) SimulateBlockOutputs(inputWords []uint64, det []uint64) {
 	c := e.plan.c
-	e.good.SetInputs(inputWords)
+	if err := e.good.SetInputs(inputWords); err != nil {
+		panic(err) // callers size the block from the plan's circuit
+	}
 	e.good.Run()
 	g := e.good.Values()
 	nOut := len(c.Outputs)

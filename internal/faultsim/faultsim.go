@@ -26,6 +26,7 @@ import (
 	"protest/internal/fault"
 	"protest/internal/logic"
 	"protest/internal/pattern"
+	"protest/internal/widesim"
 )
 
 // Progress receives (patterns applied, patterns requested) after each
@@ -71,14 +72,24 @@ func ParseEngine(s string) (EngineKind, error) {
 }
 
 // Options tunes a measurement run.  The zero value selects the FFR
-// engine, serial.
+// engine, serial, narrow (width 1).
 type Options struct {
 	// Engine selects the simulation engine.
 	Engine EngineKind
 	// Workers spreads the per-block work over goroutines; <= 1 is
-	// serial, < 0 selects GOMAXPROCS.  Results are identical for every
-	// worker count.
+	// serial, < 0 selects GOMAXPROCS.  Values above GOMAXPROCS are
+	// clamped to it — oversubscribing cores only adds scheduling
+	// overhead (the bench trail shows the optimizer *slowing* when
+	// oversubscribed on one CPU), and the block distribution is
+	// identical either way.  Results are identical for every worker
+	// count.
 	Workers int
+	// Width is the simulation width in 64-pattern lanes (1, 4 or 8;
+	// 0 means 1): the FFR engine simulates Width consecutive blocks
+	// per sweep with all propagation words widened to Width lanes.
+	// Results are bit-identical at every width.  The naive oracle
+	// engine has no wide path and ignores Width.
+	Width int
 }
 
 // Simulator is the naive fault simulator: one cone re-simulation per
@@ -114,7 +125,9 @@ func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
 // and returns for each fault the word of patterns that detect it
 // (bit b set = pattern b detects the fault at some primary output).
 func (s *Simulator) SimulateBlock(inputWords []uint64, faults []fault.Fault, detect []uint64) {
-	s.good.SetInputs(inputWords)
+	if err := s.good.SetInputs(inputWords); err != nil {
+		panic(err) // callers size the block from the circuit
+	}
 	s.good.Run()
 	goodVals := s.good.Values()
 	for fi, f := range faults {
@@ -134,7 +147,9 @@ func (s *Simulator) GoodOutputWords(dst []uint64) {
 // by response compaction (signature analysis), which needs the faulty
 // responses themselves, not just the difference.
 func (s *Simulator) SimulateFaultBlock(inputWords []uint64, f fault.Fault, outWords []uint64) uint64 {
-	s.good.SetInputs(inputWords)
+	if err := s.good.SetInputs(inputWords); err != nil {
+		panic(err) // callers size the block from the circuit
+	}
 	s.good.Run()
 	goodVals := s.good.Values()
 	s.captureOut = outWords
@@ -360,6 +375,15 @@ func (p *Plan) MeasureDetectionCtx(ctx context.Context, gen *pattern.Generator, 
 	if opt.Engine == EngineNaive {
 		return MeasureDetectionOpt(ctx, p.c, p.faults, gen, numPatterns, opt, progress)
 	}
+	if err := widesim.CheckWidth(opt.Width); err != nil {
+		return nil, err
+	}
+	if width := resolveWidth(opt.Width); width > 1 {
+		if parallelWorkers(opt.Workers, len(p.faults)) > 1 {
+			return p.measureDetectionWideParallelCtx(ctx, gen, numPatterns, width, opt.Workers, progress)
+		}
+		return p.measureDetectionWideCtx(ctx, gen, numPatterns, width, progress)
+	}
 	if parallelWorkers(opt.Workers, len(p.faults)) > 1 {
 		return p.measureDetectionFFRParallelCtx(ctx, gen, numPatterns, opt.Workers, progress)
 	}
@@ -462,6 +486,15 @@ func (p *Plan) CoverageCurveCtx(ctx context.Context, gen *pattern.Generator, che
 	if opt.Engine == EngineNaive {
 		return CoverageCurveOpt(ctx, p.c, p.faults, gen, checkpoints, opt, progress)
 	}
+	if err := widesim.CheckWidth(opt.Width); err != nil {
+		return nil, err
+	}
+	if width := resolveWidth(opt.Width); width > 1 {
+		if parallelWorkers(opt.Workers, len(p.faults)) > 1 {
+			return p.coverageCurveWideParallelCtx(ctx, gen, checkpoints, width, opt.Workers, progress)
+		}
+		return p.coverageCurveWideCtx(ctx, gen, checkpoints, width, progress)
+	}
 	if parallelWorkers(opt.Workers, len(p.faults)) > 1 {
 		return p.coverageCurveFFRParallelCtx(ctx, gen, checkpoints, opt.Workers, progress)
 	}
@@ -498,9 +531,15 @@ func newDropState(p *Plan) *dropState {
 // drop removes the faults whose masked det word is non-zero, releasing
 // exhausted FFR groups.
 func (d *dropState) drop(det []uint64, mask uint64) {
+	d.dropLane(det, 1, 0, mask)
+}
+
+// dropLane is drop over one lane of a wide detection buffer laid out
+// det[fi*stride+lane] — the narrow drop is the stride-1 special case.
+func (d *dropState) dropLane(det []uint64, stride, lane int, mask uint64) {
 	w := 0
 	for _, fi := range d.aliveIdx {
-		if det[fi]&mask != 0 {
+		if det[int(fi)*stride+lane]&mask != 0 {
 			d.dead++
 			g := d.plan.part.GroupOf[fi]
 			d.liveCount[g]--

@@ -1,0 +1,108 @@
+package faultsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"protest/internal/circuits"
+	"protest/internal/fault"
+	"protest/internal/pattern"
+)
+
+// TestLaneBatcherIdentity runs several concurrent measurements with
+// different seeds through one LaneBatcher and checks every result is
+// bit-identical to its dedicated serial run — lane packing must be
+// invisible — while the sweep counters prove blocks actually shared
+// sweeps.
+func TestLaneBatcherIdentity(t *testing.T) {
+	c := circuits.MultN(4)
+	plan := NewPlan(c, fault.Collapse(c))
+	lb, err := plan.NewLaneBatcher(8, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	const callers = 6
+	const n = 500
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for k := 0; k < callers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			gen := pattern.NewUniform(len(c.Inputs), uint64(k+1))
+			res, err := lb.MeasureDetectionCtx(context.Background(), gen, n, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[k] = res
+		}(k)
+	}
+	wg.Wait()
+
+	for k := 0; k < callers; k++ {
+		gen := pattern.NewUniform(len(c.Inputs), uint64(k+1))
+		want, err := plan.MeasureDetectionCtx(context.Background(), gen, n, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[k]
+		if got == nil || got.Applied != want.Applied {
+			t.Fatalf("caller %d: applied mismatch", k)
+		}
+		for i := range want.Detected {
+			if got.Detected[i] != want.Detected[i] {
+				t.Fatalf("caller %d fault %d: detected %d, serial says %d", k, i, got.Detected[i], want.Detected[i])
+			}
+		}
+	}
+
+	st := lb.Stats()
+	if want := int64(callers * ((n + 63) / 64)); st.Blocks != want {
+		t.Fatalf("blocks %d, want %d", st.Blocks, want)
+	}
+	if st.MeanLanes <= 1.5 {
+		t.Fatalf("mean lane occupancy %.2f: concurrent callers never shared a sweep", st.MeanLanes)
+	}
+}
+
+// TestLaneBatcherSolo checks a lone caller — every sweep flushed by
+// the max-wait timer with spare lanes empty — still gets exact words.
+func TestLaneBatcherSolo(t *testing.T) {
+	c := circuits.C17()
+	plan := NewPlan(c, fault.Collapse(c))
+	lb, err := plan.NewLaneBatcher(4, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	gen := pattern.NewUniform(len(c.Inputs), 3)
+	got, err := lb.MeasureDetectionCtx(context.Background(), gen, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.MeasureDetectionCtx(context.Background(), pattern.NewUniform(len(c.Inputs), 3), 200, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Detected {
+		if got.Detected[i] != want.Detected[i] {
+			t.Fatalf("fault %d: detected %d, serial says %d", i, got.Detected[i], want.Detected[i])
+		}
+	}
+	if st := lb.Stats(); st.MeanLanes > 4 {
+		t.Fatalf("impossible occupancy %.2f", st.MeanLanes)
+	}
+}
+
+func TestLaneBatcherWidthValidation(t *testing.T) {
+	c := circuits.C17()
+	plan := NewPlan(c, fault.Collapse(c))
+	if _, err := plan.NewLaneBatcher(5, time.Millisecond); err == nil {
+		t.Fatal("width 5 should be rejected")
+	}
+}

@@ -14,10 +14,15 @@ import (
 )
 
 // parallelWorkers resolves an Options.Workers value: <= 1 is serial
-// (1), negative selects GOMAXPROCS.
+// (1), negative selects GOMAXPROCS, and anything above GOMAXPROCS is
+// clamped to it.  The goroutines are CPU-bound with no blocking between
+// blocks, so running more of them than cores cannot help and the bench
+// trail shows oversubscription actively hurting on small machines; the
+// block distribution (and therefore every result) is identical either
+// way.
 func parallelWorkers(workers, nFaults int) int {
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if maxProcs := runtime.GOMAXPROCS(0); workers < 0 || workers > maxProcs {
+		workers = maxProcs
 	}
 	if workers <= 1 || nFaults == 0 {
 		return 1
@@ -135,7 +140,9 @@ func measureDetectionNaiveParallelCtx(ctx context.Context, c *circuit.Circuit, f
 			return nil, err
 		}
 		gen.NextBlock(words)
-		good.SetInputs(words)
+		if err := good.SetInputs(words); err != nil {
+			panic(err) // words sized from c.Inputs above
+		}
 		good.Run()
 		goodVals := good.Values()
 		mask := blockMask(numPatterns - applied)
@@ -302,7 +309,9 @@ func coverageCurveNaiveParallelCtx(ctx context.Context, c *circuit.Circuit, faul
 			if progress != nil {
 				progress(applied, lastCp)
 			}
-			good.SetInputs(words)
+			if err := good.SetInputs(words); err != nil {
+				panic(err) // words sized from c.Inputs above
+			}
 			good.Run()
 			goodVals := good.Values()
 			chunk := (len(alive) + workers - 1) / workers

@@ -6,6 +6,7 @@ import (
 
 	"protest/internal/circuit"
 	"protest/internal/fault"
+	"protest/internal/widesim"
 )
 
 // Plan is the immutable, shareable part of the FFR fault-simulation
@@ -25,6 +26,13 @@ type Plan struct {
 	info   []faultInfo
 
 	pool sync.Pool // *Engine
+
+	// Wide-engine state: the compiled levelized program (shared by all
+	// widths, built on first use) and one scratch pool per supported
+	// width (index widthSlot: W=1,4,8).
+	wideOnce  sync.Once
+	wideProg  *widesim.Program
+	widePools [3]sync.Pool // *wideEngine[B1] / [B4] / [B8]
 
 	// regions[si] lists the nodes a flip at Stems[si] must be propagated
 	// through for *detection*: the nodes strictly between the stem and

@@ -1,0 +1,257 @@
+package faultsim
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"protest/internal/pattern"
+)
+
+// resolveWidth normalizes an Options.Width value (0 means narrow).
+func resolveWidth(w int) int {
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// measureDetectionWideCtx is the serial wide measurement loop: chunks
+// of up to W consecutive 64-pattern blocks run through one wide engine
+// sweep, with per-lane masks folding exactly like the narrow per-block
+// masks.  The generator stream, the detection words and the counts are
+// bit-identical to the narrow serial path.
+func (p *Plan) measureDetectionWideCtx(ctx context.Context, gen *pattern.Generator, numPatterns, width int, progress Progress) (*Result, error) {
+	e := p.AcquireWideEngine(width)
+	defer e.Release()
+	w := e.Width()
+	res := &Result{
+		Faults:   p.faults,
+		Detected: make([]int, len(p.faults)),
+	}
+	words := make([]uint64, len(p.c.Inputs)*w)
+	det := make([]uint64, len(p.faults)*w)
+	nBlocks := (numPatterns + 63) / 64
+	applied := 0
+	for b := 0; b < nBlocks; b += w {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k := min(w, nBlocks-b)
+		gen.NextBlocks(words, w, k)
+		e.SimulateChunk(words, det, nil)
+		for l := 0; l < k; l++ {
+			mask := blockMask(numPatterns - applied)
+			for i := range p.faults {
+				res.Detected[i] += bits.OnesCount64(det[i*w+l] & mask)
+			}
+			applied = min(applied+64, numPatterns)
+			if progress != nil {
+				progress(applied, numPatterns)
+			}
+		}
+	}
+	res.Applied = numPatterns
+	return res, nil
+}
+
+// measureDetectionWideParallelCtx distributes whole chunks over worker
+// goroutines, folding counts in chunk (hence block) order — the wide
+// analogue of measureDetectionFFRParallelCtx, identical counts for any
+// worker count and any width.
+func (p *Plan) measureDetectionWideParallelCtx(ctx context.Context, gen *pattern.Generator, numPatterns, width, workers int, progress Progress) (*Result, error) {
+	workers = parallelWorkers(workers, len(p.faults))
+	nBlocks := (numPatterns + 63) / 64
+	nChunks := (nBlocks + width - 1) / width
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		return p.measureDetectionWideCtx(ctx, gen, numPatterns, width, progress)
+	}
+	engines := make([]WideEngine, workers)
+	chunkWords := make([][]uint64, workers)
+	chunkDet := make([][]uint64, workers)
+	chunkLanes := make([]int, workers)
+	for i := range engines {
+		engines[i] = p.AcquireWideEngine(width)
+		chunkWords[i] = make([]uint64, len(p.c.Inputs)*width)
+		chunkDet[i] = make([]uint64, len(p.faults)*width)
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Release()
+		}
+	}()
+	res := &Result{
+		Faults:   p.faults,
+		Detected: make([]int, len(p.faults)),
+	}
+	var wg sync.WaitGroup
+	applied := 0
+	for b := 0; b < nBlocks; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k := 0
+		for ; k < workers && b+k*width < nBlocks; k++ {
+			chunkLanes[k] = min(width, nBlocks-(b+k*width))
+			gen.NextBlocks(chunkWords[k], width, chunkLanes[k])
+		}
+		for j := 0; j < k; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				engines[j].SimulateChunk(chunkWords[j], chunkDet[j], nil)
+			}(j)
+		}
+		wg.Wait()
+		for j := 0; j < k; j++ {
+			det := chunkDet[j]
+			for l := 0; l < chunkLanes[j]; l++ {
+				mask := blockMask(numPatterns - applied)
+				for i := range p.faults {
+					res.Detected[i] += bits.OnesCount64(det[i*width+l] & mask)
+				}
+				applied = min(applied+64, numPatterns)
+				if progress != nil {
+					progress(applied, numPatterns)
+				}
+			}
+		}
+		b += k * width
+	}
+	res.Applied = numPatterns
+	return res, nil
+}
+
+// coverageCurveWideCtx is the wide coverage loop with fault dropping.
+// Like the parallel narrow curve, each chunk simulates against the live
+// set snapshotted at chunk start and the drops fold lane by lane in
+// block order, so the curve is bit-identical to the serial narrow one.
+// The same documented generator divergence applies: when dropping
+// exhausts the fault list mid-chunk, the generator may end up to W-1
+// blocks further advanced than after a narrow serial run.
+func (p *Plan) coverageCurveWideCtx(ctx context.Context, gen *pattern.Generator, checkpoints []int, width int, progress Progress) ([]CoveragePoint, error) {
+	cps := append([]int(nil), checkpoints...)
+	sort.Ints(cps)
+	e := p.AcquireWideEngine(width)
+	defer e.Release()
+	w := e.Width()
+	ds := newDropState(p)
+	det := make([]uint64, len(p.faults)*w)
+	words := make([]uint64, len(p.c.Inputs)*w)
+	total := len(p.faults)
+	lastCp := 0
+	if len(cps) > 0 {
+		lastCp = cps[len(cps)-1]
+	}
+	var out []CoveragePoint
+	applied := 0
+	for _, cp := range cps {
+		for applied < cp && len(ds.aliveIdx) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			k := min(w, (cp-applied+63)/64)
+			gen.NextBlocks(words, w, k)
+			e.SimulateChunk(words, det, ds.liveGroups)
+			for l := 0; l < k; l++ {
+				valid := cp - applied
+				mask := blockMask(valid)
+				applied += min(64, valid)
+				if progress != nil {
+					progress(applied, lastCp)
+				}
+				ds.dropLane(det, w, l, mask)
+				if len(ds.aliveIdx) == 0 {
+					break
+				}
+			}
+		}
+		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(ds.dead) / float64(total)})
+	}
+	if progress != nil && applied < lastCp {
+		progress(lastCp, lastCp) // every fault dropped early
+	}
+	return out, nil
+}
+
+// coverageCurveWideParallelCtx runs up to `workers` chunks of W blocks
+// concurrently between drop folds — the wide analogue of
+// coverageCurveFFRParallelCtx with the same bit-identical curve and the
+// same (now up to workers*W-1 blocks) generator-advance caveat.
+func (p *Plan) coverageCurveWideParallelCtx(ctx context.Context, gen *pattern.Generator, checkpoints []int, width, workers int, progress Progress) ([]CoveragePoint, error) {
+	workers = parallelWorkers(workers, len(p.faults))
+	if workers <= 1 {
+		return p.coverageCurveWideCtx(ctx, gen, checkpoints, width, progress)
+	}
+	cps := append([]int(nil), checkpoints...)
+	sort.Ints(cps)
+	engines := make([]WideEngine, workers)
+	chunkWords := make([][]uint64, workers)
+	chunkDet := make([][]uint64, workers)
+	chunkLanes := make([]int, workers)
+	for i := range engines {
+		engines[i] = p.AcquireWideEngine(width)
+		chunkWords[i] = make([]uint64, len(p.c.Inputs)*width)
+		chunkDet[i] = make([]uint64, len(p.faults)*width)
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Release()
+		}
+	}()
+	ds := newDropState(p)
+	total := len(p.faults)
+	lastCp := 0
+	if len(cps) > 0 {
+		lastCp = cps[len(cps)-1]
+	}
+	var out []CoveragePoint
+	applied := 0
+	var wg sync.WaitGroup
+	for _, cp := range cps {
+		for applied < cp && len(ds.aliveIdx) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			nBlocks := (cp - applied + 63) / 64
+			k := 0
+			for ; k < workers && k*width < nBlocks; k++ {
+				chunkLanes[k] = min(width, nBlocks-k*width)
+				gen.NextBlocks(chunkWords[k], width, chunkLanes[k])
+			}
+			for j := 0; j < k; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					// liveGroups is only mutated between chunk waves.
+					engines[j].SimulateChunk(chunkWords[j], chunkDet[j], ds.liveGroups)
+				}(j)
+			}
+			wg.Wait()
+		fold:
+			for j := 0; j < k; j++ {
+				for l := 0; l < chunkLanes[j]; l++ {
+					valid := cp - applied
+					mask := blockMask(valid)
+					applied += min(64, valid)
+					if progress != nil {
+						progress(applied, lastCp)
+					}
+					ds.dropLane(chunkDet[j], width, l, mask)
+					if len(ds.aliveIdx) == 0 {
+						break fold
+					}
+				}
+			}
+		}
+		out = append(out, CoveragePoint{Patterns: cp, Coverage: 100 * float64(ds.dead) / float64(total)})
+	}
+	if progress != nil && applied < lastCp {
+		progress(lastCp, lastCp) // every fault dropped early
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"protest/internal/circuits"
@@ -117,5 +118,24 @@ func TestOptimizeMultiWorkersDeterministic(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestWorkersClampedToGOMAXPROCS pins the oversubscription guard:
+// negative and beyond-GOMAXPROCS worker requests both resolve to
+// exactly GOMAXPROCS.
+func TestWorkersClampedToGOMAXPROCS(t *testing.T) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	for _, req := range []int{-1, maxProcs + 1, 1000} {
+		o := Options{Workers: req}
+		o.fill()
+		if o.Workers != maxProcs {
+			t.Errorf("Workers %d filled to %d, want GOMAXPROCS %d", req, o.Workers, maxProcs)
+		}
+	}
+	o := Options{Workers: 1}
+	o.fill()
+	if o.Workers != 1 {
+		t.Errorf("Workers 1 must stay serial, got %d", o.Workers)
 	}
 }

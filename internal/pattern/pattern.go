@@ -141,6 +141,32 @@ func (g *Generator) NextBlock(words []uint64) {
 	}
 }
 
+// NextBlocks fills k consecutive pattern blocks in the lane-major wide
+// layout: words[i*stride+l] receives the block-l word of input i, for
+// l in [0, k).  The random stream is consumed in exactly the order of
+// k successive NextBlock calls (lane-outer, input-inner), so a wide
+// chunk carries bit-identical patterns to the narrow schedule and
+// SkipBlocks geometry stays valid at every width.  Trailing lanes
+// [k, stride) of every input are zeroed.
+func (g *Generator) NextBlocks(words []uint64, stride, k int) {
+	if k < 0 || k > stride {
+		panic(fmt.Sprintf("pattern: %d blocks for stride %d", k, stride))
+	}
+	if len(words) != len(g.probs)*stride {
+		panic(fmt.Sprintf("pattern: %d words for %d inputs at stride %d", len(words), len(g.probs), stride))
+	}
+	for l := 0; l < k; l++ {
+		for i, p := range g.probs {
+			words[i*stride+l] = g.rng.BiasedWord(p)
+		}
+	}
+	for i := range g.probs {
+		for l := k; l < stride; l++ {
+			words[i*stride+l] = 0
+		}
+	}
+}
+
 // QuantizeGrid snaps each probability to the nearest multiple of 1/grid
 // inside [1/grid, (grid-1)/grid].  Hardware weighted-pattern generators
 // (the NLFSRs of [KuWu84]) realize probabilities on such a grid; the

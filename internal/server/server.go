@@ -95,6 +95,14 @@ type Config struct {
 	// Engine selects the fault-simulation engine (WithSimEngine); the
 	// zero value is the FFR engine.
 	Engine protest.SimEngine
+	// SimWidth selects the wide simulation kernel for every Session the
+	// server opens (WithSimWidth): 1, 4 or 8 pattern blocks per sweep,
+	// 0 meaning 1.  Results are bit-identical at every width.  Widths
+	// above 1 additionally enable cross-request lane batching (unless
+	// NoCoalesce): concurrent requests' validation simulations on one
+	// circuit pack their pattern blocks into spare lanes of shared
+	// sweeps, flushing BatchWait after a sweep's first block.
+	SimWidth int
 	// JobWorkers is the size of the worker pool executing async jobs
 	// (default 2).
 	JobWorkers int
@@ -256,6 +264,10 @@ func New(cfg Config) *Server {
 		protest.WithSeed(cfg.Seed),
 		protest.WithWorkers(cfg.Workers),
 		protest.WithSimEngine(cfg.Engine),
+		protest.WithSimWidth(cfg.SimWidth),
+	}
+	if cfg.SimWidth > 1 && !cfg.NoCoalesce {
+		opts = append(opts, protest.WithLaneBatching(cfg.BatchWait))
 	}
 	var pool *shard.Pool
 	if len(cfg.WorkerAddrs) > 0 {
@@ -263,6 +275,9 @@ func New(cfg Config) *Server {
 		pcfg.Workers = cfg.WorkerAddrs
 		if pcfg.Seed == 0 {
 			pcfg.Seed = cfg.Seed
+		}
+		if pcfg.SimWidth == 0 {
+			pcfg.SimWidth = cfg.SimWidth
 		}
 		pool = shard.NewPool(pcfg)
 		opts = append(opts, protest.WithShardPool(pool))

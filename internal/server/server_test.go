@@ -594,3 +594,27 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 	t.Fatalf("timed out waiting for %s", what)
 }
+
+// A wide-kernel server (lane batching included) must serve reports
+// byte-identical to a narrow one — width is a speed knob, never a
+// result knob.
+func TestPipelineSimWidthIdentical(t *testing.T) {
+	_, wide := newTestServer(t, Config{SimWidth: 8})
+	spec := protest.PipelineSpec{SimPatterns: 256}
+
+	resp, body := postJSON(t, wide.URL+"/v1/pipeline", PipelineRequest{
+		CircuitRef: CircuitRef{Circuit: "alu"},
+		Spec:       spec,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got protest.Report
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, body)
+	}
+	want := directReport(t, "alu", spec)
+	if g, w := reportJSON(t, &got), reportJSON(t, want); g != w {
+		t.Fatalf("wide server report differs from narrow run:\n got %s\nwant %s", g, w)
+	}
+}

@@ -50,6 +50,10 @@ type Config struct {
 	// Seed seeds the backoff jitter (default 1; any value is fine —
 	// jitter affects timing only, never results).
 	Seed uint64
+	// SimWidth is the wide-kernel width (1, 4 or 8; 0 means 1) stamped
+	// on every shard request and used by degraded-local runs.  Width
+	// never changes results, only how fast workers compute them.
+	SimWidth int
 }
 
 func (c *Config) fill() {
@@ -462,13 +466,13 @@ func (p *Pool) MeasureDetection(ctx context.Context, t *Task, probs []float64, n
 		if err != nil {
 			return nil, err
 		}
-		return plan.MeasureDetectionCtx(ctx, gen, numPatterns, faultsim.Options{}, progress)
+		return plan.MeasureDetectionCtx(ctx, gen, numPatterns, faultsim.Options{Width: p.cfg.SimWidth}, progress)
 	}
 
 	shards := planShards(t.Remote.NumGroups(), len(blocks), healthy*p.cfg.ShardsPerWorker, p.cfg.MaxShards)
 	base := Request{
 		Name: t.Name, Netlist: t.Netlist, Seed: t.Seed, Probs: probs,
-		Kind: KindDetect, NumPatterns: numPatterns,
+		Kind: KindDetect, NumPatterns: numPatterns, SimWidth: p.cfg.SimWidth,
 	}
 	resps, err := p.dispatch(ctx, t, base, shards, progress)
 	if err != nil {
@@ -511,13 +515,13 @@ func (p *Pool) CoverageCurve(ctx context.Context, t *Task, probs []float64, chec
 		if err != nil {
 			return nil, err
 		}
-		return plan.CoverageCurveCtx(ctx, gen, checkpoints, faultsim.Options{}, progress)
+		return plan.CoverageCurveCtx(ctx, gen, checkpoints, faultsim.Options{Width: p.cfg.SimWidth}, progress)
 	}
 
 	shards := planShards(t.Remote.NumGroups(), len(blocks), healthy*p.cfg.ShardsPerWorker, p.cfg.MaxShards)
 	base := Request{
 		Name: t.Name, Netlist: t.Netlist, Seed: t.Seed, Probs: probs,
-		Kind: KindCurve, Checkpoints: checkpoints,
+		Kind: KindCurve, Checkpoints: checkpoints, SimWidth: p.cfg.SimWidth,
 	}
 	resps, err := p.dispatch(ctx, t, base, shards, progress)
 	if err != nil {

@@ -47,6 +47,7 @@ import (
 
 	"protest/internal/faultsim"
 	"protest/internal/pattern"
+	"protest/internal/widesim"
 )
 
 // Kind selects the measurement a shard request contributes to.
@@ -87,6 +88,12 @@ type Request struct {
 	GroupHi int `json:"group_hi"`
 	BlockLo int `json:"block_lo"`
 	BlockHi int `json:"block_hi"`
+
+	// SimWidth selects the wide simulation kernel (1, 4 or 8 blocks per
+	// sweep; 0 means 1).  Width is a local execution detail — every
+	// width computes bit-identical counts — so coordinator and workers
+	// may even disagree on it without changing a merged result.
+	SimWidth int `json:"sim_width,omitempty"`
 }
 
 // Response is one shard's partial result.  Faults is the number of
@@ -118,6 +125,9 @@ func (req *Request) validate(plan *faultsim.Plan, blocks []faultsim.BlockSpan) e
 	}
 	if req.BlockLo < 0 || req.BlockHi > len(blocks) || req.BlockLo >= req.BlockHi {
 		return fmt.Errorf("shard: block range [%d,%d) outside %d blocks", req.BlockLo, req.BlockHi, len(blocks))
+	}
+	if err := widesim.CheckWidth(req.SimWidth); err != nil {
+		return fmt.Errorf("shard: %w", err)
 	}
 	return nil
 }
@@ -174,6 +184,10 @@ func runShard(ctx context.Context, plan *faultsim.Plan, req *Request) (*Response
 	resp := &Response{Faults: len(idx)}
 	if len(idx) == 0 {
 		return resp, nil // only empty FFR groups in range
+	}
+
+	if req.SimWidth > 1 {
+		return runShardWide(ctx, plan, req, blocks, gen, idx, resp)
 	}
 
 	eng := plan.AcquireEngine()
@@ -236,6 +250,93 @@ func runShard(ctx context.Context, plan *faultsim.Plan, req *Request) (*Response
 					liveCount[g]--
 					if liveCount[g] == 0 {
 						live[g] = false
+					}
+				}
+			}
+		}
+		resp.First = first
+	}
+	return resp, nil
+}
+
+// runShardWide is runShard's chunked body for SimWidth > 1: blocks
+// [BlockLo, BlockHi) are simulated min(width, remaining) at a time on
+// the wide engine, and each chunk's lanes are folded in block order so
+// every count and first-detection position matches the narrow loop bit
+// for bit.  Fault dropping uses the chunk-start live set — dropping
+// only skips work, never changes detection words, and a fault whose
+// group died mid-chunk already has its first position, so the extra
+// simulated lanes are invisible in the response.
+func runShardWide(ctx context.Context, plan *faultsim.Plan, req *Request, blocks []faultsim.BlockSpan, gen *pattern.Generator, idx []int, resp *Response) (*Response, error) {
+	w := req.SimWidth
+	eng := plan.AcquireWideEngine(w)
+	defer eng.Release()
+	c := plan.Circuit()
+	det := make([]uint64, len(plan.Faults())*w)
+	words := make([]uint64, len(c.Inputs)*w)
+	live := make([]bool, plan.NumGroups())
+
+	switch req.Kind {
+	case KindDetect:
+		for g := req.GroupLo; g < req.GroupHi; g++ {
+			live[g] = true
+		}
+		counts := make([]int, len(idx))
+		for b := req.BlockLo; b < req.BlockHi; b += w {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			n := req.BlockHi - b
+			if n > w {
+				n = w
+			}
+			gen.NextBlocks(words, w, n)
+			eng.SimulateChunk(words, det, live)
+			for l := 0; l < n; l++ {
+				mask := blocks[b+l].Mask
+				for k, i := range idx {
+					counts[k] += bits.OnesCount64(det[i*w+l] & mask)
+				}
+			}
+		}
+		resp.Counts = counts
+
+	case KindCurve:
+		liveCount := make([]int, plan.NumGroups())
+		for _, i := range idx {
+			g := plan.GroupOf(i)
+			liveCount[g]++
+			live[g] = true
+		}
+		first := make([]int, len(idx))
+		for k := range first {
+			first[k] = -1
+		}
+		remaining := len(idx)
+		for b := req.BlockLo; b < req.BlockHi && remaining > 0; b += w {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			n := req.BlockHi - b
+			if n > w {
+				n = w
+			}
+			gen.NextBlocks(words, w, n)
+			eng.SimulateChunk(words, det, live)
+			for l := 0; l < n; l++ {
+				mask := blocks[b+l].Mask
+				for k, i := range idx {
+					if first[k] >= 0 {
+						continue
+					}
+					if det[i*w+l]&mask != 0 {
+						first[k] = blocks[b+l].End
+						remaining--
+						g := plan.GroupOf(i)
+						liveCount[g]--
+						if liveCount[g] == 0 {
+							live[g] = false
+						}
 					}
 				}
 			}

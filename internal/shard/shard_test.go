@@ -284,3 +284,61 @@ func TestSkipBlocksPositionsStream(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedWideMatchesSerial pins the wide shard path: a pool whose
+// shards run at SimWidth 4 or 8 merges to exactly the narrow serial
+// result for both measurement kinds, on every registry circuit,
+// including a pattern budget that leaves a partial final chunk.
+func TestShardedWideMatchesSerial(t *testing.T) {
+	cps := []int{10, 100, 257}
+	for _, name := range circuits.Names() {
+		t.Run(name, func(t *testing.T) {
+			task := newTestTask(t, name)
+			wantDet := serialDetect(t, task, nil, 257)
+			wantCurve := serialCurve(t, task, nil, cps)
+			for _, w := range []int{1, 4, 8} {
+				p := localPool(t, 3, func(c *Config) { c.SimWidth = w })
+				got, err := p.MeasureDetection(context.Background(), task, nil, 257, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameDetect(t, name, got, wantDet)
+				curve, err := p.CoverageCurve(context.Background(), task, nil, cps, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameCurve(t, name, curve, wantCurve)
+			}
+		})
+	}
+}
+
+// TestDegradedWideMatchesSerial checks the zero-worker fallback honours
+// the pool's width and still reproduces the serial result exactly.
+func TestDegradedWideMatchesSerial(t *testing.T) {
+	task := newTestTask(t, "alu")
+	p := localPool(t, 0, func(c *Config) { c.SimWidth = 8 })
+	if !p.Degraded() {
+		t.Fatal("empty pool should be degraded")
+	}
+	got, err := p.MeasureDetection(context.Background(), task, nil, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetect(t, "alu/degraded-wide", got, serialDetect(t, task, nil, 300))
+}
+
+// TestShardWidthValidation checks unsupported widths are rejected at
+// the request boundary rather than computed wrong.
+func TestShardWidthValidation(t *testing.T) {
+	task := newTestTask(t, "c17")
+	req := &Request{
+		Name: task.Name, Netlist: task.Netlist, Seed: task.Seed,
+		Kind: KindDetect, NumPatterns: 128,
+		GroupLo: 0, GroupHi: task.Remote.NumGroups(), BlockLo: 0, BlockHi: 2,
+		SimWidth: 3,
+	}
+	if _, err := runShard(context.Background(), task.Remote, req); err == nil {
+		t.Fatal("SimWidth 3 should be rejected")
+	}
+}

@@ -70,7 +70,9 @@ func Analyze(c *circuit.Circuit, gen *pattern.Generator, numPatterns int) (*Resu
 	words := make([]uint64, len(c.Inputs))
 	for bl := 0; bl < blocks; bl++ {
 		gen.NextBlock(words)
-		sim.SetInputs(words)
+		if err := sim.SetInputs(words); err != nil {
+			panic(err) // words sized from c.Inputs above
+		}
 		sim.Run()
 		vals := sim.Values()
 		for id := range c.Nodes {

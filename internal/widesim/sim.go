@@ -1,0 +1,158 @@
+package widesim
+
+import (
+	"fmt"
+
+	"protest/internal/circuit"
+)
+
+// Sim evaluates a compiled Program over W-lane blocks.  It is the wide
+// counterpart of bitsim.Simulator: one B value per node, structure of
+// arrays (lanes of one node contiguous), evaluated by a single switch-
+// dispatched loop over the instruction stream.
+//
+// A Sim holds only per-call scratch; the Program is immutable and
+// shared.  Sim is not safe for concurrent use — pool instances instead.
+type Sim[B Block[B]] struct {
+	p      *Program
+	values []B
+	inbuf  []uint64 // per-lane pin scratch for table gates
+}
+
+// NewSim creates a simulator of width B over the compiled program.
+func NewSim[B Block[B]](p *Program) *Sim[B] {
+	s := &Sim[B]{p: p, values: make([]B, p.c.NumNodes())}
+	if p.maxArity > 0 {
+		s.inbuf = make([]uint64, p.maxArity)
+	}
+	return s
+}
+
+// Program returns the compiled program the simulator runs.
+func (s *Sim[B]) Program() *Program { return s.p }
+
+// Width returns the simulation width W in 64-pattern lanes.
+func (s *Sim[B]) Width() int {
+	var z B
+	return z.Lanes()
+}
+
+// SetInput assigns the lane vector of primary input index i.
+func (s *Sim[B]) SetInput(i int, v B) {
+	s.values[s.p.c.Inputs[i]] = v
+}
+
+// SetInputs assigns all inputs from a lane-major flat layout:
+// words[i*W+l] is lane l (pattern block l) of input i, the layout
+// produced by pattern.Generator.NextBlocks.  It returns a typed error
+// when the slice length does not match numInputs×W.
+func (s *Sim[B]) SetInputs(words []uint64) error {
+	var z B
+	w := z.Lanes()
+	if len(words) != len(s.p.c.Inputs)*w {
+		return fmt.Errorf("widesim: %d input words for %d inputs at width %d", len(words), len(s.p.c.Inputs), w)
+	}
+	for i, id := range s.p.c.Inputs {
+		s.values[id] = z.Load(words[i*w:])
+	}
+	return nil
+}
+
+// Run evaluates every gate in level order.
+func (s *Sim[B]) Run() {
+	values := s.values
+	for i := range s.p.instrs {
+		ins := &s.p.instrs[i]
+		var v B
+		switch ins.op {
+		case opBuf:
+			v = values[ins.a]
+		case opNot:
+			v = values[ins.a].Not()
+		case opAnd2:
+			v = values[ins.a].And(values[ins.b])
+		case opNand2:
+			v = values[ins.a].And(values[ins.b]).Not()
+		case opOr2:
+			v = values[ins.a].Or(values[ins.b])
+		case opNor2:
+			v = values[ins.a].Or(values[ins.b]).Not()
+		case opXor2:
+			v = values[ins.a].Xor(values[ins.b])
+		case opXnor2:
+			v = values[ins.a].Xor(values[ins.b]).Not()
+		case opConst0:
+			// v stays zero.
+		case opConst1:
+			v = v.Not()
+		default:
+			v = s.evalSlow(ins)
+		}
+		values[ins.out] = v
+	}
+}
+
+// evalSlow handles n-ary and table gates, kept out of Run so the hot
+// loop stays small enough to stay in the instruction cache.
+func (s *Sim[B]) evalSlow(ins *instr) B {
+	values := s.values
+	pins := s.p.args[ins.a : ins.a+ins.b]
+	switch ins.op {
+	case opAndN, opNandN:
+		v := values[pins[0]]
+		for _, f := range pins[1:] {
+			v = v.And(values[f])
+		}
+		if ins.op == opNandN {
+			v = v.Not()
+		}
+		return v
+	case opOrN, opNorN:
+		v := values[pins[0]]
+		for _, f := range pins[1:] {
+			v = v.Or(values[f])
+		}
+		if ins.op == opNorN {
+			v = v.Not()
+		}
+		return v
+	case opXorN, opXnorN:
+		v := values[pins[0]]
+		for _, f := range pins[1:] {
+			v = v.Xor(values[f])
+		}
+		if ins.op == opXnorN {
+			v = v.Not()
+		}
+		return v
+	case opTable:
+		tbl := s.p.tables[ins.tbl]
+		var v B
+		w := v.Lanes()
+		for l := 0; l < w; l++ {
+			for i, f := range pins {
+				s.inbuf[i] = values[f].Lane(l)
+			}
+			v = v.WithLane(l, tbl.EvalWord(s.inbuf[:len(pins)]))
+		}
+		return v
+	}
+	panic(fmt.Sprintf("widesim: bad opcode %d", ins.op))
+}
+
+// Value returns the simulated lane vector of a node.
+func (s *Sim[B]) Value(id circuit.NodeID) B { return s.values[id] }
+
+// Values returns the raw value array (one lane vector per node).  It is
+// invalidated by the next Run.
+func (s *Sim[B]) Values() []B { return s.values }
+
+// OutputLanes copies the output vectors into dst in lane-major layout:
+// dst[i*W+l] is lane l of output i.  dst must have numOutputs×W words.
+func (s *Sim[B]) OutputLanes(dst []uint64) {
+	var z B
+	w := z.Lanes()
+	for i, id := range s.p.c.Outputs {
+		s.values[id].Store(dst[i*w : (i+1)*w])
+	}
+}

@@ -1,0 +1,184 @@
+// Package widesim implements wide-block bit-parallel logic simulation:
+// W consecutive 64-pattern blocks (W ∈ {1, 4, 8}) evaluated together as
+// [W]uint64 lane vectors, driven by a compiled, levelized program.
+//
+// Two ideas separate it from bitsim, the narrow (W = 1) oracle:
+//
+//   - The circuit is compiled once into a flat instruction stream in
+//     level order (Compile): per gate a small fixed-size record with an
+//     arity-specialized opcode, instead of a walk over circuit.Node
+//     structs.  The evaluation loop touches only this stream and the
+//     value array, so the per-gate dispatch cost is a predictable
+//     switch on a byte, not pointer chasing.
+//   - Values are stored structure-of-arrays: one [W]uint64 lane vector
+//     per node, lanes contiguous, so each gate kernel is a fused
+//     constant-length loop over W machine words and the per-gate
+//     dispatch and index arithmetic amortize over W×64 patterns.
+//
+// The lane vector types B1/B4/B8 implement the Block constraint with
+// value receivers.  Each array size is its own gcshape, so the generic
+// simulator and the wide fault-simulation engine built on it stencil
+// into separate, fully inlined instantiations per width — there is no
+// dictionary dispatch on the hot path.
+//
+// Lane l of every vector is pattern block l: bit b of lane l is
+// pattern l*64+b of the chunk.  A chunk of W blocks therefore carries
+// exactly the patterns of W consecutive narrow blocks, which is what
+// keeps wide results bit-identical to W narrow runs.
+package widesim
+
+import "fmt"
+
+// Widths lists the supported simulation widths in 64-pattern lanes.
+func Widths() []int { return []int{1, 4, 8} }
+
+// ValidWidth reports whether w is a supported simulation width.
+// Width 0 is accepted as "default" (narrow, W = 1) everywhere a width
+// option appears.
+func ValidWidth(w int) bool {
+	switch w {
+	case 0, 1, 4, 8:
+		return true
+	}
+	return false
+}
+
+// CheckWidth returns a descriptive error for unsupported widths.
+func CheckWidth(w int) error {
+	if !ValidWidth(w) {
+		return fmt.Errorf("widesim: unsupported width %d (want 1, 4 or 8)", w)
+	}
+	return nil
+}
+
+// ParseWidth parses a -width flag value.  The empty string selects the
+// default width 1.
+func ParseWidth(s string) (int, error) {
+	switch s {
+	case "", "1":
+		return 1, nil
+	case "4":
+		return 4, nil
+	case "8":
+		return 8, nil
+	}
+	return 0, fmt.Errorf("widesim: unsupported width %q (want 1, 4 or 8)", s)
+}
+
+// B1, B4 and B8 are the lane vectors: W consecutive 64-pattern blocks,
+// one block per array element.
+type (
+	B1 [1]uint64
+	B4 [4]uint64
+	B8 [8]uint64
+)
+
+// Block is the constraint shared by every width: a fixed-size lane
+// vector with fused bitwise kernels.  All methods use value receivers
+// so each width stencils into its own instantiation (arrays of
+// different lengths have distinct gcshapes); the per-width method
+// bodies are written element-wise so the compiler emits straight-line
+// code with no loops and no bounds checks.
+type Block[B any] interface {
+	B1 | B4 | B8
+
+	// And, Or, Xor, AndNot and Not are the lane-wise bitwise kernels
+	// (AndNot is receiver &^ argument).
+	And(B) B
+	Or(B) B
+	Xor(B) B
+	AndNot(B) B
+	Not() B
+	// IsZero reports whether no bit is set in any lane.
+	IsZero() bool
+	// Lanes returns the width W.
+	Lanes() int
+	// Lane returns lane i (block i of the chunk).
+	Lane(i int) uint64
+	// WithLane returns a copy with lane i replaced.
+	WithLane(i int, w uint64) B
+	// Load gathers lanes from src[0:W]; the receiver is ignored.
+	Load(src []uint64) B
+	// Store scatters the lanes into dst[0:W].
+	Store(dst []uint64)
+}
+
+// Ones returns the all-ones vector of a width.
+func Ones[B Block[B]]() B {
+	var z B
+	return z.Not()
+}
+
+func (x B1) And(y B1) B1    { return B1{x[0] & y[0]} }
+func (x B1) Or(y B1) B1     { return B1{x[0] | y[0]} }
+func (x B1) Xor(y B1) B1    { return B1{x[0] ^ y[0]} }
+func (x B1) AndNot(y B1) B1 { return B1{x[0] &^ y[0]} }
+func (x B1) Not() B1        { return B1{^x[0]} }
+func (x B1) IsZero() bool   { return x[0] == 0 }
+func (x B1) Lanes() int     { return 1 }
+
+func (x B1) Lane(i int) uint64 { return x[i] }
+func (x B1) WithLane(i int, w uint64) B1 {
+	x[i] = w
+	return x
+}
+func (B1) Load(src []uint64) B1 { return B1{src[0]} }
+func (x B1) Store(dst []uint64) { copy(dst, x[:]) }
+
+func (x B4) And(y B4) B4 {
+	return B4{x[0] & y[0], x[1] & y[1], x[2] & y[2], x[3] & y[3]}
+}
+func (x B4) Or(y B4) B4 {
+	return B4{x[0] | y[0], x[1] | y[1], x[2] | y[2], x[3] | y[3]}
+}
+func (x B4) Xor(y B4) B4 {
+	return B4{x[0] ^ y[0], x[1] ^ y[1], x[2] ^ y[2], x[3] ^ y[3]}
+}
+func (x B4) AndNot(y B4) B4 {
+	return B4{x[0] &^ y[0], x[1] &^ y[1], x[2] &^ y[2], x[3] &^ y[3]}
+}
+func (x B4) Not() B4      { return B4{^x[0], ^x[1], ^x[2], ^x[3]} }
+func (x B4) IsZero() bool { return x[0]|x[1]|x[2]|x[3] == 0 }
+func (x B4) Lanes() int   { return 4 }
+
+func (x B4) Lane(i int) uint64 { return x[i] }
+func (x B4) WithLane(i int, w uint64) B4 {
+	x[i] = w
+	return x
+}
+func (B4) Load(src []uint64) B4 { return B4{src[0], src[1], src[2], src[3]} }
+func (x B4) Store(dst []uint64) { copy(dst, x[:]) }
+
+func (x B8) And(y B8) B8 {
+	return B8{x[0] & y[0], x[1] & y[1], x[2] & y[2], x[3] & y[3],
+		x[4] & y[4], x[5] & y[5], x[6] & y[6], x[7] & y[7]}
+}
+func (x B8) Or(y B8) B8 {
+	return B8{x[0] | y[0], x[1] | y[1], x[2] | y[2], x[3] | y[3],
+		x[4] | y[4], x[5] | y[5], x[6] | y[6], x[7] | y[7]}
+}
+func (x B8) Xor(y B8) B8 {
+	return B8{x[0] ^ y[0], x[1] ^ y[1], x[2] ^ y[2], x[3] ^ y[3],
+		x[4] ^ y[4], x[5] ^ y[5], x[6] ^ y[6], x[7] ^ y[7]}
+}
+func (x B8) AndNot(y B8) B8 {
+	return B8{x[0] &^ y[0], x[1] &^ y[1], x[2] &^ y[2], x[3] &^ y[3],
+		x[4] &^ y[4], x[5] &^ y[5], x[6] &^ y[6], x[7] &^ y[7]}
+}
+func (x B8) Not() B8 {
+	return B8{^x[0], ^x[1], ^x[2], ^x[3], ^x[4], ^x[5], ^x[6], ^x[7]}
+}
+func (x B8) IsZero() bool {
+	return x[0]|x[1]|x[2]|x[3]|x[4]|x[5]|x[6]|x[7] == 0
+}
+func (x B8) Lanes() int { return 8 }
+
+func (x B8) Lane(i int) uint64 { return x[i] }
+func (x B8) WithLane(i int, w uint64) B8 {
+	x[i] = w
+	return x
+}
+func (B8) Load(src []uint64) B8 {
+	return B8{src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7]}
+}
+func (x B8) Store(dst []uint64) { copy(dst, x[:]) }

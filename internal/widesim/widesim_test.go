@@ -1,0 +1,193 @@
+package widesim_test
+
+import (
+	"testing"
+
+	"protest/internal/bitsim"
+	"protest/internal/circuit"
+	"protest/internal/circuits"
+	"protest/internal/pattern"
+	"protest/internal/widesim"
+)
+
+// runNarrow produces the oracle value matrix: blocks × nodes, one word
+// per node per 64-pattern block, from the narrow bitsim simulator.
+func runNarrow(t *testing.T, c *circuit.Circuit, seed uint64, blocks int) [][]uint64 {
+	t.Helper()
+	gen := pattern.NewUniform(len(c.Inputs), seed)
+	sim := bitsim.New(c)
+	in := make([]uint64, len(c.Inputs))
+	out := make([][]uint64, blocks)
+	for b := range out {
+		gen.NextBlock(in)
+		sim.SetInputs(in)
+		sim.Run()
+		vals := make([]uint64, c.NumNodes())
+		copy(vals, sim.Values())
+		out[b] = vals
+	}
+	return out
+}
+
+func checkWidth[B widesim.Block[B]](t *testing.T, c *circuit.Circuit, seed uint64, want [][]uint64) {
+	t.Helper()
+	prog := widesim.Compile(c)
+	sim := widesim.NewSim[B](prog)
+	w := sim.Width()
+	gen := pattern.NewUniform(len(c.Inputs), seed)
+	in := make([]uint64, len(c.Inputs)*w)
+	for base := 0; base < len(want); base += w {
+		k := len(want) - base
+		if k > w {
+			k = w
+		}
+		gen.NextBlocks(in, w, k)
+		if err := sim.SetInputs(in); err != nil {
+			t.Fatalf("SetInputs: %v", err)
+		}
+		sim.Run()
+		for id := 0; id < c.NumNodes(); id++ {
+			v := sim.Value(circuit.NodeID(id))
+			for l := 0; l < k; l++ {
+				if got, exp := v.Lane(l), want[base+l][id]; got != exp {
+					t.Fatalf("width %d block %d node %d (%s): got %016x want %016x",
+						w, base+l, id, c.Node(circuit.NodeID(id)).Name, got, exp)
+				}
+			}
+			for l := k; l < w; l++ {
+				// Spare lanes run the all-zero pattern block; no
+				// particular value is required, only determinism —
+				// but inputs must be zero by the NextBlocks contract.
+				if c.Node(circuit.NodeID(id)).IsInput && v.Lane(l) != 0 {
+					t.Fatalf("width %d: spare input lane %d not zeroed", w, l)
+				}
+			}
+		}
+	}
+}
+
+// TestWideMatchesNarrow pins every width's node values bit-identical to
+// the bitsim oracle on every registry circuit, including the ragged
+// final chunk (blocks not a multiple of W).
+func TestWideMatchesNarrow(t *testing.T) {
+	for _, name := range circuits.Names() {
+		c, _ := circuits.Lookup(name)
+		t.Run(name, func(t *testing.T) {
+			const seed, blocks = 12345, 11 // 11 ≡ 3 mod 8: ragged at both widths
+			want := runNarrow(t, c, seed, blocks)
+			checkWidth[widesim.B1](t, c, seed, want)
+			checkWidth[widesim.B4](t, c, seed, want)
+			checkWidth[widesim.B8](t, c, seed, want)
+		})
+	}
+}
+
+// TestWideOutputLanes checks the lane-major output layout against the
+// narrow OutputWords.
+func TestWideOutputLanes(t *testing.T) {
+	c, _ := circuits.Lookup("mult")
+	const seed = 99
+	want := runNarrow(t, c, seed, 8)
+
+	prog := widesim.Compile(c)
+	sim := widesim.NewSim[widesim.B8](prog)
+	gen := pattern.NewUniform(len(c.Inputs), seed)
+	in := make([]uint64, len(c.Inputs)*8)
+	gen.NextBlocks(in, 8, 8)
+	if err := sim.SetInputs(in); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	out := make([]uint64, len(c.Outputs)*8)
+	sim.OutputLanes(out)
+	for i, id := range c.Outputs {
+		for l := 0; l < 8; l++ {
+			if got, exp := out[i*8+l], want[l][id]; got != exp {
+				t.Fatalf("output %d lane %d: got %016x want %016x", i, l, got, exp)
+			}
+		}
+	}
+}
+
+// TestNextBlocksStream pins the wide fill to the narrow random stream:
+// k lanes of NextBlocks consume and produce exactly the words of k
+// NextBlock calls.
+func TestNextBlocksStream(t *testing.T) {
+	const n, seed = 7, 4242
+	ref := pattern.NewUniform(n, seed)
+	wide := pattern.NewUniform(n, seed)
+
+	var refWords [][]uint64
+	buf := make([]uint64, n)
+	for b := 0; b < 13; b++ {
+		ref.NextBlock(buf)
+		cp := make([]uint64, n)
+		copy(cp, buf)
+		refWords = append(refWords, cp)
+	}
+
+	in := make([]uint64, n*8)
+	base := 0
+	for _, k := range []int{8, 3, 2} { // 13 blocks as ragged chunks
+		wide.NextBlocks(in, 8, k)
+		for l := 0; l < k; l++ {
+			for i := 0; i < n; i++ {
+				if in[i*8+l] != refWords[base+l][i] {
+					t.Fatalf("chunk base %d lane %d input %d diverges from narrow stream", base, l, i)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for l := k; l < 8; l++ {
+				if in[i*8+l] != 0 {
+					t.Fatalf("trailing lane %d of input %d not zeroed", l, i)
+				}
+			}
+		}
+		base += k
+	}
+
+	// And the generators stay aligned afterwards.
+	refNext := make([]uint64, n)
+	wideNext := make([]uint64, n)
+	ref.NextBlock(refNext)
+	wide.NextBlock(wideNext)
+	for i := range refNext {
+		if refNext[i] != wideNext[i] {
+			t.Fatalf("generator state diverged after wide fills")
+		}
+	}
+}
+
+func TestSetInputsLengthError(t *testing.T) {
+	c, _ := circuits.Lookup("c17")
+	sim := widesim.NewSim[widesim.B4](widesim.Compile(c))
+	if err := sim.SetInputs(make([]uint64, 3)); err == nil {
+		t.Fatal("want error for short input slice")
+	}
+}
+
+func TestWidthHelpers(t *testing.T) {
+	for _, w := range []int{0, 1, 4, 8} {
+		if !widesim.ValidWidth(w) {
+			t.Fatalf("width %d should be valid", w)
+		}
+	}
+	for _, w := range []int{-1, 2, 3, 5, 16} {
+		if widesim.ValidWidth(w) {
+			t.Fatalf("width %d should be invalid", w)
+		}
+		if err := widesim.CheckWidth(w); err == nil {
+			t.Fatalf("CheckWidth(%d) should fail", w)
+		}
+	}
+	if w, err := widesim.ParseWidth(""); err != nil || w != 1 {
+		t.Fatalf("ParseWidth(\"\") = %d, %v", w, err)
+	}
+	if w, err := widesim.ParseWidth("8"); err != nil || w != 8 {
+		t.Fatalf("ParseWidth(\"8\") = %d, %v", w, err)
+	}
+	if _, err := widesim.ParseWidth("2"); err == nil {
+		t.Fatal("ParseWidth(\"2\") should fail")
+	}
+}

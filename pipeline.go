@@ -8,6 +8,7 @@ import (
 	"protest/internal/pattern"
 	"protest/internal/stats"
 	"protest/internal/testlen"
+	"protest/internal/widesim"
 )
 
 // PipelineSpec configures one Session.Run call — the full PROTEST
@@ -50,13 +51,19 @@ type PipelineSpec struct {
 	BIST *BISTPlan `json:"bist,omitempty"`
 	// Workers overrides the Session's WithWorkers setting for this run:
 	// > 1 scores optimizer candidates and fault-simulates on that many
-	// goroutines, < 0 selects GOMAXPROCS, 0 keeps the Session default.
-	// Results are identical for every worker count.
+	// goroutines, < 0 selects GOMAXPROCS, 0 keeps the Session default;
+	// counts beyond GOMAXPROCS are clamped to it.  Results are
+	// identical for every worker count.
 	Workers int `json:"workers,omitempty"`
 	// SimEngine overrides the Session's fault-simulation engine for
 	// this run; the zero value keeps the Session default.  Every
 	// engine produces bit-identical results (see WithSimEngine).
 	SimEngine SimEngine `json:"sim_engine,omitempty"`
+	// SimWidth overrides the Session's WithSimWidth setting for this
+	// run: the wide kernel simulates SimWidth pattern blocks per sweep
+	// (1, 4 or 8; 0 keeps the Session default).  Results are
+	// bit-identical at every width.
+	SimWidth int `json:"sim_width,omitempty"`
 	// NoShard forces this run's fault simulation to execute locally
 	// even when the Session was opened WithShardPool — the escape hatch
 	// for latency-sensitive runs and for A/B-checking the distributed
@@ -89,6 +96,9 @@ func (spec *PipelineSpec) fill() error {
 	}
 	if spec.MaxSimPatterns <= 0 {
 		spec.MaxSimPatterns = 4096
+	}
+	if err := widesim.CheckWidth(spec.SimWidth); err != nil {
+		return fmt.Errorf("protest: pipeline %w", err)
 	}
 	return nil
 }
@@ -228,6 +238,9 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	}
 	if spec.SimEngine != SimEngineFFR {
 		cfg.engine = spec.SimEngine
+	}
+	if spec.SimWidth != 0 {
+		cfg.width = spec.SimWidth
 	}
 	if spec.Progress != nil {
 		cfg.progress = spec.Progress

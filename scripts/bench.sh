@@ -11,11 +11,23 @@
 # trail.  Run that one alone with:
 #   scripts/bench.sh 'BenchmarkServerAnalyzeCoalesce' 1
 #
+# The wide-kernel family (BenchmarkBlockEngines/*/wide-w{1,4,8} in
+# internal/faultsim and BenchmarkFaultSimFFRMULT512PatternsWide at the
+# root) runs equal work — 512 patterns per op — at every width, so the
+# w1→w8 ratio in the trail is the structure-of-arrays speedup itself:
+#   scripts/bench.sh 'BenchmarkBlockEngines|FFRMULT512PatternsWide' 1
+#
 # Usage: scripts/bench.sh [bench-regex] [count] [benchtime] [cpus]
 #   scripts/bench.sh                       # full suite, -count 3
 #   scripts/bench.sh 'Analyze' 1           # quick subset, single run
 #   scripts/bench.sh 'Optimize' 3 10x      # fixed iteration count
 #   scripts/bench.sh 'Throughput' 1 '' 1,2,4   # GOMAXPROCS sweep
+#
+# Set BENCH_GATE to a benchmark-name regexp to turn the closing delta
+# into a gate: the run exits non-zero if any matching benchmark
+# regressed more than BENCH_MAX_REGRESS percent (default 10) against
+# the previous trail entry.  CI gates the block-kernel benchmarks this
+# way; see .github/workflows/ci.yml.
 #
 # With a cpu list the trail keeps go's -N GOMAXPROCS suffix in the
 # benchmark names (BenchmarkFoo-2, BenchmarkFoo-4, ...), so one file
@@ -82,5 +94,12 @@ echo "wrote $out"
 # mtime would be ambiguous after a fresh checkout.
 base=$(ls BENCH_*.json 2>/dev/null | grep -v "^$out\$" | sort -V | tail -n 1 || true)
 if [ -n "$base" ]; then
-  go run ./scripts/benchdelta "$base" "$out" || true
+  if [ -n "${BENCH_GATE:-}" ]; then
+    # Gating mode: a >BENCH_MAX_REGRESS% slowdown on any benchmark
+    # matching BENCH_GATE fails this script (and the CI job running it).
+    go run ./scripts/benchdelta -gate "$BENCH_GATE" \
+        -max-regress "${BENCH_MAX_REGRESS:-10}" "$base" "$out"
+  else
+    go run ./scripts/benchdelta "$base" "$out" || true
+  fi
 fi

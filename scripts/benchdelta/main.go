@@ -2,19 +2,25 @@
 // scripts/bench.sh and prints a benchstat-style delta table in GitHub
 // markdown: one row per benchmark present in either file, with ns/op,
 // allocs/op and the relative change.  CI appends the output to the job
-// summary so performance drift is visible on every push without gating
-// the build.
+// summary so performance drift is visible on every push.
 //
-// Usage: benchdelta OLD.json NEW.json
+// Usage: benchdelta [-gate REGEX] [-max-regress PCT] OLD.json NEW.json
 //
-// Exit status is always 0 when both files parse — the table is
-// informational, not a gate.
+// Without -gate the table is informational and the exit status is 0
+// whenever both files parse.  With -gate, every benchmark whose name
+// matches REGEX and is present in both files becomes load-bearing:
+// if its ns/op regressed by more than PCT percent (default 10) the
+// table still prints in full, the offenders are listed, and the exit
+// status is 1 so CI fails the job.  Names present in only one file
+// never gate — a new benchmark has no baseline to regress against.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -64,16 +70,28 @@ func ns(v float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdelta OLD.json NEW.json")
+	gate := flag.String("gate", "", "regexp of benchmark names that fail the run on regression")
+	maxRegress := flag.Float64("max-regress", 10, "gated benchmarks may regress at most this many percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-gate REGEX] [-max-regress PCT] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	old, err := load(os.Args[1])
+	var gateRE *regexp.Regexp
+	if *gate != "" {
+		var err error
+		gateRE, err = regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdelta: bad -gate regexp:", err)
+			os.Exit(2)
+		}
+	}
+	old, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdelta:", err)
 		os.Exit(1)
 	}
-	cur, err := load(os.Args[2])
+	cur, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdelta:", err)
 		os.Exit(1)
@@ -91,9 +109,10 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("### Benchmark delta: %s → %s\n\n", os.Args[1], os.Args[2])
+	fmt.Printf("### Benchmark delta: %s → %s\n\n", flag.Arg(0), flag.Arg(1))
 	fmt.Println("| benchmark | old ns/op | new ns/op | Δ time | old allocs | new allocs |")
 	fmt.Println("|---|---:|---:|---:|---:|---:|")
+	var failed []string
 	for _, n := range names {
 		o, haveOld := old[n]
 		c, haveNew := cur[n]
@@ -105,8 +124,27 @@ func main() {
 		default:
 			fmt.Printf("| %s | %s | %s | %s | %.0f | %.0f |\n",
 				n, ns(o.NsPerOp), ns(c.NsPerOp), delta(o.NsPerOp, c.NsPerOp), o.AllocsPerOp, c.AllocsPerOp)
+			if gateRE != nil && gateRE.MatchString(n) && o.NsPerOp > 0 {
+				if d := (c.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; d > *maxRegress {
+					failed = append(failed, fmt.Sprintf("%s: %s → %s (%+.1f%% > %+.1f%% budget)",
+						n, ns(o.NsPerOp), ns(c.NsPerOp), d, *maxRegress))
+				}
+			}
 		}
 	}
 	fmt.Println()
-	fmt.Println("Δ is new vs old ns/op; ✅ faster, ⚠️ slower (±2% band). Single-run CI numbers are noisy — treat as a trail, not a gate.")
+	if gateRE != nil {
+		fmt.Printf("Δ is new vs old ns/op; ✅ faster, ⚠️ slower (±2%% band). Benchmarks matching `%s` gate the build at %.0f%% regression.\n", *gate, *maxRegress)
+	} else {
+		fmt.Println("Δ is new vs old ns/op; ✅ faster, ⚠️ slower (±2% band). Single-run numbers are noisy — treat as a trail.")
+	}
+	if len(failed) > 0 {
+		fmt.Println()
+		fmt.Println("**Gated benchmark regressions:**")
+		for _, f := range failed {
+			fmt.Println("- " + f)
+		}
+		fmt.Fprintf(os.Stderr, "benchdelta: %d gated benchmark(s) regressed beyond %.0f%%\n", len(failed), *maxRegress)
+		os.Exit(1)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"protest/internal/artifact"
 	"protest/internal/bist"
@@ -13,6 +14,7 @@ import (
 	"protest/internal/pattern"
 	"protest/internal/shard"
 	"protest/internal/testlen"
+	"protest/internal/widesim"
 )
 
 // Phase identifies one stage of a Session's work, as reported to the
@@ -59,6 +61,8 @@ type Session struct {
 	fast      Params
 	seed      uint64
 	workers   int
+	simWidth  int
+	laneWait  time.Duration
 	simEngine SimEngine
 	progress  func(Phase, float64)
 	store     *artifact.Store
@@ -83,6 +87,10 @@ type Session struct {
 	// shardTask pins the distributable form of the circuit (rendered
 	// netlist + shard geometry) once a sharded measurement has run.
 	shardTask atomic.Pointer[shard.Task]
+
+	// laneBatch pins the cross-call lane batcher once WithLaneBatching
+	// is active and the first Simulate call has built it.
+	laneBatch atomic.Pointer[faultsim.LaneBatcher]
 }
 
 // Option configures a Session at Open time.  Options are applied in
@@ -121,8 +129,10 @@ func WithSeed(seed uint64) Option {
 // the serial one: parallel fault simulation shares the same generator
 // stream and per-fault counts, and the optimizer accepts moves in the
 // serial first-improvement order.  n <= 1 stays serial (the default);
-// negative n selects GOMAXPROCS.  Individual OptimizeOptions.Workers
-// values override the Session default per call.
+// negative n selects GOMAXPROCS, and n beyond GOMAXPROCS is clamped to
+// it (oversubscription only adds scheduler contention, never speed).
+// Individual OptimizeOptions.Workers values override the Session
+// default per call.
 func WithWorkers(n int) Option {
 	return func(s *Session) { s.workers = n }
 }
@@ -135,6 +145,34 @@ func WithWorkers(n int) Option {
 // kept as the independent oracle.  Results are bit-identical.
 func WithSimEngine(e SimEngine) Option {
 	return func(s *Session) { s.simEngine = e }
+}
+
+// WithSimWidth selects the wide fault-simulation kernel: w pattern
+// blocks (w×64 patterns) per sweep, w in {1, 4, 8} (0 means 1).  Wider
+// sweeps amortize the engine's per-node bookkeeping over more pattern
+// lanes and are typically severalfold faster on the FFR engine; every
+// result — detection counts, coverage curves, BIST signatures — is
+// bit-identical at every width.  The naive oracle engine ignores the
+// width.  Open fails on unsupported widths.  Sharded runs take their
+// width from the ShardPool's configuration, not the Session's.
+func WithSimWidth(w int) Option {
+	return func(s *Session) { s.simWidth = w }
+}
+
+// WithLaneBatching packs pattern blocks from *concurrent* Simulate /
+// SimulateWeighted calls into spare lanes of one wide good-simulation
+// sweep: each detection measurement still consumes its own seeded
+// stream and returns bit-identical counts, but blocks submitted within
+// wait of each other share a single W-lane engine pass (W from
+// WithSimWidth), so N concurrent callers cost roughly one sweep
+// instead of N.  It is effective only when WithSimWidth selects a
+// width above 1 and the call runs locally on the FFR engine (the
+// naive oracle, sharded runs, and per-run width overrides bypass it);
+// a lone caller pays at most wait extra latency per block.  The HTTP
+// server enables this to batch distinct requests' validation
+// simulations on one circuit.
+func WithLaneBatching(wait time.Duration) Option {
+	return func(s *Session) { s.laneWait = wait }
 }
 
 // WithShardPool distributes the Session's fault simulation and
@@ -179,6 +217,9 @@ func Open(c *Circuit, opts ...Option) (*Session, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if err := widesim.CheckWidth(s.simWidth); err != nil {
+		return nil, fmt.Errorf("protest: Open: %w", err)
+	}
 	s.c = s.store.Intern(c)
 	faults := s.store.Faults(s.c)
 	if len(faults) == 0 {
@@ -213,13 +254,14 @@ func (s *Session) Faults() []Fault {
 // fields is what keeps concurrent calls isolated.
 type runCfg struct {
 	workers  int
+	width    int
 	engine   SimEngine
 	progress func(Phase, float64)
 	pool     *shard.Pool
 }
 
 func (s *Session) cfg() runCfg {
-	return runCfg{workers: s.workers, engine: s.simEngine, progress: s.progress, pool: s.pool}
+	return runCfg{workers: s.workers, width: s.simWidth, engine: s.simEngine, progress: s.progress, pool: s.pool}
 }
 
 func (cfg runCfg) emit(ph Phase, frac float64) {
@@ -290,7 +332,7 @@ func (s *Session) TestLength(d, e float64) (int64, error) {
 
 // simOptions bundles an effective engine and worker configuration.
 func (cfg runCfg) simOptions() faultsim.Options {
-	return faultsim.Options{Engine: cfg.engine, Workers: cfg.workers}
+	return faultsim.Options{Engine: cfg.engine, Workers: cfg.workers, Width: cfg.width}
 }
 
 // ensureSimPlan returns the Session's pinned FFR fault-simulation
@@ -318,6 +360,23 @@ func (s *Session) ensureShardTask() (*shard.Task, error) {
 	}
 	s.shardTask.CompareAndSwap(nil, t)
 	return s.shardTask.Load(), nil
+}
+
+// ensureLaneBatcher returns the Session's pinned lane batcher,
+// building it on first use (width was validated at Open).  Concurrent
+// cold calls race benignly; first-in wins and the rest adopt it.
+func (s *Session) ensureLaneBatcher() *faultsim.LaneBatcher {
+	if lb := s.laneBatch.Load(); lb != nil {
+		return lb
+	}
+	lb, err := s.ensureSimPlan().NewLaneBatcher(s.simWidth, s.laneWait)
+	if err != nil {
+		panic(err) // unreachable: Open validated the width
+	}
+	if !s.laneBatch.CompareAndSwap(nil, lb) {
+		lb.Close()
+	}
+	return s.laneBatch.Load()
 }
 
 // ensureBIST returns the Session's pinned self-test program, resolving
@@ -443,6 +502,11 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 		if t, err = s.ensureShardTask(); err == nil {
 			res, err = cfg.pool.MeasureDetection(ctx, t, probs, numPatterns, progress)
 		}
+	} else if s.laneWait > 0 && s.simWidth > 1 && cfg.width == s.simWidth {
+		// Cross-call lane batching: concurrent measurements on this
+		// Session pack their blocks into one wide sweep.  A per-run
+		// width override bypasses the shared batcher (the else branch).
+		res, err = s.ensureLaneBatcher().MeasureDetectionCtx(ctx, gen, numPatterns, progress)
 	} else {
 		res, err = s.ensureSimPlan().MeasureDetectionCtx(ctx, gen, numPatterns, cfg.simOptions(), progress)
 	}
@@ -499,6 +563,11 @@ func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan, c
 	// differs).
 	if plan.Engine == SimEngineFFR {
 		plan.Engine = cfg.engine
+	}
+	// Same adoption rule for the wide kernel: an unset (zero) plan width
+	// takes the Session's, an explicit width wins.
+	if plan.SimWidth == 0 {
+		plan.SimWidth = cfg.width
 	}
 	cfg.emit(PhaseBIST, 0)
 	res, err := s.ensureBIST().RunCtx(ctx, gen, plan, func(done, total int) {

@@ -61,12 +61,13 @@ type ValidateSpec struct {
 	// InputProbs are the per-input signal probabilities all three
 	// oracles run under; nil means the conventional uniform tuple.
 	InputProbs []float64 `json:"input_probs,omitempty"`
-	// Workers, SimEngine and NoShard override the Session's execution
-	// strategy for this run's Monte-Carlo measurement, with the same
-	// semantics as the PipelineSpec fields of the same names; results
-	// are bit-identical for every setting.
+	// Workers, SimEngine, SimWidth and NoShard override the Session's
+	// execution strategy for this run's Monte-Carlo measurement, with
+	// the same semantics as the PipelineSpec fields of the same names;
+	// results are bit-identical for every setting.
 	Workers   int       `json:"workers,omitempty"`
 	SimEngine SimEngine `json:"sim_engine,omitempty"`
+	SimWidth  int       `json:"sim_width,omitempty"`
 	NoShard   bool      `json:"no_shard,omitempty"`
 	// Progress overrides the Session's WithProgress callback for this
 	// run only.
@@ -105,6 +106,9 @@ func (s *Session) Validate(ctx context.Context, spec ValidateSpec) (*ValidateRep
 	}
 	if spec.SimEngine != SimEngineFFR {
 		cfg.engine = spec.SimEngine
+	}
+	if spec.SimWidth != 0 {
+		cfg.width = spec.SimWidth
 	}
 	if spec.Progress != nil {
 		cfg.progress = spec.Progress

@@ -1,0 +1,172 @@
+package protest
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSimWidthIdenticalResults pins the public width contract: every
+// Session-level measurement — detection counts, coverage curves, BIST
+// signatures — is bit-identical at widths 1, 4 and 8.
+func TestSimWidthIdenticalResults(t *testing.T) {
+	for _, name := range BenchmarkNames() {
+		c, _ := Benchmark(name)
+		ref, err := Open(c, WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		wantSim, err := ref.Simulate(ctx, 700)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cps := []int{10, 100, 300}
+		wantCurve, err := ref.CoverageCurve(ctx, nil, cps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBIST, err := ref.RunBIST(ctx, BISTPlan{Cycles: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4, 8} {
+			s, err := Open(c, WithSeed(11), WithSimWidth(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := s.Simulate(ctx, 700)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim.Applied != wantSim.Applied {
+				t.Fatalf("%s width %d: applied %d != %d", name, w, sim.Applied, wantSim.Applied)
+			}
+			for i := range wantSim.Detected {
+				if sim.Detected[i] != wantSim.Detected[i] {
+					t.Fatalf("%s width %d fault %d: %d != %d", name, w, i, sim.Detected[i], wantSim.Detected[i])
+				}
+			}
+			curve, err := s.CoverageCurve(ctx, nil, cps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantCurve {
+				if curve[i] != wantCurve[i] {
+					t.Fatalf("%s width %d: curve point %d = %+v, want %+v", name, w, i, curve[i], wantCurve[i])
+				}
+			}
+			bist, err := s.RunBIST(ctx, BISTPlan{Cycles: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *bist != *wantBIST {
+				t.Fatalf("%s width %d: BIST %+v != %+v", name, w, bist, wantBIST)
+			}
+		}
+	}
+}
+
+// TestOpenRejectsBadWidth checks unsupported widths fail at Open.
+func TestOpenRejectsBadWidth(t *testing.T) {
+	c, _ := Benchmark("c17")
+	if _, err := Open(c, WithSimWidth(3)); err == nil {
+		t.Fatal("width 3 should be rejected at Open")
+	}
+}
+
+// TestPipelineSimWidthOverride checks a per-run SimWidth produces the
+// same report as the Session default path.
+func TestPipelineSimWidthOverride(t *testing.T) {
+	c, _ := Benchmark("alu")
+	s, err := Open(c, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Run(context.Background(), PipelineSpec{SimPatterns: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		rep, err := s.Run(context.Background(), PipelineSpec{SimPatterns: 500, SimWidth: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Uniform.Simulated.Coverage != ref.Uniform.Simulated.Coverage ||
+			rep.Uniform.Simulated.Summary != ref.Uniform.Simulated.Summary {
+			t.Fatalf("width %d: simulated report diverged from width-1 run", w)
+		}
+	}
+	if _, err := s.Run(context.Background(), PipelineSpec{SimWidth: 5}); err == nil {
+		t.Fatal("SimWidth 5 should be rejected")
+	}
+}
+
+// TestValidateSweepAtWidths is the three-oracle acceptance gate of the
+// wide kernel: the full validation harness must pass with zero flags
+// at every width, and the reports must agree check for check.
+func TestValidateSweepAtWidths(t *testing.T) {
+	for _, name := range []string{"c17", "alu", "sn7485"} {
+		c, _ := Benchmark(name)
+		for _, w := range []int{1, 4, 8} {
+			s, err := Open(c, WithSeed(2), WithSimWidth(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.Validate(context.Background(), ValidateSpec{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Flags) != 0 {
+				t.Fatalf("%s width %d: %d validation flags, want 0: %+v", name, w, len(rep.Flags), rep.Flags)
+			}
+		}
+	}
+}
+
+// TestLaneBatchingIdenticalResults drives concurrent measurements
+// through a lane-batching Session and checks each caller's counts are
+// bit-identical to a plain serial Session's.
+func TestLaneBatchingIdenticalResults(t *testing.T) {
+	c, _ := Benchmark("mult")
+	s, err := Open(c, WithSeed(9), WithSimWidth(8), WithLaneBatching(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Open(c, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 5
+	results := make([]*SimResult, callers)
+	var wg sync.WaitGroup
+	for k := 0; k < callers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			res, err := s.Simulate(context.Background(), 400+64*k)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[k] = res
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < callers; k++ {
+		want, err := ref.Simulate(context.Background(), 400+64*k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[k]
+		if got == nil || got.Applied != want.Applied {
+			t.Fatalf("caller %d: applied mismatch", k)
+		}
+		for i := range want.Detected {
+			if got.Detected[i] != want.Detected[i] {
+				t.Fatalf("caller %d fault %d: %d != %d", k, i, got.Detected[i], want.Detected[i])
+			}
+		}
+	}
+}
