@@ -25,6 +25,12 @@ func addCircuitFlags(fs *flag.FlagSet) *circuitFlags {
 	return cf
 }
 
+// addFaultModelFlag declares the shared -fault-model flag; resolve the
+// value with protest.ParseFaultModel after Parse.
+func addFaultModelFlag(fs *flag.FlagSet) *string {
+	return fs.String("fault-model", "", "fault `model`: stuck-at (default), bridging or transition")
+}
+
 func (cf *circuitFlags) load() (*protest.Circuit, error) {
 	switch {
 	case cf.file != "" && cf.builtin != "":

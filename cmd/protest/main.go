@@ -18,7 +18,9 @@
 //	serve     long-running HTTP/JSON analysis service
 //
 // Circuits are read from .bench netlists (-f) or taken from the
-// built-in benchmark suite (-circuit alu|mult|div|comp|c17|sn7485).
+// built-in benchmark suite (-circuit alu|mult|div|comp|c17|sn7485|
+// c432|c499|c880|c1355|s27|...; every subcommand's -circuit help and
+// the validate/pipeline -circuits sweeps list the full registry).
 // Every long-running subcommand honors Ctrl-C and SIGTERM: the first
 // signal cancels the in-flight work cleanly (serve drains its
 // in-flight requests first).

@@ -99,6 +99,7 @@ func runPipeline(ctx context.Context, args []string) error {
 	engine := fs.String("engine", "ffr", "fault-simulation engine: ffr or naive (identical results)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON (an array with -circuits)")
 	quiet := fs.Bool("q", false, "suppress the progress ticker")
+	modelName := addFaultModelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,6 +113,10 @@ func runPipeline(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	model, err := protest.ParseFaultModel(*modelName)
+	if err != nil {
+		return err
+	}
 	spec := protest.PipelineSpec{
 		Fraction:        *d,
 		Confidence:      *e,
@@ -122,6 +127,7 @@ func runPipeline(ctx context.Context, args []string) error {
 		MaxSimPatterns:  *maxSim,
 		Workers:         *workers,
 		SimEngine:       eng,
+		FaultModel:      model,
 	}
 	if *bistCycles > 0 {
 		spec.BIST = &protest.BISTPlan{Cycles: *bistCycles, MISRWidth: *misr}

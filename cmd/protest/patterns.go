@@ -78,6 +78,7 @@ func runFsim(ctx context.Context, args []string) error {
 	psim := fs.Bool("psim", false, "report per-fault measured detection probabilities")
 	workerAddrs := fs.String("workers-addrs", "", "comma-separated `protest serve -worker` addresses to shard the simulation across (identical results)")
 	width := fs.Int("width", 0, "wide-kernel width: simulate 1, 4 or 8 pattern blocks per sweep (0 = 1; identical results)")
+	modelName := addFaultModelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,7 +86,11 @@ func runFsim(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := []protest.Option{protest.WithSeed(*seed), protest.WithWorkers(*workers), protest.WithSimEngine(eng), protest.WithSimWidth(*width)}
+	model, err := protest.ParseFaultModel(*modelName)
+	if err != nil {
+		return err
+	}
+	opts := []protest.Option{protest.WithSeed(*seed), protest.WithWorkers(*workers), protest.WithSimEngine(eng), protest.WithSimWidth(*width), protest.WithFaultModel(model)}
 	if *workerAddrs != "" {
 		pool := protest.NewShardPool(protest.ShardPoolConfig{Workers: splitComma(*workerAddrs), Seed: *seed})
 		defer pool.Close()

@@ -26,6 +26,7 @@ func runServe(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "worker goroutines per analysis (0 = serial, <0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 1, "session seed for every deterministic pattern stream")
 	engineName := fs.String("engine", "", "fault-simulation engine: ffr (default) or naive")
+	modelName := addFaultModelFlag(fs)
 	width := fs.Int("width", 0, "wide-kernel simulation width: 1, 4 or 8 pattern blocks per sweep (0 = 1)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain `timeout`")
 	jobWorkers := fs.Int("job-workers", 0, "worker pool executing async /v1/jobs (0 = 2)")
@@ -46,6 +47,10 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	model, err := protest.ParseFaultModel(*modelName)
+	if err != nil {
+		return err
+	}
 	var shardAddrs []string
 	if *workerAddrs != "" {
 		shardAddrs = splitComma(*workerAddrs)
@@ -58,6 +63,7 @@ func runServe(ctx context.Context, args []string) error {
 		Workers:      *workers,
 		Seed:         *seed,
 		Engine:       engine,
+		FaultModel:   model,
 		SimWidth:     *width,
 		JobWorkers:   *jobWorkers,
 		JobStoreCap:  *jobStore,

@@ -32,7 +32,12 @@ func runValidate(ctx context.Context, args []string) error {
 	workerAddrs := fs.String("workers-addrs", "", "comma-separated `protest serve -worker` addresses to shard the Monte-Carlo run across (identical results)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON (an array with -circuits)")
 	quiet := fs.Bool("q", false, "suppress per-circuit progress on stderr")
+	modelName := addFaultModelFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := protest.ParseFaultModel(*modelName)
+	if err != nil {
 		return err
 	}
 
@@ -45,6 +50,7 @@ func runValidate(ctx context.Context, args []string) error {
 		GrossTol:    *grossTol,
 		Workers:     *workers,
 		SimWidth:    *width,
+		FaultModel:  model,
 	}
 
 	var names []string

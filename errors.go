@@ -27,6 +27,11 @@ var (
 	// empty, leaving nothing to analyze, optimize, or simulate.
 	ErrNoFaults = errors.New("protest: circuit has no faults")
 
+	// ErrBadFaultModel flags an unknown fault model passed to
+	// WithFaultModel, PipelineSpec.FaultModel or ValidateSpec.FaultModel
+	// (use ParseFaultModel to normalize user input).
+	ErrBadFaultModel = errors.New("protest: unknown fault model")
+
 	// ErrNodeBudget is returned by the BDD-exact oracle when a
 	// circuit's decision diagrams exceed the node budget (re-exported
 	// from the internal bdd package so callers need only this one).

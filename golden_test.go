@@ -1,0 +1,80 @@
+package protest
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden reports")
+
+// goldenRuns are the fixed stuck-at pipeline runs whose JSON reports
+// are pinned byte-for-byte in testdata/.  They cover the plain local
+// path, the optimize+BIST phases, and a degraded shard-pool run (the
+// pool has no workers, so the run exercises the sharded code path's
+// local fallback and must still merge to the same bytes).
+var goldenRuns = []struct {
+	file    string
+	circuit string
+	seed    uint64
+	spec    PipelineSpec
+	sharded bool
+}{
+	{"golden_c17.json", "c17", 7, PipelineSpec{Optimize: true, BIST: &BISTPlan{Cycles: 256}}, false},
+	{"golden_sn7485.json", "sn7485", 7, PipelineSpec{SimPatterns: 2000}, false},
+	{"golden_add8.json", "add8", 11, PipelineSpec{Optimize: true}, false},
+	{"golden_alu_shard.json", "alu", 3, PipelineSpec{SimPatterns: 1500}, true},
+}
+
+// TestGoldenStuckAtReports asserts that the stuck-at pipeline output is
+// byte-identical to the pre-fault-model-refactor reports checked into
+// testdata/.  Regenerate deliberately with: go test -run Golden -update-golden
+func TestGoldenStuckAtReports(t *testing.T) {
+	for _, g := range goldenRuns {
+		t.Run(g.file, func(t *testing.T) {
+			c, ok := Benchmark(g.circuit)
+			if !ok {
+				t.Fatalf("circuit %s not registered", g.circuit)
+			}
+			opts := []Option{WithSeed(g.seed)}
+			if g.sharded {
+				pool := NewShardPool(ShardPoolConfig{})
+				defer pool.Close()
+				opts = append(opts, WithShardPool(pool))
+			}
+			s, err := Open(c, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.Run(context.Background(), g.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", g.file)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("stuck-at report for %s diverged from pre-refactor golden %s;\ngot:\n%s", g.circuit, path, got)
+			}
+		})
+	}
+}

@@ -55,11 +55,13 @@ const (
 )
 
 // key identifies one artifact: the artifact kind, the interned circuit
-// identity, and (for analysis programs) the parameter set, which
-// includes the observability model.
+// identity, the fault model (for fault-derived kinds), and (for
+// analysis programs) the parameter set, which includes the
+// observability model.
 type key struct {
 	kind   kind
 	c      *circuit.Circuit
+	model  fault.Model // normalized; zero for kinds not fault-derived
 	params core.Params // zero for kinds not parameterized
 }
 
@@ -240,31 +242,52 @@ func (s *Store) Program(c *circuit.Circuit, params core.Params) (*core.Program, 
 // Faults returns the shared collapsed single-stuck-at fault list of c.
 // The slice is shared: callers must not modify it.
 func (s *Store) Faults(c *circuit.Circuit) []fault.Fault {
+	return s.FaultsFor(c, fault.ModelStuckAt)
+}
+
+// FaultsFor returns the shared fault list of c under a fault model.
+// The slice is shared: callers must not modify it.
+func (s *Store) FaultsFor(c *circuit.Circuit, m fault.Model) []fault.Fault {
 	c = s.Intern(c)
-	v, _ := s.get(key{kind: kindFaults, c: c}, func() (any, error) {
-		return fault.Collapse(c), nil
+	m = m.Normalize()
+	v, _ := s.get(key{kind: kindFaults, c: c, model: m}, func() (any, error) {
+		return m.Faults(c), nil
 	})
 	return v.([]fault.Fault)
 }
 
 // SimPlan returns the shared FFR fault-simulation plan of c over its
-// collapsed fault list.
+// collapsed stuck-at fault list.
 func (s *Store) SimPlan(c *circuit.Circuit) *faultsim.Plan {
+	return s.SimPlanFor(c, fault.ModelStuckAt)
+}
+
+// SimPlanFor returns the shared FFR fault-simulation plan of c over a
+// fault model's universe.
+func (s *Store) SimPlanFor(c *circuit.Circuit, m fault.Model) *faultsim.Plan {
 	c = s.Intern(c)
-	v, _ := s.get(key{kind: kindSimPlan, c: c}, func() (any, error) {
-		return faultsim.NewPlan(c, s.Faults(c)), nil
+	m = m.Normalize()
+	v, _ := s.get(key{kind: kindSimPlan, c: c, model: m}, func() (any, error) {
+		return faultsim.NewPlan(c, s.FaultsFor(c, m)), nil
 	})
 	return v.(*faultsim.Plan)
 }
 
 // BIST returns the shared self-test program of c over its collapsed
-// fault list.  Its FFR simulation plan is the store's SimPlan(c),
-// resolved lazily on the first FFR-engine run.
+// stuck-at fault list.
 func (s *Store) BIST(c *circuit.Circuit) *bist.Program {
+	return s.BISTFor(c, fault.ModelStuckAt)
+}
+
+// BISTFor returns the shared self-test program of c over a fault
+// model's universe.  Its FFR simulation plan is the store's
+// SimPlanFor(c, m), resolved lazily on the first FFR-engine run.
+func (s *Store) BISTFor(c *circuit.Circuit, m fault.Model) *bist.Program {
 	ci := s.Intern(c)
-	v, _ := s.get(key{kind: kindBIST, c: ci}, func() (any, error) {
-		return bist.NewProgram(ci, s.Faults(ci), func() *faultsim.Plan {
-			return s.SimPlan(ci)
+	m = m.Normalize()
+	v, _ := s.get(key{kind: kindBIST, c: ci, model: m}, func() (any, error) {
+		return bist.NewProgram(ci, s.FaultsFor(ci, m), func() *faultsim.Plan {
+			return s.SimPlanFor(ci, m)
 		}), nil
 	})
 	return v.(*bist.Program)

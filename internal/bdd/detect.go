@@ -15,18 +15,45 @@ import (
 // per-fault references for circuits like COMP (51 inputs) that are far
 // beyond the 2^n enumeration oracle.
 
-// DetectProb computes the exact detection probability of one fault.
+// DetectProb computes the exact detection probability of one fault —
+// per pattern for stuck-at and bridging faults, per launch/capture
+// opportunity for transition faults.
 func (bc *Circuit) DetectProb(f fault.Fault, inputProbs []float64) (float64, error) {
-	d, err := bc.detectability(f)
-	if err != nil {
-		return 0, err
-	}
 	byLevel := make([]float64, len(inputProbs))
 	if len(inputProbs) != bc.B.nvars {
 		return 0, fmt.Errorf("bdd: %d probabilities for %d inputs", len(inputProbs), bc.B.nvars)
 	}
 	for pos, level := range bc.Order {
 		byLevel[level] = inputProbs[pos]
+	}
+	if f.Kind.IsTransition() {
+		// Launch and capture patterns are independent, so the exact
+		// per-opportunity probability factorizes: P(the site held the
+		// faulty value on the launch pattern) × P(the corresponding
+		// stuck-at fault is detected by the capture pattern).
+		ps, err := bc.B.Prob(bc.Refs[f.Site(bc.C)], byLevel)
+		if err != nil {
+			return 0, err
+		}
+		launch := 1 - ps
+		if f.StuckAt {
+			launch = ps
+		}
+		sa := f
+		sa.Kind = fault.KindStuckAt
+		d, err := bc.detectability(sa)
+		if err != nil {
+			return 0, err
+		}
+		capture, err := bc.B.Prob(d, byLevel)
+		if err != nil {
+			return 0, err
+		}
+		return launch * capture, nil
+	}
+	d, err := bc.detectability(f)
+	if err != nil {
+		return 0, err
 	}
 	return bc.B.Prob(d, byLevel)
 }
@@ -45,7 +72,11 @@ func (bc *Circuit) DetectProbs(faults []fault.Fault, inputProbs []float64) ([]fl
 }
 
 // detectability builds ∨_o (good_o ⊕ faulty_o) by re-deriving the BDDs
-// of the fault's output cone with the stuck value injected.
+// of the fault's output cone with the faulty function injected: the
+// stuck constant for stuck-at faults, the wired And/Or of the victim's
+// and aggressor's good functions for bridges (the activation condition
+// is implicit — the faulty function only differs where the aggressor
+// dominates).
 func (bc *Circuit) detectability(f fault.Fault) (Ref, error) {
 	c := bc.C
 	b := bc.B
@@ -56,7 +87,21 @@ func (bc *Circuit) detectability(f fault.Fault) (Ref, error) {
 	// Faulty refs, lazily diverging from the good ones.
 	faulty := make(map[circuit.NodeID]Ref)
 	if f.IsStem() {
-		faulty[f.Gate] = stuck
+		r := stuck
+		var err error
+		switch f.Kind {
+		case fault.KindBridgeAND:
+			r, err = b.And(bc.Refs[f.Gate], bc.Refs[f.Aggressor])
+		case fault.KindBridgeOR:
+			r, err = b.Or(bc.Refs[f.Gate], bc.Refs[f.Aggressor])
+		}
+		if err != nil {
+			return False, err
+		}
+		if r == bc.Refs[f.Gate] {
+			return False, nil // the short never overrides the victim
+		}
+		faulty[f.Gate] = r
 	}
 	// Recompute in topological order; node IDs are topological.
 	start := f.Gate

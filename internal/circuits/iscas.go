@@ -1,0 +1,75 @@
+package circuits
+
+import (
+	_ "embed"
+	"fmt"
+
+	"protest/internal/circuit"
+	"protest/internal/netlist"
+)
+
+// The embedded ISCAS-style benchmarks.  The combinational four are
+// interface-faithful reconstructions (same primary-input/output
+// interface and circuit class as the published benchmarks; regenerate
+// with go run ./scripts/genbench — the headers inside each file say
+// exactly what was rebuilt).  s27 is the ISCAS-89 sequential benchmark
+// verbatim; its flip-flops are scan-extracted by ParseScan, so the
+// registered circuit is its combinational core with three pseudo-input
+// / pseudo-output pairs.
+var (
+	//go:embed iscas/c432.bench
+	c432Bench string
+	//go:embed iscas/c499.bench
+	c499Bench string
+	//go:embed iscas/c880.bench
+	c880Bench string
+	//go:embed iscas/c1355.bench
+	c1355Bench string
+	//go:embed iscas/s27.bench
+	s27Bench string
+)
+
+// iscas parses one embedded combinational netlist.  The sources are
+// generated and shipped together, so a parse failure is a build
+// defect, not an input error.
+func iscas(src, name string) *circuit.Circuit {
+	c, err := netlist.ParseString(src, name)
+	if err != nil {
+		panic(fmt.Sprintf("circuits: embedded %s: %v", name, err))
+	}
+	return c
+}
+
+// C432 returns the c432-style interrupt controller (36 inputs, 7
+// outputs).
+func C432() *circuit.Circuit { return iscas(c432Bench, "c432") }
+
+// C499 returns the c499-style single-error corrector (41 inputs, 32
+// outputs).
+func C499() *circuit.Circuit { return iscas(c499Bench, "c499") }
+
+// C880 returns the c880-style 8-bit ALU (60 inputs, 26 outputs).
+func C880() *circuit.Circuit { return iscas(c880Bench, "c880") }
+
+// C1355 returns the c1355-style corrector: C499 with every 2-input XOR
+// expanded into four NANDs.
+func C1355() *circuit.Circuit { return iscas(c1355Bench, "c1355") }
+
+// S27 returns the combinational core of the ISCAS-89 s27 benchmark:
+// the three D flip-flops are scan cells, extracted by ParseScan into
+// pseudo-input / pseudo-output pairs.
+func S27() *circuit.Circuit {
+	info, err := netlist.ParseScanString(s27Bench, "s27")
+	if err != nil {
+		panic(fmt.Sprintf("circuits: embedded s27: %v", err))
+	}
+	return info.Core
+}
+
+func init() {
+	Register("c432", C432)
+	Register("c499", C499)
+	Register("c880", C880)
+	Register("c1355", C1355)
+	Register("s27", S27)
+}

@@ -528,9 +528,16 @@ func UniformProbs(c *circuit.Circuit) []float64 {
 	return ps
 }
 
-// DetectProb estimates the detection probability of one stuck-at fault:
-// the probability the faulty line carries the value opposite to the
-// stuck value times the probability the fault site is observed.
+// DetectProb estimates the detection probability of one fault under the
+// usual signal-independence heuristic: the activation probability of
+// the fault's kind times the probability the fault site is observed.
+//
+//   - stuck-at: P(site = ¬stuck) · obs
+//   - bridging: P(site = ¬stuck) · P(aggressor = stuck) · obs — the
+//     short only drives the victim while the aggressor dominates
+//   - transition: P(site = stuck) · P(site = ¬stuck) · obs — the launch
+//     pattern must hold the faulty value, the independent capture
+//     pattern the good one (per launch/capture opportunity)
 func (r *Analysis) DetectProb(f fault.Fault) float64 {
 	site := f.Site(r.C)
 	ctrl := r.Prob[site]
@@ -540,10 +547,21 @@ func (r *Analysis) DetectProb(f fault.Fault) float64 {
 	} else {
 		obs = r.PinObs[f.Gate][f.Pin]
 	}
+	act := ctrl
 	if f.StuckAt {
-		return logic.Clamp01((1 - ctrl) * obs)
+		act = 1 - ctrl
 	}
-	return logic.Clamp01(ctrl * obs)
+	switch {
+	case f.Kind.IsBridge():
+		aggr := r.Prob[f.Aggressor]
+		if !f.StuckAt {
+			aggr = 1 - aggr
+		}
+		act *= aggr
+	case f.Kind.IsTransition():
+		act *= 1 - act
+	}
+	return logic.Clamp01(act * obs)
 }
 
 // DetectProbs evaluates DetectProb over a fault list.

@@ -68,11 +68,11 @@ func TestSite(t *testing.T) {
 	c := smallCircuit(t)
 	n, _ := c.ByName("n")
 	a, _ := c.ByName("a")
-	stem := Fault{n, StemPin, false}
+	stem := Fault{Gate: n, Pin: StemPin, StuckAt: false}
 	if stem.Site(c) != n {
 		t.Error("stem site should be the node itself")
 	}
-	branch := Fault{n, 0, true}
+	branch := Fault{Gate: n, Pin: 0, StuckAt: true}
 	if branch.Site(c) != a {
 		t.Error("branch site should be the driving node")
 	}
@@ -84,11 +84,11 @@ func TestSite(t *testing.T) {
 func TestNameAndString(t *testing.T) {
 	c := smallCircuit(t)
 	n, _ := c.ByName("n")
-	f := Fault{n, 0, true}
+	f := Fault{Gate: n, Pin: 0, StuckAt: true}
 	if got := f.Name(c); got != "n.0/sa1" {
 		t.Errorf("Name = %q", got)
 	}
-	f2 := Fault{n, StemPin, false}
+	f2 := Fault{Gate: n, Pin: StemPin, StuckAt: false}
 	if got := f2.Name(c); got != "n/sa0" {
 		t.Errorf("Name = %q", got)
 	}
@@ -111,8 +111,8 @@ func TestCollapseKeepsClassRepresentatives(t *testing.T) {
 	n, _ := c.ByName("n")
 	y, _ := c.ByName("y")
 	members := []Fault{
-		{n, 0, false}, {n, 1, false}, {n, StemPin, false},
-		{y, 0, false}, {y, StemPin, true},
+		{Gate: n, Pin: 0}, {Gate: n, Pin: 1}, {Gate: n, Pin: StemPin},
+		{Gate: y, Pin: 0}, {Gate: y, Pin: StemPin, StuckAt: true},
 	}
 	found := false
 	have := make(map[Fault]bool)
@@ -152,10 +152,10 @@ s2 = NOT(s)
 	z, _ := c.ByName("z")
 	// s drives y.0 and z.0 (plus the NOT): branches on the fanout stem
 	// must survive collapsing (they are not equivalent to the stem).
-	if !have[Fault{y, 0, false}] {
+	if !have[Fault{Gate: y, Pin: 0, StuckAt: false}] {
 		t.Error("AND branch sa0 on fanout stem must be kept")
 	}
-	if !have[Fault{z, 0, true}] {
+	if !have[Fault{Gate: z, Pin: 0, StuckAt: true}] {
 		t.Error("OR branch sa1 on fanout stem must be kept")
 	}
 }

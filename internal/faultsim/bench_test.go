@@ -79,6 +79,44 @@ func BenchmarkBlockEngines(b *testing.B) {
 	}
 }
 
+// BenchmarkBlockEnginesBridging times the per-block cost of the
+// bridging universe on both engines: every bridge fault pays one
+// extra AND against its aggressor's fault-free word on top of the
+// shared stuck-at reduction, and the universe itself is larger than
+// the collapsed stuck-at list, so this tracks the conditional-
+// activation overhead the fault-model layer added to the hot kernel.
+func BenchmarkBlockEnginesBridging(b *testing.B) {
+	for _, mk := range []func() *circuit.Circuit{circuits.Mult8, circuits.Div16, circuits.Comp24} {
+		c := mk()
+		faults := fault.ModelBridging.Faults(c)
+		b.Run(c.Name+"/ffr", func(b *testing.B) {
+			plan := NewPlan(c, faults)
+			e := NewEngine(plan)
+			gen := pattern.NewUniform(len(c.Inputs), 1)
+			words := make([]uint64, len(c.Inputs))
+			det := make([]uint64, len(faults))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen.NextBlock(words)
+				e.SimulateBlock(words, det, nil)
+			}
+		})
+		b.Run(c.Name+"/naive", func(b *testing.B) {
+			s := New(c)
+			gen := pattern.NewUniform(len(c.Inputs), 1)
+			words := make([]uint64, len(c.Inputs))
+			det := make([]uint64, len(faults))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen.NextBlock(words)
+				s.SimulateBlock(words, faults, det)
+			}
+		})
+	}
+}
+
 // BenchmarkBlockFanoutHeavy scales a fanout-heavy random circuit to
 // expose the asymptotic separation: the naive engine's per-block cost
 // grows with faults × cone while the FFR engine grows with the gate

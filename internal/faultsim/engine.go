@@ -119,10 +119,26 @@ func (e *Engine) SimulateBlock(inputWords []uint64, det []uint64, liveGroups []b
 
 // faultWord computes the fault's local detectability at its FFR stem:
 // activation & path sensitization (& the faulty pin's local
-// sensitization for a branch fault).
+// sensitization for a branch fault).  Every kind is a conditional
+// stuck-at: the base activation (site differs from the capture value)
+// is intersected with the kind's condition word, and the stuck-at
+// propagation machinery downstream is untouched.
 func (e *Engine) faultWord(g []uint64, fi int) uint64 {
 	in := &e.plan.info[fi]
 	act := g[in.site] ^ in.stuck
+	switch in.kind {
+	case fault.KindBridgeAND, fault.KindBridgeOR:
+		// The short only drives the victim while the aggressor holds
+		// the dominating value (== the faulty capture value).
+		act &^= g[in.aggr] ^ in.stuck
+	case fault.KindSlowRise, fault.KindSlowFall:
+		// Launch/capture pairs are adjacent patterns inside this
+		// 64-pattern block: the site must have held the opposite (==
+		// faulty) value on the previous pattern.  Bit 0 has no launch
+		// pattern and never detects.
+		act &^= (g[in.site] << 1) ^ in.stuck
+		act &^= 1
+	}
 	if act == 0 {
 		return 0
 	}

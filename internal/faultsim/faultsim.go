@@ -172,22 +172,34 @@ func (s *Simulator) simulateFault(goodVals []uint64, f fault.Fault) uint64 {
 	if f.StuckAt {
 		stuck = ^uint64(0)
 	}
-	// Activation: patterns where the fault changes the site value.
+	// Activation: patterns where the fault changes the site value,
+	// intersected with the kind's condition word (every kind is a
+	// conditional stuck-at; see Engine.faultWord for the conditions).
 	act := goodVals[site] ^ stuck
+	switch f.Kind {
+	case fault.KindBridgeAND, fault.KindBridgeOR:
+		act &^= goodVals[f.Aggressor] ^ stuck
+	case fault.KindSlowRise, fault.KindSlowFall:
+		act &^= (goodVals[site] << 1) ^ stuck
+		act &^= 1
+	}
 	if act == 0 {
 		return 0
 	}
-
+	// The faulty site value: the capture value on activated patterns,
+	// the fault-free value elsewhere.  For plain stuck-at faults this is
+	// the stuck word itself.
+	fval := goodVals[site] ^ act
 	if f.IsStem() {
-		return s.propagate(goodVals, site, stuck, fault.StemPin, 0)
+		return s.propagate(goodVals, site, fval, fault.StemPin, 0)
 	}
-	return s.propagate(goodVals, f.Site(s.c), stuck, int(f.Gate), f.Pin)
+	return s.propagate(goodVals, site, fval, int(f.Gate), f.Pin)
 }
 
 // propagate re-evaluates the fanout cone.  For a stem fault the value of
-// `site` itself is forced to stuck; for a branch fault only gate
-// `branchGate`'s pin `branchPin` sees the stuck value.
-func (s *Simulator) propagate(goodVals []uint64, site circuit.NodeID, stuck uint64, branchGate, branchPin int) uint64 {
+// `site` itself is forced to fval; for a branch fault only gate
+// `branchGate`'s pin `branchPin` sees the faulty value.
+func (s *Simulator) propagate(goodVals []uint64, site circuit.NodeID, fval uint64, branchGate, branchPin int) uint64 {
 	c := s.c
 	// Collect the cone in topological order.  Node IDs are topological,
 	// so a simple forward sweep from the first affected node works.
@@ -195,7 +207,7 @@ func (s *Simulator) propagate(goodVals []uint64, site circuit.NodeID, stuck uint
 	stemFault := branchGate == fault.StemPin
 	if stemFault {
 		first = site
-		s.fvals[site] = stuck
+		s.fvals[site] = fval
 		s.inCone[site] = true
 	} else {
 		first = circuit.NodeID(branchGate)
@@ -205,7 +217,7 @@ func (s *Simulator) propagate(goodVals []uint64, site circuit.NodeID, stuck uint
 	if stemFault {
 		dirty = append(dirty, site)
 		if c.Node(site).IsOutput {
-			detected |= stuck ^ goodVals[site]
+			detected |= fval ^ goodVals[site]
 		}
 	}
 	n := circuit.NodeID(c.NumNodes())
@@ -228,7 +240,7 @@ func (s *Simulator) propagate(goodVals []uint64, site circuit.NodeID, stuck uint
 		if !needs {
 			continue
 		}
-		v := s.evalFaulty(goodVals, id, stuck, branchGate, branchPin)
+		v := s.evalFaulty(goodVals, id, fval, branchGate, branchPin)
 		if v == goodVals[id] {
 			continue // fault effect absorbed here
 		}
@@ -258,11 +270,11 @@ func (s *Simulator) propagate(goodVals []uint64, site circuit.NodeID, stuck uint
 	return detected
 }
 
-func (s *Simulator) evalFaulty(goodVals []uint64, id circuit.NodeID, stuck uint64, branchGate, branchPin int) uint64 {
+func (s *Simulator) evalFaulty(goodVals []uint64, id circuit.NodeID, fval uint64, branchGate, branchPin int) uint64 {
 	node := &s.c.Nodes[id]
 	val := func(pin int, fin circuit.NodeID) uint64 {
 		if int(id) == branchGate && pin == branchPin {
-			return stuck
+			return fval
 		}
 		if s.inCone[fin] {
 			return s.fvals[fin]
@@ -316,9 +328,27 @@ type Result struct {
 	Applied  int   // total patterns applied
 }
 
-// PSim returns the measured detection probability of fault i.
+// PSim returns the measured detection probability of fault i, per
+// detection opportunity (see Trials).
 func (r *Result) PSim(i int) float64 {
-	return float64(r.Detected[i]) / float64(r.Applied)
+	return float64(r.Detected[i]) / float64(r.Trials(i))
+}
+
+// Trials returns the number of detection opportunities fault i had:
+// Applied patterns for combinational kinds, and Applied minus one
+// launch-less slot per 64-pattern block for transition faults (bit 0
+// of every block has no launch pattern).
+func (r *Result) Trials(i int) int {
+	if r.Faults[i].Kind.IsTransition() {
+		return TransitionOpportunities(r.Applied)
+	}
+	return r.Applied
+}
+
+// TransitionOpportunities returns the number of launch/capture pairs
+// among n patterns applied as 64-pattern blocks: n - ceil(n/64).
+func TransitionOpportunities(n int) int {
+	return n - (n+63)/64
 }
 
 // Coverage returns the fraction of faults detected at least once.

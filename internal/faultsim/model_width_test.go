@@ -1,0 +1,217 @@
+package faultsim
+
+import (
+	"context"
+	"testing"
+
+	"protest/internal/circuit"
+	"protest/internal/fault"
+	"protest/internal/pattern"
+)
+
+// This file mirrors wide_test.go and engine_test.go for the non-stuck-at
+// universes: every equivalence the stuck-at properties pin — FFR vs
+// naive detection words, wide vs narrow lanes, serial vs parallel
+// measurements, coverage curves — must hold bit-for-bit for bridging
+// and transition faults too, because every engine shares one
+// conditional-activation kernel across kinds.
+
+// modelCases returns the non-stuck-at universes of c that are
+// non-empty (tiny or fanout-free circuits can have no bridging pairs).
+func modelCases(c *circuit.Circuit) map[fault.Model][]fault.Fault {
+	out := make(map[fault.Model][]fault.Fault)
+	for _, m := range []fault.Model{fault.ModelBridging, fault.ModelTransition} {
+		if faults := m.Faults(c); len(faults) > 0 {
+			out[m] = faults
+		}
+	}
+	return out
+}
+
+// TestModelEngineBlockIdentity drives the FFR engine and the naive
+// oracle with the same pattern blocks over the bridging and transition
+// universes and requires word-for-word identical detection words.
+func TestModelEngineBlockIdentity(t *testing.T) {
+	for _, c := range engineTestCircuits() {
+		for model, faults := range modelCases(c) {
+			plan := NewPlan(c, faults)
+			e := NewEngine(plan)
+			naive := New(c)
+			gen := pattern.NewUniform(len(c.Inputs), 7)
+			words := make([]uint64, len(c.Inputs))
+			detF := make([]uint64, len(faults))
+			detN := make([]uint64, len(faults))
+			for block := 0; block < 8; block++ {
+				gen.NextBlock(words)
+				e.SimulateBlock(words, detF, nil)
+				naive.SimulateBlock(words, faults, detN)
+				for i := range faults {
+					if detF[i] != detN[i] {
+						t.Fatalf("%s %s block %d fault %v: FFR %016x != naive %016x",
+							c.Name, model, block, faults[i], detF[i], detN[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModelWideChunkIdentity drives the wide engine chunk-by-chunk
+// against the narrow engine block-by-block on the bridging and
+// transition universes and requires lane-for-lane identical detection
+// words, including the ragged final chunk.  Transition detection words
+// are the sharpest case: the launch/capture pairing is block-local, so
+// a lane split that shifted block boundaries would corrupt bit 0 of
+// every block.
+func TestModelWideChunkIdentity(t *testing.T) {
+	for _, c := range engineTestCircuits() {
+		for model, faults := range modelCases(c) {
+			plan := NewPlan(c, faults)
+			narrow := plan.AcquireEngine()
+			const nBlocks = 11 // ragged at widths 4 and 8
+			refWords := make([][]uint64, nBlocks)
+			refDet := make([][]uint64, nBlocks)
+			gen := pattern.NewUniform(len(c.Inputs), 42)
+			words := make([]uint64, len(c.Inputs))
+			for b := 0; b < nBlocks; b++ {
+				gen.NextBlock(words)
+				det := make([]uint64, len(faults))
+				narrow.SimulateBlock(words, det, nil)
+				refWords[b] = append([]uint64(nil), words...)
+				refDet[b] = det
+			}
+			narrow.Release()
+
+			for _, w := range wideWidths {
+				e := plan.AcquireWideEngine(w)
+				gen := pattern.NewUniform(len(c.Inputs), 42)
+				in := make([]uint64, len(c.Inputs)*w)
+				det := make([]uint64, len(faults)*w)
+				for base := 0; base < nBlocks; base += w {
+					k := min(w, nBlocks-base)
+					gen.NextBlocks(in, w, k)
+					e.SimulateChunk(in, det, nil)
+					for fi := range faults {
+						for l := 0; l < k; l++ {
+							if got, exp := det[fi*w+l], refDet[base+l][fi]; got != exp {
+								t.Fatalf("%s %s width %d block %d fault %v: wide %016x != narrow %016x",
+									c.Name, model, w, base+l, faults[fi], got, exp)
+							}
+						}
+					}
+				}
+				e.Release()
+			}
+		}
+	}
+}
+
+// TestModelMeasureDetectionIdentity compares whole measurements over
+// the bridging and transition universes: detection counts, per-fault
+// trial counts and PSim must match the narrow serial FFR reference
+// exactly for the naive engine, every width and every worker count.
+func TestModelMeasureDetectionIdentity(t *testing.T) {
+	type variant struct {
+		name string
+		opts Options
+	}
+	variants := []variant{
+		{"naive", Options{Engine: EngineNaive}},
+	}
+	for _, w := range wideWidths {
+		for _, workers := range []int{1, 3, -1} {
+			variants = append(variants, variant{
+				name: "ffr",
+				opts: Options{Width: w, Workers: workers},
+			})
+		}
+	}
+	for _, c := range engineTestCircuits() {
+		for model, faults := range modelCases(c) {
+			plan := NewPlan(c, faults)
+			const n = 1000 // not a multiple of 64, nor of 64*width
+			ref, err := plan.MeasureDetectionCtx(context.Background(),
+				pattern.NewUniform(len(c.Inputs), 3), n, Options{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range variants {
+				got, err := plan.MeasureDetectionCtx(context.Background(),
+					pattern.NewUniform(len(c.Inputs), 3), n, v.opts, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Applied != ref.Applied {
+					t.Fatalf("%s %s %s%+v: applied %d != %d",
+						c.Name, model, v.name, v.opts, got.Applied, ref.Applied)
+				}
+				for i := range faults {
+					if got.Detected[i] != ref.Detected[i] {
+						t.Fatalf("%s %s %s%+v fault %v: detected %d != %d",
+							c.Name, model, v.name, v.opts, faults[i], got.Detected[i], ref.Detected[i])
+					}
+					if got.Trials(i) != ref.Trials(i) || got.PSim(i) != ref.PSim(i) {
+						t.Fatalf("%s %s %s%+v fault %v: trials/PSim mismatch",
+							c.Name, model, v.name, v.opts, faults[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModelCoverageCurveIdentity compares fault-dropping coverage
+// curves over the bridging and transition universes across widths,
+// worker counts and both engines, on checkpoints that are deliberately
+// not multiples of 64 (nor 64*W).
+func TestModelCoverageCurveIdentity(t *testing.T) {
+	cps := []int{10, 100, 500, 777, 1500}
+	for _, c := range engineTestCircuits()[:6] {
+		for model, faults := range modelCases(c) {
+			plan := NewPlan(c, faults)
+			ref, err := plan.CoverageCurveCtx(context.Background(),
+				pattern.NewUniform(len(c.Inputs), 11), cps, Options{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(label string, opts Options) {
+				got, err := plan.CoverageCurveCtx(context.Background(),
+					pattern.NewUniform(len(c.Inputs), 11), cps, opts, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(ref) {
+					t.Fatalf("%s %s %s: %d points != %d", c.Name, model, label, len(got), len(ref))
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s %s %s: point %d %+v != %+v",
+							c.Name, model, label, i, got[i], ref[i])
+					}
+				}
+			}
+			check("naive", Options{Engine: EngineNaive})
+			for _, w := range wideWidths {
+				for _, workers := range []int{1, 3} {
+					check("ffr", Options{Width: w, Workers: workers})
+				}
+			}
+		}
+	}
+}
+
+// TestTransitionOpportunities pins the per-block launch arithmetic the
+// transition denominators rest on: bit 0 of every 64-pattern block has
+// no launch pattern, so n patterns carry n - ceil(n/64) detection
+// opportunities.
+func TestTransitionOpportunities(t *testing.T) {
+	cases := map[int]int{
+		0: 0, 1: 0, 2: 1, 63: 62, 64: 63, 65: 63, 66: 64,
+		128: 126, 1000: 984, 2000: 1968,
+	}
+	for n, want := range cases {
+		if got := TransitionOpportunities(n); got != want {
+			t.Errorf("TransitionOpportunities(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

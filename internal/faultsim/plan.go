@@ -55,9 +55,11 @@ type Plan struct {
 type faultInfo struct {
 	site  circuit.NodeID // node whose value activates the fault
 	gate  circuit.NodeID // gate owning the faulty pin (== site for stems)
+	aggr  circuit.NodeID // bridge aggressor node (kind.IsBridge() only)
 	pin   int32          // fault.StemPin for stem faults
 	group int32          // FFR index (position in ffr.Stems)
-	stuck uint64         // stuck value replicated across the word
+	kind  fault.Kind     // activation condition selector
+	stuck uint64         // faulty capture value replicated across the word
 }
 
 // NewPlan partitions the fault list by FFR and precomputes the
@@ -84,9 +86,13 @@ func NewPlan(c *circuit.Circuit, faults []fault.Fault) *Plan {
 			gate:  f.Gate,
 			pin:   int32(f.Pin),
 			group: p.part.GroupOf[i],
+			kind:  f.Kind,
 		}
 		if f.StuckAt {
 			in.stuck = ^uint64(0)
+		}
+		if f.Kind.IsBridge() {
+			in.aggr = f.Aggressor
 		}
 		p.info[i] = in
 	}

@@ -173,12 +173,34 @@ func (e *wideEngine[B]) SimulateChunk(inputWords []uint64, det []uint64, liveGro
 	}
 }
 
-// faultWord mirrors Engine.faultWord.
+// faultWord mirrors Engine.faultWord, composing the kind conditions
+// from the fused lane kernels.  Shl1 shifts per lane, never across
+// lanes: launch/capture pairing is block-local, so every lane computes
+// exactly what a narrow SimulateBlock of that block would.
 func (e *wideEngine[B]) faultWord(g []B, fi int) B {
 	in := &e.plan.info[fi]
 	act := g[in.site]
 	if in.stuck != 0 {
 		act = act.Not()
+	}
+	switch in.kind {
+	case fault.KindBridgeAND, fault.KindBridgeOR:
+		// act &^= g[aggr] ^ stuck
+		if in.stuck != 0 {
+			act = act.And(g[in.aggr])
+		} else {
+			act = act.AndNot(g[in.aggr])
+		}
+	case fault.KindSlowRise, fault.KindSlowFall:
+		// act &^= (g[site] << 1) ^ stuck, then drop the launch-less
+		// bit 0 of every lane.
+		shl := g[in.site].Shl1()
+		if in.stuck != 0 {
+			act = act.And(shl)
+		} else {
+			act = act.AndNot(shl)
+		}
+		act = act.AndNot(widesim.Lsb[B]())
 	}
 	if act.IsZero() {
 		var z B

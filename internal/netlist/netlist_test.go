@@ -1,4 +1,4 @@
-package netlist
+package netlist_test
 
 import (
 	"strings"
@@ -7,6 +7,7 @@ import (
 	"protest/internal/bitsim"
 	"protest/internal/circuits"
 	"protest/internal/logic"
+	"protest/internal/netlist"
 	"protest/internal/pattern"
 )
 
@@ -28,7 +29,7 @@ G23 = NAND(G16, G19)
 `
 
 func TestParseC17(t *testing.T) {
-	c, err := ParseString(c17Bench, "c17")
+	c, err := netlist.ParseString(c17Bench, "c17")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ OUTPUT(y)
 y = AND(a, z)
 z = NOT(a)
 `
-	c, err := ParseString(src, "ooo")
+	c, err := netlist.ParseString(src, "ooo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestParseErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if _, err := ParseString(c.src, c.name); err == nil {
+			if _, err := netlist.ParseString(c.src, c.name); err == nil {
 				t.Errorf("%s: expected parse error", c.name)
 			}
 		})
@@ -89,10 +90,10 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestParseErrorHasLine(t *testing.T) {
-	_, err := ParseString("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "t")
-	pe, ok := err.(*ParseError)
+	_, err := netlist.ParseString("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "t")
+	pe, ok := err.(*netlist.ParseError)
 	if !ok {
-		t.Fatalf("want *ParseError, got %T: %v", err, err)
+		t.Fatalf("want *netlist.ParseError, got %T: %v", err, err)
 	}
 	if pe.Line != 3 {
 		t.Errorf("error line = %d, want 3", pe.Line)
@@ -103,15 +104,15 @@ func TestParseErrorHasLine(t *testing.T) {
 }
 
 func TestRoundTrip(t *testing.T) {
-	c, err := ParseString(c17Bench, "c17")
+	c, err := netlist.ParseString(c17Bench, "c17")
 	if err != nil {
 		t.Fatal(err)
 	}
-	text, err := String(c)
+	text, err := netlist.String(c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := ParseString(text, "c17rt")
+	c2, err := netlist.ParseString(text, "c17rt")
 	if err != nil {
 		t.Fatalf("reparse: %v\n%s", err, text)
 	}
@@ -139,7 +140,7 @@ OUTPUT(y)
 one = CONST1()
 y = AND(a, one)
 `
-	c, err := ParseString(src, "const")
+	c, err := netlist.ParseString(src, "const")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ y = AND(a, one)
 
 func TestParseAliases(t *testing.T) {
 	src := "INPUT(a)\nOUTPUT(y)\nx = BUFF(a)\ny = INV(x)\n"
-	c, err := ParseString(src, "alias")
+	c, err := netlist.ParseString(src, "alias")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +170,11 @@ func TestParseAliases(t *testing.T) {
 func TestRoundTripRandomCircuits(t *testing.T) {
 	for seed := uint64(0); seed < 5; seed++ {
 		c := circuits.Random(circuits.RandomOptions{Inputs: 7, Gates: 60, Outputs: 5, Seed: seed})
-		text, err := String(c)
+		text, err := netlist.String(c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		c2, err := ParseString(text, "rt")
+		c2, err := netlist.ParseString(text, "rt")
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

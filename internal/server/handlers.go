@@ -92,6 +92,12 @@ type AnalyzeRequest struct {
 	// InputProbs are per-input signal probabilities; empty means the
 	// conventional uniform tuple p = 0.5.
 	InputProbs []float64 `json:"input_probs,omitempty"`
+	// FaultModel selects the fault universe the response reports
+	// detection probabilities for ("stuck-at", "bridging",
+	// "transition"); empty means stuck-at.  The analysis pass itself is
+	// model-independent, so requests differing only here still share
+	// one evaluator pass.
+	FaultModel string `json:"fault_model,omitempty"`
 }
 
 // FaultReport is one fault row of an AnalyzeResponse.
@@ -172,7 +178,7 @@ func wantSSE(r *http.Request) bool {
 // anything else is a 500.
 func statusFor(err error) int {
 	if errors.Is(err, protest.ErrBadProbs) || errors.Is(err, protest.ErrNoFaults) ||
-		errors.Is(err, protest.ErrBadSpec) {
+		errors.Is(err, protest.ErrBadSpec) || errors.Is(err, protest.ErrBadFaultModel) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -402,6 +408,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
+	model, err := protest.ParseFaultModel(req.FaultModel)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
 	var probs []float64
 	if len(req.InputProbs) > 0 {
 		probs = req.InputProbs
@@ -436,7 +447,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sess, res := out.sess, out.res
-	faults := sess.Faults()
+	faults := artifact.Default.FaultsFor(sess.Circuit(), model)
 	detect := res.DetectProbs(faults)
 	resp := AnalyzeResponse{
 		Circuit: c.Name,
@@ -451,8 +462,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			hardest = i
 		}
 	}
-	resp.HardestFault = resp.Faults[hardest].Name
-	resp.HardestProb = detect[hardest]
+	// A non-default universe can be empty (e.g. bridging on a circuit
+	// with single-node levels); report no hardest fault rather than
+	// indexing into nothing.
+	if len(faults) > 0 {
+		resp.HardestFault = resp.Faults[hardest].Name
+		resp.HardestProb = detect[hardest]
+	}
 	s.completed.Add(1)
 	s.respond(w, http.StatusOK, resp)
 }

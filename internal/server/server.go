@@ -95,6 +95,11 @@ type Config struct {
 	// Engine selects the fault-simulation engine (WithSimEngine); the
 	// zero value is the FFR engine.
 	Engine protest.SimEngine
+	// FaultModel selects the default fault universe of every Session
+	// the server opens (WithFaultModel); the zero value is stuck-at.
+	// Individual requests still override it per run through the
+	// fault_model field of their spec.
+	FaultModel protest.FaultModel
 	// SimWidth selects the wide simulation kernel for every Session the
 	// server opens (WithSimWidth): 1, 4 or 8 pattern blocks per sweep,
 	// 0 meaning 1.  Results are bit-identical at every width.  Widths
@@ -265,6 +270,7 @@ func New(cfg Config) *Server {
 		protest.WithWorkers(cfg.Workers),
 		protest.WithSimEngine(cfg.Engine),
 		protest.WithSimWidth(cfg.SimWidth),
+		protest.WithFaultModel(cfg.FaultModel),
 	}
 	if cfg.SimWidth > 1 && !cfg.NoCoalesce {
 		opts = append(opts, protest.WithLaneBatching(cfg.BatchWait))

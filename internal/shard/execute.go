@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"protest/internal/artifact"
+	"protest/internal/fault"
 	"protest/internal/faultsim"
 	"protest/internal/netlist"
 )
@@ -29,6 +30,10 @@ func (e *Executor) Run(ctx context.Context, req *Request) (*Response, error) {
 	if req.Netlist == "" {
 		return nil, fmt.Errorf("shard: empty netlist")
 	}
+	m, err := fault.ParseModel(req.FaultModel)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
 	name := req.Name
 	if name == "" {
 		name = "netlist"
@@ -38,7 +43,7 @@ func (e *Executor) Run(ctx context.Context, req *Request) (*Response, error) {
 		return nil, fmt.Errorf("shard: bad netlist: %w", err)
 	}
 	c = e.store.Intern(c)
-	return runShard(ctx, e.store.SimPlan(c), req)
+	return runShard(ctx, e.store.SimPlanFor(c, m), req)
 }
 
 // Task is the coordinator-side handle of one distributable circuit.
@@ -57,6 +62,9 @@ func (e *Executor) Run(ctx context.Context, req *Request) (*Response, error) {
 type Task struct {
 	Name    string
 	Netlist string
+	// Model is the fault universe both plans enumerate; requests carry
+	// it so workers re-derive the same universe from the netlist.
+	Model fault.Model
 	// Plan is the Session's native plan: results are returned in its
 	// fault order.
 	Plan *faultsim.Plan
@@ -74,9 +82,19 @@ type Task struct {
 }
 
 // NewTask renders the plan's circuit as a netlist, derives the remote
-// plan workers will reconstruct from it, and precomputes the geometry
-// shards are cut along plus the remote→local fault permutation.
+// stuck-at plan workers will reconstruct from it, and precomputes the
+// geometry shards are cut along plus the remote→local fault
+// permutation.
 func NewTask(plan *faultsim.Plan, seed uint64) (*Task, error) {
+	return NewModelTask(plan, fault.ModelStuckAt, seed)
+}
+
+// NewModelTask is NewTask for an arbitrary fault model: plan must
+// enumerate model's universe, and the remote plan is derived under the
+// same model, so fault order on the wire matches what workers compute
+// from the request's FaultModel field.
+func NewModelTask(plan *faultsim.Plan, model fault.Model, seed uint64) (*Task, error) {
+	model = model.Normalize()
 	c := plan.Circuit()
 	src, err := netlist.String(c)
 	if err != nil {
@@ -87,7 +105,7 @@ func NewTask(plan *faultsim.Plan, seed uint64) (*Task, error) {
 		return nil, fmt.Errorf("shard: netlist does not round-trip: %w", err)
 	}
 	rc = artifact.Default.Intern(rc)
-	remote := artifact.Default.SimPlan(rc)
+	remote := artifact.Default.SimPlanFor(rc, model)
 
 	local := plan.Faults()
 	byName := make(map[string]int, len(local))
@@ -121,12 +139,22 @@ func NewTask(plan *faultsim.Plan, seed uint64) (*Task, error) {
 	return &Task{
 		Name:        c.Name,
 		Netlist:     src,
+		Model:       model,
 		Plan:        plan,
 		Remote:      remote,
 		Seed:        seed,
 		perm:        perm,
 		groupPrefix: prefix,
 	}, nil
+}
+
+// wireModel is the value Requests carry for the task's model: empty
+// for stuck-at, keeping pre-model request bytes unchanged.
+func (t *Task) wireModel() string {
+	if t.Model == fault.ModelStuckAt {
+		return ""
+	}
+	return string(t.Model)
 }
 
 // faultsIn returns the number of faults in Remote groups [lo, hi).

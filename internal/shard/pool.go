@@ -471,7 +471,8 @@ func (p *Pool) MeasureDetection(ctx context.Context, t *Task, probs []float64, n
 
 	shards := planShards(t.Remote.NumGroups(), len(blocks), healthy*p.cfg.ShardsPerWorker, p.cfg.MaxShards)
 	base := Request{
-		Name: t.Name, Netlist: t.Netlist, Seed: t.Seed, Probs: probs,
+		Name: t.Name, Netlist: t.Netlist, FaultModel: t.wireModel(),
+		Seed: t.Seed, Probs: probs,
 		Kind: KindDetect, NumPatterns: numPatterns, SimWidth: p.cfg.SimWidth,
 	}
 	resps, err := p.dispatch(ctx, t, base, shards, progress)
@@ -520,7 +521,8 @@ func (p *Pool) CoverageCurve(ctx context.Context, t *Task, probs []float64, chec
 
 	shards := planShards(t.Remote.NumGroups(), len(blocks), healthy*p.cfg.ShardsPerWorker, p.cfg.MaxShards)
 	base := Request{
-		Name: t.Name, Netlist: t.Netlist, Seed: t.Seed, Probs: probs,
+		Name: t.Name, Netlist: t.Netlist, FaultModel: t.wireModel(),
+		Seed: t.Seed, Probs: probs,
 		Kind: KindCurve, Checkpoints: checkpoints, SimWidth: p.cfg.SimWidth,
 	}
 	resps, err := p.dispatch(ctx, t, base, shards, progress)

@@ -78,6 +78,14 @@ type Request struct {
 	Seed  uint64    `json:"seed"`
 	Probs []float64 `json:"probs,omitempty"`
 
+	// FaultModel names the fault universe of the run ("stuck-at",
+	// "bridging", "transition"); empty means stuck-at, so pre-model
+	// coordinators and workers interoperate unchanged.  The worker
+	// re-derives the universe deterministically from the netlist, and
+	// fault names — which survive the netlist round-trip — stay the
+	// merge key.
+	FaultModel string `json:"fault_model,omitempty"`
+
 	Kind Kind `json:"kind"`
 	// NumPatterns is the run's total pattern budget (KindDetect).
 	NumPatterns int `json:"num_patterns,omitempty"`

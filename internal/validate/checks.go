@@ -14,7 +14,6 @@ import (
 // report.  analytic and (optionally) exact are index-aligned with
 // faults; res is the Monte-Carlo measurement.
 func (rep *Report) runChecks(c *circuit.Circuit, faults []fault.Fault, analytic, exact []float64, res *faultsim.Result, uniform bool, cfg Config) {
-	n := res.Applied
 	// Bonferroni adjustment: m is the number of per-fault statistical
 	// interval checks in the family, so the whole run false-flags a
 	// healthy tool with probability at most ε.
@@ -38,6 +37,11 @@ func (rep *Report) runChecks(c *circuit.Circuit, faults []fault.Fault, analytic,
 		k := res.Detected[i]
 		psim[i] = res.PSim(i)
 		name := f.Name(c)
+		// Transition faults have fewer Bernoulli trials than applied
+		// patterns (the first slot of every 64-pattern block has no
+		// launch pattern), so every statistical check below runs on the
+		// per-fault trial count.
+		n := res.Trials(i)
 		lo, hi := stats.WilsonInterval(k, n, z)
 
 		// Range sanity: every oracle value must be a probability.  A
@@ -142,7 +146,10 @@ func (rep *Report) runChecks(c *circuit.Circuit, faults []fault.Fault, analytic,
 	}
 	rep.Spearman = stats.SpearmanCorrelation(analytic, truth)
 
-	env, source := resolveEnvelope(c.Name, uniform, cfg)
+	// The calibrated registry envelopes were measured per fault model
+	// on uniform inputs; a mixed-kind universe has no calibration key
+	// and falls back to the conservative default band.
+	env, source := resolveEnvelope(envelopeKey(c.Name, faults), uniform, cfg)
 	rep.Envelope = env
 	rep.EnvelopeSource = source
 	agg := stats.Summarize(analytic, truth)

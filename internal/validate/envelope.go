@@ -1,5 +1,7 @@
 package validate
 
+import "protest/internal/fault"
+
 // Envelope is the aggregate acceptance band for the analytic oracle:
 // how well the heuristic estimator must track the truth oracle
 // (BDD-exact when available, Monte-Carlo otherwise) across a whole
@@ -39,42 +41,110 @@ var DefaultEnvelope = Envelope{
 	BiasHi:    0.20,
 }
 
-// calibrated holds the per-circuit envelopes for uniform-input runs on
-// the registry, keyed by circuit.Name (NOT the registry lookup key —
-// alu74181/comp24/div16/mult8 differ from their registry shorthands),
-// derived from measured aggregates of the current estimator against
-// the truth oracle each circuit supports (BDD-exact for
-// add8/alu74181/c17/cla16/comp24/sn7485; Monte-Carlo at the default
-// pattern floor for div16/mult8, whose BDDs blow the default budget).
-// Margins: correlation -0.06, Spearman -0.08, average error +0.04,
-// bias ±0.04 around the measured value — generous against Monte-Carlo
-// seed variation (the aggregate standard error at the default pattern
-// floor is below 0.001) yet tight enough that a ±0.05 systematic bias
-// injection flags on every circuit.  Re-measure and update this table
-// when the estimator's model changes on purpose; the CI sweep failing
-// on all eight circuits at once is the signature of a model change,
-// on one or two of a genuine bug.
+// calibrated holds the per-circuit, per-fault-model envelopes for
+// uniform-input runs on the registry, keyed by envelopeKey: the
+// circuit.Name (NOT the registry lookup key — alu74181/comp24/div16/
+// mult8 differ from their registry shorthands) for stuck-at runs, with
+// a "/bridging" or "/transition" suffix for the other universes.  Each
+// entry is derived from measured aggregates of the current estimator
+// against the best truth oracle the circuit supports (BDD-exact where
+// the diagram fits the default budget, Monte-Carlo at the default
+// pattern floor for div16/mult8/c499/c1355).  Margins: correlation
+// -0.06, Spearman -0.08, average error +0.04, bias ±0.04 around the
+// measured value — generous against Monte-Carlo seed variation (the
+// aggregate standard error at the default pattern floor is below
+// 0.001) yet tight enough that a ±0.05 systematic bias injection
+// flags on every circuit.  Note how loose the correlation floors for
+// c17/bridging and c880/bridging are: the analytic bridging model
+// assumes victim and aggressor are independent, which is badly wrong
+// for the same-level correlated pairs those circuits are full of, and
+// the band records that fingerprint rather than hiding it.  Re-measure
+// with `go run ./scripts/calibrate` and paste its output here when the
+// estimator's model changes on purpose; the CI sweep failing on every
+// circuit at once is the signature of a model change, on one or two of
+// a genuine bug.
 var calibrated = map[string]Envelope{
+	// stuck-at
 	"add8":     {CorrMin: 0.77, SpearMin: 0.70, AvgErrMax: 0.14, BiasLo: 0.05, BiasHi: 0.13},
 	"alu74181": {CorrMin: 0.86, SpearMin: 0.80, AvgErrMax: 0.12, BiasLo: 0.03, BiasHi: 0.11},
+	"c1355":    {CorrMin: 0.89, SpearMin: 0.76, AvgErrMax: 0.06, BiasLo: -0.02, BiasHi: 0.06},
 	"c17":      {CorrMin: 0.73, SpearMin: 0.73, AvgErrMax: 0.12, BiasLo: 0.02, BiasHi: 0.10},
+	"c432":     {CorrMin: 0.92, SpearMin: 0.87, AvgErrMax: 0.06, BiasLo: -0.03, BiasHi: 0.05},
+	"c499":     {CorrMin: 0.93, SpearMin: 0.85, AvgErrMax: 0.05, BiasLo: -0.04, BiasHi: 0.04},
+	"c880":     {CorrMin: 0.74, SpearMin: 0.77, AvgErrMax: 0.14, BiasLo: 0.05, BiasHi: 0.13},
 	"cla16":    {CorrMin: 0.89, SpearMin: 0.91, AvgErrMax: 0.06, BiasLo: -0.03, BiasHi: 0.05},
 	"comp24":   {CorrMin: 0.78, SpearMin: 0.62, AvgErrMax: 0.07, BiasLo: -0.06, BiasHi: 0.02},
 	"div16":    {CorrMin: 0.74, SpearMin: 0.72, AvgErrMax: 0.13, BiasLo: 0.04, BiasHi: 0.12},
 	"mult8":    {CorrMin: 0.85, SpearMin: 0.86, AvgErrMax: 0.18, BiasLo: 0.10, BiasHi: 0.18},
+	"s27":      {CorrMin: 0.88, SpearMin: 0.85, AvgErrMax: 0.09, BiasLo: 0.01, BiasHi: 0.09},
 	"sn7485":   {CorrMin: 0.88, SpearMin: 0.86, AvgErrMax: 0.08, BiasLo: -0.03, BiasHi: 0.05},
+	// bridging
+	"add8/bridging":     {CorrMin: 0.77, SpearMin: 0.65, AvgErrMax: 0.15, BiasLo: 0.07, BiasHi: 0.15},
+	"alu74181/bridging": {CorrMin: 0.80, SpearMin: 0.71, AvgErrMax: 0.09, BiasLo: -0.01, BiasHi: 0.07},
+	"c1355/bridging":    {CorrMin: 0.90, SpearMin: 0.59, AvgErrMax: 0.05, BiasLo: -0.04, BiasHi: 0.04},
+	"c17/bridging":      {CorrMin: 0.13, SpearMin: 0.12, AvgErrMax: 0.10, BiasLo: -0.03, BiasHi: 0.05},
+	"c432/bridging":     {CorrMin: 0.86, SpearMin: 0.83, AvgErrMax: 0.06, BiasLo: -0.03, BiasHi: 0.05},
+	"c499/bridging":     {CorrMin: 0.91, SpearMin: 0.83, AvgErrMax: 0.05, BiasLo: -0.03, BiasHi: 0.05},
+	"c880/bridging":     {CorrMin: 0.53, SpearMin: 0.48, AvgErrMax: 0.10, BiasLo: 0.00, BiasHi: 0.08},
+	"cla16/bridging":    {CorrMin: 0.79, SpearMin: 0.72, AvgErrMax: 0.08, BiasLo: -0.02, BiasHi: 0.06},
+	"comp24/bridging":   {CorrMin: 0.73, SpearMin: 0.40, AvgErrMax: 0.06, BiasLo: -0.05, BiasHi: 0.03},
+	"div16/bridging":    {CorrMin: 0.67, SpearMin: 0.68, AvgErrMax: 0.10, BiasLo: 0.01, BiasHi: 0.09},
+	"mult8/bridging":    {CorrMin: 0.84, SpearMin: 0.85, AvgErrMax: 0.13, BiasLo: 0.05, BiasHi: 0.13},
+	"s27/bridging":      {CorrMin: 0.88, SpearMin: 0.67, AvgErrMax: 0.09, BiasLo: -0.02, BiasHi: 0.06},
+	"sn7485/bridging":   {CorrMin: 0.79, SpearMin: 0.59, AvgErrMax: 0.07, BiasLo: -0.03, BiasHi: 0.05},
+	// transition
+	"add8/transition":     {CorrMin: 0.80, SpearMin: 0.75, AvgErrMax: 0.08, BiasLo: 0.00, BiasHi: 0.08},
+	"alu74181/transition": {CorrMin: 0.85, SpearMin: 0.77, AvgErrMax: 0.07, BiasLo: -0.01, BiasHi: 0.07},
+	"c1355/transition":    {CorrMin: 0.93, SpearMin: 0.70, AvgErrMax: 0.05, BiasLo: -0.03, BiasHi: 0.05},
+	"c17/transition":      {CorrMin: 0.71, SpearMin: 0.65, AvgErrMax: 0.08, BiasLo: -0.01, BiasHi: 0.07},
+	"c432/transition":     {CorrMin: 0.93, SpearMin: 0.87, AvgErrMax: 0.05, BiasLo: -0.03, BiasHi: 0.05},
+	"c499/transition":     {CorrMin: 0.92, SpearMin: 0.85, AvgErrMax: 0.05, BiasLo: -0.04, BiasHi: 0.04},
+	"c880/transition":     {CorrMin: 0.71, SpearMin: 0.74, AvgErrMax: 0.09, BiasLo: 0.00, BiasHi: 0.08},
+	"cla16/transition":    {CorrMin: 0.90, SpearMin: 0.91, AvgErrMax: 0.05, BiasLo: -0.03, BiasHi: 0.05},
+	"comp24/transition":   {CorrMin: 0.71, SpearMin: 0.62, AvgErrMax: 0.05, BiasLo: -0.05, BiasHi: 0.03},
+	"div16/transition":    {CorrMin: 0.73, SpearMin: 0.71, AvgErrMax: 0.08, BiasLo: 0.00, BiasHi: 0.08},
+	"mult8/transition":    {CorrMin: 0.84, SpearMin: 0.87, AvgErrMax: 0.10, BiasLo: 0.02, BiasHi: 0.10},
+	"s27/transition":      {CorrMin: 0.90, SpearMin: 0.84, AvgErrMax: 0.06, BiasLo: -0.02, BiasHi: 0.06},
+	"sn7485/transition":   {CorrMin: 0.82, SpearMin: 0.83, AvgErrMax: 0.06, BiasLo: -0.03, BiasHi: 0.05},
+}
+
+// envelopeKey maps a circuit and its fault universe to the calibration
+// table key: the bare circuit name for an all-stuck-at list, a
+// model-suffixed key for an all-bridging or all-transition one, and ""
+// (matching no entry) for a mixed list, which no table row describes.
+func envelopeKey(circuitName string, faults []fault.Fault) string {
+	stuck, bridge, trans := false, false, false
+	for _, f := range faults {
+		switch {
+		case f.Kind.IsBridge():
+			bridge = true
+		case f.Kind.IsTransition():
+			trans = true
+		default:
+			stuck = true
+		}
+	}
+	switch {
+	case stuck && !bridge && !trans:
+		return circuitName
+	case bridge && !stuck && !trans:
+		return circuitName + "/bridging"
+	case trans && !stuck && !bridge:
+		return circuitName + "/transition"
+	}
+	return ""
 }
 
 // resolveEnvelope picks the envelope for a run: an explicit spec
-// envelope wins; uniform-input runs on calibrated registry circuits
-// use their calibrated band; everything else gets the conservative
-// default.
-func resolveEnvelope(circuitName string, uniform bool, cfg Config) (Envelope, string) {
+// envelope wins; uniform-input runs on calibrated (circuit, model)
+// pairs use their calibrated band; everything else gets the
+// conservative default.
+func resolveEnvelope(key string, uniform bool, cfg Config) (Envelope, string) {
 	if cfg.Envelope != nil {
 		return *cfg.Envelope, "spec"
 	}
-	if uniform {
-		if env, ok := calibrated[circuitName]; ok {
+	if uniform && key != "" {
+		if env, ok := calibrated[key]; ok {
 			return env, "calibrated"
 		}
 	}

@@ -323,7 +323,26 @@ func Run(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, analytic
 		pmin = cfg.PMinFloor
 	}
 	rep.PMin = pmin
-	rep.RequiredPatterns = ProbTestPatterns(cfg.Epsilon, pmin, outcomes)
+	trials := ProbTestPatterns(cfg.Epsilon, pmin, outcomes)
+	required := trials
+	transition := false
+	for _, f := range faults {
+		if f.Kind.IsTransition() {
+			transition = true
+			break
+		}
+	}
+	if transition {
+		// Transition faults draw one Bernoulli trial per launch/capture
+		// pair, and the first slot of every 64-pattern block has no
+		// launch pattern — so inflate the pattern count until the
+		// per-fault trial count meets the ProbTest requirement.
+		required += (required + 62) / 63
+		for int64(faultsim.TransitionOpportunities(int(required))) < trials {
+			required++
+		}
+	}
+	rep.RequiredPatterns = required
 	n := rep.RequiredPatterns
 	if n < int64(cfg.MinPatterns) {
 		n = int64(cfg.MinPatterns)
@@ -335,7 +354,11 @@ func Run(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, analytic
 	rep.Patterns = int(n)
 	rep.AchievedEpsilon = cfg.Epsilon
 	if rep.GuaranteeTruncated && outcomes > 0 {
-		rep.AchievedEpsilon = math.Min(1, float64(outcomes)*math.Exp(float64(n)*math.Log1p(-pmin)))
+		eff := n
+		if transition {
+			eff = int64(faultsim.TransitionOpportunities(int(n)))
+		}
+		rep.AchievedEpsilon = math.Min(1, float64(outcomes)*math.Exp(float64(eff)*math.Log1p(-pmin)))
 		rep.Skips = append(rep.Skips, Skip{
 			Stage: "coverage",
 			Reason: fmt.Sprintf("pattern count clamped to %d below the required %d; seen-at-least-once check would be flaky (achieved eps %.3g)",

@@ -89,6 +89,11 @@ type Block[B any] interface {
 	Xor(B) B
 	AndNot(B) B
 	Not() B
+	// Shl1 shifts every lane left by one bit independently — no bits
+	// cross lanes.  Bit b of a lane becomes bit b+1; bit 0 clears.
+	// This is the within-block previous-pattern operator behind the
+	// transition-fault launch condition.
+	Shl1() B
 	// IsZero reports whether no bit is set in any lane.
 	IsZero() bool
 	// Lanes returns the width W.
@@ -109,11 +114,22 @@ func Ones[B Block[B]]() B {
 	return z.Not()
 }
 
+// Lsb returns the vector with only bit 0 of every lane set — the
+// launch-less first pattern slot of each 64-pattern block.
+func Lsb[B Block[B]]() B {
+	var z B
+	for i := 0; i < z.Lanes(); i++ {
+		z = z.WithLane(i, 1)
+	}
+	return z
+}
+
 func (x B1) And(y B1) B1    { return B1{x[0] & y[0]} }
 func (x B1) Or(y B1) B1     { return B1{x[0] | y[0]} }
 func (x B1) Xor(y B1) B1    { return B1{x[0] ^ y[0]} }
 func (x B1) AndNot(y B1) B1 { return B1{x[0] &^ y[0]} }
 func (x B1) Not() B1        { return B1{^x[0]} }
+func (x B1) Shl1() B1       { return B1{x[0] << 1} }
 func (x B1) IsZero() bool   { return x[0] == 0 }
 func (x B1) Lanes() int     { return 1 }
 
@@ -138,6 +154,7 @@ func (x B4) AndNot(y B4) B4 {
 	return B4{x[0] &^ y[0], x[1] &^ y[1], x[2] &^ y[2], x[3] &^ y[3]}
 }
 func (x B4) Not() B4      { return B4{^x[0], ^x[1], ^x[2], ^x[3]} }
+func (x B4) Shl1() B4     { return B4{x[0] << 1, x[1] << 1, x[2] << 1, x[3] << 1} }
 func (x B4) IsZero() bool { return x[0]|x[1]|x[2]|x[3] == 0 }
 func (x B4) Lanes() int   { return 4 }
 
@@ -167,6 +184,10 @@ func (x B8) AndNot(y B8) B8 {
 }
 func (x B8) Not() B8 {
 	return B8{^x[0], ^x[1], ^x[2], ^x[3], ^x[4], ^x[5], ^x[6], ^x[7]}
+}
+func (x B8) Shl1() B8 {
+	return B8{x[0] << 1, x[1] << 1, x[2] << 1, x[3] << 1,
+		x[4] << 1, x[5] << 1, x[6] << 1, x[7] << 1}
 }
 func (x B8) IsZero() bool {
 	return x[0]|x[1]|x[2]|x[3]|x[4]|x[5]|x[6]|x[7] == 0

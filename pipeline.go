@@ -64,6 +64,10 @@ type PipelineSpec struct {
 	// (1, 4 or 8; 0 keeps the Session default).  Results are
 	// bit-identical at every width.
 	SimWidth int `json:"sim_width,omitempty"`
+	// FaultModel overrides the Session's WithFaultModel setting for
+	// this run: FaultModelStuckAt, FaultModelBridging or
+	// FaultModelTransition.  The empty value keeps the Session default.
+	FaultModel FaultModel `json:"fault_model,omitempty"`
 	// NoShard forces this run's fault simulation to execute locally
 	// even when the Session was opened WithShardPool — the escape hatch
 	// for latency-sensitive runs and for A/B-checking the distributed
@@ -99,6 +103,9 @@ func (spec *PipelineSpec) fill() error {
 	}
 	if err := widesim.CheckWidth(spec.SimWidth); err != nil {
 		return fmt.Errorf("protest: pipeline %w", err)
+	}
+	if !spec.FaultModel.Valid() {
+		return fmt.Errorf("pipeline: %w: %q", ErrBadFaultModel, string(spec.FaultModel))
 	}
 	return nil
 }
@@ -138,6 +145,10 @@ type Report struct {
 	Faults     int     `json:"faults"`
 	Fraction   float64 `json:"fraction"`
 	Confidence float64 `json:"confidence"`
+
+	// FaultModel names the fault universe of the run; omitted for the
+	// default stuck-at model (keeping pre-model reports byte-identical).
+	FaultModel string `json:"fault_model,omitempty"`
 
 	Uniform   *PlanReport `json:"uniform"`
 	Optimized *PlanReport `json:"optimized,omitempty"`
@@ -248,6 +259,13 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	if spec.NoShard {
 		cfg.pool = nil
 	}
+	if spec.FaultModel != "" {
+		cfg.model = spec.FaultModel.Normalize()
+	}
+	faults := s.modelFaults(cfg.model)
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("pipeline: %s model: %w", cfg.model, ErrNoFaults)
+	}
 
 	st := s.c.Stats()
 	rep := &Report{
@@ -255,9 +273,12 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 		Gates:      st.Gates,
 		Inputs:     st.Inputs,
 		Outputs:    st.Outputs,
-		Faults:     len(s.faults),
+		Faults:     len(faults),
 		Fraction:   spec.Fraction,
 		Confidence: spec.Confidence,
+	}
+	if cfg.model != FaultModelStuckAt {
+		rep.FaultModel = string(cfg.model)
 	}
 
 	// Phase 1+2: uniform analysis and test length.
@@ -271,7 +292,7 @@ func (s *Session) Run(ctx context.Context, spec PipelineSpec) (*Report, error) {
 	// hardware lattice.
 	var weights []float64
 	if spec.Optimize {
-		opt, err := s.optimize(ctx, s.faults, spec.OptimizeOptions, cfg)
+		opt, err := s.optimize(ctx, faults, spec.OptimizeOptions, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -315,7 +336,8 @@ func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []flo
 	if err != nil {
 		return nil, err
 	}
-	detect := res.DetectProbs(s.faults)
+	faults := s.modelFaults(cfg.model)
+	detect := res.DetectProbs(faults)
 
 	plan := &PlanReport{}
 	if probs != nil {
@@ -327,7 +349,7 @@ func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []flo
 			hardest = i
 		}
 	}
-	plan.HardestFault = s.faults[hardest].Name(s.c)
+	plan.HardestFault = faults[hardest].Name(s.c)
 	plan.HardestProb = detect[hardest]
 
 	cfg.emit(PhaseTestLength, 1)
@@ -354,7 +376,7 @@ func (s *Session) planReport(ctx context.Context, spec PipelineSpec, probs []flo
 	if err != nil {
 		return nil, err
 	}
-	psim := make([]float64, len(s.faults))
+	psim := make([]float64, len(faults))
 	for i := range psim {
 		psim[i] = sim.PSim(i)
 	}

@@ -89,8 +89,13 @@ type (
 	// Stats summarizes circuit structure.
 	CircuitStats = circuit.Stats
 
-	// Fault is a single stuck-at fault.
+	// Fault is one fault of a universe: a stuck-at, bridging or
+	// transition fault, distinguished by its Kind.
 	Fault = fault.Fault
+	// FaultKind distinguishes the fault flavours within a universe.
+	FaultKind = fault.Kind
+	// FaultModel names a fault universe (see WithFaultModel).
+	FaultModel = fault.Model
 
 	// Params tunes the probabilistic analysis (MAXVERS, MAXLIST, ...).
 	Params = core.Params
@@ -158,6 +163,30 @@ const (
 func ParseSimEngine(s string) (SimEngine, error) {
 	return faultsim.ParseEngine(s)
 }
+
+// Fault models for WithFaultModel, PipelineSpec.FaultModel and
+// ValidateSpec.FaultModel.
+const (
+	// FaultModelStuckAt is the collapsed single stuck-at universe (the
+	// default; the zero FaultModel value behaves identically).
+	FaultModelStuckAt = fault.ModelStuckAt
+	// FaultModelBridging enumerates wired-AND/wired-OR shorts between
+	// same-level neighbours of the levelized netlist.
+	FaultModelBridging = fault.ModelBridging
+	// FaultModelTransition enumerates slow-to-rise/slow-to-fall faults
+	// on the collapsed stuck-at sites with launch/capture two-pattern
+	// semantics inside each 64-pattern block.
+	FaultModelTransition = fault.ModelTransition
+)
+
+// ParseFaultModel parses a fault-model name: "stuck-at" (or empty),
+// "bridging" and "transition" (with a few aliases).
+func ParseFaultModel(s string) (FaultModel, error) {
+	return fault.ParseModel(s)
+}
+
+// FaultModels lists the supported fault models in canonical order.
+func FaultModels() []FaultModel { return fault.Models() }
 
 // NewBuilder starts constructing a circuit with the given name.
 func NewBuilder(name string) *Builder { return circuit.NewBuilder(name) }
@@ -230,7 +259,11 @@ func NewAnalyzer(c *Circuit, p Params) (*Analyzer, error) {
 // Faults returns the collapsed single stuck-at fault list of a circuit.
 func Faults(c *Circuit) []Fault { return fault.Collapse(c) }
 
-// AllFaults returns the complete (uncollapsed) fault universe.
+// FaultsFor enumerates and collapses a fault model's universe for a
+// circuit.
+func FaultsFor(c *Circuit, m FaultModel) []Fault { return m.Faults(c) }
+
+// AllFaults returns the complete (uncollapsed) stuck-at fault universe.
 func AllFaults(c *Circuit) []Fault { return fault.Universe(c) }
 
 // ExactDetectProbs computes exact detection probabilities by weighted

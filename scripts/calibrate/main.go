@@ -1,0 +1,83 @@
+// Command calibrate re-measures the per-circuit validation envelopes
+// in internal/validate/envelope.go: it runs the three-oracle validate
+// on every registry circuit under every fault model with the envelope
+// gate held wide open, then prints the measured aggregates and the
+// table entries they imply under the documented margins (correlation
+// -0.06, Spearman -0.08, average error +0.04, bias ±0.04).  Run it and
+// paste the emitted entries whenever the estimator's model changes on
+// purpose.
+//
+// Usage: go run ./scripts/calibrate [circuit ...]   (default: whole registry)
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"protest"
+)
+
+// wideOpen disables the envelope gate so the measurement sees the raw
+// aggregates; the hard per-fault checks still run and are reported, so
+// a circuit that cannot reach zero flags is visible here before it is
+// pasted into the table.
+var wideOpen = protest.ValidateEnvelope{
+	CorrMin: -1, SpearMin: -1, AvgErrMax: 10, BiasLo: -10, BiasHi: 10,
+}
+
+func main() {
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = protest.BenchmarkNames()
+	}
+	ctx := context.Background()
+	bad := false
+	for _, model := range protest.FaultModels() {
+		fmt.Printf("// %s\n", model)
+		for _, name := range names {
+			c, ok := protest.Benchmark(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "calibrate: unknown circuit %q\n", name)
+				os.Exit(2)
+			}
+			s, err := protest.Open(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "calibrate: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			env := wideOpen
+			rep, err := s.Validate(ctx, protest.ValidateSpec{FaultModel: model, Envelope: &env})
+			if errors.Is(err, protest.ErrNoFaults) {
+				fmt.Printf("// %-8s %s universe is empty — no entry\n", name, model)
+				continue
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "calibrate: %s/%s: %v\n", name, model, err)
+				os.Exit(1)
+			}
+			truth, oracle := rep.VsEmpirical, "mc"
+			if rep.VsExact != nil {
+				truth, oracle = *rep.VsExact, "bdd"
+			}
+			if len(rep.Flags) > 0 {
+				bad = true
+				fmt.Printf("// %-8s UNUSABLE: %d hard flags (first: %s) — fix before calibrating\n",
+					name, len(rep.Flags), rep.Flags[0].Detail)
+				continue
+			}
+			key := c.Name
+			if model != protest.FaultModelStuckAt {
+				key = c.Name + "/" + string(model)
+			}
+			fmt.Printf("%q: {CorrMin: %.2f, SpearMin: %.2f, AvgErrMax: %.2f, BiasLo: %.2f, BiasHi: %.2f},"+
+				" // %s n=%d corr=%.3f spear=%.3f avg=%.3f max=%.2f bias=%+.3f\n",
+				key, truth.Corr-0.06, rep.Spearman-0.08, truth.AvgErr+0.04, truth.Bias-0.04, truth.Bias+0.04,
+				oracle, truth.N, truth.Corr, rep.Spearman, truth.AvgErr, truth.MaxErr, truth.Bias)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -3,6 +3,7 @@ package protest
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -64,12 +65,20 @@ type Session struct {
 	simWidth  int
 	laneWait  time.Duration
 	simEngine SimEngine
+	model     FaultModel // normalized default fault model
 	progress  func(Phase, float64)
 	store     *artifact.Store
 	pool      *shard.Pool
 
-	faults []Fault       // shared store slice; hand out copies only
+	faults []Fault       // default model's shared store slice; hand out copies only
 	prog   *core.Program // compiled analysis program under params
+
+	// extra holds the artifact bundles of fault models requested
+	// per-call (PipelineSpec/ValidateSpec.FaultModel) that differ from
+	// the Session default — fault.Model -> *modelArtifacts.  The default
+	// model stays on the dedicated fields below so its hot path is one
+	// atomic load, not a map lookup.
+	extra sync.Map
 
 	// baseline caches the uniform (p = 0.5) analysis for TestLength and
 	// repeated Analyze(ctx, nil) calls.  Once published it is treated as
@@ -89,8 +98,19 @@ type Session struct {
 	shardTask atomic.Pointer[shard.Task]
 
 	// laneBatch pins the cross-call lane batcher once WithLaneBatching
-	// is active and the first Simulate call has built it.
+	// is active and the first Simulate call has built it.  It batches
+	// only the default model's measurements; per-call model overrides
+	// run on their own plans.
 	laneBatch atomic.Pointer[faultsim.LaneBatcher]
+}
+
+// modelArtifacts is one non-default fault model's lazily pinned
+// artifact bundle, mirroring the Session's default-model fields.
+type modelArtifacts struct {
+	faults    []Fault
+	simPlan   atomic.Pointer[faultsim.Plan]
+	bistProg  atomic.Pointer[bist.Program]
+	shardTask atomic.Pointer[shard.Task]
 }
 
 // Option configures a Session at Open time.  Options are applied in
@@ -175,6 +195,17 @@ func WithLaneBatching(wait time.Duration) Option {
 	return func(s *Session) { s.laneWait = wait }
 }
 
+// WithFaultModel selects the fault universe the Session analyzes,
+// simulates and validates: FaultModelStuckAt (the default),
+// FaultModelBridging or FaultModelTransition.  All engines, oracles
+// and the sharded path understand every model; stuck-at behaviour and
+// results are unchanged from before the model knob existed.
+// Individual PipelineSpec/ValidateSpec.FaultModel values override the
+// Session default per call.
+func WithFaultModel(m FaultModel) Option {
+	return func(s *Session) { s.model = m }
+}
+
 // WithShardPool distributes the Session's fault simulation and
 // coverage curves across the pool's workers.  Results stay
 // bit-identical to local execution — the shard layer merges exactly —
@@ -220,8 +251,12 @@ func Open(c *Circuit, opts ...Option) (*Session, error) {
 	if err := widesim.CheckWidth(s.simWidth); err != nil {
 		return nil, fmt.Errorf("protest: Open: %w", err)
 	}
+	if !s.model.Valid() {
+		return nil, fmt.Errorf("protest: Open: %w: %q", ErrBadFaultModel, string(s.model))
+	}
+	s.model = s.model.Normalize()
 	s.c = s.store.Intern(c)
-	faults := s.store.Faults(s.c)
+	faults := s.store.FaultsFor(s.c, s.model)
 	if len(faults) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoFaults, s.c.Name)
 	}
@@ -243,9 +278,32 @@ func (s *Session) Circuit() *Circuit { return s.c }
 // Params returns the analysis parameters the Session was opened with.
 func (s *Session) Params() Params { return s.params }
 
-// Faults returns a copy of the collapsed single stuck-at fault list.
+// FaultModel returns the Session's default fault model.
+func (s *Session) FaultModel() FaultModel { return s.model }
+
+// Faults returns a copy of the Session's fault list (the default
+// model's universe — collapsed stuck-at unless WithFaultModel chose
+// another model).
 func (s *Session) Faults() []Fault {
 	return append([]Fault(nil), s.faults...)
+}
+
+// modelArts returns the pinned artifact bundle of a non-default model.
+func (s *Session) modelArts(m FaultModel) *modelArtifacts {
+	if v, ok := s.extra.Load(m); ok {
+		return v.(*modelArtifacts)
+	}
+	a := &modelArtifacts{faults: s.store.FaultsFor(s.c, m)}
+	v, _ := s.extra.LoadOrStore(m, a)
+	return v.(*modelArtifacts)
+}
+
+// modelFaults returns the shared fault list of the effective model.
+func (s *Session) modelFaults(m FaultModel) []Fault {
+	if m = m.Normalize(); m == s.model {
+		return s.faults
+	}
+	return s.modelArts(m).faults
 }
 
 // runCfg is the effective per-call configuration: the Session defaults
@@ -256,12 +314,13 @@ type runCfg struct {
 	workers  int
 	width    int
 	engine   SimEngine
+	model    FaultModel // normalized
 	progress func(Phase, float64)
 	pool     *shard.Pool
 }
 
 func (s *Session) cfg() runCfg {
-	return runCfg{workers: s.workers, width: s.simWidth, engine: s.simEngine, progress: s.progress, pool: s.pool}
+	return runCfg{workers: s.workers, width: s.simWidth, engine: s.simEngine, model: s.model, progress: s.progress, pool: s.pool}
 }
 
 func (cfg runCfg) emit(ph Phase, frac float64) {
@@ -335,31 +394,40 @@ func (cfg runCfg) simOptions() faultsim.Options {
 	return faultsim.Options{Engine: cfg.engine, Workers: cfg.workers, Width: cfg.width}
 }
 
-// ensureSimPlan returns the Session's pinned FFR fault-simulation
-// plan, resolving it through the artifact store on first use.
-// Concurrent cold calls may race to the store, which singleflights
-// the build; they all pin the same plan.
-func (s *Session) ensureSimPlan() *faultsim.Plan {
-	if p := s.simPlan.Load(); p != nil {
+// ensureSimPlan returns the pinned FFR fault-simulation plan of the
+// effective model, resolving it through the artifact store on first
+// use.  Concurrent cold calls may race to the store, which
+// singleflights the build; they all pin the same plan.
+func (s *Session) ensureSimPlan(m FaultModel) *faultsim.Plan {
+	slot := &s.simPlan
+	if m = m.Normalize(); m != s.model {
+		slot = &s.modelArts(m).simPlan
+	}
+	if p := slot.Load(); p != nil {
 		return p
 	}
-	s.simPlan.CompareAndSwap(nil, s.store.SimPlan(s.c))
-	return s.simPlan.Load()
+	slot.CompareAndSwap(nil, s.store.SimPlanFor(s.c, m))
+	return slot.Load()
 }
 
-// ensureShardTask returns the Session's pinned shard task — the
-// distributable form of the circuit — building it on first use.
-// Concurrent cold calls race benignly: every candidate is identical.
-func (s *Session) ensureShardTask() (*shard.Task, error) {
-	if t := s.shardTask.Load(); t != nil {
+// ensureShardTask returns the pinned shard task — the distributable
+// form of the circuit under the effective model — building it on first
+// use.  Concurrent cold calls race benignly: every candidate is
+// identical.
+func (s *Session) ensureShardTask(m FaultModel) (*shard.Task, error) {
+	slot := &s.shardTask
+	if m = m.Normalize(); m != s.model {
+		slot = &s.modelArts(m).shardTask
+	}
+	if t := slot.Load(); t != nil {
 		return t, nil
 	}
-	t, err := shard.NewTask(s.ensureSimPlan(), s.seed)
+	t, err := shard.NewModelTask(s.ensureSimPlan(m), m, s.seed)
 	if err != nil {
 		return nil, err
 	}
-	s.shardTask.CompareAndSwap(nil, t)
-	return s.shardTask.Load(), nil
+	slot.CompareAndSwap(nil, t)
+	return slot.Load(), nil
 }
 
 // ensureLaneBatcher returns the Session's pinned lane batcher,
@@ -369,7 +437,7 @@ func (s *Session) ensureLaneBatcher() *faultsim.LaneBatcher {
 	if lb := s.laneBatch.Load(); lb != nil {
 		return lb
 	}
-	lb, err := s.ensureSimPlan().NewLaneBatcher(s.simWidth, s.laneWait)
+	lb, err := s.ensureSimPlan(s.model).NewLaneBatcher(s.simWidth, s.laneWait)
 	if err != nil {
 		panic(err) // unreachable: Open validated the width
 	}
@@ -379,14 +447,18 @@ func (s *Session) ensureLaneBatcher() *faultsim.LaneBatcher {
 	return s.laneBatch.Load()
 }
 
-// ensureBIST returns the Session's pinned self-test program, resolving
-// it through the artifact store on first use.
-func (s *Session) ensureBIST() *bist.Program {
-	if p := s.bistProg.Load(); p != nil {
+// ensureBIST returns the pinned self-test program of the effective
+// model, resolving it through the artifact store on first use.
+func (s *Session) ensureBIST(m FaultModel) *bist.Program {
+	slot := &s.bistProg
+	if m = m.Normalize(); m != s.model {
+		slot = &s.modelArts(m).bistProg
+	}
+	if p := slot.Load(); p != nil {
 		return p
 	}
-	s.bistProg.CompareAndSwap(nil, s.store.BIST(s.c))
-	return s.bistProg.Load()
+	slot.CompareAndSwap(nil, s.store.BISTFor(s.c, m))
+	return slot.Load()
 }
 
 // Optimize hill-climbs the per-input signal probabilities to maximize
@@ -494,21 +566,22 @@ func (s *Session) simulate(ctx context.Context, probs []float64, numPatterns int
 	var res *SimResult
 	if cfg.engine == SimEngineNaive {
 		// The oracle path never reads the FFR plan; skip building it.
-		res, err = faultsim.MeasureDetectionOpt(ctx, s.c, s.faults, gen, numPatterns, cfg.simOptions(), progress)
+		res, err = faultsim.MeasureDetectionOpt(ctx, s.c, s.modelFaults(cfg.model), gen, numPatterns, cfg.simOptions(), progress)
 	} else if cfg.pool != nil {
 		// Sharded across the pool's workers; probs were validated by the
 		// generator above, and the merge is bit-identical to local.
 		var t *shard.Task
-		if t, err = s.ensureShardTask(); err == nil {
+		if t, err = s.ensureShardTask(cfg.model); err == nil {
 			res, err = cfg.pool.MeasureDetection(ctx, t, probs, numPatterns, progress)
 		}
-	} else if s.laneWait > 0 && s.simWidth > 1 && cfg.width == s.simWidth {
+	} else if s.laneWait > 0 && s.simWidth > 1 && cfg.width == s.simWidth && cfg.model.Normalize() == s.model {
 		// Cross-call lane batching: concurrent measurements on this
 		// Session pack their blocks into one wide sweep.  A per-run
-		// width override bypasses the shared batcher (the else branch).
+		// width or fault-model override bypasses the shared batcher
+		// (the else branch).
 		res, err = s.ensureLaneBatcher().MeasureDetectionCtx(ctx, gen, numPatterns, progress)
 	} else {
-		res, err = s.ensureSimPlan().MeasureDetectionCtx(ctx, gen, numPatterns, cfg.simOptions(), progress)
+		res, err = s.ensureSimPlan(cfg.model).MeasureDetectionCtx(ctx, gen, numPatterns, cfg.simOptions(), progress)
 	}
 	return res, wrapCanceled(err)
 }
@@ -527,14 +600,14 @@ func (s *Session) CoverageCurve(ctx context.Context, probs []float64, checkpoint
 	}
 	var points []CoveragePoint
 	if cfg.engine == SimEngineNaive {
-		points, err = faultsim.CoverageCurveOpt(ctx, s.c, s.faults, gen, checkpoints, cfg.simOptions(), progress)
+		points, err = faultsim.CoverageCurveOpt(ctx, s.c, s.modelFaults(cfg.model), gen, checkpoints, cfg.simOptions(), progress)
 	} else if cfg.pool != nil {
 		var t *shard.Task
-		if t, err = s.ensureShardTask(); err == nil {
+		if t, err = s.ensureShardTask(cfg.model); err == nil {
 			points, err = cfg.pool.CoverageCurve(ctx, t, probs, checkpoints, progress)
 		}
 	} else {
-		points, err = s.ensureSimPlan().CoverageCurveCtx(ctx, gen, checkpoints, cfg.simOptions(), progress)
+		points, err = s.ensureSimPlan(cfg.model).CoverageCurveCtx(ctx, gen, checkpoints, cfg.simOptions(), progress)
 	}
 	return points, wrapCanceled(err)
 }
@@ -570,7 +643,7 @@ func (s *Session) runBIST(ctx context.Context, probs []float64, plan BISTPlan, c
 		plan.SimWidth = cfg.width
 	}
 	cfg.emit(PhaseBIST, 0)
-	res, err := s.ensureBIST().RunCtx(ctx, gen, plan, func(done, total int) {
+	res, err := s.ensureBIST(cfg.model).RunCtx(ctx, gen, plan, func(done, total int) {
 		cfg.emit(PhaseBIST, float64(done)/float64(total))
 	})
 	return res, wrapCanceled(err)

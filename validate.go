@@ -2,6 +2,7 @@ package protest
 
 import (
 	"context"
+	"fmt"
 
 	"protest/internal/core"
 	"protest/internal/faultsim"
@@ -69,6 +70,10 @@ type ValidateSpec struct {
 	SimEngine SimEngine `json:"sim_engine,omitempty"`
 	SimWidth  int       `json:"sim_width,omitempty"`
 	NoShard   bool      `json:"no_shard,omitempty"`
+	// FaultModel overrides the Session's fault model for this run, with
+	// PipelineSpec.FaultModel semantics: all three oracles validate the
+	// selected universe.  The empty value keeps the Session default.
+	FaultModel FaultModel `json:"fault_model,omitempty"`
 	// Progress overrides the Session's WithProgress callback for this
 	// run only.
 	Progress func(Phase, float64) `json:"-"`
@@ -116,6 +121,16 @@ func (s *Session) Validate(ctx context.Context, spec ValidateSpec) (*ValidateRep
 	if spec.NoShard {
 		cfg.pool = nil
 	}
+	if spec.FaultModel != "" {
+		if !spec.FaultModel.Valid() {
+			return nil, fmt.Errorf("validate: %w: %q", ErrBadFaultModel, string(spec.FaultModel))
+		}
+		cfg.model = spec.FaultModel.Normalize()
+	}
+	faults := s.modelFaults(cfg.model)
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("validate: %s model: %w", cfg.model, ErrNoFaults)
+	}
 
 	cfg.emit(PhaseValidate, 0)
 	// Oracle 1: the analytic estimator (cached when uniform).
@@ -123,7 +138,7 @@ func (s *Session) Validate(ctx context.Context, spec ValidateSpec) (*ValidateRep
 	if err != nil {
 		return nil, err
 	}
-	analytic := res.DetectProbs(s.faults)
+	analytic := res.DetectProbs(faults)
 	inputProbs := spec.InputProbs
 	if inputProbs == nil {
 		inputProbs = core.UniformProbs(s.c)
@@ -144,7 +159,7 @@ func (s *Session) Validate(ctx context.Context, spec ValidateSpec) (*ValidateRep
 	sim := func(ctx context.Context, numPatterns int) (*faultsim.Result, error) {
 		return s.simulate(ctx, spec.InputProbs, numPatterns, cfg)
 	}
-	rep, err := validate.Run(ctx, s.c, s.faults, analytic, inputProbs, sim, vcfg)
+	rep, err := validate.Run(ctx, s.c, faults, analytic, inputProbs, sim, vcfg)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
